@@ -1,0 +1,95 @@
+// Reproduces Figure 4 and the paper's extraction-rate claims
+// (§III-B2): word-region detection from raw accelerometer data in the
+// earpiece setting (no visible trace -> 8 Hz HPF reveals regions) vs
+// the loudspeaker setting (regions visible directly). The paper
+// reports a >= 90% extraction rate table-top and >= 45% for ear
+// speakers.
+#include <cmath>
+#include <iostream>
+
+#include "common.h"
+#include "dsp/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace emoleak;
+  const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Figure 4",
+                      "Word-region detection: ear speaker (handheld, 8 Hz "
+                      "HPF for detection) vs loudspeaker (table-top, no "
+                      "filter) on TESS / OnePlus 7T");
+
+  // Ear-speaker capture.
+  core::ScenarioConfig ear = core::ear_speaker_scenario(
+      audio::tess_spec(), phone::oneplus_7t(), bench::kBenchSeed);
+  ear.corpus_fraction = opts.fraction(0.25);
+  audio::DatasetSpec ear_spec =
+      audio::scaled_spec(ear.dataset, ear.corpus_fraction);
+  const audio::Corpus ear_corpus{ear_spec, ear.seed};
+  phone::RecorderConfig ear_rc;
+  ear_rc.speaker = ear.speaker;
+  ear_rc.posture = ear.posture;
+  ear_rc.seed = ear.seed ^ 0x5E5510ULL;
+  const phone::Recording ear_rec =
+      record_session(ear_corpus, ear.phone, ear_rc);
+
+  // (4a/4b): signal-to-noise of the detection envelope without and
+  // with the 8 Hz high-pass filter.
+  core::DetectorConfig no_filter = core::handheld_detector_config();
+  no_filter.detection_highpass_hz = 0.0;
+  const core::SpeechRegionDetector raw_detector{no_filter};
+  const core::SpeechRegionDetector hpf_detector{core::handheld_detector_config()};
+
+  const auto snr_of = [&](const core::SpeechRegionDetector& det) {
+    const auto env = det.detection_envelope(ear_rec.accel, ear_rec.rate_hz);
+    double in_sum = 0.0, out_sum = 0.0;
+    std::size_t in_n = 0, out_n = 0;
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < env.size(); ++i) {
+      while (next < ear_rec.schedule.size() &&
+             i >= ear_rec.schedule[next].end_sample) {
+        ++next;
+      }
+      const bool inside = next < ear_rec.schedule.size() &&
+                          i >= ear_rec.schedule[next].start_sample;
+      if (inside) {
+        in_sum += env[i];
+        ++in_n;
+      } else {
+        out_sum += env[i];
+        ++out_n;
+      }
+    }
+    return (in_sum / in_n) / (out_sum / out_n);
+  };
+  std::cout << "(4a) no filter:    speech/noise envelope ratio = "
+            << util::fixed(snr_of(raw_detector), 2)
+            << "  (speech invisible under body-motion noise)\n";
+  std::cout << "(4b) 8 Hz HPF:     speech/noise envelope ratio = "
+            << util::fixed(snr_of(hpf_detector), 2)
+            << "  (regions become separable, as in Fig. 4b)\n";
+
+  const auto ear_regions = hpf_detector.detect(ear_rec.accel, ear_rec.rate_hz);
+  const auto ear_labelled = core::label_regions(ear_regions, ear_rec);
+  const double ear_rate = core::extraction_rate(ear_labelled, ear_rec);
+
+  // (4c) loudspeaker / table-top.
+  core::ScenarioConfig loud = core::loudspeaker_scenario(
+      audio::tess_spec(), phone::oneplus_7t(), bench::kBenchSeed);
+  loud.corpus_fraction = opts.fraction(0.25);
+  const core::ExtractedData loud_data = core::capture(loud);
+
+  std::cout << "(4c) loudspeaker:  regions visible without any filter\n\n";
+  bench::print_comparisons(
+      {
+          {"extraction rate, table-top/loudspeaker (paper: >=90%)", 0.90,
+           loud_data.extraction_rate},
+          {"extraction rate, handheld/ear speaker (paper: >=45%)", 0.45,
+           ear_rate},
+      },
+      "extraction rate");
+  std::cout << "\nShape check: the loudspeaker setting recovers nearly every "
+               "word; the ear speaker recovers a clearly smaller but still "
+               "substantial fraction, and only once the 8 Hz high-pass strips "
+               "hand/body motion (compare 4a vs 4b).\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces Figure 6: confusion matrices of time-frequency-feature
+// classification on TESS with the OnePlus 7T — (a) loudspeaker
+// scenario, (b) ear-speaker scenario with 10-fold cross-validation.
+#include <iostream>
+
+#include "common.h"
+#include "ml/ensemble.h"
+#include "ml/metrics.h"
+#include "ml/logistic.h"
+
+int main(int argc, char** argv) {
+  using namespace emoleak;
+  const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Figure 6",
+                      "Confusion matrices, TESS / OnePlus 7T, time-frequency "
+                      "features");
+
+  // (6a) Loudspeaker.
+  core::ScenarioConfig loud = core::loudspeaker_scenario(
+      audio::tess_spec(), phone::oneplus_7t(), bench::kBenchSeed);
+  loud.corpus_fraction = opts.fraction(1.0);
+  const core::ExtractedData loud_data = core::capture(loud);
+  const core::ClassifierResult loud_result = core::evaluate_classical(
+      ml::LogisticRegression{}, loud_data.features, bench::kBenchSeed);
+  std::cout << "(6a) Loudspeaker scenario, accuracy "
+            << util::percent(loud_result.accuracy)
+            << " (paper's matrix diagonal ~94-95%):\n"
+            << util::render_confusion(loud_result.confusion.counts(),
+                                      loud_data.features.class_names)
+            << '\n';
+
+  // (6b) Ear speaker, 10-fold CV.
+  core::ScenarioConfig ear = core::ear_speaker_scenario(
+      audio::tess_spec(), phone::oneplus_7t(), bench::kBenchSeed);
+  ear.corpus_fraction = opts.fraction(1.0);
+  const core::ExtractedData ear_data = core::capture(ear);
+  const core::ClassifierResult ear_result = core::evaluate_classical(
+      ml::RandomForest{}, ear_data.features, bench::kBenchSeed, /*cv=*/10);
+  std::cout << "(6b) Ear-speaker scenario (10-fold CV), accuracy "
+            << util::percent(ear_result.accuracy)
+            << " (paper: 59.67% with RandomForest):\n"
+            << util::render_confusion(ear_result.confusion.counts(),
+                                      ear_data.features.class_names)
+            << '\n';
+  std::cout << "Per-class breakdown (6b):\n"
+            << ml::classification_report(ear_result.confusion,
+                                         ear_data.features.class_names)
+            << '\n';
+
+  std::cout << "Shape check vs Fig. 6: the loudspeaker matrix is strongly "
+               "diagonal with only scattered confusions; the ear-speaker "
+               "matrix keeps a visible diagonal (every class recovered well "
+               "above chance) but with broad off-diagonal leakage, "
+               "especially among the low-arousal classes.\n";
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Microbenchmarks (google-benchmark) for the performance-critical
+// primitives: FFT, STFT, filtering, feature extraction, synthesis, the
+// conduction channel, and CNN layer passes.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "audio/corpus.h"
+#include "core/speech_region.h"
+#include "dsp/fft.h"
+#include "dsp/filter.h"
+#include "dsp/stft.h"
+#include "features/features.h"
+#include "nn/cnn_models.h"
+#include "phone/channel.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace emoleak;
+
+std::vector<double> noise_signal(std::size_t n, std::uint64_t seed = 1) {
+  util::Rng rng{seed};
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.normal();
+  return x;
+}
+
+void BM_FftPow2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<dsp::Complex> data(n);
+  util::Rng rng{2};
+  for (auto& v : data) v = dsp::Complex{rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    std::vector<dsp::Complex> copy = data;
+    dsp::fft_pow2(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_FftPow2)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_FftBluestein(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<dsp::Complex> data(n);
+  util::Rng rng{3};
+  for (auto& v : data) v = dsp::Complex{rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    auto out = dsp::fft(data);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FftBluestein)->Arg(1000)->Arg(2187);
+
+void BM_Stft(benchmark::State& state) {
+  const auto x = noise_signal(static_cast<std::size_t>(state.range(0)));
+  dsp::StftConfig cfg;
+  for (auto _ : state) {
+    const auto spec = dsp::stft(x, 420.0, cfg);
+    benchmark::DoNotOptimize(spec.data().data());
+  }
+}
+BENCHMARK(BM_Stft)->Arg(420)->Arg(4200);
+
+void BM_ButterworthFilter(benchmark::State& state) {
+  const auto x = noise_signal(static_cast<std::size_t>(state.range(0)));
+  auto hpf = dsp::BiquadCascade::butterworth_highpass(4, 8.0, 420.0);
+  for (auto _ : state) {
+    hpf.reset();
+    auto out = hpf.filter(x);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ButterworthFilter)->Arg(42000);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const auto x = noise_signal(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    auto f = features::extract_features(x, 420.0);
+    benchmark::DoNotOptimize(f.data());
+  }
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(420)->Arg(840);
+
+void BM_UtteranceSynthesis(benchmark::State& state) {
+  const audio::Corpus corpus{audio::scaled_spec(audio::tess_spec(), 0.01), 5};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto u = corpus.synthesize(i % corpus.size());
+    benchmark::DoNotOptimize(u.samples.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_UtteranceSynthesis);
+
+void BM_ConductionChannel(benchmark::State& state) {
+  const auto audio_sig = noise_signal(4000, 6);
+  const phone::PhoneProfile profile = phone::oneplus_7t();
+  for (auto _ : state) {
+    auto vib = phone::conduct(audio_sig, 2000.0, profile,
+                              phone::SpeakerKind::kLoudspeaker);
+    auto sampled = phone::accel_sampling_chain(vib, 2000.0, profile);
+    benchmark::DoNotOptimize(sampled.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);
+}
+BENCHMARK(BM_ConductionChannel);
+
+void BM_SpeechRegionDetection(benchmark::State& state) {
+  // 100 s of trace with bursts.
+  auto x = noise_signal(42000, 7);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 9.81 + 0.003 * x[i];
+    if ((i / 2000) % 3 == 0) {
+      x[i] += 0.1 * std::sin(2.0 * std::numbers::pi * 100.0 * i / 420.0);
+    }
+  }
+  const core::SpeechRegionDetector detector{core::tabletop_detector_config()};
+  for (auto _ : state) {
+    auto regions = detector.detect(x, 420.0);
+    benchmark::DoNotOptimize(regions.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 42000);
+}
+BENCHMARK(BM_SpeechRegionDetection);
+
+void BM_TimefreqCnnForward(benchmark::State& state) {
+  nn::Sequential model = nn::build_timefreq_cnn(24, 7, nn::CnnConfig::fast());
+  nn::Tensor x{{32, 1, 24, 1}};
+  util::Rng rng{8};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.normal());
+  }
+  for (auto _ : state) {
+    auto y = model.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_TimefreqCnnForward);
+
+void BM_SpectrogramCnnForward(benchmark::State& state) {
+  nn::Sequential model =
+      nn::build_spectrogram_cnn(32, 32, 7, nn::CnnConfig::fast());
+  nn::Tensor x{{8, 32, 32, 1}};
+  util::Rng rng{9};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.normal());
+  }
+  for (auto _ : state) {
+    auto y = model.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_SpectrogramCnnForward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Reproduces §VI-A: the Android 12+ zero-permission sampling-rate cap
+// (200 Hz) test. The paper measures 80.1% on TESS/loudspeaker at
+// 200 Hz vs 95.3% at the default rate — degraded, but still >5x the
+// random-guess rate, so the cap alone is not a sufficient mitigation.
+#include <iostream>
+
+#include "common.h"
+#include "ml/logistic.h"
+
+int main(int argc, char** argv) {
+  using namespace emoleak;
+  const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Sec. VI-A",
+                      "Android 200 Hz sampling-rate restriction (TESS, "
+                      "loudspeaker, OnePlus 7T)");
+
+  const auto run = [&](const phone::PhoneProfile& profile) {
+    core::ScenarioConfig sc = core::loudspeaker_scenario(
+        audio::tess_spec(), profile, bench::kBenchSeed);
+    sc.corpus_fraction = opts.fraction(1.0);
+    const core::ExtractedData data = core::capture(sc);
+    return core::evaluate_classical(ml::LogisticRegression{}, data.features,
+                                    bench::kBenchSeed)
+        .accuracy;
+  };
+
+  const double full = run(phone::oneplus_7t());
+  const double capped = run(phone::with_rate_cap(phone::oneplus_7t(), 200.0));
+
+  bench::print_comparisons({
+      {"default sampling rate (420 Hz)", 0.953, full},
+      {"Android-12 cap (200 Hz)", 0.801, capped},
+  });
+  std::cout << "\nShape check: the software cap decimates the native stream "
+               "with a clean anti-aliasing filter, removing the folded "
+               "female-F0 band and cutting accuracy substantially — yet the "
+               "capped attack still runs at "
+            << util::fixed(capped / (1.0 / 7.0), 1)
+            << "x the 14.3% random-guess rate, the paper's argument that the "
+               "200 Hz restriction alone is insufficient (§VI-B).\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Reproduces Table I: information gain of time-frequency features with
+// no filter vs a 1 Hz high-pass filter (paper §III-B2).
+//
+// The paper's point: even a mild 1 Hz high-pass destroys the feature
+// information the attack needs, so features are always extracted from
+// raw samples. We capture a TESS *handheld / ear-speaker* session (the
+// setting SIII-B2 analyzes: hand and body movement introduce the
+// low-frequency components at stake), extract regions, and compute
+// information gain of six representative features from (a) the raw
+// samples and (b) 1 Hz-high-passed samples. The amplitude features
+// (min/mean/max) key on the slow posture drift, which is block-
+// correlated with the emotion labels because same-emotion utterances
+// play contiguously — exactly the information a 1 Hz filter destroys.
+#include <iostream>
+#include <span>
+
+#include "common.h"
+#include "core/pipeline.h"
+#include "dsp/filter.h"
+#include "features/features.h"
+#include "features/info_gain.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace emoleak;
+
+struct FeatureGains {
+  double min = 0.0, mean = 0.0, max = 0.0, cv = 0.0, power = 0.0,
+         smoothness = 0.0;
+};
+
+FeatureGains gains_for(const std::vector<std::vector<double>>& rows,
+                       const std::vector<int>& labels, int classes) {
+  const std::vector<double> g =
+      features::information_gain_all(rows, labels, classes);
+  // Indices per features::feature_names(): Min 0, Max 1, Mean 2, CV 6,
+  // Energy 12, Smoothness 18.
+  FeatureGains out;
+  out.min = g[0];
+  out.max = g[1];
+  out.mean = g[2];
+  out.cv = g[6];
+  out.power = g[12];
+  out.smoothness = g[18];
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+  bench::print_header(
+      "Table I",
+      "Information gain of time-frequency features: no filter vs 1 Hz "
+      "high-pass (TESS, ear speaker, handheld — the setting SIII-B2 "
+      "analyzes)");
+
+  core::ScenarioConfig sc = core::ear_speaker_scenario(
+      audio::tess_spec(), phone::oneplus_7t(), bench::kBenchSeed);
+  sc.corpus_fraction = opts.fraction(0.5);
+
+  // Capture once, then extract features from raw and filtered samples
+  // of the same regions.
+  audio::DatasetSpec spec = audio::scaled_spec(sc.dataset, sc.corpus_fraction);
+  const audio::Corpus corpus{spec, sc.seed};
+  phone::RecorderConfig rec_cfg;
+  rec_cfg.speaker = sc.speaker;
+  rec_cfg.posture = sc.posture;
+  rec_cfg.seed = sc.seed ^ 0x5E5510ULL;
+  const phone::Recording rec =
+      record_session(corpus, sc.phone, rec_cfg);
+
+  const core::SpeechRegionDetector detector{sc.pipeline.detector};
+  const auto regions = detector.detect(rec.accel, rec.rate_hz);
+  const auto labelled = core::label_regions(regions, rec);
+
+  dsp::BiquadCascade hpf =
+      dsp::BiquadCascade::butterworth_highpass(2, 1.0, rec.rate_hz);
+  const std::vector<double> filtered = hpf.filtfilt(rec.accel);
+
+  std::vector<std::vector<double>> raw_rows;
+  std::vector<std::vector<double>> hpf_rows;
+  std::vector<int> labels;
+  const std::span<const double> raw{rec.accel};
+  const std::span<const double> filt{filtered};
+  for (const auto& lr : labelled) {
+    raw_rows.push_back(features::extract_features(
+        raw.subspan(lr.region.start, lr.region.length()), rec.rate_hz));
+    hpf_rows.push_back(features::extract_features(
+        filt.subspan(lr.region.start, lr.region.length()), rec.rate_hz));
+    int cls = 0;
+    for (std::size_t i = 0; i < rec.dataset.emotions.size(); ++i) {
+      if (rec.dataset.emotions[i] == lr.emotion) cls = static_cast<int>(i);
+    }
+    labels.push_back(cls);
+  }
+  const int classes = static_cast<int>(rec.dataset.emotions.size());
+  const FeatureGains no_filter = gains_for(raw_rows, labels, classes);
+  const FeatureGains one_hz = gains_for(hpf_rows, labels, classes);
+
+  util::TablePrinter t{{"Filter", "min", "mean", "max", "CV", "power",
+                        "smoothness"}};
+  t.add_row({"paper: no filter", "1.310", "1.293", "1.265", "0.994", "0.903",
+             "0.761"});
+  t.add_row({"ours:  no filter", util::fixed(no_filter.min),
+             util::fixed(no_filter.mean), util::fixed(no_filter.max),
+             util::fixed(no_filter.cv), util::fixed(no_filter.power),
+             util::fixed(no_filter.smoothness)});
+  t.add_rule();
+  t.add_row({"paper: 1 Hz HPF", "0", "0", "0", "0", "0.117", "0"});
+  t.add_row({"ours:  1 Hz HPF", util::fixed(one_hz.min),
+             util::fixed(one_hz.mean), util::fixed(one_hz.max),
+             util::fixed(one_hz.cv), util::fixed(one_hz.power),
+             util::fixed(one_hz.smoothness)});
+  std::cout << t.str();
+
+  const double raw_total = no_filter.min + no_filter.mean + no_filter.max +
+                           no_filter.cv + no_filter.power + no_filter.smoothness;
+  const double hpf_total = one_hz.min + one_hz.mean + one_hz.max + one_hz.cv +
+                           one_hz.power + one_hz.smoothness;
+  std::cout << "\nTotal gain without filter: " << util::fixed(raw_total)
+            << " bits; with 1 Hz HPF: " << util::fixed(hpf_total)
+            << " bits (paper shape: even a 1 Hz high-pass destroys nearly "
+               "all feature information — the amplitude features key on "
+               "slow posture drift that is block-correlated with the "
+               "emotion labels, and the filter removes it).\n";
+  return 0;
+}

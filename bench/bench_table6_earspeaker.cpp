@@ -1,0 +1,58 @@
+// Reproduces Table VI: emotion recognition from *ear speaker*
+// vibrations in the handheld setting (paper §V-D) — the paper's most
+// novel result. SAVEE on OnePlus 7T and OnePlus 9, TESS on OnePlus 7T;
+// 10-fold cross-validation with the RandomForest / RandomSubSpace /
+// trees.lmt stable plus the time-frequency CNN.
+#include <iostream>
+
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace emoleak;
+  const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Table VI",
+                      "Ear-speaker setting, handheld posture (random guess "
+                      "14.28%); 8 Hz HPF for region detection only");
+
+  struct Case {
+    std::string label;
+    audio::DatasetSpec dataset;
+    phone::PhoneProfile phone;
+    double rf, rss, lmt, cnn;
+  };
+  const Case cases[] = {
+      {"SAVEE / OnePlus 7T", audio::savee_spec(), phone::oneplus_7t(), 0.5312,
+       0.5625, 0.4911, 0.5111},
+      {"SAVEE / OnePlus 9", audio::savee_spec(), phone::oneplus_9(), 0.5840,
+       0.5483, 0.5376, 0.6052},
+      {"TESS / OnePlus 7T", audio::tess_spec(), phone::oneplus_7t(), 0.5967,
+       0.5545, 0.5303, 0.5482},
+  };
+
+  bench::MethodConfig method;
+  method.tf_epochs = opts.quick ? 15 : 40;
+  method.paper_exact_cnn = opts.paper_exact;
+
+  for (const Case& c : cases) {
+    core::ScenarioConfig sc =
+        core::ear_speaker_scenario(c.dataset, c.phone, bench::kBenchSeed);
+    sc.corpus_fraction = opts.fraction(1.0);
+    const core::ExtractedData data = core::capture(sc);
+    std::cout << c.label << ": " << data.features.size()
+              << " regions extracted (" << util::percent(data.extraction_rate)
+              << " of utterances; paper reports >= 45% for ear speakers)\n";
+    const bench::EarMethodAccuracies acc = bench::run_ear_methods(data, method);
+    bench::print_comparisons({
+        {"RandomForest (10-fold CV)", c.rf, acc.random_forest},
+        {"RandomSubSpace (10-fold CV)", c.rss, acc.random_subspace},
+        {"trees.lmt (10-fold CV)", c.lmt, acc.lmt},
+        {"CNN (time-frequency)", c.cnn, acc.timefreq_cnn},
+    });
+    std::cout << '\n';
+  }
+  std::cout << "Shape check: the ear speaker leaks emotion at ~3-4x the "
+               "random-guess rate in every configuration — the paper's core "
+               "Table VI claim — while remaining far below the loudspeaker "
+               "accuracies for the expressive TESS corpus.\n";
+  return 0;
+}

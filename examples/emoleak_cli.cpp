@@ -1,0 +1,207 @@
+// emoleak_cli — command-line driver for the EmoLeak pipeline.
+//
+// Runs any dataset x device x channel x classifier combination and
+// optionally writes a Markdown report, the extracted features (CSV /
+// ARFF), and a serialized model. Examples:
+//
+//   emoleak_cli --dataset tess --phone oneplus7t --classifier logistic
+//   emoleak_cli --dataset savee --speaker ear --classifier randomforest
+//               --cv 10 --report run.md
+//   emoleak_cli --dataset cremad --phone galaxys10 --fraction 0.3
+//               --features features.csv --save-model model.txt
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/attack.h"
+#include "util/error.h"
+#include "core/report.h"
+#include "ml/ensemble.h"
+#include "ml/lmt.h"
+#include "ml/logistic.h"
+#include "ml/multiclass.h"
+#include "ml/serialize.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace emoleak;
+
+struct CliOptions {
+  std::string dataset = "tess";
+  std::string phone = "oneplus7t";
+  std::string speaker = "loud";
+  std::string classifier = "logistic";
+  double fraction = 1.0;
+  std::uint64_t seed = 43;
+  std::size_t cv_folds = 0;  // 0 = 80/20 split
+  bool rate_cap = false;
+  std::string report_path;
+  std::string features_path;
+  std::string arff_path;
+  std::string model_path;
+};
+
+void usage() {
+  std::cout <<
+      "usage: emoleak_cli [options]\n"
+      "  --dataset tess|savee|cremad     corpus to replay (default tess)\n"
+      "  --phone oneplus7t|oneplus9|pixel5|galaxys10|galaxys21|galaxys21ultra\n"
+      "  --speaker loud|ear              channel (default loud; ear => handheld)\n"
+      "  --classifier logistic|multiclass|lmt|randomforest|randomsubspace\n"
+      "  --fraction F                    corpus fraction in (0,1] (default 1)\n"
+      "  --seed N                        experiment seed (default 43)\n"
+      "  --cv K                          K-fold CV instead of the 80/20 split\n"
+      "  --rate-cap                      apply the Android 12 200 Hz cap\n"
+      "  --report PATH                   write a Markdown report\n"
+      "  --features PATH                 write extracted features as CSV\n"
+      "  --arff PATH                     write extracted features as ARFF\n"
+      "  --save-model PATH               serialize the trained classifier\n";
+}
+
+phone::PhoneProfile parse_phone(const std::string& name) {
+  const std::map<std::string, phone::PhoneProfile> phones{
+      {"oneplus7t", phone::oneplus_7t()},
+      {"oneplus9", phone::oneplus_9()},
+      {"pixel5", phone::pixel_5()},
+      {"galaxys10", phone::galaxy_s10()},
+      {"galaxys21", phone::galaxy_s21()},
+      {"galaxys21ultra", phone::galaxy_s21_ultra()},
+  };
+  const auto it = phones.find(name);
+  if (it == phones.end()) throw util::ConfigError{"unknown phone: " + name};
+  return it->second;
+}
+
+audio::DatasetSpec parse_dataset(const std::string& name) {
+  if (name == "tess") return audio::tess_spec();
+  if (name == "savee") return audio::savee_spec();
+  if (name == "cremad") return audio::cremad_spec();
+  throw util::ConfigError{"unknown dataset: " + name};
+}
+
+std::unique_ptr<ml::Classifier> parse_classifier(const std::string& name) {
+  if (name == "logistic") return std::make_unique<ml::LogisticRegression>();
+  if (name == "multiclass") return std::make_unique<ml::OneVsRestLogistic>();
+  if (name == "lmt") return std::make_unique<ml::LogisticModelTree>();
+  if (name == "randomforest") return std::make_unique<ml::RandomForest>();
+  if (name == "randomsubspace") return std::make_unique<ml::RandomSubspace>();
+  throw util::ConfigError{"unknown classifier: " + name};
+}
+
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions opts;
+  const auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) throw util::ConfigError{std::string{"missing value for "} + argv[i]};
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dataset") opts.dataset = need_value(i);
+    else if (arg == "--phone") opts.phone = need_value(i);
+    else if (arg == "--speaker") opts.speaker = need_value(i);
+    else if (arg == "--classifier") opts.classifier = need_value(i);
+    else if (arg == "--fraction") opts.fraction = std::stod(need_value(i));
+    else if (arg == "--seed") opts.seed = std::stoull(need_value(i));
+    else if (arg == "--cv") opts.cv_folds = std::stoul(need_value(i));
+    else if (arg == "--rate-cap") opts.rate_cap = true;
+    else if (arg == "--report") opts.report_path = need_value(i);
+    else if (arg == "--features") opts.features_path = need_value(i);
+    else if (arg == "--arff") opts.arff_path = need_value(i);
+    else if (arg == "--save-model") opts.model_path = need_value(i);
+    else if (arg == "--help" || arg == "-h") {
+      usage();
+      std::exit(EXIT_SUCCESS);
+    } else {
+      throw util::ConfigError{"unknown option: " + arg};
+    }
+  }
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliOptions opts = parse_args(argc, argv);
+
+    phone::PhoneProfile device = parse_phone(opts.phone);
+    if (opts.rate_cap) device = phone::with_rate_cap(device, 200.0);
+    core::ScenarioConfig scenario =
+        opts.speaker == "ear"
+            ? core::ear_speaker_scenario(parse_dataset(opts.dataset), device,
+                                         opts.seed)
+            : core::loudspeaker_scenario(parse_dataset(opts.dataset), device,
+                                         opts.seed);
+    scenario.corpus_fraction = opts.fraction;
+
+    std::cout << "Capturing " << scenario.dataset.name << " via "
+              << device.name << " ("
+              << (opts.speaker == "ear" ? "ear speaker, handheld"
+                                        : "loudspeaker, table-top")
+              << ", fraction " << opts.fraction << ")...\n";
+    const core::ExtractedData data = core::capture(scenario);
+    std::cout << "  " << data.features.size() << " labelled regions, "
+              << util::percent(data.extraction_rate) << " extraction rate\n";
+
+    const std::unique_ptr<ml::Classifier> prototype =
+        parse_classifier(opts.classifier);
+    std::cout << "Evaluating " << prototype->name()
+              << (opts.cv_folds >= 2
+                      ? " (" + std::to_string(opts.cv_folds) + "-fold CV)"
+                      : " (80/20 split)")
+              << "...\n";
+    const core::ClassifierResult result = core::evaluate_classical(
+        *prototype, data.features, opts.seed, opts.cv_folds);
+    std::cout << "  accuracy " << util::percent(result.accuracy)
+              << " (random guess "
+              << util::percent(1.0 / data.features.class_count) << ")\n\n"
+              << util::render_confusion(result.confusion.counts(),
+                                        data.features.class_names);
+
+    if (!opts.report_path.empty()) {
+      core::ReportInputs report;
+      report.scenario = scenario;
+      report.data = &data;
+      report.results = {result};
+      std::ofstream out{opts.report_path};
+      out << core::render_report(report);
+      std::cout << "\nWrote report to " << opts.report_path << "\n";
+    }
+    if (!opts.features_path.empty() || !opts.arff_path.empty()) {
+      std::vector<std::string> labels;
+      for (const int y : data.features.y) {
+        labels.push_back(
+            data.features.class_names[static_cast<std::size_t>(y)]);
+      }
+      if (!opts.features_path.empty()) {
+        std::ofstream out{opts.features_path};
+        util::write_csv(out, data.features.feature_names, data.features.x,
+                        labels);
+        std::cout << "Wrote features to " << opts.features_path << "\n";
+      }
+      if (!opts.arff_path.empty()) {
+        std::ofstream out{opts.arff_path};
+        util::write_arff(out, "emoleak", data.features.feature_names,
+                         data.features.x, labels, data.features.class_names);
+        std::cout << "Wrote ARFF to " << opts.arff_path << "\n";
+      }
+    }
+    if (!opts.model_path.empty()) {
+      // Refit on everything so the exported model uses all the data.
+      const std::unique_ptr<ml::Classifier> final_model = prototype->clone();
+      final_model->fit(data.features);
+      ml::save_model_file(opts.model_path, *final_model);
+      std::cout << "Wrote model to " << opts.model_path << "\n";
+    }
+    return EXIT_SUCCESS;
+  } catch (const std::exception& error) {
+    std::cerr << "emoleak_cli: " << error.what() << "\n\n";
+    usage();
+    return EXIT_FAILURE;
+  }
+}

@@ -1,0 +1,81 @@
+// Example: live emotion monitoring with the streaming pipeline.
+//
+// The deployed shape of the attack: a background process receives
+// accelerometer samples in small chunks (as Android delivers them) and
+// must emit emotion events in real time, with bounded memory. This
+// example trains a model offline, persists it with ml::save_model, then
+// "deploys" it into a StreamingAttack fed 256-sample chunks.
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "core/attack.h"
+#include "core/streaming.h"
+#include "ml/logistic.h"
+#include "ml/serialize.h"
+#include "util/table.h"
+
+int main() {
+  using namespace emoleak;
+
+  // ---- Offline: train and persist the attacker's model. -------------
+  core::ScenarioConfig training = core::loudspeaker_scenario(
+      audio::tess_spec(), phone::oneplus_7t(), /*seed=*/21);
+  training.corpus_fraction = 0.2;
+  const core::ExtractedData train_data = core::capture(training);
+  ml::LogisticRegression trained;
+  trained.fit(train_data.features);
+
+  std::stringstream model_blob;  // would be a file shipped to the implant
+  ml::save_model(model_blob, trained);
+  std::cout << "Trained on " << train_data.features.size()
+            << " regions; serialized model is " << model_blob.str().size()
+            << " bytes.\n\n";
+
+  // ---- Online: the implant loads the model and monitors live. -------
+  const std::shared_ptr<const ml::Classifier> deployed =
+      ml::load_model(model_blob);
+
+  const audio::Corpus live_corpus{audio::scaled_spec(audio::tess_spec(), 0.03),
+                                  /*seed=*/22};
+  phone::RecorderConfig rc;
+  rc.seed = 23;
+  const phone::Recording live =
+      record_session(live_corpus, phone::oneplus_7t(), rc);
+
+  core::StreamingConfig stream_cfg;
+  stream_cfg.detector = core::tabletop_detector_config();
+  core::StreamingAttack monitor{stream_cfg, live.rate_hz, deployed};
+
+  std::vector<core::EmotionEvent> events;
+  for (std::size_t i = 0; i < live.accel.size(); i += 256) {
+    const std::size_t hi = std::min(i + 256, live.accel.size());
+    auto chunk = monitor.push(
+        std::span<const double>{live.accel.data() + i, hi - i});
+    events.insert(events.end(), chunk.begin(), chunk.end());
+  }
+  if (auto last = monitor.finish()) events.push_back(*last);
+
+  // ---- Report: a live timeline of classified speech. ----------------
+  util::TablePrinter t{{"time (s)", "duration (s)", "emotion", "confidence"}};
+  std::size_t shown = 0;
+  for (const auto& e : events) {
+    if (e.predicted_class < 0 || shown >= 12) continue;
+    ++shown;
+    const double t0 = static_cast<double>(e.start_sample) / live.rate_hz;
+    const double dur =
+        static_cast<double>(e.end_sample - e.start_sample) / live.rate_hz;
+    t.add_row({util::fixed(t0, 1), util::fixed(dur, 2),
+               train_data.features.class_names[static_cast<std::size_t>(
+                   e.predicted_class)],
+               util::percent(e.probabilities[static_cast<std::size_t>(
+                   e.predicted_class)])});
+  }
+  std::cout << "First " << shown << " of " << events.size()
+            << " live emotion events:\n"
+            << t.str();
+  std::cout << "\nThe monitor used bounded memory (a few seconds of history) "
+               "and processed the stream chunk by chunk — exactly the shape "
+               "of the malicious app in the paper's threat model (SIII-A).\n";
+  return EXIT_SUCCESS;
+}

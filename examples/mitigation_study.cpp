@@ -1,0 +1,65 @@
+// Example: evaluating the paper's proposed mitigations (§VI-B).
+//
+// The paper discusses three defence directions: (1) the Android 12+
+// 200 Hz sampling cap, (2) vibration damping / sensor placement, and
+// (3) explicit permission gating. This example quantifies (1) and (2)
+// with the simulator so a defender can see how much each actually buys.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/attack.h"
+#include "ml/logistic.h"
+#include "util/table.h"
+
+namespace {
+
+double attack_accuracy(const emoleak::phone::PhoneProfile& phone,
+                       std::uint64_t seed) {
+  using namespace emoleak;
+  core::ScenarioConfig sc =
+      core::loudspeaker_scenario(audio::tess_spec(), phone, seed);
+  sc.corpus_fraction = 0.35;
+  const core::ExtractedData data = core::capture(sc);
+  if (data.features.size() < 60) return 1.0 / 7.0;  // attack broken
+  return core::evaluate_classical(ml::LogisticRegression{}, data.features, seed)
+      .accuracy;
+}
+
+}  // namespace
+
+int main() {
+  using namespace emoleak;
+  constexpr std::uint64_t kSeed = 11;
+  util::TablePrinter t{{"mitigation", "attack accuracy", "vs baseline"}};
+
+  const double baseline = attack_accuracy(phone::oneplus_7t(), kSeed);
+  t.add_row({"none (stock OnePlus 7T)", util::percent(baseline), "-"});
+
+  // (1) Android 12 rate cap.
+  const double capped =
+      attack_accuracy(phone::with_rate_cap(phone::oneplus_7t(), 200.0), kSeed);
+  t.add_row({"Android 12 cap (200 Hz)", util::percent(capped),
+             util::fixed((capped - baseline) * 100.0, 1) + "pp"});
+
+  // (2) Vibration damping at increasing strengths.
+  for (const double damping_db : {6.0, 12.0, 20.0, 30.0}) {
+    phone::PhoneProfile damped = phone::oneplus_7t();
+    const double factor = std::pow(10.0, -damping_db / 20.0);
+    damped.loudspeaker_gain *= factor;
+    damped.ear_speaker_gain *= factor;
+    const double acc = attack_accuracy(damped, kSeed);
+    t.add_row({"vibration damping, -" + util::fixed(damping_db, 0) + " dB",
+               util::percent(acc),
+               util::fixed((acc - baseline) * 100.0, 1) + "pp"});
+  }
+
+  std::cout << "Mitigation study (TESS, loudspeaker, Logistic classifier; "
+               "random guess 14.29%):\n"
+            << t.str();
+  std::cout << "\nReading the table like the paper does (SVI-B): the 200 Hz "
+               "cap degrades but does not stop the attack; damping only "
+               "works once conduction drops by tens of dB. Neither is a "
+               "substitute for explicit permission gating of motion "
+               "sensors.\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,36 @@
+#include "audio/emotion.h"
+
+namespace emoleak::audio {
+
+std::string to_string(Emotion e) {
+  switch (e) {
+    case Emotion::kAngry: return "Angry";
+    case Emotion::kDisgust: return "Disgust";
+    case Emotion::kFear: return "Fear";
+    case Emotion::kHappy: return "Happy";
+    case Emotion::kNeutral: return "Neutral";
+    case Emotion::kSurprise: return "PleasantSurprise";
+    case Emotion::kSad: return "Sad";
+  }
+  return "Unknown";
+}
+
+std::vector<Emotion> seven_emotions() {
+  return {Emotion::kAngry, Emotion::kDisgust, Emotion::kFear,
+          Emotion::kHappy, Emotion::kNeutral, Emotion::kSurprise,
+          Emotion::kSad};
+}
+
+std::vector<Emotion> six_emotions() {
+  return {Emotion::kAngry,   Emotion::kDisgust, Emotion::kFear,
+          Emotion::kHappy,   Emotion::kNeutral, Emotion::kSad};
+}
+
+std::vector<std::string> emotion_names(const std::vector<Emotion>& emotions) {
+  std::vector<std::string> names;
+  names.reserve(emotions.size());
+  for (const Emotion e : emotions) names.push_back(to_string(e));
+  return names;
+}
+
+}  // namespace emoleak::audio

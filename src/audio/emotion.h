@@ -1,0 +1,37 @@
+// Emotion taxonomy shared across datasets.
+//
+// SAVEE and TESS label seven emotions; CREMA-D labels six (no
+// surprise). See paper §V-A.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace emoleak::audio {
+
+enum class Emotion : int {
+  kAngry = 0,
+  kDisgust = 1,
+  kFear = 2,
+  kHappy = 3,
+  kNeutral = 4,
+  kSurprise = 5,  // "pleasant surprise" in TESS
+  kSad = 6,
+};
+
+inline constexpr int kEmotionCount = 7;
+
+[[nodiscard]] std::string to_string(Emotion e);
+
+/// The seven-emotion set used by SAVEE and TESS.
+[[nodiscard]] std::vector<Emotion> seven_emotions();
+
+/// The six-emotion set used by CREMA-D (no surprise).
+[[nodiscard]] std::vector<Emotion> six_emotions();
+
+/// Display names in the order the paper's Figure 6 lists them.
+[[nodiscard]] std::vector<std::string> emotion_names(
+    const std::vector<Emotion>& emotions);
+
+}  // namespace emoleak::audio

@@ -1,0 +1,92 @@
+#include "audio/playlist.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace emoleak::audio {
+
+void PlaylistConfig::validate() const {
+  if (gap_s < 0.0) throw util::ConfigError{"PlaylistConfig: negative gap"};
+}
+
+Playlist::Playlist(const Corpus& corpus, const PlaylistConfig& config)
+    : config_{config} {
+  config_.validate();
+  rate_ = corpus.spec().synth.sample_rate_hz;
+
+  std::vector<std::size_t> order(corpus.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  util::Rng rng{config_.shuffle_seed};
+  rng.shuffle(order);
+  if (config_.group_by_emotion) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&corpus](std::size_t a, std::size_t b) {
+                       return static_cast<int>(corpus.entries()[a].emotion) <
+                              static_cast<int>(corpus.entries()[b].emotion);
+                     });
+  }
+
+  double cursor = config_.gap_s;
+  for (const std::size_t idx : order) {
+    const UtteranceInfo& info = corpus.entries()[idx];
+    const Utterance utt = corpus.synthesize(idx);
+    const double duration =
+        static_cast<double>(utt.samples.size()) / utt.sample_rate_hz;
+    PlaylistEntry entry;
+    entry.corpus_index = idx;
+    entry.emotion = info.emotion;
+    entry.speaker_id = info.speaker_id;
+    entry.start_s = cursor;
+    entry.end_s = cursor + duration;
+    entries_.push_back(entry);
+    cursor = entry.end_s + config_.gap_s;
+  }
+  duration_s_ = cursor;
+
+  // Derive the per-emotion blocks from the ordered entries.
+  for (const PlaylistEntry& entry : entries_) {
+    if (blocks_.empty() || blocks_.back().emotion != entry.emotion) {
+      blocks_.push_back(EmotionBlock{entry.emotion, entry.start_s,
+                                     entry.end_s, 1});
+    } else {
+      blocks_.back().end_s = entry.end_s;
+      ++blocks_.back().utterance_count;
+    }
+  }
+}
+
+std::vector<double> Playlist::render(const Corpus& corpus) const {
+  std::vector<double> out(static_cast<std::size_t>(duration_s_ * rate_), 0.0);
+  for (const PlaylistEntry& entry : entries_) {
+    const Utterance utt = corpus.synthesize(entry.corpus_index);
+    const auto start = static_cast<std::size_t>(entry.start_s * rate_);
+    for (std::size_t i = 0;
+         i < utt.samples.size() && start + i < out.size(); ++i) {
+      out[start + i] += utt.samples[i];
+    }
+  }
+  return out;
+}
+
+const EmotionBlock* Playlist::block_at(double time_s) const {
+  for (const EmotionBlock& block : blocks_) {
+    if (time_s >= block.start_s && time_s < block.end_s) return &block;
+  }
+  return nullptr;
+}
+
+std::string Playlist::timeline() const {
+  util::TablePrinter t{{"emotion", "from (s)", "to (s)", "utterances"}};
+  for (const EmotionBlock& block : blocks_) {
+    t.add_row({to_string(block.emotion), util::fixed(block.start_s, 1),
+               util::fixed(block.end_s, 1),
+               std::to_string(block.utterance_count)});
+  }
+  return t.str();
+}
+
+}  // namespace emoleak::audio

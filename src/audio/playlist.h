@@ -1,0 +1,81 @@
+// Playback protocol bookkeeping.
+//
+// The paper's data collection (§III-B3, §IV-B) groups same-emotion
+// utterances into contiguous blocks, plays them in one continuous
+// session, and records each block's start/end times so spectrograms and
+// features can be labelled later ("angry speeches played from the 11th
+// to the 180th second"). Playlist reproduces that artifact: it orders a
+// corpus into emotion blocks, renders the concatenated audio (e.g. for
+// WAV export or replay through the channel), and reports the per-block
+// and per-utterance timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "audio/corpus.h"
+
+namespace emoleak::audio {
+
+struct PlaylistConfig {
+  double gap_s = 0.4;            ///< silence between consecutive utterances
+  bool group_by_emotion = true;  ///< contiguous same-emotion blocks
+  std::uint64_t shuffle_seed = 1;
+
+  void validate() const;
+};
+
+/// One utterance's slot in the rendered session.
+struct PlaylistEntry {
+  std::size_t corpus_index = 0;
+  Emotion emotion = Emotion::kNeutral;
+  int speaker_id = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+/// One contiguous same-emotion block ("angry from 11 s to 180 s").
+struct EmotionBlock {
+  Emotion emotion = Emotion::kNeutral;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::size_t utterance_count = 0;
+};
+
+class Playlist {
+ public:
+  /// Plans the playback order and timeline for all corpus utterances
+  /// (audio is synthesized lazily, once, during planning to obtain
+  /// exact durations).
+  Playlist(const Corpus& corpus, const PlaylistConfig& config);
+
+  [[nodiscard]] const std::vector<PlaylistEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] const std::vector<EmotionBlock>& blocks() const noexcept {
+    return blocks_;
+  }
+  [[nodiscard]] double total_duration_s() const noexcept { return duration_s_; }
+  [[nodiscard]] double sample_rate_hz() const noexcept { return rate_; }
+
+  /// Renders the full session as one audio stream (silence in gaps),
+  /// suitable for write_wav or for conduction through a phone channel.
+  [[nodiscard]] std::vector<double> render(const Corpus& corpus) const;
+
+  /// The emotion block covering `time_s`, or nullptr between blocks /
+  /// out of range — the lookup the paper's labelling program performs.
+  [[nodiscard]] const EmotionBlock* block_at(double time_s) const;
+
+  /// Human-readable timeline like the paper's §IV-B1 example.
+  [[nodiscard]] std::string timeline() const;
+
+ private:
+  std::vector<PlaylistEntry> entries_;
+  std::vector<EmotionBlock> blocks_;
+  double duration_s_ = 0.0;
+  double rate_ = 0.0;
+  PlaylistConfig config_;
+};
+
+}  // namespace emoleak::audio

@@ -1,0 +1,128 @@
+#include "audio/prosody.h"
+
+#include "util/error.h"
+
+namespace emoleak::audio {
+
+EmotionProfile emotion_profile(Emotion e) {
+  EmotionProfile p;  // defaults are the neutral voice
+  switch (e) {
+    case Emotion::kAngry:
+      p.f0_scale = 1.28;
+      p.f0_range_scale = 1.70;
+      p.f0_slope = -0.05;
+      p.jitter = 0.022;
+      p.shimmer = 0.09;
+      p.energy_scale = 1.85;
+      p.energy_var_scale = 1.6;
+      p.rate_scale = 1.18;
+      p.attack_scale = 1.9;
+      p.tilt_db_per_oct = -8.0;  // tense voice: flatter tilt, bright
+      p.noise_level = 0.012;
+      break;
+    case Emotion::kDisgust:
+      p.f0_scale = 0.90;
+      p.f0_range_scale = 0.85;
+      p.f0_slope = -0.10;
+      p.jitter = 0.020;
+      p.shimmer = 0.09;
+      p.energy_scale = 0.85;
+      p.energy_var_scale = 1.15;
+      p.rate_scale = 0.78;
+      p.attack_scale = 0.8;
+      p.tilt_db_per_oct = -13.5;
+      p.noise_level = 0.028;  // creaky/lax phonation
+      break;
+    case Emotion::kFear:
+      p.f0_scale = 1.38;
+      p.f0_range_scale = 1.25;
+      p.f0_slope = 0.05;
+      p.jitter = 0.03;
+      p.shimmer = 0.08;
+      p.tremor_hz = 6.2;     // characteristic voice tremor
+      p.tremor_depth = 0.05;
+      p.energy_scale = 1.05;
+      p.energy_var_scale = 1.4;
+      p.rate_scale = 1.28;
+      p.attack_scale = 1.3;
+      p.tilt_db_per_oct = -10.0;
+      p.noise_level = 0.03;
+      break;
+    case Emotion::kHappy:
+      p.f0_scale = 1.22;
+      p.f0_range_scale = 1.55;
+      p.f0_slope = 0.12;  // lively rising contours
+      p.jitter = 0.015;
+      p.shimmer = 0.06;
+      p.energy_scale = 1.40;
+      p.energy_var_scale = 1.3;
+      p.rate_scale = 1.10;
+      p.attack_scale = 1.25;
+      p.tilt_db_per_oct = -10.5;
+      p.noise_level = 0.012;
+      break;
+    case Emotion::kNeutral:
+      break;  // all defaults
+    case Emotion::kSurprise:
+      p.f0_scale = 1.48;
+      p.f0_range_scale = 1.95;
+      p.f0_slope = 0.30;  // strong terminal rise
+      p.jitter = 0.018;
+      p.shimmer = 0.06;
+      p.energy_scale = 1.25;
+      p.energy_var_scale = 1.5;
+      p.rate_scale = 1.02;
+      p.attack_scale = 1.5;
+      p.tilt_db_per_oct = -9.5;
+      p.noise_level = 0.014;
+      break;
+    case Emotion::kSad:
+      p.f0_scale = 0.84;
+      p.f0_range_scale = 0.55;
+      p.f0_slope = -0.12;  // falling, resigned contour
+      p.jitter = 0.012;
+      p.shimmer = 0.05;
+      p.energy_scale = 0.58;
+      p.energy_var_scale = 0.7;
+      p.rate_scale = 0.78;
+      p.attack_scale = 0.6;
+      p.tilt_db_per_oct = -15.0;  // lax voice, steep tilt
+      p.noise_level = 0.035;      // breathy
+      break;
+  }
+  return p;
+}
+
+namespace {
+
+double lerp(double neutral, double full, double t) {
+  return neutral + t * (full - neutral);
+}
+
+}  // namespace
+
+EmotionProfile scaled_profile(Emotion e, double expressiveness) {
+  if (expressiveness < 0.0) {
+    throw util::ConfigError{"scaled_profile: expressiveness must be >= 0"};
+  }
+  const EmotionProfile neutral = emotion_profile(Emotion::kNeutral);
+  const EmotionProfile full = emotion_profile(e);
+  const double t = expressiveness;
+  EmotionProfile p;
+  p.f0_scale = lerp(neutral.f0_scale, full.f0_scale, t);
+  p.f0_range_scale = lerp(neutral.f0_range_scale, full.f0_range_scale, t);
+  p.f0_slope = lerp(neutral.f0_slope, full.f0_slope, t);
+  p.jitter = lerp(neutral.jitter, full.jitter, t);
+  p.shimmer = lerp(neutral.shimmer, full.shimmer, t);
+  p.tremor_hz = full.tremor_hz;  // frequency is intrinsic; depth scales
+  p.tremor_depth = lerp(neutral.tremor_depth, full.tremor_depth, t);
+  p.energy_scale = lerp(neutral.energy_scale, full.energy_scale, t);
+  p.energy_var_scale = lerp(neutral.energy_var_scale, full.energy_var_scale, t);
+  p.rate_scale = lerp(neutral.rate_scale, full.rate_scale, t);
+  p.attack_scale = lerp(neutral.attack_scale, full.attack_scale, t);
+  p.tilt_db_per_oct = lerp(neutral.tilt_db_per_oct, full.tilt_db_per_oct, t);
+  p.noise_level = lerp(neutral.noise_level, full.noise_level, t);
+  return p;
+}
+
+}  // namespace emoleak::audio

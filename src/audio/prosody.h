@@ -1,0 +1,45 @@
+// Emotion -> prosody parameter mapping.
+//
+// The speech-emotion literature (and the paper's §II-B) identifies the
+// acoustic carriers of emotion: fundamental frequency (level, range,
+// contour), jitter and shimmer, intensity, speaking rate, spectral
+// tilt, and harmonic-to-noise ratio. EmotionProfile captures each as a
+// multiplicative deviation from a speaker's neutral baseline; the
+// utterance synthesizer realizes them. Values follow the standard
+// qualitative findings (e.g. Scherer's prosody-of-emotion tables):
+// anger/fear/surprise raise F0 and rate, sadness lowers F0, energy and
+// rate, etc.
+#pragma once
+
+#include "audio/emotion.h"
+
+namespace emoleak::audio {
+
+/// Multiplicative prosody deviations from a neutral baseline (1.0 = no
+/// change), plus additive contour terms.
+struct EmotionProfile {
+  double f0_scale = 1.0;         ///< mean F0 multiplier
+  double f0_range_scale = 1.0;   ///< F0 standard-deviation multiplier
+  double f0_slope = 0.0;         ///< octaves drifted over the utterance
+  double jitter = 0.01;          ///< cycle-to-cycle F0 perturbation (fraction)
+  double shimmer = 0.04;         ///< cycle-to-cycle amplitude perturbation
+  double tremor_hz = 0.0;        ///< slow F0 modulation (fear voice tremor)
+  double tremor_depth = 0.0;     ///< tremor depth as F0 fraction
+  double energy_scale = 1.0;     ///< loudness multiplier
+  double energy_var_scale = 1.0; ///< syllable-to-syllable loudness variation
+  double rate_scale = 1.0;       ///< syllables-per-second multiplier
+  double attack_scale = 1.0;     ///< >1 = sharper syllable onsets
+  double tilt_db_per_oct = -12.0;///< harmonic spectral tilt
+  double noise_level = 0.015;    ///< aspiration-noise level (breathy voices)
+};
+
+/// The canonical profile for each emotion at full expressiveness.
+[[nodiscard]] EmotionProfile emotion_profile(Emotion e);
+
+/// Interpolates a profile toward neutral: expressiveness 1 returns the
+/// canonical profile, 0 returns neutral. Datasets differ in how acted /
+/// exaggerated their portrayals are (TESS is highly expressive; CREMA-D
+/// crowdsourced actors are more varied and subdued).
+[[nodiscard]] EmotionProfile scaled_profile(Emotion e, double expressiveness);
+
+}  // namespace emoleak::audio

@@ -1,0 +1,194 @@
+#include "audio/utterance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "dsp/filter.h"
+#include "util/error.h"
+
+namespace emoleak::audio {
+
+void SynthConfig::validate() const {
+  if (sample_rate_hz <= 0.0) throw util::ConfigError{"SynthConfig: sample_rate_hz <= 0"};
+  if (target_duration_s <= 0.0) throw util::ConfigError{"SynthConfig: duration <= 0"};
+  if (duration_jitter < 0.0 || duration_jitter >= 1.0) {
+    throw util::ConfigError{"SynthConfig: duration_jitter must be in [0,1)"};
+  }
+  if (max_harmonics < 1) throw util::ConfigError{"SynthConfig: max_harmonics < 1"};
+}
+
+namespace {
+
+constexpr double kTau = 2.0 * std::numbers::pi;
+
+/// First-order autoregressive perturbation process whose stationary
+/// standard deviation is `sigma` and whose correlation time is
+/// `tau_samples`; models cycle-to-cycle jitter/shimmer as a smooth
+/// random walk rather than white noise.
+class OuProcess {
+ public:
+  OuProcess(double sigma, double tau_samples, util::Rng& rng)
+      : rng_{rng},
+        alpha_{tau_samples > 0.0 ? std::exp(-1.0 / tau_samples) : 0.0},
+        drive_{sigma * std::sqrt(std::max(0.0, 1.0 - alpha_ * alpha_))} {}
+
+  double next() noexcept {
+    value_ = alpha_ * value_ + drive_ * rng_.normal();
+    return value_;
+  }
+
+ private:
+  util::Rng& rng_;
+  double alpha_;
+  double drive_;
+  double value_ = 0.0;
+};
+
+}  // namespace
+
+Utterance synthesize_utterance(const SpeakerVoice& voice,
+                               const EmotionProfile& profile,
+                               const SynthConfig& config, util::Rng& rng) {
+  config.validate();
+  const double fs = config.sample_rate_hz;
+  const double duration =
+      config.target_duration_s *
+      (1.0 + rng.uniform(-config.duration_jitter, config.duration_jitter));
+
+  // Syllable timing from the speaker rate and the emotion's rate scale.
+  // One syllable cycle (voiced + gap) spans 1/rate seconds.
+  const double rate = voice.rate_base * profile.rate_scale;
+  const int n_syllables =
+      std::max(1, static_cast<int>(std::round(duration * rate)));
+  const double voiced_s = 0.62 / rate;  // voiced portion per syllable cycle
+  const double gap_s = 0.38 / rate;
+
+  const double f0_center = voice.f0_base_hz * profile.f0_scale;
+  const double f0_sd_oct = voice.f0_sd_octaves * profile.f0_range_scale;
+  const double jitter = std::max(voice.jitter_base, profile.jitter);
+  const double shimmer = std::max(voice.shimmer_base, profile.shimmer);
+  const double tilt_db =
+      profile.tilt_db_per_oct + voice.tilt_offset_db;
+  const double noise_level = profile.noise_level + voice.breathiness;
+
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(duration * fs) + 64);
+
+  // Leading silence.
+  const auto lead = static_cast<std::size_t>(rng.uniform(0.02, 0.06) * fs);
+  out.insert(out.end(), lead, 0.0);
+
+  double f0_sum = 0.0;
+  double energy_sum = 0.0;
+  std::size_t voiced_samples = 0;
+
+  for (int syl = 0; syl < n_syllables; ++syl) {
+    const double syl_pos =
+        n_syllables > 1 ? static_cast<double>(syl) / (n_syllables - 1) : 0.5;
+    // Per-syllable F0 target: utterance-level slope plus random accent.
+    const double accent_oct = rng.normal(0.0, f0_sd_oct);
+    const double slope_oct = profile.f0_slope * (syl_pos - 0.5);
+    const double f0_syl = f0_center * std::exp2(accent_oct + slope_oct);
+
+    // Per-syllable loudness.
+    const double energy_sigma = 0.10 * profile.energy_var_scale;
+    const double amp_syl = voice.energy_base * profile.energy_scale *
+                           std::exp(rng.normal(0.0, energy_sigma));
+
+    const auto n_voiced = static_cast<std::size_t>(
+        voiced_s * fs * std::exp(rng.normal(0.0, 0.08)));
+    const double attack_s = std::clamp(0.035 / profile.attack_scale, 0.004, 0.12);
+    const double release_s = std::clamp(0.05 / profile.attack_scale, 0.008, 0.2);
+
+    OuProcess jitter_proc{jitter, fs / std::max(f0_syl, 1.0), rng};
+    OuProcess shimmer_proc{shimmer, fs / std::max(f0_syl, 1.0), rng};
+
+    // Harmonic amplitudes from the spectral tilt, capped at Nyquist.
+    const int max_k = std::min(
+        config.max_harmonics,
+        static_cast<int>(0.47 * fs / std::max(f0_syl, 1.0)));
+    std::vector<double> harmonic_amp(static_cast<std::size_t>(std::max(max_k, 1)));
+    for (int k = 1; k <= std::max(max_k, 1); ++k) {
+      harmonic_amp[static_cast<std::size_t>(k - 1)] =
+          std::pow(10.0, tilt_db * std::log2(static_cast<double>(k)) / 20.0);
+    }
+
+    // Vowel-dependent formant for this syllable.
+    const double formant_hz = rng.normal_clamped(
+        voice.formant1_hz, 90.0, 320.0, std::min(0.45 * fs, 950.0));
+    dsp::Biquad formant =
+        dsp::design_bandpass(formant_hz, fs, formant_hz / voice.formant_bw_hz);
+    // Mix of direct harmonics and formant-shaped harmonics keeps energy
+    // at both F0 and the formant region.
+    double fz1 = 0.0, fz2 = 0.0;  // direct-form-II-transposed state
+
+    double phase = rng.uniform(0.0, kTau);
+    const double tremor_phase0 = rng.uniform(0.0, kTau);
+
+    for (std::size_t i = 0; i < n_voiced; ++i) {
+      const double t = static_cast<double>(i) / fs;
+      const double t_frac =
+          n_voiced > 1 ? static_cast<double>(i) / (n_voiced - 1) : 0.0;
+
+      double f0 = f0_syl * (1.0 + jitter_proc.next());
+      if (profile.tremor_hz > 0.0) {
+        f0 *= 1.0 + profile.tremor_depth *
+                        std::sin(kTau * profile.tremor_hz * t + tremor_phase0);
+      }
+      // Within-syllable micro-declination.
+      f0 *= std::exp2(-0.04 * t_frac);
+      phase += kTau * f0 / fs;
+      if (phase > kTau) phase -= kTau;
+
+      double src = 0.0;
+      for (int k = 1; k <= max_k; ++k) {
+        src += harmonic_amp[static_cast<std::size_t>(k - 1)] *
+               std::sin(static_cast<double>(k) * phase);
+      }
+
+      // Formant resonance (applied to the source inline).
+      const double fy = formant.b0 * src + fz1;
+      fz1 = formant.b1 * src - formant.a1 * fy + fz2;
+      fz2 = formant.b2 * src - formant.a2 * fy;
+      double sample = 0.65 * src + 0.35 * fy;
+
+      // Amplitude envelope: attack, sustain, release.
+      double env = 1.0;
+      const double elapsed = t;
+      const double remaining = static_cast<double>(n_voiced - i) / fs;
+      if (elapsed < attack_s) env *= elapsed / attack_s;
+      if (remaining < release_s) env *= remaining / release_s;
+      env *= 1.0 + shimmer_proc.next();
+      env = std::max(env, 0.0);
+
+      sample *= 0.22 * amp_syl * env;
+      sample += noise_level * amp_syl * env * rng.normal();
+
+      out.push_back(sample);
+      f0_sum += f0;
+      energy_sum += sample * sample;
+      ++voiced_samples;
+    }
+
+    // Inter-syllable gap.
+    const auto n_gap = static_cast<std::size_t>(
+        gap_s * fs * std::exp(rng.normal(0.0, 0.15)));
+    out.insert(out.end(), n_gap, 0.0);
+  }
+
+  // Trailing silence.
+  const auto trail = static_cast<std::size_t>(rng.uniform(0.02, 0.06) * fs);
+  out.insert(out.end(), trail, 0.0);
+
+  Utterance u;
+  u.samples = std::move(out);
+  u.sample_rate_hz = fs;
+  if (voiced_samples > 0) {
+    u.mean_f0_hz = f0_sum / static_cast<double>(voiced_samples);
+    u.mean_energy = std::sqrt(energy_sum / static_cast<double>(voiced_samples));
+  }
+  return u;
+}
+
+}  // namespace emoleak::audio

@@ -1,0 +1,48 @@
+// Parametric emotional-speech synthesis (source-filter model).
+//
+// Each utterance is a sequence of syllables. A syllable's voiced source
+// is a harmonic series at a time-varying fundamental (speaker baseline
+// x emotion profile, with jitter, shimmer and tremor perturbations and
+// a spectral tilt), shaped by an attack/decay amplitude envelope,
+// passed through a formant resonator, and mixed with aspiration noise.
+// The emotional carriers (F0 statistics, energy dynamics, rate) all lie
+// below the accelerometer Nyquist, which is exactly why the EmoLeak
+// side channel works (paper §III-B1).
+#pragma once
+
+#include <vector>
+
+#include "audio/prosody.h"
+#include "audio/voice.h"
+#include "util/rng.h"
+
+namespace emoleak::audio {
+
+struct SynthConfig {
+  double sample_rate_hz = 2000.0;  ///< synthesis rate (well above accel band)
+  double target_duration_s = 1.6;  ///< nominal utterance length
+  double duration_jitter = 0.15;   ///< relative duration variation
+  int max_harmonics = 12;          ///< harmonic series length cap
+
+  void validate() const;
+};
+
+/// A synthesized utterance plus the ground-truth parameters that
+/// produced it (useful for tests and analysis).
+struct Utterance {
+  std::vector<double> samples;
+  double sample_rate_hz = 0.0;
+  Emotion emotion = Emotion::kNeutral;
+  int speaker_id = 0;
+  double mean_f0_hz = 0.0;   ///< realized mean F0 over voiced samples
+  double mean_energy = 0.0;  ///< realized RMS over voiced samples
+};
+
+/// Synthesizes one utterance for (voice, emotion profile). Deterministic
+/// given the RNG state.
+[[nodiscard]] Utterance synthesize_utterance(const SpeakerVoice& voice,
+                                             const EmotionProfile& profile,
+                                             const SynthConfig& config,
+                                             util::Rng& rng);
+
+}  // namespace emoleak::audio

@@ -1,0 +1,35 @@
+#include "audio/voice.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace emoleak::audio {
+
+SpeakerVoice SpeakerVoice::sample(Gender gender, double variability,
+                                  util::Rng& rng) {
+  if (variability < 0.0) {
+    throw util::ConfigError{"SpeakerVoice::sample: variability must be >= 0"};
+  }
+  SpeakerVoice v;
+  v.gender = gender;
+  const double f0_mean = gender == Gender::kMale ? 115.0 : 205.0;
+  // F0 varies log-normally across speakers; +-1 sd is about +-18% at
+  // full variability.
+  v.f0_base_hz = f0_mean * std::exp2(rng.normal(0.0, 0.24 * variability));
+  v.f0_sd_octaves = 0.09 * std::exp(rng.normal(0.0, 0.25 * variability));
+  v.energy_base = std::exp(rng.normal(0.0, 0.30 * variability));
+  v.rate_base =
+      rng.normal_clamped(3.6, 0.55 * variability, 2.2, 5.4);
+  v.formant1_hz =
+      rng.normal_clamped(gender == Gender::kMale ? 580.0 : 640.0,
+                         70.0 * variability, 380.0, 900.0);
+  v.formant_bw_hz = rng.normal_clamped(110.0, 20.0 * variability, 60.0, 200.0);
+  v.jitter_base = rng.normal_clamped(0.010, 0.004 * variability, 0.003, 0.03);
+  v.shimmer_base = rng.normal_clamped(0.045, 0.015 * variability, 0.01, 0.12);
+  v.tilt_offset_db = rng.normal(0.0, 1.5 * variability);
+  v.breathiness = rng.normal_clamped(0.0, 0.01 * variability, 0.0, 0.05);
+  return v;
+}
+
+}  // namespace emoleak::audio

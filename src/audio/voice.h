@@ -1,0 +1,38 @@
+// Per-speaker voice characteristics.
+//
+// A dataset's difficulty comes largely from inter-speaker variability:
+// TESS has two consistent actresses, SAVEE four male speakers, CREMA-D
+// 91 diverse actors. SpeakerVoice captures the speaker-specific
+// baseline (F0, energy, rate, formants, voice quality); the corpus
+// factory samples one per actor with a dataset-specific variance.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace emoleak::audio {
+
+enum class Gender { kMale, kFemale };
+
+struct SpeakerVoice {
+  Gender gender = Gender::kMale;
+  double f0_base_hz = 115.0;     ///< neutral mean fundamental frequency
+  double f0_sd_octaves = 0.09;   ///< neutral F0 spread (octave space)
+  double energy_base = 1.0;      ///< neutral loudness multiplier
+  double rate_base = 3.6;        ///< neutral syllables per second
+  double formant1_hz = 600.0;    ///< first formant center
+  double formant_bw_hz = 110.0;  ///< formant bandwidth
+  double jitter_base = 0.010;    ///< habitual jitter floor
+  double shimmer_base = 0.045;   ///< habitual shimmer floor
+  double tilt_offset_db = 0.0;   ///< habitual spectral-tilt offset
+  double breathiness = 0.0;      ///< habitual extra aspiration noise
+
+  /// Samples a speaker. `variability` scales how far the speaker's
+  /// baselines deviate from the gender-typical means: ~0.3 for the
+  /// consistent TESS actresses up to ~1.0 for CREMA-D's 91 actors.
+  [[nodiscard]] static SpeakerVoice sample(Gender gender, double variability,
+                                           util::Rng& rng);
+};
+
+}  // namespace emoleak::audio

@@ -1,0 +1,159 @@
+#include "audio/wav.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/error.h"
+
+namespace emoleak::audio {
+
+namespace {
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  char b[4] = {static_cast<char>(v & 0xFF), static_cast<char>((v >> 8) & 0xFF),
+               static_cast<char>((v >> 16) & 0xFF),
+               static_cast<char>((v >> 24) & 0xFF)};
+  out.write(b, 4);
+}
+
+void put_u16(std::ostream& out, std::uint16_t v) {
+  char b[2] = {static_cast<char>(v & 0xFF), static_cast<char>((v >> 8) & 0xFF)};
+  out.write(b, 2);
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  unsigned char b[4];
+  in.read(reinterpret_cast<char*>(b), 4);
+  if (!in) throw util::DataError{"read_wav: truncated stream"};
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint16_t get_u16(std::istream& in) {
+  unsigned char b[2];
+  in.read(reinterpret_cast<char*>(b), 2);
+  if (!in) throw util::DataError{"read_wav: truncated stream"};
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+}  // namespace
+
+void write_wav(std::ostream& out, const std::vector<double>& samples,
+               double sample_rate_hz) {
+  if (sample_rate_hz <= 0.0) {
+    throw util::DataError{"write_wav: sample rate must be > 0"};
+  }
+  const auto rate = static_cast<std::uint32_t>(std::lround(sample_rate_hz));
+  const auto data_bytes = static_cast<std::uint32_t>(samples.size() * 2);
+
+  out.write("RIFF", 4);
+  put_u32(out, 36 + data_bytes);
+  out.write("WAVE", 4);
+  out.write("fmt ", 4);
+  put_u32(out, 16);          // fmt chunk size
+  put_u16(out, 1);           // PCM
+  put_u16(out, 1);           // mono
+  put_u32(out, rate);
+  put_u32(out, rate * 2);    // byte rate
+  put_u16(out, 2);           // block align
+  put_u16(out, 16);          // bits per sample
+  out.write("data", 4);
+  put_u32(out, data_bytes);
+  for (const double s : samples) {
+    const double clipped = std::clamp(s, -1.0, 1.0);
+    const auto v = static_cast<std::int16_t>(std::lround(clipped * 32767.0));
+    put_u16(out, static_cast<std::uint16_t>(v));
+  }
+}
+
+void write_wav_file(const std::string& path, const std::vector<double>& samples,
+                    double sample_rate_hz) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw util::DataError{"write_wav_file: cannot open " + path};
+  write_wav(out, samples, sample_rate_hz);
+  if (!out) throw util::DataError{"write_wav_file: write failed for " + path};
+}
+
+WavData read_wav(std::istream& in) {
+  char tag[4];
+  in.read(tag, 4);
+  if (!in || std::memcmp(tag, "RIFF", 4) != 0) {
+    throw util::DataError{"read_wav: not a RIFF stream"};
+  }
+  (void)get_u32(in);  // total size
+  in.read(tag, 4);
+  if (!in || std::memcmp(tag, "WAVE", 4) != 0) {
+    throw util::DataError{"read_wav: not a WAVE stream"};
+  }
+
+  std::uint16_t format = 0;
+  std::uint16_t channels = 0;
+  std::uint16_t bits = 0;
+  std::uint32_t rate = 0;
+  WavData out;
+  bool got_fmt = false;
+  bool got_data = false;
+
+  while (in.read(tag, 4)) {
+    const std::uint32_t chunk_size = get_u32(in);
+    if (std::memcmp(tag, "fmt ", 4) == 0) {
+      format = get_u16(in);
+      channels = get_u16(in);
+      rate = get_u32(in);
+      (void)get_u32(in);  // byte rate
+      (void)get_u16(in);  // block align
+      bits = get_u16(in);
+      if (chunk_size > 16) in.ignore(chunk_size - 16);
+      got_fmt = true;
+    } else if (std::memcmp(tag, "data", 4) == 0) {
+      if (!got_fmt) throw util::DataError{"read_wav: data before fmt"};
+      if (channels == 0) throw util::DataError{"read_wav: zero channels"};
+      const bool pcm16 = format == 1 && bits == 16;
+      const bool float32 = format == 3 && bits == 32;
+      if (!pcm16 && !float32) {
+        throw util::DataError{"read_wav: only PCM16 / float32 supported"};
+      }
+      const std::uint32_t bytes_per_sample = bits / 8;
+      const std::uint32_t frames =
+          chunk_size / (bytes_per_sample * channels);
+      out.samples.reserve(frames);
+      for (std::uint32_t f = 0; f < frames; ++f) {
+        double mix = 0.0;
+        for (std::uint16_t c = 0; c < channels; ++c) {
+          if (pcm16) {
+            const auto raw = static_cast<std::int16_t>(get_u16(in));
+            mix += static_cast<double>(raw) / 32768.0;
+          } else {
+            const std::uint32_t raw = get_u32(in);
+            float value = 0.0f;
+            std::memcpy(&value, &raw, sizeof value);
+            mix += static_cast<double>(value);
+          }
+        }
+        out.samples.push_back(mix / channels);
+      }
+      got_data = true;
+      break;
+    } else {
+      in.ignore(chunk_size + (chunk_size % 2));  // chunks are 2-aligned
+      if (!in) break;
+    }
+  }
+  if (!got_data) throw util::DataError{"read_wav: no data chunk"};
+  out.sample_rate_hz = static_cast<double>(rate);
+  return out;
+}
+
+WavData read_wav_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw util::DataError{"read_wav_file: cannot open " + path};
+  return read_wav(in);
+}
+
+}  // namespace emoleak::audio

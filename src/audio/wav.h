@@ -1,0 +1,36 @@
+// Minimal RIFF/WAVE I/O (PCM16 + float32).
+//
+// Lets users export synthesized utterances or import their own audio
+// to play through the vibration channel — the natural interchange
+// format at the corpus boundary.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace emoleak::audio {
+
+struct WavData {
+  std::vector<double> samples;  ///< mono, in [-1, 1]
+  double sample_rate_hz = 0.0;
+};
+
+/// Writes mono PCM16 WAV. Samples are clipped to [-1, 1].
+void write_wav(std::ostream& out, const std::vector<double>& samples,
+               double sample_rate_hz);
+
+/// Convenience: writes to a file path. Throws util::DataError on I/O
+/// failure.
+void write_wav_file(const std::string& path, const std::vector<double>& samples,
+                    double sample_rate_hz);
+
+/// Reads a mono or multi-channel RIFF/WAVE stream (PCM16 or float32);
+/// multi-channel input is mixed down to mono. Throws util::DataError
+/// on malformed input.
+[[nodiscard]] WavData read_wav(std::istream& in);
+
+[[nodiscard]] WavData read_wav_file(const std::string& path);
+
+}  // namespace emoleak::audio

@@ -1,0 +1,206 @@
+#include "core/attack.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/logistic.h"
+#include "util/error.h"
+
+namespace emoleak::core {
+
+void ScenarioConfig::apply_posture_defaults() {
+  pipeline.detector = posture == phone::Posture::kHandheld
+                          ? handheld_detector_config()
+                          : tabletop_detector_config();
+}
+
+ScenarioConfig loudspeaker_scenario(audio::DatasetSpec dataset,
+                                    phone::PhoneProfile phone,
+                                    std::uint64_t seed) {
+  ScenarioConfig c;
+  c.dataset = std::move(dataset);
+  c.phone = std::move(phone);
+  c.speaker = phone::SpeakerKind::kLoudspeaker;
+  c.posture = phone::Posture::kTableTop;
+  c.seed = seed;
+  c.apply_posture_defaults();
+  return c;
+}
+
+ScenarioConfig ear_speaker_scenario(audio::DatasetSpec dataset,
+                                    phone::PhoneProfile phone,
+                                    std::uint64_t seed) {
+  ScenarioConfig c;
+  c.dataset = std::move(dataset);
+  c.phone = std::move(phone);
+  c.speaker = phone::SpeakerKind::kEarSpeaker;
+  c.posture = phone::Posture::kHandheld;
+  c.seed = seed;
+  c.apply_posture_defaults();
+  return c;
+}
+
+ExtractedData capture(const ScenarioConfig& config) {
+  audio::DatasetSpec spec = config.dataset;
+  if (config.corpus_fraction != 1.0) {
+    spec = audio::scaled_spec(spec, config.corpus_fraction);
+  }
+  const audio::Corpus corpus{spec, config.seed};
+
+  phone::RecorderConfig rec_cfg;
+  rec_cfg.speaker = config.speaker;
+  rec_cfg.posture = config.posture;
+  rec_cfg.seed = config.seed ^ 0x5E5510ULL;
+  const phone::Recording recording =
+      record_session(corpus, config.phone, rec_cfg);
+
+  return extract(recording, config.pipeline);
+}
+
+std::vector<std::unique_ptr<ml::Classifier>> loudspeaker_classifiers() {
+  std::vector<std::unique_ptr<ml::Classifier>> out;
+  out.push_back(std::make_unique<ml::LogisticRegression>());
+  out.push_back(std::make_unique<ml::OneVsRestLogistic>());
+  out.push_back(std::make_unique<ml::LogisticModelTree>());
+  return out;
+}
+
+std::vector<std::unique_ptr<ml::Classifier>> ear_speaker_classifiers() {
+  std::vector<std::unique_ptr<ml::Classifier>> out;
+  out.push_back(std::make_unique<ml::RandomForest>());
+  out.push_back(std::make_unique<ml::RandomSubspace>());
+  out.push_back(std::make_unique<ml::LogisticModelTree>());
+  return out;
+}
+
+ClassifierResult evaluate_classical(const ml::Classifier& prototype,
+                                    const ml::Dataset& features,
+                                    std::uint64_t seed, std::size_t cv_folds) {
+  const ml::EvalResult r =
+      cv_folds >= 2 ? ml::cross_validate(prototype, features, cv_folds, seed)
+                    : ml::evaluate_split(prototype, features, 0.8, seed);
+  return ClassifierResult{prototype.name(), r.accuracy, r.confusion};
+}
+
+namespace {
+
+/// Splits row indices 80/20 stratified and returns (train, test).
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>> split_indices(
+    const std::vector<int>& labels, int class_count, std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<std::vector<std::size_t>> groups(
+      static_cast<std::size_t>(class_count));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    groups[static_cast<std::size_t>(labels[i])].push_back(i);
+  }
+  std::vector<std::size_t> train, test;
+  for (auto& g : groups) {
+    rng.shuffle(g);
+    const auto cut = static_cast<std::size_t>(
+        std::round(0.8 * static_cast<double>(g.size())));
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      (i < cut ? train : test).push_back(g[i]);
+    }
+  }
+  rng.shuffle(train);
+  rng.shuffle(test);
+  return {std::move(train), std::move(test)};
+}
+
+CnnResult finish_cnn(nn::Sequential& model, const nn::Tensor& train_x,
+                     const std::vector<int>& train_y, const nn::Tensor& test_x,
+                     const std::vector<int>& test_y, int class_count,
+                     const CnnRunConfig& config) {
+  nn::TrainConfig tc = config.train;
+  tc.seed = config.seed;
+  CnnResult result{0.0, {}, ml::ConfusionMatrix{class_count}};
+  result.history = model.train(train_x, train_y, class_count, tc);
+  const std::vector<int> pred = model.predict(test_x);
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    result.confusion.add(test_y[i], pred[i]);
+  }
+  result.accuracy = result.confusion.accuracy();
+  return result;
+}
+
+}  // namespace
+
+CnnResult evaluate_timefreq_cnn(const ml::Dataset& features,
+                                const CnnRunConfig& config) {
+  features.validate();
+  if (features.size() < 20) {
+    throw util::DataError{"evaluate_timefreq_cnn: too few samples"};
+  }
+  const std::size_t d = features.dim();
+
+  // z-score normalization (paper §IV-D2) fitted on all rows' train part.
+  const auto [train_idx, test_idx] =
+      split_indices(features.y, features.class_count, config.seed);
+  ml::StandardScaler scaler;
+  scaler.fit(features.subset(train_idx));
+
+  const auto to_tensor = [&](const std::vector<std::size_t>& idx) {
+    nn::Tensor t{{idx.size(), 1, d, 1}};
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      const std::vector<double> row = scaler.transform_row(features.x[idx[i]]);
+      for (std::size_t j = 0; j < d; ++j) {
+        t[i * d + j] = static_cast<float>(row[j]);
+      }
+    }
+    return t;
+  };
+  const auto to_labels = [&](const std::vector<std::size_t>& idx) {
+    std::vector<int> y(idx.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) y[i] = features.y[idx[i]];
+    return y;
+  };
+
+  nn::Sequential model =
+      nn::build_timefreq_cnn(d, features.class_count, config.arch);
+  return finish_cnn(model, to_tensor(train_idx), to_labels(train_idx),
+                    to_tensor(test_idx), to_labels(test_idx),
+                    features.class_count, config);
+}
+
+CnnResult evaluate_spectrogram_cnn(
+    const std::vector<std::vector<double>>& images, std::size_t image_size,
+    const std::vector<int>& labels, int class_count,
+    const CnnRunConfig& config) {
+  if (images.size() != labels.size()) {
+    throw util::DataError{"evaluate_spectrogram_cnn: size mismatch"};
+  }
+  if (images.size() < 20) {
+    throw util::DataError{"evaluate_spectrogram_cnn: too few samples"};
+  }
+  const std::size_t pixels = image_size * image_size;
+  for (const auto& img : images) {
+    if (img.size() != pixels) {
+      throw util::DataError{"evaluate_spectrogram_cnn: wrong image size"};
+    }
+  }
+
+  const auto [train_idx, test_idx] = split_indices(labels, class_count, config.seed);
+  const auto to_tensor = [&](const std::vector<std::size_t>& idx) {
+    nn::Tensor t{{idx.size(), image_size, image_size, 1}};
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      const std::vector<double>& img = images[idx[i]];
+      for (std::size_t p = 0; p < pixels; ++p) {
+        t[i * pixels + p] = static_cast<float>(img[p]);
+      }
+    }
+    return t;
+  };
+  const auto to_labels = [&](const std::vector<std::size_t>& idx) {
+    std::vector<int> y(idx.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) y[i] = labels[idx[i]];
+    return y;
+  };
+
+  nn::Sequential model =
+      nn::build_spectrogram_cnn(image_size, image_size, class_count, config.arch);
+  return finish_cnn(model, to_tensor(train_idx), to_labels(train_idx),
+                    to_tensor(test_idx), to_labels(test_idx), class_count,
+                    config);
+}
+
+}  // namespace emoleak::core

@@ -1,0 +1,68 @@
+// End-to-end extraction pipeline: recording -> labelled regions ->
+// feature vectors + spectrogram images.
+//
+// Mirrors the paper's §III-B3: regions detected in the continuous
+// accelerometer capture are labelled from the playback schedule (the
+// attacker knows the playback times of each emotion block in training
+// data), then each region yields (a) the 24 Table-II features from the
+// *unfiltered* samples and (b) a 32x32 spectrogram image.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/speech_region.h"
+#include "dsp/stft.h"
+#include "features/features.h"
+#include "ml/dataset.h"
+#include "phone/recorder.h"
+
+namespace emoleak::core {
+
+/// A detected region matched to the utterance that produced it.
+struct LabelledRegion {
+  Region region;
+  std::size_t schedule_index = 0;  ///< index into Recording::schedule
+  audio::Emotion emotion = audio::Emotion::kNeutral;
+  int speaker_id = 0;
+};
+
+/// Matches detected regions to scheduled utterances by maximal overlap.
+/// Regions overlapping no utterance are dropped (false alarms).
+[[nodiscard]] std::vector<LabelledRegion> label_regions(
+    const std::vector<Region>& regions, const phone::Recording& recording);
+
+/// Fraction of scheduled utterances matched by at least one detected
+/// region — the paper's "extraction rate" (>=90% table-top, >=45% ear
+/// speaker).
+[[nodiscard]] double extraction_rate(const std::vector<LabelledRegion>& labelled,
+                                     const phone::Recording& recording);
+
+struct PipelineConfig {
+  DetectorConfig detector;
+  std::size_t image_size = 32;  ///< spectrogram image side (paper: 32)
+  dsp::StftConfig stft{.window_length = 64, .hop = 8};
+
+  void validate() const;
+};
+
+/// Everything the classifiers consume, extracted from one recording.
+struct ExtractedData {
+  ml::Dataset features;  ///< 24-dim Table-II features per region
+  /// Flattened image per region (image_size^2 doubles in [0,1]),
+  /// aligned with `features` rows.
+  std::vector<std::vector<double>> spectrograms;
+  /// Corpus speaker id per region, aligned with `features` rows —
+  /// enables Spearphone-style speaker/gender analyses (paper SII-C).
+  std::vector<int> speaker_ids;
+  std::size_t image_size = 32;
+  std::size_t regions_detected = 0;
+  std::size_t utterances_total = 0;
+  double extraction_rate = 0.0;
+};
+
+/// Runs detection, labelling and both feature extractions.
+[[nodiscard]] ExtractedData extract(const phone::Recording& recording,
+                                    const PipelineConfig& config);
+
+}  // namespace emoleak::core

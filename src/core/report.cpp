@@ -1,0 +1,84 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "ml/metrics.h"
+#include "util/error.h"
+#include "util/table.h"
+
+namespace emoleak::core {
+
+namespace {
+
+std::string speaker_name(phone::SpeakerKind kind) {
+  return kind == phone::SpeakerKind::kLoudspeaker ? "loudspeaker"
+                                                  : "ear speaker";
+}
+
+std::string posture_name(phone::Posture posture) {
+  return posture == phone::Posture::kTableTop ? "table-top" : "handheld";
+}
+
+}  // namespace
+
+std::string render_report(const ReportInputs& inputs) {
+  if (inputs.data == nullptr) {
+    throw util::DataError{"render_report: data is required"};
+  }
+  if (inputs.results.empty()) {
+    throw util::DataError{"render_report: at least one classifier result"};
+  }
+  if (inputs.detailed_result >= inputs.results.size()) {
+    throw util::DataError{"render_report: detailed_result out of range"};
+  }
+  const ExtractedData& data = *inputs.data;
+
+  std::ostringstream out;
+  out << "# " << inputs.title << "\n\n";
+
+  out << "## Scenario\n\n";
+  out << "* dataset: " << inputs.scenario.dataset.name << " ("
+      << inputs.scenario.dataset.emotions.size() << " emotions, "
+      << inputs.scenario.dataset.speaker_count << " speakers)\n";
+  out << "* device: " << inputs.scenario.phone.name << " ("
+      << util::fixed(inputs.scenario.phone.accel_rate_hz, 0)
+      << " Hz accelerometer)\n";
+  out << "* channel: " << speaker_name(inputs.scenario.speaker) << ", "
+      << posture_name(inputs.scenario.posture) << "\n";
+  out << "* corpus fraction: "
+      << util::fixed(inputs.scenario.corpus_fraction, 2) << ", seed "
+      << inputs.scenario.seed << "\n\n";
+
+  out << "## Capture\n\n";
+  out << "* utterances played: " << data.utterances_total << "\n";
+  out << "* regions detected: " << data.regions_detected << "\n";
+  out << "* extraction rate: " << util::percent(data.extraction_rate)
+      << "\n";
+  out << "* labelled feature rows: " << data.features.size() << " ("
+      << data.features.dim() << " features)\n";
+  out << "* random-guess accuracy: "
+      << util::percent(1.0 / data.features.class_count) << "\n\n";
+
+  out << "## Classifiers\n\n";
+  util::TablePrinter comparison{
+      {"classifier", "accuracy", "kappa", "macro F1"}};
+  for (const ClassifierResult& r : inputs.results) {
+    comparison.add_row({r.classifier, util::percent(r.accuracy),
+                        util::fixed(ml::cohens_kappa(r.confusion)),
+                        util::fixed(r.confusion.macro_f1())});
+  }
+  out << "```\n" << comparison.str() << "```\n\n";
+
+  const ClassifierResult& detail = inputs.results[inputs.detailed_result];
+  out << "## Detail: " << detail.classifier << "\n\n";
+  out << "```\n"
+      << util::render_confusion(detail.confusion.counts(),
+                                data.features.class_names)
+      << "```\n\n```\n"
+      << ml::classification_report(detail.confusion,
+                                   data.features.class_names)
+      << "```\n";
+  return out.str();
+}
+
+}  // namespace emoleak::core

@@ -1,0 +1,32 @@
+// Experiment report generation.
+//
+// Renders one attack scenario's results — configuration, capture
+// statistics, classifier comparison, confusion matrix, per-class
+// metrics — as a self-contained Markdown document, so experiment runs
+// can be archived or diffed. Used by the examples and available to
+// library users.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/attack.h"
+
+namespace emoleak::core {
+
+struct ReportInputs {
+  ScenarioConfig scenario;
+  const ExtractedData* data = nullptr;  ///< required
+  /// Classifier results to tabulate (at least one).
+  std::vector<ClassifierResult> results;
+  /// Index into `results` whose confusion matrix gets the detailed
+  /// per-class breakdown.
+  std::size_t detailed_result = 0;
+  std::string title = "EmoLeak experiment report";
+};
+
+/// Renders the full Markdown report. Throws util::DataError on missing
+/// data or an empty result list.
+[[nodiscard]] std::string render_report(const ReportInputs& inputs);
+
+}  // namespace emoleak::core

@@ -1,0 +1,126 @@
+#include "core/speech_region.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/envelope.h"
+#include "dsp/stats.h"
+#include "util/error.h"
+
+namespace emoleak::core {
+
+void DetectorConfig::validate() const {
+  if (detection_highpass_hz < 0.0) {
+    throw util::ConfigError{"DetectorConfig: negative highpass cutoff"};
+  }
+  if (highpass_order <= 0 || highpass_order % 2 != 0) {
+    throw util::ConfigError{"DetectorConfig: highpass order must be even > 0"};
+  }
+  if (envelope_window_s <= 0.0) {
+    throw util::ConfigError{"DetectorConfig: envelope window must be > 0"};
+  }
+  if (threshold_k <= 0.0) throw util::ConfigError{"DetectorConfig: threshold_k <= 0"};
+  if (min_ratio < 1.0) throw util::ConfigError{"DetectorConfig: min_ratio < 1"};
+  if (min_region_s < 0.0 || merge_gap_s < 0.0 || pad_s < 0.0) {
+    throw util::ConfigError{"DetectorConfig: negative timing parameter"};
+  }
+}
+
+SpeechRegionDetector::SpeechRegionDetector(DetectorConfig config)
+    : config_{config} {
+  config_.validate();
+}
+
+std::vector<double> SpeechRegionDetector::detection_envelope(
+    std::span<const double> accel, double rate_hz) const {
+  if (rate_hz <= 0.0) throw util::ConfigError{"detect: rate_hz must be > 0"};
+  if (accel.empty()) return {};
+
+  // Remove the DC component (gravity) first; a long-window moving mean
+  // would also track slow drift, but the HPF (when enabled) covers it.
+  std::vector<double> x{accel.begin(), accel.end()};
+  const double m = dsp::mean(x);
+  for (double& v : x) v -= m;
+
+  if (config_.detection_highpass_hz > 0.0) {
+    dsp::BiquadCascade hpf = dsp::BiquadCascade::butterworth_highpass(
+        config_.highpass_order, config_.detection_highpass_hz, rate_hz);
+    x = hpf.filtfilt(x);
+  }
+
+  const auto window = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.envelope_window_s * rate_hz));
+  return dsp::moving_rms(x, window);
+}
+
+std::vector<Region> SpeechRegionDetector::detect(std::span<const double> accel,
+                                                 double rate_hz) const {
+  const std::vector<double> env = detection_envelope(accel, rate_hz);
+  if (env.empty()) return {};
+
+  // Robust noise statistics from the quiet part of the envelope: the
+  // lower quartile estimates the floor; the 25->50 percentile gap is a
+  // spread proxy immune to the speech spikes.
+  const double floor = dsp::quantile(env, 0.25);
+  const double mid = dsp::quantile(env, 0.50);
+  const double spread = std::max(mid - floor, 1e-9);
+  const double threshold = std::max(floor + config_.threshold_k * spread,
+                                    config_.min_ratio * floor);
+
+  const auto min_len =
+      static_cast<std::size_t>(config_.min_region_s * rate_hz);
+  const auto merge_gap =
+      static_cast<std::size_t>(config_.merge_gap_s * rate_hz);
+  const auto pad = static_cast<std::size_t>(config_.pad_s * rate_hz);
+
+  std::vector<Region> regions;
+  bool inside = false;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < env.size(); ++i) {
+    const bool active = env[i] > threshold;
+    if (active && !inside) {
+      inside = true;
+      start = i;
+    } else if (!active && inside) {
+      inside = false;
+      regions.push_back(Region{start, i});
+    }
+  }
+  if (inside) regions.push_back(Region{start, env.size()});
+
+  // Merge regions separated by small gaps.
+  std::vector<Region> merged;
+  for (const Region& r : regions) {
+    if (!merged.empty() && r.start - merged.back().end <= merge_gap) {
+      merged.back().end = r.end;
+    } else {
+      merged.push_back(r);
+    }
+  }
+
+  // Pad and drop too-short regions.
+  std::vector<Region> out;
+  for (Region r : merged) {
+    if (r.length() < min_len) continue;
+    r.start = r.start > pad ? r.start - pad : 0;
+    r.end = std::min(r.end + pad, env.size());
+    out.push_back(r);
+  }
+  return out;
+}
+
+DetectorConfig tabletop_detector_config() {
+  DetectorConfig c;
+  c.detection_highpass_hz = 0.0;  // table-top traces need no filter
+  return c;
+}
+
+DetectorConfig handheld_detector_config() {
+  DetectorConfig c;
+  c.detection_highpass_hz = 8.0;  // paper §III-B2: 8 Hz HPF for detection
+  c.threshold_k = 4.2;            // tuned for the low ear-speaker SNR
+  c.min_region_s = 0.12;
+  return c;
+}
+
+}  // namespace emoleak::core

@@ -1,0 +1,173 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "features/features.h"
+#include "util/error.h"
+
+namespace emoleak::core {
+
+void StreamingConfig::validate() const {
+  detector.validate();
+  if (noise_window_s <= 0.0) {
+    throw util::ConfigError{"StreamingConfig: noise_window_s <= 0"};
+  }
+  if (max_region_s <= detector.min_region_s) {
+    throw util::ConfigError{"StreamingConfig: max_region_s too small"};
+  }
+  if (history_s < max_region_s) {
+    throw util::ConfigError{"StreamingConfig: history shorter than regions"};
+  }
+}
+
+StreamingAttack::StreamingAttack(StreamingConfig config, double sample_rate_hz,
+                                 std::shared_ptr<const ml::Classifier> classifier)
+    : config_{config}, rate_{sample_rate_hz}, classifier_{std::move(classifier)} {
+  config_.validate();
+  if (rate_ <= 0.0) throw util::ConfigError{"StreamingAttack: rate <= 0"};
+
+  if (config_.detector.detection_highpass_hz > 0.0) {
+    hpf_ = dsp::BiquadCascade::butterworth_highpass(
+        config_.detector.highpass_order,
+        config_.detector.detection_highpass_hz, rate_);
+    use_hpf_ = true;
+  }
+  // Envelope: single-pole mean-square tracker matching the offline
+  // moving-RMS window length.
+  env_alpha_ = std::exp(-1.0 / (config_.detector.envelope_window_s * rate_));
+
+  history_capacity_ = static_cast<std::size_t>(config_.history_s * rate_);
+  noise_capacity_ = static_cast<std::size_t>(config_.noise_window_s * rate_);
+  min_region_samples_ =
+      static_cast<std::size_t>(config_.detector.min_region_s * rate_);
+  gap_samples_ = static_cast<std::size_t>(config_.detector.merge_gap_s * rate_);
+  max_region_samples_ = static_cast<std::size_t>(config_.max_region_s * rate_);
+  pad_samples_ = static_cast<std::size_t>(config_.detector.pad_s * rate_);
+}
+
+double StreamingAttack::noise_floor() const {
+  if (noise_window_.empty()) return 0.0;
+  // Quantile over a decimated copy (every 8th sample) keeps this cheap
+  // while matching the offline detector's robust floor estimate.
+  std::vector<double> sample;
+  sample.reserve(noise_window_.size() / 8 + 1);
+  for (std::size_t i = 0; i < noise_window_.size(); i += 8) {
+    sample.push_back(noise_window_[i]);
+  }
+  std::sort(sample.begin(), sample.end());
+  const double q25 = sample[sample.size() / 4];
+  const double q50 = sample[sample.size() / 2];
+  const double spread = std::max(q50 - q25, 1e-9);
+  return std::max(q25 + config_.detector.threshold_k * spread,
+                  config_.detector.min_ratio * q25);
+}
+
+EmotionEvent StreamingAttack::close_region(std::size_t start, std::size_t end) {
+  EmotionEvent event;
+  event.start_sample = start > pad_samples_ ? start - pad_samples_ : 0;
+  event.end_sample = end + pad_samples_;
+  ++events_;
+
+  // Slice the raw history for feature extraction.
+  const std::size_t lo =
+      event.start_sample > history_start_ ? event.start_sample - history_start_
+                                          : 0;
+  const std::size_t hi = std::min<std::size_t>(
+      event.end_sample - history_start_, raw_history_.size());
+  if (classifier_ && hi > lo + 4) {
+    std::vector<double> region(raw_history_.begin() + static_cast<std::ptrdiff_t>(lo),
+                               raw_history_.begin() + static_cast<std::ptrdiff_t>(hi));
+    const std::vector<double> feats =
+        features::extract_features(region, rate_);
+    const bool valid = std::all_of(feats.begin(), feats.end(), [](double v) {
+      return std::isfinite(v);
+    });
+    if (valid) {
+      event.probabilities = classifier_->predict_proba(feats);
+      event.predicted_class = static_cast<int>(
+          std::max_element(event.probabilities.begin(),
+                           event.probabilities.end()) -
+          event.probabilities.begin());
+    }
+  }
+  return event;
+}
+
+void StreamingAttack::process_sample(double raw, std::vector<EmotionEvent>& out) {
+  // Raw history for feature extraction.
+  raw_history_.push_back(raw);
+  if (raw_history_.size() > history_capacity_) {
+    raw_history_.pop_front();
+    ++history_start_;
+  }
+
+  // Detection domain: DC removal (slow tracker) + optional HPF.
+  if (!dc_initialized_) {
+    dc_estimate_ = raw;
+    dc_initialized_ = true;
+  }
+  constexpr double kDcAlpha = 0.999;  // ~2.4 s time constant at 420 Hz
+  dc_estimate_ = kDcAlpha * dc_estimate_ + (1.0 - kDcAlpha) * raw;
+  double x = raw - dc_estimate_;
+  if (use_hpf_) x = hpf_.process(x);
+
+  envelope_sq_ = env_alpha_ * envelope_sq_ + (1.0 - env_alpha_) * x * x;
+  const double envelope = std::sqrt(envelope_sq_);
+
+  noise_window_.push_back(envelope);
+  if (noise_window_.size() > noise_capacity_) noise_window_.pop_front();
+
+  // Need enough noise context before detecting at all.
+  if (noise_window_.size() < noise_capacity_ / 4) {
+    ++absolute_;
+    return;
+  }
+
+  const double threshold = noise_floor();
+  const bool active = envelope > threshold;
+
+  if (!in_region_) {
+    if (active) {
+      in_region_ = true;
+      region_start_ = absolute_;
+      below_count_ = 0;
+    }
+  } else {
+    if (active) {
+      below_count_ = 0;
+    } else {
+      ++below_count_;
+    }
+    const std::size_t length = absolute_ - region_start_;
+    const bool gap_closed = below_count_ >= gap_samples_;
+    const bool too_long = length >= max_region_samples_;
+    if (gap_closed || too_long) {
+      const std::size_t end = absolute_ - below_count_;
+      in_region_ = false;
+      if (end > region_start_ &&
+          end - region_start_ >= min_region_samples_) {
+        out.push_back(close_region(region_start_, end));
+      }
+    }
+  }
+  ++absolute_;
+}
+
+std::vector<EmotionEvent> StreamingAttack::push(std::span<const double> samples) {
+  std::vector<EmotionEvent> out;
+  for (const double s : samples) process_sample(s, out);
+  return out;
+}
+
+std::optional<EmotionEvent> StreamingAttack::finish() {
+  if (!in_region_) return std::nullopt;
+  in_region_ = false;
+  const std::size_t end = absolute_ - below_count_;
+  if (end <= region_start_ || end - region_start_ < min_region_samples_) {
+    return std::nullopt;
+  }
+  return close_region(region_start_, end);
+}
+
+}  // namespace emoleak::core

@@ -1,0 +1,97 @@
+// Online (streaming) EmoLeak attack.
+//
+// The deployed form of the attack (paper §III-A): a background app
+// receives accelerometer samples continuously and must detect speech
+// regions and classify emotions on the fly, without buffering the whole
+// session. StreamingAttack consumes arbitrary-size sample chunks,
+// maintains detector state (high-pass filter, envelope, adaptive noise
+// floor) incrementally, and emits an EmotionEvent per completed speech
+// region using a pre-trained classifier.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/speech_region.h"
+#include "ml/classifier.h"
+
+namespace emoleak::core {
+
+/// One classified speech region emitted by the streaming pipeline.
+struct EmotionEvent {
+  std::size_t start_sample = 0;  ///< absolute sample index in the stream
+  std::size_t end_sample = 0;
+  int predicted_class = -1;
+  std::vector<double> probabilities;  ///< classifier distribution
+};
+
+struct StreamingConfig {
+  DetectorConfig detector;       ///< same knobs as the offline detector
+  double noise_window_s = 10.0;  ///< sliding window for the noise floor
+  double max_region_s = 6.0;     ///< force-close pathological regions
+  /// Samples of history retained for feature extraction beyond the
+  /// longest expected region (raw samples are needed because features
+  /// come from the unfiltered stream).
+  double history_s = 12.0;
+
+  void validate() const;
+};
+
+class StreamingAttack {
+ public:
+  /// `classifier` must already be trained on the 24 Table-II features
+  /// (e.g. loaded via ml::load_model_file). Pass nullptr to run in
+  /// detection-only mode (events carry predicted_class == -1).
+  StreamingAttack(StreamingConfig config, double sample_rate_hz,
+                  std::shared_ptr<const ml::Classifier> classifier);
+
+  /// Feeds a chunk of raw accelerometer samples; returns the events
+  /// completed within this chunk (possibly none).
+  std::vector<EmotionEvent> push(std::span<const double> samples);
+
+  /// Flushes a region still open at end-of-stream, if any.
+  [[nodiscard]] std::optional<EmotionEvent> finish();
+
+  [[nodiscard]] std::size_t samples_seen() const noexcept { return absolute_; }
+  [[nodiscard]] std::size_t events_emitted() const noexcept { return events_; }
+
+ private:
+  void process_sample(double raw, std::vector<EmotionEvent>& out);
+  EmotionEvent close_region(std::size_t start, std::size_t end);
+  [[nodiscard]] double noise_floor() const;
+
+  StreamingConfig config_;
+  double rate_;
+  std::shared_ptr<const ml::Classifier> classifier_;
+
+  dsp::BiquadCascade hpf_;
+  bool use_hpf_ = false;
+  double dc_estimate_ = 0.0;   ///< slow DC tracker (gravity removal)
+  bool dc_initialized_ = false;
+  double envelope_sq_ = 0.0;   ///< running mean-square for the envelope
+  double env_alpha_ = 0.0;
+
+  std::deque<double> raw_history_;    ///< unfiltered samples for features
+  std::size_t history_capacity_ = 0;
+  std::size_t history_start_ = 0;     ///< absolute index of history front
+
+  std::deque<double> noise_window_;   ///< envelope samples for the floor
+  std::size_t noise_capacity_ = 0;
+
+  std::size_t absolute_ = 0;
+  std::size_t events_ = 0;
+  bool in_region_ = false;
+  std::size_t region_start_ = 0;
+  std::size_t below_count_ = 0;  ///< consecutive sub-threshold samples
+  std::size_t min_region_samples_ = 0;
+  std::size_t gap_samples_ = 0;
+  std::size_t max_region_samples_ = 0;
+  std::size_t pad_samples_ = 0;
+};
+
+}  // namespace emoleak::core

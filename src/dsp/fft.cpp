@@ -1,0 +1,148 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace emoleak::dsp {
+
+namespace {
+
+constexpr double kTau = 2.0 * std::numbers::pi;
+
+// Twiddle-factor cache keyed by (size, direction). FFT sizes in the
+// pipeline are few (spectrogram window, Bluestein padding), so a tiny
+// linear cache is enough and avoids repeated sin/cos work.
+struct TwiddleTable {
+  std::size_t n = 0;
+  bool inverse = false;
+  std::vector<Complex> w;
+};
+
+const std::vector<Complex>& twiddles(std::size_t n, bool inverse) {
+  thread_local std::vector<TwiddleTable> cache;
+  for (const TwiddleTable& t : cache) {
+    if (t.n == n && t.inverse == inverse) return t.w;
+  }
+  TwiddleTable t;
+  t.n = n;
+  t.inverse = inverse;
+  t.w.resize(n / 2);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double angle = sign * kTau * static_cast<double>(k) / static_cast<double>(n);
+    t.w[k] = Complex{std::cos(angle), std::sin(angle)};
+  }
+  cache.push_back(std::move(t));
+  return cache.back().w;
+}
+
+}  // namespace
+
+void fft_pow2(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  if (!is_pow2(n)) {
+    throw util::DataError{"fft_pow2: size must be a power of two"};
+  }
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  const std::vector<Complex>& w = twiddles(n, inverse);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t stride = n / len;
+    for (std::size_t start = 0; start < n; start += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex twiddle = w[k * stride];
+        const Complex even = data[start + k];
+        const Complex odd = data[start + k + len / 2] * twiddle;
+        data[start + k] = even + odd;
+        data[start + k + len / 2] = even - odd;
+      }
+    }
+  }
+}
+
+std::vector<Complex> fft(std::span<const Complex> input, bool inverse) {
+  const std::size_t n = input.size();
+  std::vector<Complex> out{input.begin(), input.end()};
+  if (n <= 1) return out;
+  if (is_pow2(n)) {
+    fft_pow2(out, inverse);
+    return out;
+  }
+
+  // Bluestein's algorithm: express the DFT as a convolution and compute
+  // the convolution with a padded power-of-two FFT.
+  const double sign = inverse ? 1.0 : -1.0;
+  std::vector<Complex> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n keeps the angle argument small for numerical accuracy.
+    const std::size_t k2 = (static_cast<std::size_t>(k) * k) % (2 * n);
+    const double angle =
+        sign * std::numbers::pi * static_cast<double>(k2) / static_cast<double>(n);
+    chirp[k] = Complex{std::cos(angle), std::sin(angle)};
+  }
+
+  const std::size_t m = next_pow2(2 * n - 1);
+  std::vector<Complex> a(m, Complex{});
+  std::vector<Complex> b(m, Complex{});
+  for (std::size_t k = 0; k < n; ++k) a[k] = out[k] * chirp[k];
+  b[0] = std::conj(chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    b[k] = b[m - k] = std::conj(chirp[k]);
+  }
+  fft_pow2(a, false);
+  fft_pow2(b, false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_pow2(a, true);
+  const double scale = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * scale * chirp[k];
+  return out;
+}
+
+std::vector<Complex> rfft(std::span<const double> input) {
+  std::vector<Complex> buffer(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) buffer[i] = Complex{input[i], 0.0};
+  std::vector<Complex> full = fft(buffer, false);
+  full.resize(input.size() / 2 + 1);
+  return full;
+}
+
+std::vector<double> rfft_magnitude(std::span<const double> input) {
+  const std::vector<Complex> half = rfft(input);
+  std::vector<double> mags(half.size());
+  for (std::size_t i = 0; i < half.size(); ++i) mags[i] = std::abs(half[i]);
+  return mags;
+}
+
+std::vector<double> irfft(std::span<const Complex> half_spectrum, std::size_t n) {
+  if (half_spectrum.size() != n / 2 + 1) {
+    throw util::DataError{"irfft: half spectrum must have n/2+1 bins"};
+  }
+  std::vector<Complex> full(n);
+  for (std::size_t i = 0; i < half_spectrum.size(); ++i) full[i] = half_spectrum[i];
+  for (std::size_t i = half_spectrum.size(); i < n; ++i) {
+    full[i] = std::conj(full[n - i]);
+  }
+  std::vector<Complex> time = fft(full, true);
+  std::vector<double> out(n);
+  const double scale = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = time[i].real() * scale;
+  return out;
+}
+
+std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace emoleak::dsp

@@ -1,0 +1,50 @@
+// Fast Fourier transforms.
+//
+// Provides an iterative radix-2 Cooley-Tukey FFT for power-of-two sizes
+// and Bluestein's chirp-z algorithm for arbitrary sizes, plus real-input
+// helpers. These back the STFT/spectrogram generation and all
+// frequency-domain feature extraction in the EmoLeak pipeline.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace emoleak::dsp {
+
+using Complex = std::complex<double>;
+
+/// In-place FFT of a power-of-two-sized buffer.
+/// `inverse` computes the unscaled inverse transform; callers divide by
+/// the length to invert exactly. Throws util::DataError if the size is
+/// not a power of two (use `fft` for arbitrary sizes).
+void fft_pow2(std::span<Complex> data, bool inverse = false);
+
+/// FFT of arbitrary size. Power-of-two inputs dispatch to fft_pow2;
+/// other sizes use Bluestein's algorithm. Returns the transformed
+/// sequence; input is unmodified.
+[[nodiscard]] std::vector<Complex> fft(std::span<const Complex> input,
+                                       bool inverse = false);
+
+/// Forward FFT of a real sequence. Returns the first n/2+1 bins
+/// (the remainder is conjugate-symmetric).
+[[nodiscard]] std::vector<Complex> rfft(std::span<const double> input);
+
+/// Magnitude of each bin of `rfft(input)`.
+[[nodiscard]] std::vector<double> rfft_magnitude(std::span<const double> input);
+
+/// Inverse of rfft: reconstructs a real sequence of length n from
+/// n/2+1 half-spectrum bins.
+[[nodiscard]] std::vector<double> irfft(std::span<const Complex> half_spectrum,
+                                        std::size_t n);
+
+/// Smallest power of two >= n (n must be >= 1).
+[[nodiscard]] std::size_t next_pow2(std::size_t n) noexcept;
+
+/// True if n is a nonzero power of two.
+[[nodiscard]] constexpr bool is_pow2(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+}  // namespace emoleak::dsp

@@ -1,0 +1,172 @@
+#include "dsp/filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace emoleak::dsp {
+
+namespace {
+
+void check_design_args(double cutoff_hz, double sample_rate_hz) {
+  if (sample_rate_hz <= 0.0) {
+    throw util::ConfigError{"filter design: sample_rate_hz must be > 0"};
+  }
+  if (cutoff_hz <= 0.0 || cutoff_hz >= sample_rate_hz / 2.0) {
+    throw util::ConfigError{
+        "filter design: cutoff must lie in (0, sample_rate/2)"};
+  }
+}
+
+}  // namespace
+
+double Biquad::magnitude_at(double w) const noexcept {
+  const std::complex<double> z{std::cos(w), std::sin(w)};
+  const std::complex<double> zinv = 1.0 / z;
+  const std::complex<double> num = b0 + b1 * zinv + b2 * zinv * zinv;
+  const std::complex<double> den = 1.0 + a1 * zinv + a2 * zinv * zinv;
+  return std::abs(num / den);
+}
+
+bool Biquad::is_stable() const noexcept {
+  // Jury criterion for a monic quadratic z^2 + a1 z + a2.
+  return std::abs(a2) < 1.0 && std::abs(a1) < 1.0 + a2;
+}
+
+Biquad design_lowpass(double cutoff_hz, double sample_rate_hz, double q) {
+  check_design_args(cutoff_hz, sample_rate_hz);
+  const double w0 = 2.0 * std::numbers::pi * cutoff_hz / sample_rate_hz;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  const double a0 = 1.0 + alpha;
+  Biquad s;
+  s.b0 = (1.0 - cw) / 2.0 / a0;
+  s.b1 = (1.0 - cw) / a0;
+  s.b2 = (1.0 - cw) / 2.0 / a0;
+  s.a1 = -2.0 * cw / a0;
+  s.a2 = (1.0 - alpha) / a0;
+  return s;
+}
+
+Biquad design_highpass(double cutoff_hz, double sample_rate_hz, double q) {
+  check_design_args(cutoff_hz, sample_rate_hz);
+  const double w0 = 2.0 * std::numbers::pi * cutoff_hz / sample_rate_hz;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  const double a0 = 1.0 + alpha;
+  Biquad s;
+  s.b0 = (1.0 + cw) / 2.0 / a0;
+  s.b1 = -(1.0 + cw) / a0;
+  s.b2 = (1.0 + cw) / 2.0 / a0;
+  s.a1 = -2.0 * cw / a0;
+  s.a2 = (1.0 - alpha) / a0;
+  return s;
+}
+
+Biquad design_bandpass(double center_hz, double sample_rate_hz, double q) {
+  check_design_args(center_hz, sample_rate_hz);
+  if (q <= 0.0) throw util::ConfigError{"design_bandpass: q must be > 0"};
+  const double w0 = 2.0 * std::numbers::pi * center_hz / sample_rate_hz;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  const double a0 = 1.0 + alpha;
+  Biquad s;  // constant-peak-gain bandpass (peak gain = 1 at center)
+  s.b0 = alpha / a0;
+  s.b1 = 0.0;
+  s.b2 = -alpha / a0;
+  s.a1 = -2.0 * cw / a0;
+  s.a2 = (1.0 - alpha) / a0;
+  return s;
+}
+
+BiquadCascade::BiquadCascade(std::vector<Biquad> sections)
+    : sections_{std::move(sections)}, state_(sections_.size()) {}
+
+BiquadCascade BiquadCascade::butterworth_highpass(int order, double cutoff_hz,
+                                                  double sample_rate_hz) {
+  if (order <= 0 || order % 2 != 0) {
+    throw util::ConfigError{"butterworth: order must be positive and even"};
+  }
+  check_design_args(cutoff_hz, sample_rate_hz);
+  // Butterworth pole Q values for cascaded second-order sections:
+  // Q_k = 1 / (2 sin((2k+1)pi / (2N))), k = 0..N/2-1.
+  std::vector<Biquad> sections;
+  const int pairs = order / 2;
+  for (int k = 0; k < pairs; ++k) {
+    const double theta =
+        (2.0 * k + 1.0) * std::numbers::pi / (2.0 * static_cast<double>(order));
+    const double q = 1.0 / (2.0 * std::sin(theta));
+    sections.push_back(design_highpass(cutoff_hz, sample_rate_hz, q));
+  }
+  return BiquadCascade{std::move(sections)};
+}
+
+BiquadCascade BiquadCascade::butterworth_lowpass(int order, double cutoff_hz,
+                                                 double sample_rate_hz) {
+  if (order <= 0 || order % 2 != 0) {
+    throw util::ConfigError{"butterworth: order must be positive and even"};
+  }
+  check_design_args(cutoff_hz, sample_rate_hz);
+  std::vector<Biquad> sections;
+  const int pairs = order / 2;
+  for (int k = 0; k < pairs; ++k) {
+    const double theta =
+        (2.0 * k + 1.0) * std::numbers::pi / (2.0 * static_cast<double>(order));
+    const double q = 1.0 / (2.0 * std::sin(theta));
+    sections.push_back(design_lowpass(cutoff_hz, sample_rate_hz, q));
+  }
+  return BiquadCascade{std::move(sections)};
+}
+
+double BiquadCascade::process(double x) noexcept {
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    const Biquad& s = sections_[i];
+    State& st = state_[i];
+    const double y = s.b0 * x + st.z1;
+    st.z1 = s.b1 * x - s.a1 * y + st.z2;
+    st.z2 = s.b2 * x - s.a2 * y;
+    x = y;
+  }
+  return x;
+}
+
+std::vector<double> BiquadCascade::filter(std::span<const double> signal) {
+  std::vector<double> out(signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) out[i] = process(signal[i]);
+  return out;
+}
+
+std::vector<double> BiquadCascade::filtfilt(std::span<const double> signal) {
+  reset();
+  std::vector<double> forward = filter(signal);
+  reset();
+  std::reverse(forward.begin(), forward.end());
+  std::vector<double> backward = filter(forward);
+  reset();
+  std::reverse(backward.begin(), backward.end());
+  return backward;
+}
+
+void BiquadCascade::reset() noexcept {
+  for (State& st : state_) st = State{};
+}
+
+double BiquadCascade::magnitude_at(double frequency_hz,
+                                   double sample_rate_hz) const noexcept {
+  const double w = 2.0 * std::numbers::pi * frequency_hz / sample_rate_hz;
+  double mag = 1.0;
+  for (const Biquad& s : sections_) mag *= s.magnitude_at(w);
+  return mag;
+}
+
+bool BiquadCascade::is_stable() const noexcept {
+  for (const Biquad& s : sections_) {
+    if (!s.is_stable()) return false;
+  }
+  return true;
+}
+
+}  // namespace emoleak::dsp

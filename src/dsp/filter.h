@@ -1,0 +1,84 @@
+// IIR filtering: biquad sections and Butterworth designs.
+//
+// The paper applies an 8 Hz high-pass Butterworth filter to handheld
+// accelerometer traces for speech-region detection (§III-B2, Fig. 4b)
+// and studies a 1 Hz high-pass filter's effect on feature information
+// gain (Table I). The chassis conduction model also uses resonant
+// biquads.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace emoleak::dsp {
+
+/// One direct-form-II-transposed biquad section:
+///   y[n] = b0 x[n] + b1 x[n-1] + b2 x[n-2] - a1 y[n-1] - a2 y[n-2]
+/// (a0 normalized to 1).
+struct Biquad {
+  double b0 = 1.0, b1 = 0.0, b2 = 0.0;
+  double a1 = 0.0, a2 = 0.0;
+
+  /// Magnitude response at normalized angular frequency w (rad/sample).
+  [[nodiscard]] double magnitude_at(double w) const noexcept;
+
+  /// True if both poles lie strictly inside the unit circle.
+  [[nodiscard]] bool is_stable() const noexcept;
+};
+
+/// RBJ audio-EQ-cookbook designs for single sections.
+[[nodiscard]] Biquad design_lowpass(double cutoff_hz, double sample_rate_hz,
+                                    double q = 0.7071067811865476);
+[[nodiscard]] Biquad design_highpass(double cutoff_hz, double sample_rate_hz,
+                                     double q = 0.7071067811865476);
+/// Constant-peak-gain resonator at `center_hz` with the given Q; models
+/// a chassis mechanical resonance.
+[[nodiscard]] Biquad design_bandpass(double center_hz, double sample_rate_hz,
+                                     double q);
+
+/// A cascade of biquad sections with stateful streaming processing.
+class BiquadCascade {
+ public:
+  BiquadCascade() = default;
+  explicit BiquadCascade(std::vector<Biquad> sections);
+
+  /// Butterworth high-pass of the given (even) order as cascaded
+  /// second-order sections.
+  [[nodiscard]] static BiquadCascade butterworth_highpass(
+      int order, double cutoff_hz, double sample_rate_hz);
+
+  /// Butterworth low-pass of the given (even) order.
+  [[nodiscard]] static BiquadCascade butterworth_lowpass(
+      int order, double cutoff_hz, double sample_rate_hz);
+
+  /// Processes one sample, updating internal state.
+  double process(double x) noexcept;
+
+  /// Filters a whole signal (stateful; call reset() to reuse).
+  [[nodiscard]] std::vector<double> filter(std::span<const double> signal);
+
+  /// Zero-phase filtering (forward + reverse), like MATLAB's filtfilt.
+  [[nodiscard]] std::vector<double> filtfilt(std::span<const double> signal);
+
+  /// Clears the delay-line state.
+  void reset() noexcept;
+
+  [[nodiscard]] double magnitude_at(double frequency_hz,
+                                    double sample_rate_hz) const noexcept;
+
+  [[nodiscard]] const std::vector<Biquad>& sections() const noexcept {
+    return sections_;
+  }
+
+  [[nodiscard]] bool is_stable() const noexcept;
+
+ private:
+  std::vector<Biquad> sections_;
+  struct State {
+    double z1 = 0.0, z2 = 0.0;
+  };
+  std::vector<State> state_;
+};
+
+}  // namespace emoleak::dsp

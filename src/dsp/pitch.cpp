@@ -1,0 +1,149 @@
+#include "dsp/pitch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace emoleak::dsp {
+
+void PitchConfig::validate() const {
+  if (min_hz <= 0.0 || max_hz <= min_hz) {
+    throw util::ConfigError{"PitchConfig: need 0 < min_hz < max_hz"};
+  }
+  if (frame_s <= 0.0 || hop_s <= 0.0) {
+    throw util::ConfigError{"PitchConfig: frame/hop must be > 0"};
+  }
+  if (voicing_threshold < 0.0 || voicing_threshold > 1.0) {
+    throw util::ConfigError{"PitchConfig: voicing threshold in [0,1]"};
+  }
+}
+
+std::optional<double> estimate_pitch(std::span<const double> frame,
+                                     double sample_rate_hz,
+                                     const PitchConfig& config) {
+  config.validate();
+  if (sample_rate_hz <= 0.0) {
+    throw util::ConfigError{"estimate_pitch: sample rate <= 0"};
+  }
+  const auto min_lag =
+      static_cast<std::size_t>(sample_rate_hz / config.max_hz);
+  const auto max_lag =
+      static_cast<std::size_t>(sample_rate_hz / config.min_hz);
+  if (frame.size() < 2 * max_lag || min_lag < 1) return std::nullopt;
+
+  // Remove DC; compute energy.
+  std::vector<double> x{frame.begin(), frame.end()};
+  double mean = 0.0;
+  for (const double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  double energy = 0.0;
+  for (double& v : x) {
+    v -= mean;
+    energy += v * v;
+  }
+  if (energy <= 1e-18) return std::nullopt;
+
+  // Normalized autocorrelation over the lag range.
+  std::vector<double> corr(max_lag + 1, 0.0);
+  double best_value = 0.0;
+  for (std::size_t lag = min_lag; lag <= max_lag; ++lag) {
+    double acc = 0.0;
+    double e1 = 0.0;
+    double e2 = 0.0;
+    const std::size_t n = x.size() - lag;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += x[i] * x[i + lag];
+      e1 += x[i] * x[i];
+      e2 += x[i + lag] * x[i + lag];
+    }
+    const double denom = std::sqrt(e1 * e2);
+    if (denom <= 0.0) continue;
+    corr[lag] = acc / denom;
+    best_value = std::max(best_value, corr[lag]);
+  }
+  if (best_value < config.voicing_threshold) return std::nullopt;
+
+  // Octave-error guard: a periodic signal peaks at every multiple of
+  // the true period, so take the *smallest* lag that is a local maximum
+  // nearly as high as the global one.
+  std::size_t best_lag = 0;
+  for (std::size_t lag = min_lag; lag <= max_lag; ++lag) {
+    const double left = lag > min_lag ? corr[lag - 1] : -1.0;
+    const double right = lag < max_lag ? corr[lag + 1] : -1.0;
+    const bool local_max = corr[lag] >= left && corr[lag] >= right;
+    if (local_max && corr[lag] >= 0.90 * best_value) {
+      best_lag = lag;
+      best_value = corr[lag];
+      break;
+    }
+  }
+  if (best_lag == 0) return std::nullopt;
+
+  // Parabolic interpolation around the peak for sub-sample precision.
+  double refined = static_cast<double>(best_lag);
+  if (best_lag > min_lag && best_lag < max_lag) {
+    const auto corr_at = [&](std::size_t lag) {
+      double acc = 0.0, e1 = 0.0, e2 = 0.0;
+      const std::size_t n = x.size() - lag;
+      for (std::size_t i = 0; i < n; ++i) {
+        acc += x[i] * x[i + lag];
+        e1 += x[i] * x[i];
+        e2 += x[i + lag] * x[i + lag];
+      }
+      const double denom = std::sqrt(e1 * e2);
+      return denom > 0.0 ? acc / denom : 0.0;
+    };
+    const double l = corr_at(best_lag - 1);
+    const double c = best_value;
+    const double r = corr_at(best_lag + 1);
+    const double denom = l - 2.0 * c + r;
+    if (std::abs(denom) > 1e-12) {
+      refined += 0.5 * (l - r) / denom;
+    }
+  }
+  return sample_rate_hz / refined;
+}
+
+std::vector<PitchFrame> track_pitch(std::span<const double> signal,
+                                    double sample_rate_hz,
+                                    const PitchConfig& config) {
+  config.validate();
+  const auto frame_n = static_cast<std::size_t>(config.frame_s * sample_rate_hz);
+  const auto hop_n =
+      std::max<std::size_t>(1, static_cast<std::size_t>(config.hop_s * sample_rate_hz));
+  std::vector<PitchFrame> track;
+  if (signal.size() < frame_n) return track;
+  for (std::size_t start = 0; start + frame_n <= signal.size();
+       start += hop_n) {
+    PitchFrame frame;
+    frame.time_s =
+        (static_cast<double>(start) + frame_n / 2.0) / sample_rate_hz;
+    frame.f0_hz =
+        estimate_pitch(signal.subspan(start, frame_n), sample_rate_hz, config);
+    // Confidence re-derived cheaply: voiced frames carry their peak via
+    // estimate_pitch's acceptance; report 1/0 granularity plus the
+    // threshold as a floor.
+    frame.confidence = frame.f0_hz ? config.voicing_threshold : 0.0;
+    track.push_back(frame);
+  }
+  return track;
+}
+
+std::optional<std::pair<double, double>> pitch_statistics(
+    const std::vector<PitchFrame>& track) {
+  std::vector<double> voiced;
+  for (const PitchFrame& f : track) {
+    if (f.f0_hz) voiced.push_back(*f.f0_hz);
+  }
+  if (voiced.empty()) return std::nullopt;
+  double mean = 0.0;
+  for (const double v : voiced) mean += v;
+  mean /= static_cast<double>(voiced.size());
+  double var = 0.0;
+  for (const double v : voiced) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(voiced.size());
+  return std::pair{mean, std::sqrt(var)};
+}
+
+}  // namespace emoleak::dsp

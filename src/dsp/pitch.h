@@ -1,0 +1,52 @@
+// Fundamental-frequency (F0) estimation.
+//
+// The emotion cues EmoLeak keys on live mostly in the F0 trajectory,
+// which survives the accelerometer channel (directly for male voices,
+// folded for female voices — see phone/channel.h). This module
+// provides an autocorrelation pitch tracker usable on both audio and
+// accelerometer streams; bench_ext_pitch uses it to show the F0
+// contour is recoverable from the vibration side channel.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace emoleak::dsp {
+
+struct PitchConfig {
+  double min_hz = 50.0;        ///< search floor
+  double max_hz = 400.0;       ///< search ceiling
+  double frame_s = 0.08;       ///< analysis frame length
+  double hop_s = 0.02;         ///< frame hop
+  double voicing_threshold = 0.35;  ///< min normalized autocorr peak
+
+  void validate() const;
+};
+
+/// One frame of the pitch track.
+struct PitchFrame {
+  double time_s = 0.0;
+  std::optional<double> f0_hz;  ///< nullopt = unvoiced / no pitch found
+  double confidence = 0.0;      ///< normalized autocorrelation peak
+};
+
+/// Estimates F0 on one frame via the normalized autocorrelation method
+/// (center-clipped). Returns nullopt when no peak clears the voicing
+/// threshold inside [min_hz, max_hz].
+[[nodiscard]] std::optional<double> estimate_pitch(
+    std::span<const double> frame, double sample_rate_hz,
+    const PitchConfig& config = {});
+
+/// Full pitch track over a signal.
+[[nodiscard]] std::vector<PitchFrame> track_pitch(
+    std::span<const double> signal, double sample_rate_hz,
+    const PitchConfig& config = {});
+
+/// Summary statistics of the voiced portion of a track: (mean, stddev)
+/// in Hz; returns nullopt when nothing is voiced.
+[[nodiscard]] std::optional<std::pair<double, double>> pitch_statistics(
+    const std::vector<PitchFrame>& track);
+
+}  // namespace emoleak::dsp

@@ -1,0 +1,61 @@
+#include "dsp/resample.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/filter.h"
+#include "util/error.h"
+
+namespace emoleak::dsp {
+
+std::vector<double> resample_linear(std::span<const double> signal,
+                                    double in_rate_hz, double out_rate_hz) {
+  if (in_rate_hz <= 0.0 || out_rate_hz <= 0.0) {
+    throw util::ConfigError{"resample_linear: rates must be > 0"};
+  }
+  if (signal.empty()) return {};
+  const double ratio = in_rate_hz / out_rate_hz;
+  const auto out_len = static_cast<std::size_t>(
+      std::floor(static_cast<double>(signal.size() - 1) / ratio)) + 1;
+  std::vector<double> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) {
+    const double pos = static_cast<double>(i) * ratio;
+    const auto idx = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(idx);
+    const double a = signal[idx];
+    const double b = idx + 1 < signal.size() ? signal[idx + 1] : a;
+    out[i] = a + frac * (b - a);
+  }
+  return out;
+}
+
+std::vector<double> resample_nearest(std::span<const double> signal,
+                                     double in_rate_hz, double out_rate_hz) {
+  if (in_rate_hz <= 0.0 || out_rate_hz <= 0.0) {
+    throw util::ConfigError{"resample_nearest: rates must be > 0"};
+  }
+  if (signal.empty()) return {};
+  const double ratio = in_rate_hz / out_rate_hz;
+  const auto out_len = static_cast<std::size_t>(
+      std::floor(static_cast<double>(signal.size() - 1) / ratio)) + 1;
+  std::vector<double> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) {
+    const auto idx = static_cast<std::size_t>(
+        std::llround(static_cast<double>(i) * ratio));
+    out[i] = signal[std::min(idx, signal.size() - 1)];
+  }
+  return out;
+}
+
+std::vector<double> decimate(std::span<const double> signal, double in_rate_hz,
+                             double out_rate_hz, int filter_order) {
+  if (out_rate_hz >= in_rate_hz) {
+    throw util::ConfigError{"decimate: out_rate must be < in_rate"};
+  }
+  BiquadCascade lpf = BiquadCascade::butterworth_lowpass(
+      filter_order, 0.45 * out_rate_hz, in_rate_hz);
+  const std::vector<double> filtered = lpf.filter(signal);
+  return resample_linear(filtered, in_rate_hz, out_rate_hz);
+}
+
+}  // namespace emoleak::dsp

@@ -1,0 +1,38 @@
+// Sample-rate conversion.
+//
+// The vibration channel is simulated at audio rate (several kHz) and
+// then sampled by the accelerometer model at a few hundred Hz; this
+// module provides the anti-aliased decimation used for that step and a
+// generic linear resampler.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace emoleak::dsp {
+
+/// Linear-interpolation resampling from `in_rate_hz` to `out_rate_hz`.
+/// No anti-alias filtering — callers downsampling must band-limit first
+/// (see `decimate`).
+[[nodiscard]] std::vector<double> resample_linear(std::span<const double> signal,
+                                                  double in_rate_hz,
+                                                  double out_rate_hz);
+
+/// Nearest-sample (sample-and-hold) resampling: out[i] =
+/// in[round(i * in_rate / out_rate)]. Downsampling this way aliases —
+/// which is the point when modelling ADCs without brick-wall
+/// anti-aliasing filters (MEMS accelerometers).
+[[nodiscard]] std::vector<double> resample_nearest(std::span<const double> signal,
+                                                   double in_rate_hz,
+                                                   double out_rate_hz);
+
+/// Anti-aliased downsampling: applies a Butterworth low-pass at
+/// 0.45 * out_rate before linear resampling. Requires
+/// out_rate_hz < in_rate_hz.
+[[nodiscard]] std::vector<double> decimate(std::span<const double> signal,
+                                           double in_rate_hz,
+                                           double out_rate_hz,
+                                           int filter_order = 8);
+
+}  // namespace emoleak::dsp

@@ -1,0 +1,51 @@
+// Descriptive statistics used throughout feature extraction.
+//
+// The Table-II time-domain features (min/max/mean/stddev/variance/
+// range/CV/skewness/kurtosis/quantiles/mean-crossing-rate) are built on
+// these primitives.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace emoleak::dsp {
+
+/// Streaming-friendly summary of a sample (single pass + sorted-copy
+/// quantiles on demand).
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double variance = 0.0;   ///< population variance
+  double stddev = 0.0;
+  double skewness = 0.0;   ///< population skewness (0 if stddev == 0)
+  double kurtosis = 0.0;   ///< population excess kurtosis (0 if stddev == 0)
+};
+
+/// Computes the full summary in one pass (two for the moments).
+/// Throws util::DataError on an empty span.
+[[nodiscard]] Summary summarize(std::span<const double> x);
+
+[[nodiscard]] double mean(std::span<const double> x);
+[[nodiscard]] double variance(std::span<const double> x);
+[[nodiscard]] double stddev(std::span<const double> x);
+
+/// Linear-interpolated quantile, q in [0, 1]. Sorts a copy.
+[[nodiscard]] double quantile(std::span<const double> x, double q);
+
+/// Rate at which the signal crosses its own mean, per sample
+/// (in [0, 1]); the paper's MeanCrossingRate feature.
+[[nodiscard]] double mean_crossing_rate(std::span<const double> x);
+
+/// Sum of squares.
+[[nodiscard]] double energy(std::span<const double> x) noexcept;
+
+/// Root mean square.
+[[nodiscard]] double rms(std::span<const double> x);
+
+/// Pearson correlation between two equal-length samples.
+[[nodiscard]] double correlation(std::span<const double> x,
+                                 std::span<const double> y);
+
+}  // namespace emoleak::dsp

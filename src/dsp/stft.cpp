@@ -1,0 +1,149 @@
+#include "dsp/stft.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fft.h"
+#include "util/error.h"
+
+namespace emoleak::dsp {
+
+void StftConfig::validate() const {
+  if (window_length == 0) throw util::ConfigError{"StftConfig: window_length == 0"};
+  if (hop == 0) throw util::ConfigError{"StftConfig: hop == 0"};
+  if (fft_size != 0 && fft_size < window_length) {
+    throw util::ConfigError{"StftConfig: fft_size < window_length"};
+  }
+}
+
+Spectrogram::Spectrogram(std::vector<double> magnitudes, std::size_t frames,
+                         std::size_t bins, double sample_rate_hz, std::size_t hop)
+    : mags_{std::move(magnitudes)},
+      frames_{frames},
+      bins_{bins},
+      sample_rate_hz_{sample_rate_hz},
+      hop_{hop} {
+  if (mags_.size() != frames_ * bins_) {
+    throw util::DataError{"Spectrogram: data size != frames * bins"};
+  }
+}
+
+double Spectrogram::at(std::size_t frame, std::size_t bin) const {
+  if (frame >= frames_ || bin >= bins_) {
+    throw util::DataError{"Spectrogram::at: index out of range"};
+  }
+  return mags_[frame * bins_ + bin];
+}
+
+std::span<const double> Spectrogram::frame(std::size_t index) const {
+  if (index >= frames_) throw util::DataError{"Spectrogram::frame: out of range"};
+  return std::span<const double>{mags_}.subspan(index * bins_, bins_);
+}
+
+double Spectrogram::bin_frequency_hz(std::size_t bin) const noexcept {
+  // bins_ = fft_size/2 + 1, so fft_size = 2*(bins_-1).
+  const double fft_size = 2.0 * static_cast<double>(bins_ - 1);
+  return sample_rate_hz_ * static_cast<double>(bin) / fft_size;
+}
+
+double Spectrogram::frame_time_s(std::size_t frame) const noexcept {
+  return static_cast<double>(frame * hop_) / sample_rate_hz_;
+}
+
+std::vector<double> Spectrogram::to_db(double floor_db) const {
+  double max_mag = 0.0;
+  for (const double m : mags_) max_mag = std::max(max_mag, m);
+  if (max_mag <= 0.0) max_mag = 1e-300;
+  std::vector<double> db(mags_.size());
+  for (std::size_t i = 0; i < mags_.size(); ++i) {
+    const double rel = mags_[i] / max_mag;
+    const double v = rel > 0.0 ? 20.0 * std::log10(rel) : floor_db;
+    db[i] = std::max(v, floor_db);
+  }
+  return db;
+}
+
+Spectrogram stft(std::span<const double> signal, double sample_rate_hz,
+                 const StftConfig& config) {
+  config.validate();
+  if (sample_rate_hz <= 0.0) throw util::ConfigError{"stft: sample_rate_hz <= 0"};
+
+  const std::size_t win_len = config.window_length;
+  const std::size_t fft_size =
+      config.fft_size == 0 ? next_pow2(win_len) : config.fft_size;
+  const std::vector<double> window = make_window(config.window, win_len);
+
+  // Optionally reflect-pad by half a window on both ends so frame
+  // centers align with signal samples (librosa-style `center=True`).
+  std::vector<double> padded;
+  std::span<const double> x = signal;
+  if (config.center) {
+    const std::size_t pad = win_len / 2;
+    padded.reserve(signal.size() + 2 * pad);
+    for (std::size_t i = 0; i < pad; ++i) {
+      const std::size_t src = signal.empty() ? 0 : std::min(pad - i, signal.size() - 1);
+      padded.push_back(signal.empty() ? 0.0 : signal[src]);
+    }
+    padded.insert(padded.end(), signal.begin(), signal.end());
+    for (std::size_t i = 0; i < pad; ++i) {
+      const std::size_t back =
+          signal.size() >= 2 + i ? signal.size() - 2 - i : 0;
+      padded.push_back(signal.empty() ? 0.0 : signal[back]);
+    }
+    x = padded;
+  }
+
+  const std::size_t bins = fft_size / 2 + 1;
+  std::size_t frames = 0;
+  if (x.size() >= win_len) frames = (x.size() - win_len) / config.hop + 1;
+  if (frames == 0) frames = 1;  // always produce at least one (zero-padded) frame
+
+  std::vector<double> mags(frames * bins, 0.0);
+  std::vector<double> frame_buf(fft_size, 0.0);
+  for (std::size_t f = 0; f < frames; ++f) {
+    const std::size_t start = f * config.hop;
+    std::fill(frame_buf.begin(), frame_buf.end(), 0.0);
+    for (std::size_t i = 0; i < win_len; ++i) {
+      const std::size_t idx = start + i;
+      frame_buf[i] = idx < x.size() ? x[idx] * window[i] : 0.0;
+    }
+    const std::vector<double> mag = rfft_magnitude(frame_buf);
+    std::copy(mag.begin(), mag.end(), mags.begin() + static_cast<std::ptrdiff_t>(f * bins));
+  }
+  return Spectrogram{std::move(mags), frames, bins, sample_rate_hz, config.hop};
+}
+
+std::vector<double> spectrogram_image(const Spectrogram& spec, std::size_t width,
+                                      std::size_t height, double floor_db) {
+  if (width == 0 || height == 0) {
+    throw util::ConfigError{"spectrogram_image: width/height must be > 0"};
+  }
+  const std::vector<double> db = spec.to_db(floor_db);
+  const std::size_t frames = spec.frames();
+  const std::size_t bins = spec.bins();
+  std::vector<double> image(width * height, 0.0);
+  // Cell (r, c) of the image mean-pools a rectangle of the spectrogram:
+  // image columns span time (frames), rows span frequency (bins), with
+  // row 0 = highest frequency so the image reads like the paper's plots.
+  for (std::size_t r = 0; r < height; ++r) {
+    const std::size_t b0 = (height - 1 - r) * bins / height;
+    const std::size_t b1 = std::max<std::size_t>((height - r) * bins / height, b0 + 1);
+    for (std::size_t c = 0; c < width; ++c) {
+      const std::size_t f0 = c * frames / width;
+      const std::size_t f1 = std::max<std::size_t>((c + 1) * frames / width, f0 + 1);
+      double sum = 0.0;
+      std::size_t count = 0;
+      for (std::size_t f = f0; f < f1 && f < frames; ++f) {
+        for (std::size_t b = b0; b < b1 && b < bins; ++b) {
+          sum += db[f * bins + b];
+          ++count;
+        }
+      }
+      const double mean_db = count ? sum / static_cast<double>(count) : floor_db;
+      image[r * width + c] = (mean_db - floor_db) / -floor_db;  // -> [0, 1]
+    }
+  }
+  return image;
+}
+
+}  // namespace emoleak::dsp

@@ -1,0 +1,77 @@
+// Short-time Fourier transform and spectrogram computation.
+//
+// The EmoLeak pipeline renders each detected speech region of the
+// accelerometer trace as a spectrogram image (paper §III-B3, Fig. 2/3)
+// and derives frequency-domain features from STFT magnitudes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/window.h"
+
+namespace emoleak::dsp {
+
+struct StftConfig {
+  std::size_t window_length = 64;   ///< samples per analysis frame
+  std::size_t hop = 16;             ///< samples between frames
+  std::size_t fft_size = 0;         ///< 0 => next_pow2(window_length)
+  WindowType window = WindowType::kHann;
+  bool center = true;               ///< reflect-pad so frames center on samples
+
+  /// Validates invariants; throws util::ConfigError on violation.
+  void validate() const;
+};
+
+/// A magnitude spectrogram: `frames x bins` row-major, with the sample
+/// rate recorded so bins map to physical frequencies.
+class Spectrogram {
+ public:
+  Spectrogram(std::vector<double> magnitudes, std::size_t frames,
+              std::size_t bins, double sample_rate_hz, std::size_t hop);
+
+  [[nodiscard]] std::size_t frames() const noexcept { return frames_; }
+  [[nodiscard]] std::size_t bins() const noexcept { return bins_; }
+  [[nodiscard]] double sample_rate_hz() const noexcept { return sample_rate_hz_; }
+  [[nodiscard]] std::size_t hop() const noexcept { return hop_; }
+
+  /// Magnitude at (frame, bin). Bounds-checked.
+  [[nodiscard]] double at(std::size_t frame, std::size_t bin) const;
+
+  /// One frame's magnitudes as a contiguous span.
+  [[nodiscard]] std::span<const double> frame(std::size_t index) const;
+
+  /// Center frequency of a bin, in Hz.
+  [[nodiscard]] double bin_frequency_hz(std::size_t bin) const noexcept;
+
+  /// Time of a frame's center, in seconds.
+  [[nodiscard]] double frame_time_s(std::size_t frame) const noexcept;
+
+  /// Converts magnitudes to decibels relative to the max magnitude,
+  /// clamped below at `floor_db` (a negative number, e.g. -80).
+  [[nodiscard]] std::vector<double> to_db(double floor_db = -80.0) const;
+
+  [[nodiscard]] const std::vector<double>& data() const noexcept { return mags_; }
+
+ private:
+  std::vector<double> mags_;
+  std::size_t frames_;
+  std::size_t bins_;
+  double sample_rate_hz_;
+  std::size_t hop_;
+};
+
+/// Computes the magnitude STFT of `signal`.
+[[nodiscard]] Spectrogram stft(std::span<const double> signal,
+                               double sample_rate_hz, const StftConfig& config);
+
+/// Downsamples a spectrogram to a fixed `width x height` image in
+/// [0, 1], matching the paper's 32x32 CNN input (§IV-C1). Uses mean
+/// pooling over rectangular cells of the dB-scaled spectrogram.
+[[nodiscard]] std::vector<double> spectrogram_image(const Spectrogram& spec,
+                                                    std::size_t width,
+                                                    std::size_t height,
+                                                    double floor_db = -80.0);
+
+}  // namespace emoleak::dsp

@@ -1,0 +1,61 @@
+#include "dsp/window.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace emoleak::dsp {
+
+std::vector<double> make_window(WindowType type, std::size_t length) {
+  if (length == 0) throw util::DataError{"make_window: length must be > 0"};
+  std::vector<double> w(length, 1.0);
+  if (length == 1 || type == WindowType::kRectangular) return w;
+  const double n = static_cast<double>(length);  // periodic convention
+  constexpr double tau = 2.0 * std::numbers::pi;
+  for (std::size_t i = 0; i < length; ++i) {
+    const double x = static_cast<double>(i) / n;
+    switch (type) {
+      case WindowType::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(tau * x);
+        break;
+      case WindowType::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(tau * x);
+        break;
+      case WindowType::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(tau * x) + 0.08 * std::cos(2.0 * tau * x);
+        break;
+      case WindowType::kRectangular:
+        break;
+    }
+  }
+  return w;
+}
+
+std::vector<double> apply_window(std::span<const double> frame,
+                                 std::span<const double> window) {
+  if (frame.size() != window.size()) {
+    throw util::DataError{"apply_window: frame/window size mismatch"};
+  }
+  std::vector<double> out(frame.size());
+  for (std::size_t i = 0; i < frame.size(); ++i) out[i] = frame[i] * window[i];
+  return out;
+}
+
+double window_energy(std::span<const double> window) noexcept {
+  double e = 0.0;
+  for (const double w : window) e += w * w;
+  return e;
+}
+
+std::string to_string(WindowType type) {
+  switch (type) {
+    case WindowType::kRectangular: return "rectangular";
+    case WindowType::kHann: return "hann";
+    case WindowType::kHamming: return "hamming";
+    case WindowType::kBlackman: return "blackman";
+  }
+  return "unknown";
+}
+
+}  // namespace emoleak::dsp

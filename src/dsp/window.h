@@ -1,0 +1,32 @@
+// Analysis window functions for the STFT / spectrogram front end.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace emoleak::dsp {
+
+enum class WindowType {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackman,
+};
+
+/// Generates a periodic window of the given length (periodic, i.e. DFT-
+/// even, which is the convention for spectrogram analysis).
+[[nodiscard]] std::vector<double> make_window(WindowType type, std::size_t length);
+
+/// Multiplies `frame` by `window` element-wise into a new vector.
+/// Sizes must match.
+[[nodiscard]] std::vector<double> apply_window(std::span<const double> frame,
+                                               std::span<const double> window);
+
+/// Sum of squared window samples (used for power normalization).
+[[nodiscard]] double window_energy(std::span<const double> window) noexcept;
+
+[[nodiscard]] std::string to_string(WindowType type);
+
+}  // namespace emoleak::dsp

@@ -1,0 +1,170 @@
+#include "features/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fft.h"
+#include "dsp/stats.h"
+#include "util/error.h"
+
+namespace emoleak::features {
+
+const std::vector<std::string>& feature_names() {
+  static const std::vector<std::string> names = {
+      // time domain
+      "Min", "Max", "Mean", "StdDev", "Variance", "Range", "CV", "Skewness",
+      "Kurtosis", "Quantile25", "Quantile50", "MeanCrossingRate",
+      // frequency domain
+      "Energy", "Entropy", "FrequencyRatio", "IrregularityK", "IrregularityJ",
+      "Sharpness", "Smoothness", "SpecCentroid", "SpecStdDev", "SpecCrest",
+      "SpecSkewness", "SpecKurt"};
+  return names;
+}
+
+std::array<double, kTimeFeatureCount> time_features(
+    std::span<const double> region) {
+  if (region.empty()) throw util::DataError{"time_features: empty region"};
+  const dsp::Summary s = dsp::summarize(region);
+  std::array<double, kTimeFeatureCount> f{};
+  f[0] = s.min;
+  f[1] = s.max;
+  f[2] = s.mean;
+  f[3] = s.stddev;
+  f[4] = s.variance;
+  f[5] = s.max - s.min;
+  f[6] = std::abs(s.mean) > 1e-12 ? s.stddev / std::abs(s.mean) : 0.0;
+  f[7] = s.skewness;
+  f[8] = s.kurtosis;
+  f[9] = dsp::quantile(region, 0.25);
+  f[10] = dsp::quantile(region, 0.50);
+  f[11] = dsp::mean_crossing_rate(region);
+  return f;
+}
+
+std::array<double, kFreqFeatureCount> freq_features(
+    std::span<const double> region, double sample_rate_hz, double split_hz) {
+  if (region.empty()) throw util::DataError{"freq_features: empty region"};
+  if (sample_rate_hz <= 0.0) {
+    throw util::ConfigError{"freq_features: sample_rate_hz must be > 0"};
+  }
+
+  // Remove DC (gravity) before the spectral analysis; the DC bin would
+  // otherwise dominate every spectral moment.
+  std::vector<double> x{region.begin(), region.end()};
+  const double m = dsp::mean(x);
+  for (double& v : x) v -= m;
+
+  std::vector<double> mag = dsp::rfft_magnitude(x);
+  const std::size_t bins = mag.size();
+  std::array<double, kFreqFeatureCount> f{};
+  if (bins < 3) return f;
+
+  const double bin_hz = sample_rate_hz / static_cast<double>(x.size());
+
+  double energy = 0.0;
+  double total_mag = 0.0;
+  double max_mag = 0.0;
+  for (std::size_t k = 1; k < bins; ++k) {  // skip residual DC bin
+    energy += mag[k] * mag[k];
+    total_mag += mag[k];
+    max_mag = std::max(max_mag, mag[k]);
+  }
+  f[0] = energy;
+
+  // Spectral entropy of the normalized power distribution.
+  double entropy = 0.0;
+  if (energy > 0.0) {
+    for (std::size_t k = 1; k < bins; ++k) {
+      const double p = mag[k] * mag[k] / energy;
+      if (p > 0.0) entropy -= p * std::log2(p);
+    }
+    entropy /= std::log2(static_cast<double>(bins - 1));  // -> [0,1]
+  }
+  f[1] = entropy;
+
+  // Frequency ratio: energy above the split vs total.
+  double high = 0.0;
+  for (std::size_t k = 1; k < bins; ++k) {
+    if (static_cast<double>(k) * bin_hz >= split_hz) high += mag[k] * mag[k];
+  }
+  f[2] = energy > 0.0 ? high / energy : 0.0;
+
+  // Irregularity (Krimphoff): sum |a_k - mean(a_{k-1},a_k,a_{k+1})|,
+  // normalized by total magnitude.
+  double irr_k = 0.0;
+  for (std::size_t k = 2; k + 1 < bins; ++k) {
+    irr_k += std::abs(mag[k] - (mag[k - 1] + mag[k] + mag[k + 1]) / 3.0);
+  }
+  f[3] = total_mag > 0.0 ? irr_k / total_mag : 0.0;
+
+  // Irregularity (Jensen): sum (a_k - a_{k+1})^2 / sum a_k^2.
+  double irr_j_num = 0.0;
+  for (std::size_t k = 1; k + 1 < bins; ++k) {
+    const double d = mag[k] - mag[k + 1];
+    irr_j_num += d * d;
+  }
+  f[4] = energy > 0.0 ? irr_j_num / energy : 0.0;
+
+  // Sharpness: loudness-weighted centroid with a high-frequency weight
+  // (Zwicker-style g(z) ~ growing above mid band; here a smooth power
+  // weight of normalized frequency).
+  double sharp_num = 0.0, sharp_den = 0.0;
+  for (std::size_t k = 1; k < bins; ++k) {
+    const double z = static_cast<double>(k) / static_cast<double>(bins - 1);
+    const double w = z * (1.0 + 3.0 * z * z);  // emphasis on the top octave
+    sharp_num += w * mag[k] * mag[k];
+    sharp_den += mag[k] * mag[k];
+  }
+  f[5] = sharp_den > 0.0 ? sharp_num / sharp_den : 0.0;
+
+  // Smoothness (McAdams): sum |20log(a_k) - mean of neighbors in dB|.
+  double smooth = 0.0;
+  constexpr double kFloor = 1e-12;
+  for (std::size_t k = 2; k + 1 < bins; ++k) {
+    const double db = 20.0 * std::log10(std::max(mag[k], kFloor));
+    const double db_prev = 20.0 * std::log10(std::max(mag[k - 1], kFloor));
+    const double db_next = 20.0 * std::log10(std::max(mag[k + 1], kFloor));
+    smooth += std::abs(db - (db_prev + db + db_next) / 3.0);
+  }
+  f[6] = smooth / static_cast<double>(bins - 3);
+
+  // Spectral moments over the power distribution.
+  double centroid = 0.0;
+  if (energy > 0.0) {
+    for (std::size_t k = 1; k < bins; ++k) {
+      centroid += static_cast<double>(k) * bin_hz * mag[k] * mag[k];
+    }
+    centroid /= energy;
+  }
+  f[7] = centroid;
+
+  double spread2 = 0.0, m3 = 0.0, m4 = 0.0;
+  if (energy > 0.0) {
+    for (std::size_t k = 1; k < bins; ++k) {
+      const double d = static_cast<double>(k) * bin_hz - centroid;
+      const double p = mag[k] * mag[k] / energy;
+      spread2 += d * d * p;
+      m3 += d * d * d * p;
+      m4 += d * d * d * d * p;
+    }
+  }
+  const double spread = std::sqrt(spread2);
+  f[8] = spread;
+  f[9] = total_mag > 0.0 ? max_mag * static_cast<double>(bins - 1) / total_mag : 0.0;
+  f[10] = spread > 0.0 ? m3 / (spread2 * spread) : 0.0;
+  f[11] = spread2 > 0.0 ? m4 / (spread2 * spread2) - 3.0 : 0.0;
+  return f;
+}
+
+std::vector<double> extract_features(std::span<const double> region,
+                                     double sample_rate_hz) {
+  const auto t = time_features(region);
+  const auto q = freq_features(region, sample_rate_hz);
+  std::vector<double> out;
+  out.reserve(kFeatureCount);
+  out.insert(out.end(), t.begin(), t.end());
+  out.insert(out.end(), q.begin(), q.end());
+  return out;
+}
+
+}  // namespace emoleak::features

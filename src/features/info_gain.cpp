@@ -1,0 +1,89 @@
+#include "features/info_gain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace emoleak::features {
+
+double label_entropy(std::span<const int> labels, int class_count) {
+  if (labels.empty()) throw util::DataError{"label_entropy: empty labels"};
+  if (class_count <= 0) throw util::DataError{"label_entropy: class_count <= 0"};
+  std::vector<std::size_t> counts(static_cast<std::size_t>(class_count), 0);
+  for (const int y : labels) {
+    if (y < 0 || y >= class_count) {
+      throw util::DataError{"label_entropy: label out of range"};
+    }
+    ++counts[static_cast<std::size_t>(y)];
+  }
+  const double n = static_cast<double>(labels.size());
+  double h = 0.0;
+  for (const std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double information_gain(std::span<const double> values,
+                        std::span<const int> labels, int class_count,
+                        std::size_t bins) {
+  if (values.size() != labels.size()) {
+    throw util::DataError{"information_gain: values/labels size mismatch"};
+  }
+  if (bins < 2) throw util::DataError{"information_gain: bins must be >= 2"};
+  const double h_prior = label_entropy(labels, class_count);
+
+  // Equal-frequency binning via rank order.
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&values](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+
+  const std::size_t n = values.size();
+  double h_cond = 0.0;
+  std::size_t start = 0;
+  for (std::size_t b = 0; b < bins && start < n; ++b) {
+    std::size_t end = (b + 1) * n / bins;
+    if (end <= start) end = start + 1;
+    // Keep ties in the same bin so the discretization is well-defined.
+    while (end < n && values[order[end]] == values[order[end - 1]]) ++end;
+    std::vector<int> bin_labels;
+    bin_labels.reserve(end - start);
+    for (std::size_t i = start; i < end; ++i) {
+      bin_labels.push_back(labels[order[i]]);
+    }
+    const double w = static_cast<double>(bin_labels.size()) / static_cast<double>(n);
+    h_cond += w * label_entropy(bin_labels, class_count);
+    start = end;
+  }
+  return std::max(0.0, h_prior - h_cond);
+}
+
+std::vector<double> information_gain_all(
+    const std::vector<std::vector<double>>& rows, std::span<const int> labels,
+    int class_count, std::size_t bins) {
+  if (rows.empty()) throw util::DataError{"information_gain_all: no rows"};
+  if (rows.size() != labels.size()) {
+    throw util::DataError{"information_gain_all: rows/labels size mismatch"};
+  }
+  const std::size_t cols = rows[0].size();
+  std::vector<double> gains(cols, 0.0);
+  std::vector<double> column(rows.size());
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (rows[r].size() != cols) {
+        throw util::DataError{"information_gain_all: ragged matrix"};
+      }
+      column[r] = rows[r][c];
+    }
+    gains[c] = information_gain(column, labels, class_count, bins);
+  }
+  return gains;
+}
+
+}  // namespace emoleak::features

@@ -1,0 +1,31 @@
+// Information-gain analysis of features.
+//
+// Reproduces the paper's feature-efficacy methodology (§III-B2, Table I
+// and §III-B4): information gain of each feature with respect to the
+// emotion label, computed after discretizing the feature into
+// equal-frequency bins (the measure Weka's InfoGainAttributeEval
+// reports).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace emoleak::features {
+
+/// Shannon entropy (bits) of a label sample.
+[[nodiscard]] double label_entropy(std::span<const int> labels,
+                                   int class_count);
+
+/// Information gain of one feature column w.r.t. integer labels in
+/// [0, class_count). `bins` equal-frequency bins (default 10).
+[[nodiscard]] double information_gain(std::span<const double> values,
+                                      std::span<const int> labels,
+                                      int class_count, std::size_t bins = 10);
+
+/// Information gain for every column of a row-major feature matrix.
+[[nodiscard]] std::vector<double> information_gain_all(
+    const std::vector<std::vector<double>>& rows, std::span<const int> labels,
+    int class_count, std::size_t bins = 10);
+
+}  // namespace emoleak::features

@@ -1,0 +1,90 @@
+#include "features/selection.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "dsp/stats.h"
+#include "features/info_gain.h"
+#include "util/error.h"
+
+namespace emoleak::features {
+
+void SelectionConfig::validate() const {
+  if (max_features == 0) {
+    throw util::ConfigError{"SelectionConfig: max_features == 0"};
+  }
+  if (min_gain_bits < 0.0) {
+    throw util::ConfigError{"SelectionConfig: negative min_gain_bits"};
+  }
+  if (max_redundancy <= 0.0 || max_redundancy > 1.0) {
+    throw util::ConfigError{"SelectionConfig: max_redundancy in (0,1]"};
+  }
+}
+
+std::vector<std::size_t> select_features(const ml::Dataset& data,
+                                         const SelectionConfig& config) {
+  config.validate();
+  data.validate();
+  if (data.size() == 0) throw util::DataError{"select_features: empty dataset"};
+
+  const std::vector<double> gains =
+      information_gain_all(data.x, data.y, data.class_count);
+  std::vector<std::size_t> order(gains.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&gains](std::size_t a, std::size_t b) {
+    return gains[a] > gains[b];
+  });
+
+  // Column extraction helper for the redundancy check.
+  const auto column = [&data](std::size_t c) {
+    std::vector<double> col(data.size());
+    for (std::size_t r = 0; r < data.size(); ++r) col[r] = data.x[r][c];
+    return col;
+  };
+
+  std::vector<std::size_t> selected;
+  std::vector<std::vector<double>> selected_columns;
+  for (const std::size_t candidate : order) {
+    if (selected.size() >= config.max_features) break;
+    if (gains[candidate] < config.min_gain_bits) break;  // sorted: all below
+    std::vector<double> col = column(candidate);
+    bool redundant = false;
+    if (config.max_redundancy < 1.0) {
+      for (const auto& kept : selected_columns) {
+        if (std::abs(dsp::correlation(col, kept)) > config.max_redundancy) {
+          redundant = true;
+          break;
+        }
+      }
+    }
+    if (redundant) continue;
+    selected.push_back(candidate);
+    selected_columns.push_back(std::move(col));
+  }
+  return selected;
+}
+
+ml::Dataset project(const ml::Dataset& data,
+                    std::span<const std::size_t> columns) {
+  data.validate();
+  ml::Dataset out;
+  out.class_count = data.class_count;
+  out.class_names = data.class_names;
+  out.y = data.y;
+  for (const std::size_t c : columns) {
+    if (c >= data.dim()) throw util::DataError{"project: column out of range"};
+    if (c < data.feature_names.size()) {
+      out.feature_names.push_back(data.feature_names[c]);
+    }
+  }
+  out.x.reserve(data.size());
+  for (const auto& row : data.x) {
+    std::vector<double> r;
+    r.reserve(columns.size());
+    for (const std::size_t c : columns) r.push_back(row[c]);
+    out.x.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace emoleak::features

@@ -1,0 +1,38 @@
+// Feature selection.
+//
+// The paper's audio-domain citations ([43]: "Impact of feature
+// selection algorithm on speech emotion recognition") motivate pruning
+// redundant Table-II features. Provides information-gain ranking with
+// an optional correlation-redundancy filter (a light mRMR variant),
+// used by bench_ablation_features and available to library users.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace emoleak::features {
+
+struct SelectionConfig {
+  std::size_t max_features = 12;     ///< upper bound on selected columns
+  double min_gain_bits = 0.01;       ///< drop features below this gain
+  /// Skip a candidate whose |Pearson correlation| with an already-
+  /// selected feature exceeds this (1.0 disables the redundancy filter).
+  double max_redundancy = 0.95;
+
+  void validate() const;
+};
+
+/// Ranks columns by information gain and greedily keeps the most
+/// informative non-redundant ones. Returns selected column indices in
+/// selection order (most informative first).
+[[nodiscard]] std::vector<std::size_t> select_features(
+    const ml::Dataset& data, const SelectionConfig& config = {});
+
+/// Projects a dataset onto the given columns (names carried over).
+[[nodiscard]] ml::Dataset project(const ml::Dataset& data,
+                                  std::span<const std::size_t> columns);
+
+}  // namespace emoleak::features

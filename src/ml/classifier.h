@@ -1,0 +1,47 @@
+// Abstract classifier interface shared by all EmoLeak models.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace emoleak::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on the dataset (implementations handle their own scaling).
+  virtual void fit(const Dataset& data) = 0;
+
+  /// Predicted class for one feature row.
+  [[nodiscard]] virtual int predict(std::span<const double> row) const = 0;
+
+  /// Class-probability estimates.
+  [[nodiscard]] virtual std::vector<double> predict_proba(
+      std::span<const double> row) const = 0;
+
+  /// Fresh untrained copy with the same hyperparameters (used by
+  /// cross-validation and ensembles).
+  [[nodiscard]] virtual std::unique_ptr<Classifier> clone() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Writes the trained state as whitespace-separated tokens (see
+  /// ml/serialize.h). Default: unsupported.
+  virtual void serialize(std::ostream& out) const;
+
+  /// Restores state written by serialize(). Default: unsupported.
+  virtual void deserialize(std::istream& in);
+
+ protected:
+  Classifier() = default;
+  Classifier(const Classifier&) = default;
+  Classifier& operator=(const Classifier&) = default;
+};
+
+}  // namespace emoleak::ml

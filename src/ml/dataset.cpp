@@ -1,0 +1,167 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace emoleak::ml {
+
+void Dataset::validate() const {
+  if (x.size() != y.size()) {
+    throw util::DataError{"Dataset: x/y size mismatch"};
+  }
+  if (class_count <= 0) throw util::DataError{"Dataset: class_count <= 0"};
+  const std::size_t d = dim();
+  for (const auto& row : x) {
+    if (row.size() != d) throw util::DataError{"Dataset: ragged rows"};
+  }
+  for (const int label : y) {
+    if (label < 0 || label >= class_count) {
+      throw util::DataError{"Dataset: label out of range"};
+    }
+  }
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out;
+  out.class_count = class_count;
+  out.feature_names = feature_names;
+  out.class_names = class_names;
+  out.x.reserve(indices.size());
+  out.y.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    if (i >= x.size()) throw util::DataError{"Dataset::subset: index out of range"};
+    out.x.push_back(x[i]);
+    out.y.push_back(y[i]);
+  }
+  return out;
+}
+
+std::size_t Dataset::drop_invalid() {
+  std::size_t removed = 0;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const bool ok = std::all_of(x[i].begin(), x[i].end(),
+                                [](double v) { return std::isfinite(v); });
+    if (ok) {
+      if (keep != i) {
+        x[keep] = std::move(x[i]);
+        y[keep] = y[i];
+      }
+      ++keep;
+    } else {
+      ++removed;
+    }
+  }
+  x.resize(keep);
+  y.resize(keep);
+  return removed;
+}
+
+void StandardScaler::fit(const Dataset& data) {
+  data.validate();
+  if (data.size() == 0) throw util::DataError{"StandardScaler: empty dataset"};
+  const std::size_t d = data.dim();
+  mean_.assign(d, 0.0);
+  std_.assign(d, 0.0);
+  for (const auto& row : data.x) {
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  }
+  const double n = static_cast<double>(data.size());
+  for (double& m : mean_) m /= n;
+  for (const auto& row : data.x) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double dlt = row[j] - mean_[j];
+      std_[j] += dlt * dlt;
+    }
+  }
+  for (double& s : std_) {
+    s = std::sqrt(s / n);
+    if (s < 1e-12) s = 1.0;  // constant feature: leave centered at zero
+  }
+}
+
+std::vector<double> StandardScaler::transform_row(
+    std::span<const double> row) const {
+  if (!fitted()) throw util::DataError{"StandardScaler: not fitted"};
+  if (row.size() != mean_.size()) {
+    throw util::DataError{"StandardScaler: dimension mismatch"};
+  }
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    out[j] = (row[j] - mean_[j]) / std_[j];
+  }
+  return out;
+}
+
+void StandardScaler::set_state(std::vector<double> mean,
+                               std::vector<double> stddev) {
+  if (mean.size() != stddev.size()) {
+    throw util::DataError{"StandardScaler::set_state: size mismatch"};
+  }
+  mean_ = std::move(mean);
+  std_ = std::move(stddev);
+}
+
+Dataset StandardScaler::transform(const Dataset& data) const {
+  Dataset out = data;
+  for (auto& row : out.x) row = transform_row(row);
+  return out;
+}
+
+namespace {
+
+/// Indices grouped by class, each group shuffled.
+std::vector<std::vector<std::size_t>> class_groups(const Dataset& data,
+                                                   util::Rng& rng) {
+  std::vector<std::vector<std::size_t>> groups(
+      static_cast<std::size_t>(data.class_count));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    groups[static_cast<std::size_t>(data.y[i])].push_back(i);
+  }
+  for (auto& g : groups) rng.shuffle(g);
+  return groups;
+}
+
+}  // namespace
+
+Split train_test_split(const Dataset& data, double train_fraction,
+                       util::Rng& rng) {
+  data.validate();
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    throw util::ConfigError{"train_test_split: fraction must be in (0,1)"};
+  }
+  std::vector<std::size_t> train_idx;
+  std::vector<std::size_t> test_idx;
+  for (auto& group : class_groups(data, rng)) {
+    const auto cut = static_cast<std::size_t>(
+        std::round(train_fraction * static_cast<double>(group.size())));
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      (i < cut ? train_idx : test_idx).push_back(group[i]);
+    }
+  }
+  rng.shuffle(train_idx);
+  rng.shuffle(test_idx);
+  return Split{data.subset(train_idx), data.subset(test_idx)};
+}
+
+std::vector<std::vector<std::size_t>> stratified_folds(const Dataset& data,
+                                                       std::size_t k,
+                                                       util::Rng& rng) {
+  data.validate();
+  if (k < 2) throw util::ConfigError{"stratified_folds: k must be >= 2"};
+  if (k > data.size()) throw util::ConfigError{"stratified_folds: k > n"};
+  std::vector<std::vector<std::size_t>> folds(k);
+  std::size_t next = 0;
+  for (auto& group : class_groups(data, rng)) {
+    for (const std::size_t idx : group) {
+      folds[next % k].push_back(idx);
+      ++next;
+    }
+  }
+  for (auto& fold : folds) rng.shuffle(fold);
+  return folds;
+}
+
+}  // namespace emoleak::ml

@@ -1,0 +1,73 @@
+// Feature datasets and preprocessing.
+//
+// Mirrors the paper's preprocessing: invalid entries (NaN/inf) are
+// removed (§IV-D1) and z-score normalization is applied before the CNN
+// (§IV-D2). Splitting utilities implement the 80/20 train-test split
+// and stratified 10-fold cross-validation the paper evaluates with.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace emoleak::ml {
+
+struct Dataset {
+  std::vector<std::vector<double>> x;  ///< rows of features
+  std::vector<int> y;                  ///< labels in [0, class_count)
+  int class_count = 0;
+  std::vector<std::string> feature_names;
+  std::vector<std::string> class_names;
+
+  [[nodiscard]] std::size_t size() const noexcept { return x.size(); }
+  [[nodiscard]] std::size_t dim() const noexcept {
+    return x.empty() ? 0 : x[0].size();
+  }
+
+  /// Throws util::DataError unless rows/labels are consistent.
+  void validate() const;
+
+  /// Rows selected by index (metadata copied).
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Removes rows containing NaN or infinity. Returns removed count.
+  std::size_t drop_invalid();
+};
+
+/// Z-score normalization fitted on training data.
+class StandardScaler {
+ public:
+  void fit(const Dataset& data);
+  [[nodiscard]] std::vector<double> transform_row(
+      std::span<const double> row) const;
+  [[nodiscard]] Dataset transform(const Dataset& data) const;
+  [[nodiscard]] bool fitted() const noexcept { return !mean_.empty(); }
+  [[nodiscard]] const std::vector<double>& mean() const noexcept { return mean_; }
+  [[nodiscard]] const std::vector<double>& stddev() const noexcept { return std_; }
+
+  /// Restores a fitted state directly (model deserialization).
+  void set_state(std::vector<double> mean, std::vector<double> stddev);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+
+/// Stratified 80/20 (or `train_fraction`) split.
+[[nodiscard]] Split train_test_split(const Dataset& data, double train_fraction,
+                                     util::Rng& rng);
+
+/// Stratified k-fold index sets: returns k vectors of test indices that
+/// partition [0, n).
+[[nodiscard]] std::vector<std::vector<std::size_t>> stratified_folds(
+    const Dataset& data, std::size_t k, util::Rng& rng);
+
+}  // namespace emoleak::ml

@@ -1,0 +1,190 @@
+#include "ml/ensemble.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "util/error.h"
+
+namespace emoleak::ml {
+
+void RandomForest::fit(const Dataset& data) {
+  data.validate();
+  if (config_.tree_count == 0) {
+    throw util::ConfigError{"RandomForest: tree_count must be > 0"};
+  }
+  classes_ = data.class_count;
+  trees_.clear();
+  trees_.reserve(config_.tree_count);
+  util::Rng rng{config_.seed};
+
+  const auto bag_size = static_cast<std::size_t>(
+      std::max(1.0, config_.bootstrap_fraction * static_cast<double>(data.size())));
+
+  for (std::size_t t = 0; t < config_.tree_count; ++t) {
+    TreeConfig cfg = config_.tree;
+    if (cfg.features_per_split == 0) {
+      cfg.features_per_split = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::round(std::sqrt(
+                 static_cast<double>(data.dim())))));
+    }
+    cfg.seed = rng.next();
+    std::vector<std::size_t> bag(bag_size);
+    for (std::size_t i = 0; i < bag_size; ++i) {
+      bag[i] = rng.uniform_int(data.size());
+    }
+    DecisionTree tree{cfg};
+    tree.fit_indices(data, bag);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+int RandomForest::predict(std::span<const double> row) const {
+  const std::vector<double> p = predict_proba(row);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+std::vector<double> RandomForest::predict_proba(
+    std::span<const double> row) const {
+  if (trees_.empty()) throw util::DataError{"RandomForest: not fitted"};
+  std::vector<double> acc(static_cast<std::size_t>(classes_), 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const std::vector<double> p = tree.predict_proba(row);
+    for (std::size_t c = 0; c < acc.size(); ++c) acc[c] += p[c];
+  }
+  for (double& v : acc) v /= static_cast<double>(trees_.size());
+  return acc;
+}
+
+std::unique_ptr<Classifier> RandomForest::clone() const {
+  return std::make_unique<RandomForest>(config_);
+}
+
+void RandomForest::serialize(std::ostream& out) const {
+  if (trees_.empty()) throw util::DataError{"RandomForest::serialize: not fitted"};
+  out << classes_ << ' ' << trees_.size() << '\n';
+  for (const DecisionTree& tree : trees_) tree.serialize(out);
+}
+
+void RandomForest::deserialize(std::istream& in) {
+  std::size_t count = 0;
+  in >> classes_ >> count;
+  if (!in || classes_ <= 0) {
+    throw util::DataError{"RandomForest::deserialize: bad header"};
+  }
+  trees_.clear();
+  for (std::size_t t = 0; t < count; ++t) {
+    DecisionTree tree;
+    tree.deserialize(in);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+void RandomSubspace::fit(const Dataset& data) {
+  data.validate();
+  if (config_.ensemble_size == 0) {
+    throw util::ConfigError{"RandomSubspace: ensemble_size must be > 0"};
+  }
+  if (config_.subspace_fraction <= 0.0 || config_.subspace_fraction > 1.0) {
+    throw util::ConfigError{"RandomSubspace: fraction must be in (0,1]"};
+  }
+  classes_ = data.class_count;
+  trees_.clear();
+  subspaces_.clear();
+  util::Rng rng{config_.seed};
+
+  const std::size_t dim = data.dim();
+  const auto sub_dim = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::round(config_.subspace_fraction * static_cast<double>(dim))));
+
+  std::vector<std::size_t> all_features(dim);
+  for (std::size_t i = 0; i < dim; ++i) all_features[i] = i;
+
+  for (std::size_t t = 0; t < config_.ensemble_size; ++t) {
+    rng.shuffle(all_features);
+    std::vector<std::size_t> cols{all_features.begin(),
+                                  all_features.begin() + static_cast<std::ptrdiff_t>(sub_dim)};
+    std::sort(cols.begin(), cols.end());
+
+    Dataset projected;
+    projected.class_count = data.class_count;
+    projected.class_names = data.class_names;
+    projected.y = data.y;
+    projected.x.reserve(data.size());
+    for (const auto& row : data.x) {
+      std::vector<double> r(sub_dim);
+      for (std::size_t j = 0; j < sub_dim; ++j) r[j] = row[cols[j]];
+      projected.x.push_back(std::move(r));
+    }
+
+    TreeConfig cfg = config_.tree;
+    cfg.seed = rng.next();
+    DecisionTree tree{cfg};
+    tree.fit(projected);
+    trees_.push_back(std::move(tree));
+    subspaces_.push_back(std::move(cols));
+  }
+}
+
+int RandomSubspace::predict(std::span<const double> row) const {
+  const std::vector<double> p = predict_proba(row);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+std::vector<double> RandomSubspace::predict_proba(
+    std::span<const double> row) const {
+  if (trees_.empty()) throw util::DataError{"RandomSubspace: not fitted"};
+  std::vector<double> acc(static_cast<std::size_t>(classes_), 0.0);
+  std::vector<double> projected;
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    const std::vector<std::size_t>& cols = subspaces_[t];
+    projected.resize(cols.size());
+    for (std::size_t j = 0; j < cols.size(); ++j) projected[j] = row[cols[j]];
+    const std::vector<double> p = trees_[t].predict_proba(projected);
+    for (std::size_t c = 0; c < acc.size(); ++c) acc[c] += p[c];
+  }
+  for (double& v : acc) v /= static_cast<double>(trees_.size());
+  return acc;
+}
+
+std::unique_ptr<Classifier> RandomSubspace::clone() const {
+  return std::make_unique<RandomSubspace>(config_);
+}
+
+void RandomSubspace::serialize(std::ostream& out) const {
+  if (trees_.empty()) {
+    throw util::DataError{"RandomSubspace::serialize: not fitted"};
+  }
+  out << classes_ << ' ' << trees_.size() << '\n';
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    out << subspaces_[t].size();
+    for (const std::size_t c : subspaces_[t]) out << ' ' << c;
+    out << '\n';
+    trees_[t].serialize(out);
+  }
+}
+
+void RandomSubspace::deserialize(std::istream& in) {
+  std::size_t count = 0;
+  in >> classes_ >> count;
+  if (!in || classes_ <= 0) {
+    throw util::DataError{"RandomSubspace::deserialize: bad header"};
+  }
+  trees_.clear();
+  subspaces_.clear();
+  for (std::size_t t = 0; t < count; ++t) {
+    std::size_t cols = 0;
+    in >> cols;
+    std::vector<std::size_t> subspace(cols);
+    for (std::size_t& c : subspace) in >> c;
+    subspaces_.push_back(std::move(subspace));
+    DecisionTree tree;
+    tree.deserialize(in);
+    trees_.push_back(std::move(tree));
+  }
+  if (!in) throw util::DataError{"RandomSubspace::deserialize: truncated"};
+}
+
+}  // namespace emoleak::ml

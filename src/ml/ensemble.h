@@ -1,0 +1,73 @@
+// Ensemble classifiers: RandomForest and RandomSubSpace.
+//
+// Counterparts of Weka's `trees.RandomForest` and `meta.RandomSubSpace`
+// (with REPTree-like base learners), the paper's strongest classical
+// classifiers in the ear-speaker setting (Table VI).
+#pragma once
+
+#include "ml/tree.h"
+
+namespace emoleak::ml {
+
+struct RandomForestConfig {
+  std::size_t tree_count = 60;
+  TreeConfig tree{};            ///< features_per_split 0 => sqrt(dim)
+  double bootstrap_fraction = 1.0;
+  std::uint64_t seed = 17;
+};
+
+/// Bagged CART trees with per-split random feature subsets; predictions
+/// average the trees' leaf distributions (soft voting, as Weka does).
+class RandomForest final : public Classifier {
+ public:
+  RandomForest() = default;
+  explicit RandomForest(RandomForestConfig config) : config_{config} {}
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] int predict(std::span<const double> row) const override;
+  [[nodiscard]] std::vector<double> predict_proba(
+      std::span<const double> row) const override;
+  [[nodiscard]] std::unique_ptr<Classifier> clone() const override;
+  [[nodiscard]] std::string name() const override { return "RandomForest"; }
+  void serialize(std::ostream& out) const override;
+  void deserialize(std::istream& in) override;
+
+  [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
+
+ private:
+  RandomForestConfig config_{};
+  std::vector<DecisionTree> trees_;
+  int classes_ = 0;
+};
+
+struct RandomSubspaceConfig {
+  std::size_t ensemble_size = 30;
+  double subspace_fraction = 0.5;  ///< Weka default: half the features
+  TreeConfig tree{};
+  std::uint64_t seed = 19;
+};
+
+/// Each base tree trains on a random fixed subset of feature columns
+/// (a random subspace); predictions soft-vote.
+class RandomSubspace final : public Classifier {
+ public:
+  RandomSubspace() = default;
+  explicit RandomSubspace(RandomSubspaceConfig config) : config_{config} {}
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] int predict(std::span<const double> row) const override;
+  [[nodiscard]] std::vector<double> predict_proba(
+      std::span<const double> row) const override;
+  [[nodiscard]] std::unique_ptr<Classifier> clone() const override;
+  [[nodiscard]] std::string name() const override { return "RandomSubSpace"; }
+  void serialize(std::ostream& out) const override;
+  void deserialize(std::istream& in) override;
+
+ private:
+  RandomSubspaceConfig config_{};
+  std::vector<DecisionTree> trees_;
+  std::vector<std::vector<std::size_t>> subspaces_;  ///< columns per tree
+  int classes_ = 0;
+};
+
+}  // namespace emoleak::ml

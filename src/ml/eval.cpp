@@ -1,0 +1,135 @@
+#include "ml/eval.h"
+
+#include <numeric>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace emoleak::ml {
+
+ConfusionMatrix::ConfusionMatrix(int class_count) : classes_{class_count} {
+  if (class_count <= 0) {
+    throw util::DataError{"ConfusionMatrix: class_count must be > 0"};
+  }
+  counts_.assign(static_cast<std::size_t>(class_count),
+                 std::vector<std::size_t>(static_cast<std::size_t>(class_count), 0));
+}
+
+void ConfusionMatrix::add(int truth, int predicted) {
+  if (truth < 0 || truth >= classes_ || predicted < 0 || predicted >= classes_) {
+    throw util::DataError{"ConfusionMatrix::add: label out of range"};
+  }
+  ++counts_[static_cast<std::size_t>(truth)][static_cast<std::size_t>(predicted)];
+  ++total_;
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  if (other.classes_ != classes_) {
+    throw util::DataError{"ConfusionMatrix::merge: class count mismatch"};
+  }
+  for (std::size_t r = 0; r < counts_.size(); ++r) {
+    for (std::size_t c = 0; c < counts_.size(); ++c) {
+      counts_[r][c] += other.counts_[r][c];
+    }
+  }
+  total_ += other.total_;
+}
+
+std::size_t ConfusionMatrix::count(int truth, int predicted) const {
+  if (truth < 0 || truth >= classes_ || predicted < 0 || predicted >= classes_) {
+    throw util::DataError{"ConfusionMatrix::count: label out of range"};
+  }
+  return counts_[static_cast<std::size_t>(truth)][static_cast<std::size_t>(predicted)];
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) correct += counts_[i][i];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+std::vector<double> ConfusionMatrix::recall() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  for (std::size_t r = 0; r < counts_.size(); ++r) {
+    const std::size_t row_sum =
+        std::accumulate(counts_[r].begin(), counts_[r].end(), std::size_t{0});
+    if (row_sum > 0) {
+      out[r] = static_cast<double>(counts_[r][r]) / static_cast<double>(row_sum);
+    }
+  }
+  return out;
+}
+
+std::vector<double> ConfusionMatrix::precision() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  for (std::size_t c = 0; c < counts_.size(); ++c) {
+    std::size_t col_sum = 0;
+    for (std::size_t r = 0; r < counts_.size(); ++r) col_sum += counts_[r][c];
+    if (col_sum > 0) {
+      out[c] = static_cast<double>(counts_[c][c]) / static_cast<double>(col_sum);
+    }
+  }
+  return out;
+}
+
+double ConfusionMatrix::macro_f1() const {
+  const std::vector<double> p = precision();
+  const std::vector<double> r = recall();
+  double f1_sum = 0.0;
+  for (std::size_t c = 0; c < p.size(); ++c) {
+    if (p[c] + r[c] > 0.0) f1_sum += 2.0 * p[c] * r[c] / (p[c] + r[c]);
+  }
+  return f1_sum / static_cast<double>(p.size());
+}
+
+EvalResult evaluate_holdout(Classifier& model, const Dataset& train,
+                            const Dataset& test) {
+  train.validate();
+  test.validate();
+  if (train.class_count != test.class_count) {
+    throw util::DataError{"evaluate_holdout: class count mismatch"};
+  }
+  model.fit(train);
+  ConfusionMatrix cm{test.class_count};
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    cm.add(test.y[i], model.predict(test.x[i]));
+  }
+  return EvalResult{cm, cm.accuracy()};
+}
+
+EvalResult evaluate_split(const Classifier& prototype, const Dataset& data,
+                          double train_fraction, std::uint64_t seed) {
+  util::Rng rng{seed};
+  const Split split = train_test_split(data, train_fraction, rng);
+  const std::unique_ptr<Classifier> model = prototype.clone();
+  return evaluate_holdout(*model, split.train, split.test);
+}
+
+EvalResult cross_validate(const Classifier& prototype, const Dataset& data,
+                          std::size_t folds, std::uint64_t seed) {
+  data.validate();
+  util::Rng rng{seed};
+  const std::vector<std::vector<std::size_t>> fold_sets =
+      stratified_folds(data, folds, rng);
+
+  ConfusionMatrix pooled{data.class_count};
+  std::vector<char> in_test(data.size(), 0);
+  for (const std::vector<std::size_t>& test_idx : fold_sets) {
+    std::fill(in_test.begin(), in_test.end(), 0);
+    for (const std::size_t i : test_idx) in_test[i] = 1;
+    std::vector<std::size_t> train_idx;
+    train_idx.reserve(data.size() - test_idx.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (!in_test[i]) train_idx.push_back(i);
+    }
+    const Dataset train = data.subset(train_idx);
+    const Dataset test = data.subset(test_idx);
+    const std::unique_ptr<Classifier> model = prototype.clone();
+    const EvalResult fold = evaluate_holdout(*model, train, test);
+    pooled.merge(fold.confusion);
+  }
+  return EvalResult{pooled, pooled.accuracy()};
+}
+
+}  // namespace emoleak::ml

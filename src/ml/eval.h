@@ -1,0 +1,63 @@
+// Evaluation: confusion matrices, hold-out and k-fold protocols.
+//
+// The paper evaluates with an 80/20 split and 10-fold cross-validation
+// (§IV-D1) and reports accuracies plus confusion matrices (Fig. 6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace emoleak::ml {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int class_count);
+
+  void add(int truth, int predicted);
+  void merge(const ConfusionMatrix& other);
+
+  [[nodiscard]] int class_count() const noexcept { return classes_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t count(int truth, int predicted) const;
+  [[nodiscard]] double accuracy() const noexcept;
+  /// Per-class recall (diagonal / row sum); 0 for empty rows.
+  [[nodiscard]] std::vector<double> recall() const;
+  /// Per-class precision (diagonal / column sum); 0 for empty columns.
+  [[nodiscard]] std::vector<double> precision() const;
+  /// Macro-averaged F1.
+  [[nodiscard]] double macro_f1() const;
+  [[nodiscard]] const std::vector<std::vector<std::size_t>>& counts() const noexcept {
+    return counts_;
+  }
+
+ private:
+  int classes_;
+  std::size_t total_ = 0;
+  std::vector<std::vector<std::size_t>> counts_;
+};
+
+struct EvalResult {
+  ConfusionMatrix confusion;
+  double accuracy = 0.0;
+};
+
+/// Trains `model` on `train` and evaluates on `test`.
+[[nodiscard]] EvalResult evaluate_holdout(Classifier& model, const Dataset& train,
+                                          const Dataset& test);
+
+/// Stratified 80/20 (or custom) hold-out evaluation with a fresh clone.
+[[nodiscard]] EvalResult evaluate_split(const Classifier& prototype,
+                                        const Dataset& data,
+                                        double train_fraction,
+                                        std::uint64_t seed);
+
+/// Stratified k-fold cross-validation; returns the pooled confusion
+/// matrix over all folds (Weka's protocol).
+[[nodiscard]] EvalResult cross_validate(const Classifier& prototype,
+                                        const Dataset& data, std::size_t folds,
+                                        std::uint64_t seed);
+
+}  // namespace emoleak::ml

@@ -1,0 +1,37 @@
+// One-vs-rest meta-classifier.
+//
+// The counterpart of Weka's `meta.MultiClassClassifier` with its
+// default 1-against-all method and Logistic base learner (the paper's
+// second classical classifier, Tables III-V). Trains one binary
+// logistic model per class and predicts the class whose binary model
+// is most confident.
+#pragma once
+
+#include "ml/logistic.h"
+
+namespace emoleak::ml {
+
+class OneVsRestLogistic final : public Classifier {
+ public:
+  OneVsRestLogistic() = default;
+  explicit OneVsRestLogistic(LogisticConfig base_config)
+      : base_config_{base_config} {}
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] int predict(std::span<const double> row) const override;
+  [[nodiscard]] std::vector<double> predict_proba(
+      std::span<const double> row) const override;
+  [[nodiscard]] std::unique_ptr<Classifier> clone() const override;
+  [[nodiscard]] std::string name() const override {
+    return "multiClassClassifier";
+  }
+  void serialize(std::ostream& out) const override;
+  void deserialize(std::istream& in) override;
+
+ private:
+  LogisticConfig base_config_{};
+  int classes_ = 0;
+  std::vector<LogisticRegression> binary_;  ///< one 2-class model per class
+};
+
+}  // namespace emoleak::ml

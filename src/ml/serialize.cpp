@@ -1,0 +1,73 @@
+#include "ml/serialize.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "ml/ensemble.h"
+#include "ml/lmt.h"
+#include "ml/logistic.h"
+#include "ml/multiclass.h"
+#include "ml/tree.h"
+#include "util/error.h"
+
+namespace emoleak::ml {
+
+void Classifier::serialize(std::ostream& /*out*/) const {
+  throw util::DataError{"serialize: unsupported for " + name()};
+}
+
+void Classifier::deserialize(std::istream& /*in*/) {
+  throw util::DataError{"deserialize: unsupported for " + name()};
+}
+
+namespace {
+
+constexpr char kMagic[] = "emoleak-model-v1";
+
+std::unique_ptr<Classifier> make_by_name(const std::string& name) {
+  if (name == "Logistic") return std::make_unique<LogisticRegression>();
+  if (name == "multiClassClassifier") {
+    return std::make_unique<OneVsRestLogistic>();
+  }
+  if (name == "DecisionTree") return std::make_unique<DecisionTree>();
+  if (name == "trees.lmt") return std::make_unique<LogisticModelTree>();
+  if (name == "RandomForest") return std::make_unique<RandomForest>();
+  if (name == "RandomSubSpace") return std::make_unique<RandomSubspace>();
+  throw util::DataError{"load_model: unknown classifier '" + name + "'"};
+}
+
+}  // namespace
+
+void save_model(std::ostream& out, const Classifier& model) {
+  out << kMagic << '\n' << model.name() << '\n';
+  model.serialize(out);
+  if (!out) throw util::DataError{"save_model: stream failure"};
+}
+
+std::unique_ptr<Classifier> load_model(std::istream& in) {
+  std::string magic;
+  std::string name;
+  in >> magic >> name;
+  if (!in || magic != kMagic) {
+    throw util::DataError{"load_model: bad header"};
+  }
+  std::unique_ptr<Classifier> model = make_by_name(name);
+  model->deserialize(in);
+  if (!in) throw util::DataError{"load_model: truncated stream"};
+  return model;
+}
+
+void save_model_file(const std::string& path, const Classifier& model) {
+  std::ofstream out{path};
+  if (!out) throw util::DataError{"save_model_file: cannot open " + path};
+  save_model(out, model);
+}
+
+std::unique_ptr<Classifier> load_model_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw util::DataError{"load_model_file: cannot open " + path};
+  return load_model(in);
+}
+
+}  // namespace emoleak::ml

@@ -1,0 +1,33 @@
+// Model serialization.
+//
+// The EmoLeak threat model (paper §III-A) separates offline training
+// (attacker replays corpora on an identical device) from online
+// deployment (the exfiltrated sensor data is classified later). These
+// routines persist trained models in a small self-describing text
+// format so the two phases can run in different processes.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "ml/classifier.h"
+
+namespace emoleak::ml {
+
+/// Serializes a trained LogisticRegression, OneVsRestLogistic,
+/// DecisionTree, RandomForest, RandomSubspace or LogisticModelTree.
+/// Throws util::DataError for unsupported classifiers or untrained
+/// models.
+void save_model(std::ostream& out, const Classifier& model);
+
+/// Reconstructs a model previously written by save_model. The returned
+/// classifier predicts identically to the saved one.
+[[nodiscard]] std::unique_ptr<Classifier> load_model(std::istream& in);
+
+/// File-path conveniences.
+void save_model_file(const std::string& path, const Classifier& model);
+[[nodiscard]] std::unique_ptr<Classifier> load_model_file(
+    const std::string& path);
+
+}  // namespace emoleak::ml

@@ -1,0 +1,225 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace emoleak::ml {
+
+namespace {
+
+double gini(const std::vector<std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (const std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Dataset& data) {
+  std::vector<std::size_t> indices(data.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  fit_indices(data, indices);
+}
+
+void DecisionTree::fit_indices(const Dataset& data,
+                               std::span<const std::size_t> indices) {
+  data.validate();
+  if (indices.empty()) throw util::DataError{"DecisionTree: empty index set"};
+  classes_ = data.class_count;
+  nodes_.clear();
+  leaf_count_ = 0;
+  std::vector<std::size_t> work{indices.begin(), indices.end()};
+  util::Rng rng{config_.seed};
+  build(data, work, 0, work.size(), 0, rng);
+}
+
+std::int32_t DecisionTree::build(const Dataset& data,
+                                 std::vector<std::size_t>& indices,
+                                 std::size_t begin, std::size_t end, int depth,
+                                 util::Rng& rng) {
+  const std::size_t count = end - begin;
+  std::vector<std::size_t> class_counts(static_cast<std::size_t>(classes_), 0);
+  for (std::size_t i = begin; i < end; ++i) {
+    ++class_counts[static_cast<std::size_t>(data.y[indices[i]])];
+  }
+  const double node_gini = gini(class_counts, count);
+
+  const auto make_leaf = [&]() -> std::int32_t {
+    Node leaf;
+    leaf.distribution.resize(static_cast<std::size_t>(classes_));
+    for (int c = 0; c < classes_; ++c) {
+      leaf.distribution[static_cast<std::size_t>(c)] =
+          static_cast<double>(class_counts[static_cast<std::size_t>(c)]) /
+          static_cast<double>(count);
+    }
+    leaf.leaf_id = leaf_count_++;
+    nodes_.push_back(std::move(leaf));
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  if (depth >= config_.max_depth || count < config_.min_samples_split ||
+      node_gini == 0.0) {
+    return make_leaf();
+  }
+
+  // Candidate features: all, or a random subset (random-forest mode).
+  const std::size_t dim = data.dim();
+  std::vector<std::size_t> features(dim);
+  std::iota(features.begin(), features.end(), 0);
+  std::size_t feature_count = dim;
+  if (config_.features_per_split > 0 && config_.features_per_split < dim) {
+    rng.shuffle(features);
+    feature_count = config_.features_per_split;
+  }
+
+  double best_score = node_gini;  // must improve on the parent
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+  bool found = false;
+
+  std::vector<std::pair<double, int>> column(count);
+  for (std::size_t fi = 0; fi < feature_count; ++fi) {
+    const std::size_t f = features[fi];
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t row = indices[begin + i];
+      column[i] = {data.x[row][f], data.y[row]};
+    }
+    std::sort(column.begin(), column.end());
+
+    std::vector<std::size_t> left_counts(static_cast<std::size_t>(classes_), 0);
+    std::vector<std::size_t> right_counts = class_counts;
+    for (std::size_t i = 0; i + 1 < count; ++i) {
+      const auto cls = static_cast<std::size_t>(column[i].second);
+      ++left_counts[cls];
+      --right_counts[cls];
+      if (column[i].first == column[i + 1].first) continue;  // no valid cut
+      const std::size_t n_left = i + 1;
+      const std::size_t n_right = count - n_left;
+      if (n_left < config_.min_samples_leaf || n_right < config_.min_samples_leaf) {
+        continue;
+      }
+      const double score =
+          (static_cast<double>(n_left) * gini(left_counts, n_left) +
+           static_cast<double>(n_right) * gini(right_counts, n_right)) /
+          static_cast<double>(count);
+      if (score < best_score - 1e-12) {
+        best_score = score;
+        best_feature = f;
+        best_threshold = 0.5 * (column[i].first + column[i + 1].first);
+        found = true;
+      }
+    }
+  }
+
+  if (!found) return make_leaf();
+
+  // Partition indices[begin, end) around the chosen split.
+  const auto mid_iter = std::stable_partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t row) { return data.x[row][best_feature] <= best_threshold; });
+  const auto mid = static_cast<std::size_t>(mid_iter - indices.begin());
+  if (mid == begin || mid == end) return make_leaf();  // degenerate partition
+
+  // Reserve this node's slot before recursing so children line up.
+  nodes_.emplace_back();
+  const auto self = static_cast<std::int32_t>(nodes_.size() - 1);
+  const std::int32_t left = build(data, indices, begin, mid, depth + 1, rng);
+  const std::int32_t right = build(data, indices, mid, end, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(self)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(self)].threshold = best_threshold;
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+const DecisionTree::Node& DecisionTree::route(std::span<const double> row) const {
+  if (nodes_.empty()) throw util::DataError{"DecisionTree: not fitted"};
+  const Node* node = &nodes_[0];
+  // The root is node 0: build() pushes the root's slot first for
+  // internal roots; a pure-leaf tree has exactly one node.
+  while (!node->is_leaf()) {
+    const std::int32_t next =
+        row[node->feature] <= node->threshold ? node->left : node->right;
+    node = &nodes_[static_cast<std::size_t>(next)];
+  }
+  return *node;
+}
+
+int DecisionTree::predict(std::span<const double> row) const {
+  const std::vector<double>& dist = route(row).distribution;
+  return static_cast<int>(std::max_element(dist.begin(), dist.end()) -
+                          dist.begin());
+}
+
+std::vector<double> DecisionTree::predict_proba(
+    std::span<const double> row) const {
+  return route(row).distribution;
+}
+
+std::size_t DecisionTree::leaf_index(std::span<const double> row) const {
+  return route(row).leaf_id;
+}
+
+std::unique_ptr<Classifier> DecisionTree::clone() const {
+  return std::make_unique<DecisionTree>(config_);
+}
+
+void DecisionTree::serialize(std::ostream& out) const {
+  if (nodes_.empty()) throw util::DataError{"DecisionTree::serialize: not fitted"};
+  out << std::setprecision(17);
+  out << classes_ << ' ' << nodes_.size() << ' ' << leaf_count_ << '\n';
+  for (const Node& n : nodes_) {
+    out << n.feature << ' ' << n.threshold << ' ' << n.left << ' ' << n.right
+        << ' ' << n.leaf_id << ' ' << n.distribution.size();
+    for (const double v : n.distribution) out << ' ' << v;
+    out << '\n';
+  }
+}
+
+void DecisionTree::deserialize(std::istream& in) {
+  std::size_t node_count = 0;
+  in >> classes_ >> node_count >> leaf_count_;
+  if (!in || classes_ <= 0) {
+    throw util::DataError{"DecisionTree::deserialize: bad header"};
+  }
+  nodes_.assign(node_count, Node{});
+  for (Node& n : nodes_) {
+    std::size_t dist_size = 0;
+    in >> n.feature >> n.threshold >> n.left >> n.right >> n.leaf_id >>
+        dist_size;
+    n.distribution.assign(dist_size, 0.0);
+    for (double& v : n.distribution) in >> v;
+  }
+  if (!in) throw util::DataError{"DecisionTree::deserialize: truncated"};
+}
+
+int DecisionTree::depth() const noexcept {
+  // Iterative depth computation over the node array.
+  if (nodes_.empty()) return 0;
+  std::vector<std::pair<std::size_t, int>> stack{{0, 1}};
+  int max_depth = 0;
+  while (!stack.empty()) {
+    const auto [idx, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    const Node& node = nodes_[idx];
+    if (!node.is_leaf()) {
+      stack.push_back({static_cast<std::size_t>(node.left), d + 1});
+      stack.push_back({static_cast<std::size_t>(node.right), d + 1});
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace emoleak::ml

@@ -1,0 +1,79 @@
+// CART-style decision tree.
+//
+// Base learner for the RandomForest and RandomSubSpace ensembles
+// (paper Table VI) and the structural component of the logistic model
+// tree. Supports per-split random feature subsets (for forests) and
+// sample weights via duplication-free index lists.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ml/classifier.h"
+#include "util/rng.h"
+
+namespace emoleak::ml {
+
+struct TreeConfig {
+  int max_depth = 18;
+  std::size_t min_samples_split = 4;
+  std::size_t min_samples_leaf = 2;
+  /// Number of features examined per split; 0 = all (plain CART),
+  /// otherwise a random subset of this size (random forest mode).
+  std::size_t features_per_split = 0;
+  std::uint64_t seed = 11;
+};
+
+class DecisionTree final : public Classifier {
+ public:
+  DecisionTree() = default;
+  explicit DecisionTree(TreeConfig config) : config_{config} {}
+
+  void fit(const Dataset& data) override;
+
+  /// Fits on a row subset (for bagging) without copying the matrix.
+  void fit_indices(const Dataset& data, std::span<const std::size_t> indices);
+
+  [[nodiscard]] int predict(std::span<const double> row) const override;
+  [[nodiscard]] std::vector<double> predict_proba(
+      std::span<const double> row) const override;
+  [[nodiscard]] std::unique_ptr<Classifier> clone() const override;
+  [[nodiscard]] std::string name() const override { return "DecisionTree"; }
+  void serialize(std::ostream& out) const override;
+  void deserialize(std::istream& in) override;
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] int depth() const noexcept;
+
+  /// Index of the leaf a row lands in (tree must be fitted). Exposed so
+  /// the logistic model tree can route rows to leaf models.
+  [[nodiscard]] std::size_t leaf_index(std::span<const double> row) const;
+
+  [[nodiscard]] std::size_t leaf_count() const noexcept { return leaf_count_; }
+
+ private:
+  struct Node {
+    // Internal nodes:
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    std::int32_t left = -1;   ///< child indices; -1 marks a leaf
+    std::int32_t right = -1;
+    // Leaves:
+    std::vector<double> distribution;  ///< class probabilities
+    std::size_t leaf_id = 0;
+
+    [[nodiscard]] bool is_leaf() const noexcept { return left < 0; }
+  };
+
+  std::int32_t build(const Dataset& data, std::vector<std::size_t>& indices,
+                     std::size_t begin, std::size_t end, int depth,
+                     util::Rng& rng);
+  [[nodiscard]] const Node& route(std::span<const double> row) const;
+
+  TreeConfig config_{};
+  int classes_ = 0;
+  std::vector<Node> nodes_;
+  std::size_t leaf_count_ = 0;
+};
+
+}  // namespace emoleak::ml

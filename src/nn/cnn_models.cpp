@@ -1,0 +1,102 @@
+#include "nn/cnn_models.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace emoleak::nn {
+
+CnnConfig CnnConfig::paper_exact() {
+  CnnConfig c;
+  c.spec_conv1 = 128;
+  c.spec_conv2 = 128;
+  c.spec_conv3 = 64;
+  c.spec_dense = 32;
+  c.tf_conv1 = 256;
+  c.tf_conv2 = 256;
+  c.tf_conv3 = 128;
+  c.tf_conv4 = 64;
+  c.tf_conv5 = 64;
+  return c;
+}
+
+CnnConfig CnnConfig::fast() { return CnnConfig{}; }
+
+Sequential build_spectrogram_cnn(std::size_t height, std::size_t width,
+                                 int class_count, const CnnConfig& config) {
+  if (class_count < 2) throw util::ConfigError{"spectrogram_cnn: classes < 2"};
+  Sequential model;
+  std::uint64_t seed = config.seed;
+
+  // Conv block 1: the paper's first layer uses a 1x1 kernel.
+  model.add(std::make_unique<Conv2D>(1, config.spec_conv1, 1, 1, true, seed++));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dropout>(0.2, seed++));
+  model.add(std::make_unique<MaxPool2D>(2, 2));
+  // Conv block 2.
+  model.add(std::make_unique<Conv2D>(config.spec_conv1, config.spec_conv2, 3, 3,
+                                     true, seed++));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dropout>(0.2, seed++));
+  model.add(std::make_unique<MaxPool2D>(2, 2));
+  // Conv block 3.
+  model.add(std::make_unique<Conv2D>(config.spec_conv2, config.spec_conv3, 3, 3,
+                                     true, seed++));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dropout>(0.2, seed++));
+  model.add(std::make_unique<MaxPool2D>(2, 2));
+
+  model.add(std::make_unique<Flatten>());
+  const std::size_t flat = (height / 8) * (width / 8) * config.spec_conv3;
+  model.add(std::make_unique<Dense>(flat, config.spec_dense, seed++));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dense>(config.spec_dense, config.spec_dense, seed++));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dropout>(0.25, seed++));
+  model.add(std::make_unique<Dense>(config.spec_dense,
+                                    static_cast<std::size_t>(class_count),
+                                    seed++));
+  return model;
+}
+
+Sequential build_timefreq_cnn(std::size_t feature_count, int class_count,
+                              const CnnConfig& config) {
+  if (class_count < 2) throw util::ConfigError{"timefreq_cnn: classes < 2"};
+  if (feature_count < 16) {
+    throw util::ConfigError{"timefreq_cnn: needs >= 16 features"};
+  }
+  Sequential model;
+  std::uint64_t seed = config.seed + 1000;
+
+  // Five 1-D convolutions expressed as (1 x 3) Conv2D on (N,1,D,C).
+  model.add(std::make_unique<Conv2D>(1, config.tf_conv1, 1, 3, true, seed++));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Conv2D>(config.tf_conv1, config.tf_conv2, 1, 3,
+                                     true, seed++));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dropout>(0.25, seed++));
+  model.add(std::make_unique<MaxPool2D>(1, 2));
+
+  model.add(std::make_unique<Conv2D>(config.tf_conv2, config.tf_conv3, 1, 3,
+                                     true, seed++));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<BatchNorm>(config.tf_conv3));
+  model.add(std::make_unique<Dropout>(0.25, seed++));
+  model.add(std::make_unique<MaxPool2D>(1, 8));
+
+  model.add(std::make_unique<Conv2D>(config.tf_conv3, config.tf_conv4, 1, 3,
+                                     true, seed++));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Conv2D>(config.tf_conv4, config.tf_conv5, 1, 3,
+                                     true, seed++));
+  model.add(std::make_unique<ReLU>());
+
+  model.add(std::make_unique<Flatten>());
+  const std::size_t pooled = (feature_count / 2) / 8;
+  const std::size_t flat = std::max<std::size_t>(pooled, 1) * config.tf_conv5;
+  model.add(std::make_unique<Dense>(flat, static_cast<std::size_t>(class_count),
+                                    seed++));
+  return model;
+}
+
+}  // namespace emoleak::nn

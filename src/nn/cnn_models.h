@@ -1,0 +1,60 @@
+// The paper's two CNN architectures.
+//
+// Spectrogram classifier (§IV-C2): three conv blocks (128/128/64
+// filters, first kernel 1x1, dropout 0.2, max-pool 2x2 each) then two
+// 32-unit dense layers (dropout 0.25 on the second) and a softmax
+// output, on 32x32 single-channel spectrogram images.
+//
+// Time-frequency classifier (§IV-D2): five conv layers
+// (256/256/128/64/64, "same" zero padding) with dropout 0.25 +
+// max-pool 2 after the second, batch-norm after the third, dropout
+// 0.25 + max-pool 8 after it, then flatten and a softmax dense layer,
+// on the z-scored 24-dimensional feature vector treated as a 1-D
+// sequence.
+//
+// Filter widths are configurable: `paper_exact()` uses the published
+// widths; `fast()` (the benchmark default) scales them down ~4x, which
+// leaves accuracy within noise on these inputs but keeps the full
+// harness within minutes of wall-clock (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/model.h"
+
+namespace emoleak::nn {
+
+struct CnnConfig {
+  // Spectrogram model widths.
+  std::size_t spec_conv1 = 32;
+  std::size_t spec_conv2 = 32;
+  std::size_t spec_conv3 = 16;
+  std::size_t spec_dense = 32;
+  // Time-frequency model widths.
+  std::size_t tf_conv1 = 64;
+  std::size_t tf_conv2 = 64;
+  std::size_t tf_conv3 = 32;
+  std::size_t tf_conv4 = 16;
+  std::size_t tf_conv5 = 16;
+  std::uint64_t seed = 29;
+
+  /// The published architecture (paper §IV-C2 / §IV-D2).
+  [[nodiscard]] static CnnConfig paper_exact();
+  /// Benchmark-default reduced widths.
+  [[nodiscard]] static CnnConfig fast();
+};
+
+/// Builds the spectrogram image classifier for `image` (HxW) inputs
+/// with one channel; input tensors are (N, H, W, 1).
+[[nodiscard]] Sequential build_spectrogram_cnn(std::size_t height,
+                                               std::size_t width,
+                                               int class_count,
+                                               const CnnConfig& config);
+
+/// Builds the time-frequency feature classifier; input tensors are
+/// (N, 1, D, 1) where D is the feature count (24).
+[[nodiscard]] Sequential build_timefreq_cnn(std::size_t feature_count,
+                                            int class_count,
+                                            const CnnConfig& config);
+
+}  // namespace emoleak::nn

@@ -1,0 +1,435 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace emoleak::nn {
+
+namespace {
+
+/// He-uniform initialization (Keras default for ReLU stacks is Glorot;
+/// He works marginally better for the shallow nets here and both are
+/// acceptable — the distribution is documented so runs reproduce).
+void he_uniform_init(Tensor& w, std::size_t fan_in, util::Rng& rng) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in));
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<float>(rng.uniform(-limit, limit));
+  }
+}
+
+void check_rank4(const Tensor& x, const char* who) {
+  if (x.rank() != 4) throw util::DataError{std::string{who} + ": expected NHWC tensor"};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Conv2D
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel_h, std::size_t kernel_w, bool same_padding,
+               std::uint64_t seed)
+    : in_c_{in_channels},
+      out_c_{out_channels},
+      kh_{kernel_h},
+      kw_{kernel_w},
+      same_{same_padding} {
+  if (in_c_ == 0 || out_c_ == 0 || kh_ == 0 || kw_ == 0) {
+    throw util::ConfigError{"Conv2D: zero-sized configuration"};
+  }
+  weight_.value = Tensor{{kh_, kw_, in_c_, out_c_}};
+  weight_.grad = Tensor{{kh_, kw_, in_c_, out_c_}};
+  bias_.value = Tensor{{out_c_}};
+  bias_.grad = Tensor{{out_c_}};
+  util::Rng rng{seed};
+  he_uniform_init(weight_.value, kh_ * kw_ * in_c_, rng);
+}
+
+Tensor Conv2D::forward(const Tensor& x, bool /*training*/) {
+  check_rank4(x, "Conv2D");
+  if (x.dim(3) != in_c_) throw util::DataError{"Conv2D: channel mismatch"};
+  input_ = x;
+
+  const std::size_t n = x.dim(0), h = x.dim(1), w = x.dim(2);
+  const std::size_t pad_h = same_ ? (kh_ - 1) / 2 : 0;
+  const std::size_t pad_w = same_ ? (kw_ - 1) / 2 : 0;
+  const std::size_t oh = same_ ? h : h - std::min(h, kh_ - 1);
+  const std::size_t ow = same_ ? w : w - std::min(w, kw_ - 1);
+  if (oh == 0 || ow == 0) throw util::DataError{"Conv2D: input smaller than kernel"};
+
+  Tensor y{{n, oh, ow, out_c_}};
+  const float* wt = weight_.value.data();
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t i = 0; i < oh; ++i) {
+      for (std::size_t j = 0; j < ow; ++j) {
+        float* out = &y.at4(b, i, j, 0);
+        for (std::size_t oc = 0; oc < out_c_; ++oc) out[oc] = bias_.value[oc];
+        for (std::size_t ki = 0; ki < kh_; ++ki) {
+          const std::ptrdiff_t ii =
+              static_cast<std::ptrdiff_t>(i + ki) - static_cast<std::ptrdiff_t>(pad_h);
+          if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(h)) continue;
+          for (std::size_t kj = 0; kj < kw_; ++kj) {
+            const std::ptrdiff_t jj =
+                static_cast<std::ptrdiff_t>(j + kj) - static_cast<std::ptrdiff_t>(pad_w);
+            if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(w)) continue;
+            const float* in = &x.at4(b, static_cast<std::size_t>(ii),
+                                     static_cast<std::size_t>(jj), 0);
+            const float* wk = &wt[((ki * kw_) + kj) * in_c_ * out_c_];
+            for (std::size_t ic = 0; ic < in_c_; ++ic) {
+              const float xv = in[ic];
+              const float* wrow = &wk[ic * out_c_];
+              for (std::size_t oc = 0; oc < out_c_; ++oc) {
+                out[oc] += xv * wrow[oc];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  check_rank4(grad_out, "Conv2D::backward");
+  const Tensor& x = input_;
+  const std::size_t n = x.dim(0), h = x.dim(1), w = x.dim(2);
+  const std::size_t oh = grad_out.dim(1), ow = grad_out.dim(2);
+  const std::size_t pad_h = same_ ? (kh_ - 1) / 2 : 0;
+  const std::size_t pad_w = same_ ? (kw_ - 1) / 2 : 0;
+
+  Tensor grad_in{{n, h, w, in_c_}};
+  weight_.grad.fill(0.0f);
+  bias_.grad.fill(0.0f);
+  float* wg = weight_.grad.data();
+  const float* wt = weight_.value.data();
+
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t i = 0; i < oh; ++i) {
+      for (std::size_t j = 0; j < ow; ++j) {
+        const float* gout = &grad_out.at4(b, i, j, 0);
+        for (std::size_t oc = 0; oc < out_c_; ++oc) bias_.grad[oc] += gout[oc];
+        for (std::size_t ki = 0; ki < kh_; ++ki) {
+          const std::ptrdiff_t ii =
+              static_cast<std::ptrdiff_t>(i + ki) - static_cast<std::ptrdiff_t>(pad_h);
+          if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(h)) continue;
+          for (std::size_t kj = 0; kj < kw_; ++kj) {
+            const std::ptrdiff_t jj =
+                static_cast<std::ptrdiff_t>(j + kj) - static_cast<std::ptrdiff_t>(pad_w);
+            if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(w)) continue;
+            const float* in = &x.at4(b, static_cast<std::size_t>(ii),
+                                     static_cast<std::size_t>(jj), 0);
+            float* gin = &grad_in.at4(b, static_cast<std::size_t>(ii),
+                                      static_cast<std::size_t>(jj), 0);
+            const std::size_t base = ((ki * kw_) + kj) * in_c_ * out_c_;
+            for (std::size_t ic = 0; ic < in_c_; ++ic) {
+              const float xv = in[ic];
+              const float* wrow = &wt[base + ic * out_c_];
+              float* wgrow = &wg[base + ic * out_c_];
+              float acc = 0.0f;
+              for (std::size_t oc = 0; oc < out_c_; ++oc) {
+                const float g = gout[oc];
+                wgrow[oc] += xv * g;
+                acc += wrow[oc] * g;
+              }
+              gin[ic] += acc;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Parameter*> Conv2D::parameters() { return {&weight_, &bias_}; }
+
+// ------------------------------------------------------------------ ReLU
+
+Tensor ReLU::forward(const Tensor& x, bool /*training*/) {
+  mask_ = Tensor{x.shape()};
+  Tensor y{x.shape()};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const bool pos = x[i] > 0.0f;
+    mask_[i] = pos ? 1.0f : 0.0f;
+    y[i] = pos ? x[i] : 0.0f;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  if (!grad_out.same_shape(mask_)) {
+    throw util::DataError{"ReLU::backward: shape mismatch"};
+  }
+  Tensor grad_in{grad_out.shape()};
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    grad_in[i] = grad_out[i] * mask_[i];
+  }
+  return grad_in;
+}
+
+// ------------------------------------------------------------- MaxPool2D
+
+MaxPool2D::MaxPool2D(std::size_t pool_h, std::size_t pool_w)
+    : ph_{pool_h}, pw_{pool_w} {
+  if (ph_ == 0 || pw_ == 0) throw util::ConfigError{"MaxPool2D: zero pool size"};
+}
+
+Tensor MaxPool2D::forward(const Tensor& x, bool /*training*/) {
+  check_rank4(x, "MaxPool2D");
+  const std::size_t n = x.dim(0), h = x.dim(1), w = x.dim(2), c = x.dim(3);
+  const std::size_t oh = std::max<std::size_t>(1, h / ph_);
+  const std::size_t ow = std::max<std::size_t>(1, w / pw_);
+  // When the input is smaller than the pool, pool over what exists
+  // (Keras would error; clamping keeps tiny feature maps usable and is
+  // covered by tests).
+  in_shape_ = x.shape();
+  Tensor y{{n, oh, ow, c}};
+  argmax_.assign(y.size(), 0);
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t i = 0; i < oh; ++i) {
+      for (std::size_t j = 0; j < ow; ++j) {
+        for (std::size_t ch = 0; ch < c; ++ch) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t pi = 0; pi < ph_; ++pi) {
+            const std::size_t ii = i * ph_ + pi;
+            if (ii >= h) break;
+            for (std::size_t pj = 0; pj < pw_; ++pj) {
+              const std::size_t jj = j * pw_ + pj;
+              if (jj >= w) break;
+              const float v = x.at4(b, ii, jj, ch);
+              if (v > best) {
+                best = v;
+                best_idx = ((b * h + ii) * w + jj) * c + ch;
+              }
+            }
+          }
+          const std::size_t out_idx = ((b * oh + i) * ow + j) * c + ch;
+          y[out_idx] = best;
+          argmax_[out_idx] = best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_out) {
+  Tensor grad_in{in_shape_};
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    grad_in[argmax_[i]] += grad_out[i];
+  }
+  return grad_in;
+}
+
+// --------------------------------------------------------------- Dropout
+
+Dropout::Dropout(double rate, std::uint64_t seed) : rate_{rate}, rng_{seed} {
+  if (rate_ < 0.0 || rate_ >= 1.0) {
+    throw util::ConfigError{"Dropout: rate must be in [0,1)"};
+  }
+}
+
+Tensor Dropout::forward(const Tensor& x, bool training) {
+  if (!training || rate_ == 0.0) {
+    mask_ = Tensor{};
+    return x;
+  }
+  mask_ = Tensor{x.shape()};
+  Tensor y{x.shape()};
+  const float scale = static_cast<float>(1.0 / (1.0 - rate_));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const bool keep = !rng_.bernoulli(rate_);
+    mask_[i] = keep ? scale : 0.0f;
+    y[i] = x[i] * mask_[i];
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (mask_.size() == 0) return grad_out;  // was inference / rate 0
+  Tensor grad_in{grad_out.shape()};
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    grad_in[i] = grad_out[i] * mask_[i];
+  }
+  return grad_in;
+}
+
+// -------------------------------------------------------------- BatchNorm
+
+BatchNorm::BatchNorm(std::size_t channels, double momentum, double epsilon)
+    : channels_{channels}, momentum_{momentum}, eps_{epsilon} {
+  if (channels_ == 0) throw util::ConfigError{"BatchNorm: channels == 0"};
+  gamma_.value = Tensor{{channels_}};
+  gamma_.grad = Tensor{{channels_}};
+  beta_.value = Tensor{{channels_}};
+  beta_.grad = Tensor{{channels_}};
+  gamma_.value.fill(1.0f);
+  running_mean_.assign(channels_, 0.0f);
+  running_var_.assign(channels_, 1.0f);
+}
+
+Tensor BatchNorm::forward(const Tensor& x, bool training) {
+  if (x.dim(x.rank() - 1) != channels_) {
+    throw util::DataError{"BatchNorm: channel mismatch"};
+  }
+  const std::size_t groups = x.size() / channels_;
+  Tensor y{x.shape()};
+  x_hat_ = Tensor{x.shape()};
+  batch_mean_.assign(channels_, 0.0f);
+  batch_inv_std_.assign(channels_, 0.0f);
+
+  std::vector<float> mean(channels_, 0.0f);
+  std::vector<float> var(channels_, 0.0f);
+  if (training) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      for (std::size_t c = 0; c < channels_; ++c) {
+        mean[c] += x[g * channels_ + c];
+      }
+    }
+    for (float& m : mean) m /= static_cast<float>(groups);
+    for (std::size_t g = 0; g < groups; ++g) {
+      for (std::size_t c = 0; c < channels_; ++c) {
+        const float d = x[g * channels_ + c] - mean[c];
+        var[c] += d * d;
+      }
+    }
+    for (float& v : var) v /= static_cast<float>(groups);
+    for (std::size_t c = 0; c < channels_; ++c) {
+      running_mean_[c] = static_cast<float>(momentum_) * running_mean_[c] +
+                         static_cast<float>(1.0 - momentum_) * mean[c];
+      running_var_[c] = static_cast<float>(momentum_) * running_var_[c] +
+                        static_cast<float>(1.0 - momentum_) * var[c];
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    batch_mean_[c] = mean[c];
+    batch_inv_std_[c] =
+        1.0f / std::sqrt(var[c] + static_cast<float>(eps_));
+  }
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const std::size_t i = g * channels_ + c;
+      x_hat_[i] = (x[i] - batch_mean_[c]) * batch_inv_std_[c];
+      y[i] = gamma_.value[c] * x_hat_[i] + beta_.value[c];
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm::backward(const Tensor& grad_out) {
+  const std::size_t groups = grad_out.size() / channels_;
+  const float n = static_cast<float>(groups);
+  gamma_.grad.fill(0.0f);
+  beta_.grad.fill(0.0f);
+
+  std::vector<float> sum_g(channels_, 0.0f);
+  std::vector<float> sum_gx(channels_, 0.0f);
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const std::size_t i = g * channels_ + c;
+      sum_g[c] += grad_out[i];
+      sum_gx[c] += grad_out[i] * x_hat_[i];
+    }
+  }
+  for (std::size_t c = 0; c < channels_; ++c) {
+    gamma_.grad[c] = sum_gx[c];
+    beta_.grad[c] = sum_g[c];
+  }
+
+  Tensor grad_in{grad_out.shape()};
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const std::size_t i = g * channels_ + c;
+      grad_in[i] = gamma_.value[c] * batch_inv_std_[c] / n *
+                   (n * grad_out[i] - sum_g[c] - x_hat_[i] * sum_gx[c]);
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Parameter*> BatchNorm::parameters() { return {&gamma_, &beta_}; }
+
+// ---------------------------------------------------------------- Flatten
+
+Tensor Flatten::forward(const Tensor& x, bool /*training*/) {
+  in_shape_ = x.shape();
+  const std::size_t n = x.dim(0);
+  return x.reshaped({n, x.size() / n});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(in_shape_);
+}
+
+// ------------------------------------------------------------------ Dense
+
+Dense::Dense(std::size_t in_dim, std::size_t out_dim, std::uint64_t seed)
+    : in_d_{in_dim}, out_d_{out_dim} {
+  if (in_d_ == 0 || out_d_ == 0) throw util::ConfigError{"Dense: zero dims"};
+  weight_.value = Tensor{{in_d_, out_d_}};
+  weight_.grad = Tensor{{in_d_, out_d_}};
+  bias_.value = Tensor{{out_d_}};
+  bias_.grad = Tensor{{out_d_}};
+  util::Rng rng{seed};
+  he_uniform_init(weight_.value, in_d_, rng);
+}
+
+Tensor Dense::forward(const Tensor& x, bool /*training*/) {
+  if (x.rank() != 2 || x.dim(1) != in_d_) {
+    throw util::DataError{"Dense: expected (N, in_dim) input"};
+  }
+  input_ = x;
+  const std::size_t n = x.dim(0);
+  Tensor y{{n, out_d_}};
+  const float* w = weight_.value.data();
+  for (std::size_t b = 0; b < n; ++b) {
+    float* out = &y.at2(b, 0);
+    for (std::size_t o = 0; o < out_d_; ++o) out[o] = bias_.value[o];
+    const float* in = &x.at2(b, 0);
+    for (std::size_t i = 0; i < in_d_; ++i) {
+      const float xv = in[i];
+      const float* wrow = &w[i * out_d_];
+      for (std::size_t o = 0; o < out_d_; ++o) out[o] += xv * wrow[o];
+    }
+  }
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  const std::size_t n = input_.dim(0);
+  weight_.grad.fill(0.0f);
+  bias_.grad.fill(0.0f);
+  Tensor grad_in{{n, in_d_}};
+  const float* w = weight_.value.data();
+  float* wg = weight_.grad.data();
+  for (std::size_t b = 0; b < n; ++b) {
+    const float* gout = &grad_out.at2(b, 0);
+    const float* in = &input_.at2(b, 0);
+    float* gin = &grad_in.at2(b, 0);
+    for (std::size_t o = 0; o < out_d_; ++o) bias_.grad[o] += gout[o];
+    for (std::size_t i = 0; i < in_d_; ++i) {
+      const float xv = in[i];
+      const float* wrow = &w[i * out_d_];
+      float* wgrow = &wg[i * out_d_];
+      float acc = 0.0f;
+      for (std::size_t o = 0; o < out_d_; ++o) {
+        wgrow[o] += xv * gout[o];
+        acc += wrow[o] * gout[o];
+      }
+      gin[i] = acc;
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Parameter*> Dense::parameters() { return {&weight_, &bias_}; }
+
+}  // namespace emoleak::nn

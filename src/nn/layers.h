@@ -1,0 +1,159 @@
+// Neural-network layers (forward + backward).
+//
+// Implements exactly what the paper's two Keras models need (§IV-C2,
+// §IV-D2): Conv2D with zero padding, ReLU, MaxPool2D, Dropout,
+// BatchNorm, Flatten and Dense. All layers operate on batched NHWC
+// tensors; (N, D) tensors are treated by Dense/Dropout/BatchNorm as
+// 2-D. Backward passes are verified against finite differences in the
+// test suite.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace emoleak::nn {
+
+/// A learnable parameter with its gradient accumulator.
+struct Parameter {
+  Tensor value;
+  Tensor grad;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass. `training` enables dropout / batch-stat collection.
+  [[nodiscard]] virtual Tensor forward(const Tensor& x, bool training) = 0;
+
+  /// Backward pass for the most recent forward; returns dLoss/dInput.
+  [[nodiscard]] virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Learnable parameters (empty for stateless layers).
+  [[nodiscard]] virtual std::vector<Parameter*> parameters() { return {}; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  Layer() = default;
+};
+
+/// 2-D convolution, NHWC, stride 1, 'same' zero padding (Keras
+/// padding="same", which the paper's time-frequency CNN uses) or
+/// 'valid'.
+class Conv2D final : public Layer {
+ public:
+  Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel_h,
+         std::size_t kernel_w, bool same_padding, std::uint64_t seed);
+
+  [[nodiscard]] Tensor forward(const Tensor& x, bool training) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override { return "Conv2D"; }
+
+ private:
+  std::size_t in_c_, out_c_, kh_, kw_;
+  bool same_;
+  Parameter weight_;  ///< [KH, KW, Cin, Cout]
+  Parameter bias_;    ///< [Cout]
+  Tensor input_;      ///< cached for backward
+};
+
+class ReLU final : public Layer {
+ public:
+  [[nodiscard]] Tensor forward(const Tensor& x, bool training) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor mask_;
+};
+
+/// Max pooling over (pool x pool) windows with matching stride
+/// ('valid': trailing rows/cols that do not fill a window are dropped,
+/// Keras default).
+class MaxPool2D final : public Layer {
+ public:
+  explicit MaxPool2D(std::size_t pool_h, std::size_t pool_w);
+
+  [[nodiscard]] Tensor forward(const Tensor& x, bool training) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "MaxPool2D"; }
+
+ private:
+  std::size_t ph_, pw_;
+  std::vector<std::size_t> argmax_;
+  std::vector<std::size_t> in_shape_;
+};
+
+/// Inverted dropout: scales kept activations by 1/(1-rate) in training,
+/// identity at inference (Keras semantics).
+class Dropout final : public Layer {
+ public:
+  Dropout(double rate, std::uint64_t seed);
+
+  [[nodiscard]] Tensor forward(const Tensor& x, bool training) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Dropout"; }
+
+ private:
+  double rate_;
+  util::Rng rng_;
+  Tensor mask_;
+};
+
+/// Batch normalization over all axes except the last (channel) axis,
+/// with learnable scale/shift and running statistics for inference.
+class BatchNorm final : public Layer {
+ public:
+  BatchNorm(std::size_t channels, double momentum = 0.9, double epsilon = 1e-5);
+
+  [[nodiscard]] Tensor forward(const Tensor& x, bool training) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override { return "BatchNorm"; }
+
+ private:
+  std::size_t channels_;
+  double momentum_, eps_;
+  Parameter gamma_, beta_;
+  std::vector<float> running_mean_, running_var_;
+  // Backward caches:
+  Tensor x_hat_;
+  std::vector<float> batch_mean_, batch_inv_std_;
+};
+
+/// Flattens (N, ...) to (N, D).
+class Flatten final : public Layer {
+ public:
+  [[nodiscard]] Tensor forward(const Tensor& x, bool training) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<std::size_t> in_shape_;
+};
+
+/// Fully connected layer on (N, D) tensors.
+class Dense final : public Layer {
+ public:
+  Dense(std::size_t in_dim, std::size_t out_dim, std::uint64_t seed);
+
+  [[nodiscard]] Tensor forward(const Tensor& x, bool training) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override { return "Dense"; }
+
+ private:
+  std::size_t in_d_, out_d_;
+  Parameter weight_;  ///< [D_in, D_out]
+  Parameter bias_;    ///< [D_out]
+  Tensor input_;
+};
+
+}  // namespace emoleak::nn

@@ -1,0 +1,117 @@
+// Sequential model, softmax cross-entropy loss, Adam optimizer, and a
+// training loop that records per-epoch history (used to regenerate the
+// paper's Figure 7 loss/accuracy curves).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace emoleak::nn {
+
+/// A labelled batch: `x` has leading batch axis, labels in [0, classes).
+struct Batch {
+  Tensor x;
+  std::vector<int> y;
+};
+
+struct TrainConfig {
+  int epochs = 30;
+  std::size_t batch_size = 32;
+  double learning_rate = 1e-3;
+  double validation_fraction = 0.2;  ///< carved from the training set
+  std::uint64_t seed = 23;
+  bool verbose = false;
+};
+
+/// Per-epoch training curves (paper Fig. 7).
+struct History {
+  std::vector<double> train_loss;
+  std::vector<double> train_accuracy;
+  std::vector<double> val_loss;
+  std::vector<double> val_accuracy;
+};
+
+/// Softmax cross-entropy on logits. Returns mean loss; writes
+/// dLoss/dLogits (already divided by batch size) into `grad`.
+[[nodiscard]] double softmax_cross_entropy(const Tensor& logits,
+                                           const std::vector<int>& labels,
+                                           Tensor& grad);
+
+class Sequential {
+ public:
+  Sequential() = default;
+
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  /// Forward through all layers.
+  [[nodiscard]] Tensor forward(const Tensor& x, bool training);
+
+  /// Backward through all layers (after a forward).
+  Tensor backward(const Tensor& grad);
+
+  [[nodiscard]] std::vector<Parameter*> parameters();
+
+  /// Trains with Adam on mini-batches; returns the epoch history.
+  /// `x` is the full training tensor (leading batch axis).
+  History train(const Tensor& x, const std::vector<int>& labels,
+                int class_count, const TrainConfig& config);
+
+  /// Argmax class predictions for a batch tensor.
+  [[nodiscard]] std::vector<int> predict(const Tensor& x);
+
+  /// Mean loss + accuracy of the model on a labelled set (inference mode).
+  [[nodiscard]] std::pair<double, double> evaluate(const Tensor& x,
+                                                   const std::vector<int>& labels);
+
+  [[nodiscard]] std::size_t layer_count() const noexcept { return layers_.size(); }
+
+ private:
+  /// Rows `indices` of `x` gathered into a contiguous batch tensor.
+  [[nodiscard]] static Tensor gather(const Tensor& x,
+                                     std::span<const std::size_t> indices);
+
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// SGD with classical momentum and optional cosine learning-rate decay.
+class Sgd {
+ public:
+  /// `total_steps` > 0 enables cosine decay from learning_rate to ~0
+  /// across that many step() calls.
+  Sgd(std::vector<Parameter*> params, double learning_rate,
+      double momentum = 0.9, long total_steps = 0);
+
+  void step();
+
+  [[nodiscard]] double current_learning_rate() const noexcept;
+
+ private:
+  std::vector<Parameter*> params_;
+  double lr_;
+  double momentum_;
+  long total_steps_;
+  long t_ = 0;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam optimizer over a parameter set.
+class Adam {
+ public:
+  Adam(std::vector<Parameter*> params, double learning_rate);
+
+  void step();
+
+ private:
+  std::vector<Parameter*> params_;
+  double lr_;
+  double beta1_ = 0.9, beta2_ = 0.999, eps_ = 1e-8;
+  long t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+}  // namespace emoleak::nn

@@ -1,0 +1,41 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace emoleak::nn {
+
+std::size_t shape_size(const std::vector<std::size_t>& shape) noexcept {
+  std::size_t n = 1;
+  for (const std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_{std::move(shape)}, data_(shape_size(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
+    : shape_{std::move(shape)}, data_{std::move(data)} {
+  if (data_.size() != shape_size(shape_)) {
+    throw util::DataError{"Tensor: data size does not match shape"};
+  }
+}
+
+std::size_t Tensor::dim(std::size_t axis) const {
+  if (axis >= shape_.size()) throw util::DataError{"Tensor::dim: axis out of range"};
+  return shape_[axis];
+}
+
+void Tensor::fill(float value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  if (shape_size(new_shape) != data_.size()) {
+    throw util::DataError{"Tensor::reshaped: element count mismatch"};
+  }
+  return Tensor{std::move(new_shape), data_};
+}
+
+}  // namespace emoleak::nn

@@ -1,0 +1,73 @@
+// Minimal dense tensor for the from-scratch CNN stack.
+//
+// Row-major, float storage, NHWC layout for images. Only what the
+// EmoLeak classifiers need: shape bookkeeping, element access, and a
+// few arithmetic helpers. Gradient correctness of everything built on
+// top is verified by finite-difference tests.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace emoleak::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::vector<std::size_t> shape, std::vector<float> data);
+
+  [[nodiscard]] const std::vector<std::size_t>& shape() const noexcept {
+    return shape_;
+  }
+  [[nodiscard]] std::size_t rank() const noexcept { return shape_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t dim(std::size_t axis) const;
+
+  [[nodiscard]] float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::vector<float>& storage() noexcept { return data_; }
+  [[nodiscard]] const std::vector<float>& storage() const noexcept {
+    return data_;
+  }
+
+  [[nodiscard]] float& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 4-D accessor for NHWC tensors (bounds unchecked in release).
+  [[nodiscard]] float& at4(std::size_t n, std::size_t h, std::size_t w,
+                           std::size_t c) noexcept {
+    return data_[((n * shape_[1] + h) * shape_[2] + w) * shape_[3] + c];
+  }
+  [[nodiscard]] const float& at4(std::size_t n, std::size_t h, std::size_t w,
+                                 std::size_t c) const noexcept {
+    return data_[((n * shape_[1] + h) * shape_[2] + w) * shape_[3] + c];
+  }
+
+  /// 2-D accessor for (N, D) tensors.
+  [[nodiscard]] float& at2(std::size_t n, std::size_t d) noexcept {
+    return data_[n * shape_[1] + d];
+  }
+  [[nodiscard]] const float& at2(std::size_t n, std::size_t d) const noexcept {
+    return data_[n * shape_[1] + d];
+  }
+
+  void fill(float value) noexcept;
+
+  /// Reinterprets the tensor with a new shape of equal element count.
+  [[nodiscard]] Tensor reshaped(std::vector<std::size_t> new_shape) const;
+
+  /// True if shapes match exactly.
+  [[nodiscard]] bool same_shape(const Tensor& other) const noexcept {
+    return shape_ == other.shape_;
+  }
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+[[nodiscard]] std::size_t shape_size(const std::vector<std::size_t>& shape) noexcept;
+
+}  // namespace emoleak::nn

@@ -1,0 +1,147 @@
+#include "phone/profile.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace emoleak::phone {
+
+void PhoneProfile::validate() const {
+  if (name.empty()) throw util::ConfigError{"PhoneProfile: name empty"};
+  if (accel_rate_hz <= 0.0) throw util::ConfigError{"PhoneProfile: accel rate <= 0"};
+  if (accel_noise_sigma < 0.0) throw util::ConfigError{"PhoneProfile: noise < 0"};
+  if (accel_lsb < 0.0) throw util::ConfigError{"PhoneProfile: lsb < 0"};
+  if (loudspeaker_gain <= 0.0 || ear_speaker_gain <= 0.0) {
+    throw util::ConfigError{"PhoneProfile: gains must be > 0"};
+  }
+  for (const Resonance& r : resonances) {
+    if (r.frequency_hz <= 0.0 || r.q <= 0.0) {
+      throw util::ConfigError{"PhoneProfile: invalid resonance"};
+    }
+  }
+}
+
+PhoneProfile oneplus_7t() {
+  PhoneProfile p;
+  p.name = "OnePlus 7T";
+  p.accel_rate_hz = 420.0;
+  p.accel_noise_sigma = 0.0032;
+  p.accel_lsb = 0.0012;
+  p.internal_lpf_cutoff_factor = 1.6;
+  // The 7T's powerful stereo speakers (42-46 dB SPL even from the ear
+  // speaker, paper §I) conduct strongly into the board.
+  p.loudspeaker_gain = 1.25;
+  p.ear_speaker_gain = 1.22;
+  p.resonances = {{112.0, 6.0, 1.0}, {168.0, 4.0, 0.6}};
+  p.ear_rolloff_hz = 135.0;
+  p.ear_rolloff_order = 4;
+  p.coupling_jitter = 0.10;
+  return p;
+}
+
+PhoneProfile oneplus_9() {
+  PhoneProfile p;
+  p.name = "OnePlus 9";
+  p.accel_rate_hz = 400.0;
+  p.accel_noise_sigma = 0.0036;
+  p.accel_lsb = 0.0012;
+  p.internal_lpf_cutoff_factor = 1.5;
+  p.loudspeaker_gain = 1.12;
+  p.ear_speaker_gain = 1.55;
+  p.resonances = {{105.0, 5.5, 1.0}, {155.0, 4.5, 0.7}};
+  p.ear_rolloff_hz = 135.0;
+  p.ear_rolloff_order = 4;
+  p.coupling_jitter = 0.12;
+  return p;
+}
+
+PhoneProfile pixel_5() {
+  PhoneProfile p;
+  p.name = "Google Pixel 5";
+  p.accel_rate_hz = 417.0;
+  p.accel_noise_sigma = 0.0072;
+  p.accel_lsb = 0.0015;
+  p.internal_lpf_cutoff_factor = 0.64;
+  // Under-display earpiece + softer chassis: weakest conduction of the
+  // six devices (matches the paper's lowest TESS accuracies).
+  p.loudspeaker_gain = 0.78;
+  p.ear_speaker_gain = 0.72;
+  p.resonances = {{96.0, 4.0, 1.0}};
+  p.coupling_jitter = 0.30;
+  p.ear_rolloff_hz = 135.0;
+  p.ear_rolloff_order = 4;
+  return p;
+}
+
+PhoneProfile galaxy_s10() {
+  PhoneProfile p;
+  p.name = "Samsung Galaxy S10";
+  p.accel_rate_hz = 500.0;
+  p.accel_noise_sigma = 0.0078;
+  p.accel_lsb = 0.0024;
+  p.internal_lpf_cutoff_factor = 0.555;
+  p.loudspeaker_gain = 0.70;
+  p.ear_speaker_gain = 0.86;
+  p.resonances = {{124.0, 5.0, 1.0}, {188.0, 3.5, 0.5}};
+  p.coupling_jitter = 0.40;
+  p.ear_rolloff_hz = 135.0;
+  p.ear_rolloff_order = 4;
+  return p;
+}
+
+PhoneProfile galaxy_s21() {
+  PhoneProfile p;
+  p.name = "Samsung Galaxy S21";
+  p.accel_rate_hz = 500.0;
+  p.accel_noise_sigma = 0.0070;
+  p.accel_lsb = 0.0024;
+  p.internal_lpf_cutoff_factor = 0.60;
+  p.loudspeaker_gain = 0.74;
+  p.ear_speaker_gain = 1.00;
+  p.resonances = {{118.0, 5.5, 1.0}, {176.0, 4.0, 0.55}};
+  p.coupling_jitter = 0.25;
+  p.ear_rolloff_hz = 135.0;
+  p.ear_rolloff_order = 4;
+  return p;
+}
+
+PhoneProfile galaxy_s21_ultra() {
+  PhoneProfile p;
+  p.name = "Samsung Galaxy S21 Ultra";
+  p.accel_rate_hz = 500.0;
+  p.accel_noise_sigma = 0.0075;
+  p.accel_lsb = 0.0024;
+  p.internal_lpf_cutoff_factor = 0.565;
+  // Heavier chassis damps conduction slightly relative to the S21.
+  p.loudspeaker_gain = 0.70;
+  p.ear_speaker_gain = 0.94;
+  p.resonances = {{102.0, 6.0, 1.0}, {160.0, 4.5, 0.5}};
+  p.coupling_jitter = 0.22;
+  p.ear_rolloff_hz = 135.0;
+  p.ear_rolloff_order = 4;
+  return p;
+}
+
+std::vector<PhoneProfile> all_phones() {
+  return {oneplus_7t(), oneplus_9(),  pixel_5(),
+          galaxy_s10(), galaxy_s21(), galaxy_s21_ultra()};
+}
+
+PhoneProfile with_rate_cap(PhoneProfile profile, double cap_hz) {
+  if (cap_hz <= 0.0) throw util::ConfigError{"with_rate_cap: cap must be > 0"};
+  if (cap_hz < profile.accel_rate_hz) {
+    profile.software_cap_hz = cap_hz;
+    profile.name += " (rate-capped)";
+  }
+  return profile;
+}
+
+PhoneProfile as_gyroscope(PhoneProfile profile) {
+  profile.name += " (gyroscope)";
+  profile.loudspeaker_gain *= 0.03;
+  profile.ear_speaker_gain *= 0.03;
+  profile.accel_noise_sigma *= 2.0;
+  return profile;
+}
+
+}  // namespace emoleak::phone

@@ -1,0 +1,84 @@
+// Smartphone device profiles.
+//
+// The paper evaluates six phones (OnePlus 7T, OnePlus 9, Pixel 5,
+// Galaxy S10, S21, S21 Ultra), all with stereo speakers (§V-A). A
+// PhoneProfile captures what matters to the side channel: accelerometer
+// sampling rate and noise floor, speaker->chassis conduction gain for
+// the loudspeaker and the ear speaker, and the chassis's mechanical
+// resonances. Values are plausible engineering magnitudes chosen so the
+// simulated channel reproduces the paper's per-device accuracy ordering
+// (OnePlus 7T strongest conduction; see DESIGN.md §2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace emoleak::phone {
+
+/// One mechanical resonance of the chassis/motherboard assembly.
+struct Resonance {
+  double frequency_hz = 120.0;
+  double q = 5.0;
+  double gain = 1.0;  ///< contribution of this mode to the output mix
+};
+
+struct PhoneProfile {
+  std::string name;
+  double accel_rate_hz = 420.0;       ///< default accelerometer ODR
+  double accel_noise_sigma = 0.004;   ///< white sensor noise, m/s^2 RMS
+  double accel_lsb = 0.0012;          ///< quantization step, m/s^2
+  /// The MEMS front end has only a gentle internal low-pass, not a
+  /// brick-wall anti-aliasing filter, so above-Nyquist speech content
+  /// folds into the sensed band — the effect AccelEve/Spearphone-style
+  /// attacks (and EmoLeak) exploit. Order (even) and cutoff as a
+  /// fraction of the Nyquist rate.
+  int internal_lpf_order = 2;
+  double internal_lpf_cutoff_factor = 1.6;
+  /// Android 12+ zero-permission rate cap (paper §VI-A). Unlike the
+  /// analog front end, the cap is enforced by *software* decimation of
+  /// the native stream, i.e. with a clean digital anti-aliasing filter
+  /// that removes most of the folded speech band. 0 = uncapped.
+  double software_cap_hz = 0.0;
+  double loudspeaker_gain = 1.0;      ///< conduction gain, audio -> m/s^2
+  double ear_speaker_gain = 0.05;     ///< ear speakers couple far less
+  double speaker_rolloff_hz = 550.0;  ///< loudspeaker excursion corner
+  /// The earpiece's tiny driver needs large cone excursion to render
+  /// low frequencies, so its mechanical reaction force is concentrated
+  /// there: low-pitched (male) voices shake the chassis relatively more
+  /// than high-pitched ones. Modelled as a lower excursion corner.
+  double ear_rolloff_hz = 210.0;
+  int ear_rolloff_order = 2;  ///< earpiece excursion filter order (even)
+  std::vector<Resonance> resonances;  ///< chassis modes
+  double direct_path_gain = 0.55;     ///< broadband (non-resonant) conduction
+  /// Log-normal sigma of per-playback conduction-gain variation
+  /// (surface coupling, grip, thermal drift). Scrambles absolute-energy
+  /// cues without affecting detectability.
+  double coupling_jitter = 0.0;
+
+  void validate() const;
+};
+
+/// The six evaluation devices (paper §V-A).
+[[nodiscard]] PhoneProfile oneplus_7t();
+[[nodiscard]] PhoneProfile oneplus_9();
+[[nodiscard]] PhoneProfile pixel_5();
+[[nodiscard]] PhoneProfile galaxy_s10();
+[[nodiscard]] PhoneProfile galaxy_s21();
+[[nodiscard]] PhoneProfile galaxy_s21_ultra();
+
+/// All six profiles.
+[[nodiscard]] std::vector<PhoneProfile> all_phones();
+
+/// Applies the Android 12+ zero-permission sensor-rate cap of 200 Hz
+/// (paper §VI-A).
+[[nodiscard]] PhoneProfile with_rate_cap(PhoneProfile profile,
+                                         double cap_hz = 200.0);
+
+/// Derives a gyroscope-channel profile from a phone: linear speaker
+/// vibration couples into the rotation channel only through small
+/// torque arms, so the effective response is ~30 dB weaker with a
+/// relatively higher noise floor (Ba et al., cited in the paper's
+/// §III-B1 — the reason EmoLeak reads the accelerometer).
+[[nodiscard]] PhoneProfile as_gyroscope(PhoneProfile profile);
+
+}  // namespace emoleak::phone

@@ -1,0 +1,147 @@
+#include "phone/recorder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/resample.h"
+#include "util/error.h"
+
+namespace emoleak::phone {
+
+void RecorderConfig::validate() const {
+  if (gap_mean_s < 0.0 || gap_jitter_s < 0.0) {
+    throw util::ConfigError{"RecorderConfig: gaps must be >= 0"};
+  }
+  if (gap_jitter_s > gap_mean_s) {
+    throw util::ConfigError{"RecorderConfig: gap_jitter_s > gap_mean_s"};
+  }
+}
+
+Recording record_session(const audio::Corpus& corpus,
+                         const PhoneProfile& profile,
+                         const RecorderConfig& config) {
+  std::vector<std::size_t> indices(corpus.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  return record_session(corpus, std::move(indices), profile, config);
+}
+
+Recording record_session(const audio::Corpus& corpus,
+                         std::vector<std::size_t> indices,
+                         const PhoneProfile& profile,
+                         const RecorderConfig& config) {
+  config.validate();
+  profile.validate();
+  util::Rng rng{config.seed};
+
+  if (config.group_by_emotion) {
+    // Shuffle, then stable-sort by emotion: utterances of one emotion
+    // play consecutively in random order, exactly like the paper's
+    // continuous per-emotion playback blocks.
+    rng.shuffle(indices);
+    std::stable_sort(indices.begin(), indices.end(),
+                     [&corpus](std::size_t a, std::size_t b) {
+                       return static_cast<int>(corpus.entries()[a].emotion) <
+                              static_cast<int>(corpus.entries()[b].emotion);
+                     });
+  }
+
+  Recording rec;
+  rec.rate_hz = effective_accel_rate(profile);
+  rec.dataset = corpus.spec();
+  rec.schedule.reserve(indices.size());
+
+  util::Rng synth_noise_rng = rng.fork(0x5EED);
+
+  // Build the clean (noise-free) vibration trace at the accel rate,
+  // one utterance at a time so the audio-rate buffers stay small.
+  std::vector<double>& trace = rec.accel;
+  const auto append_gap = [&](double seconds) {
+    const auto n =
+        static_cast<std::size_t>(seconds * effective_accel_rate(profile));
+    trace.insert(trace.end(), n, 0.0);
+  };
+
+  std::vector<double> block_offsets;  // per-sample DC from posture shifts
+  util::Rng posture_rng = rng.fork(0x906E);
+  double current_offset = 0.0;
+  audio::Emotion current_block = audio::Emotion::kNeutral;
+  bool block_started = false;
+
+  append_gap(config.gap_mean_s);
+  for (const std::size_t idx : indices) {
+    const audio::Utterance utt = corpus.synthesize(idx);
+    if (config.posture == Posture::kHandheld &&
+        config.block_posture_sigma > 0.0 &&
+        (!block_started || utt.emotion != current_block)) {
+      current_offset = posture_rng.normal(0.0, config.block_posture_sigma);
+      current_block = utt.emotion;
+      block_started = true;
+    }
+    block_offsets.resize(trace.size(), current_offset);
+    std::vector<double> vib =
+        conduct(utt.samples, utt.sample_rate_hz, profile, config.speaker);
+    const double coupling_sigma =
+        config.posture == Posture::kHandheld
+            ? std::max(profile.coupling_jitter, config.grip_jitter)
+            : profile.coupling_jitter;
+    if (coupling_sigma > 0.0) {
+      const double coupling = std::exp(rng.normal(0.0, coupling_sigma));
+      for (double& v : vib) v *= coupling;
+    }
+    const std::vector<double> sampled =
+        accel_sampling_chain(vib, utt.sample_rate_hz, profile);
+
+    ScheduledUtterance s;
+    s.corpus_index = idx;
+    s.speaker_id = utt.speaker_id;
+    s.emotion = utt.emotion;
+    s.start_sample = trace.size();
+    trace.insert(trace.end(), sampled.begin(), sampled.end());
+    s.end_sample = trace.size();
+    rec.schedule.push_back(s);
+
+    append_gap(config.gap_mean_s +
+               rng.uniform(-config.gap_jitter_s, config.gap_jitter_s));
+  }
+
+  block_offsets.resize(trace.size(), current_offset);
+  if (config.posture == Posture::kHandheld && config.block_posture_sigma > 0.0) {
+    for (std::size_t i = 0; i < trace.size(); ++i) trace[i] += block_offsets[i];
+  }
+
+  if (config.environment_bump_rate_hz > 0.0) {
+    // Environmental transients: exponential-decay bumps with random
+    // amplitude, the dominant external disturbance on a table surface.
+    util::Rng env_rng = rng.fork(0xE417);
+    const double rate_hz = effective_accel_rate(profile);
+    const double p_bump = config.environment_bump_rate_hz / rate_hz;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      if (env_rng.bernoulli(p_bump)) {
+        const double amp = env_rng.uniform(0.02, 0.3);
+        const double decay = 0.08 * rate_hz;
+        const auto end = std::min(trace.size(),
+                                  i + static_cast<std::size_t>(5.0 * decay));
+        for (std::size_t j = i; j < end; ++j) {
+          trace[j] += amp * std::exp(-static_cast<double>(j - i) / decay);
+        }
+      }
+    }
+  }
+
+  // Continuous sensor effects over the whole session.
+  if (config.posture == Posture::kHandheld) {
+    util::Rng hand_rng = rng.fork(0x4A4D);
+    const std::vector<double> motion =
+        handheld_noise(trace.size(), effective_accel_rate(profile), hand_rng);
+    for (std::size_t i = 0; i < trace.size(); ++i) trace[i] += motion[i];
+  }
+  for (double& s : trace) {
+    s += config.gravity_mps2 + profile.accel_noise_sigma * synth_noise_rng.normal();
+    if (profile.accel_lsb > 0.0) {
+      s = std::round(s / profile.accel_lsb) * profile.accel_lsb;
+    }
+  }
+  return rec;
+}
+
+}  // namespace emoleak::phone

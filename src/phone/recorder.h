@@ -1,0 +1,76 @@
+// Recording sessions: playlist playback + accelerometer capture.
+//
+// Reproduces the paper's data-collection procedure (§III-B3, §IV-A):
+// utterances of the same emotion are grouped and played back-to-back
+// through the chosen speaker while the accelerometer logs continuously;
+// the playback schedule (who/what/when) provides ground-truth labels
+// for every captured region.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "audio/corpus.h"
+#include "phone/channel.h"
+#include "phone/profile.h"
+
+namespace emoleak::phone {
+
+struct RecorderConfig {
+  SpeakerKind speaker = SpeakerKind::kLoudspeaker;
+  Posture posture = Posture::kTableTop;
+  double gap_mean_s = 0.40;      ///< silence between consecutive playbacks
+  double gap_jitter_s = 0.10;
+  bool group_by_emotion = true;  ///< paper groups same-emotion segments
+  double gravity_mps2 = 9.81;    ///< DC offset on the sensed axis
+  /// Handheld only: log-normal sigma of per-utterance conduction
+  /// variation from changing grip pressure/damping. Grip strongly
+  /// modulates how much speaker vibration reaches the sensor.
+  double grip_jitter = 0.30;
+  /// Handheld only: standard deviation (m/s^2) of the DC shift when the
+  /// posture changes between playback blocks — re-holding the phone
+  /// tilts the gravity projection by a fraction of a degree to a few
+  /// degrees. Because same-emotion utterances play contiguously, this
+  /// offset is block-correlated with the labels (the effect behind the
+  /// paper's Table I amplitude-feature information gains).
+  double block_posture_sigma = 0.08;
+  /// Environmental disturbances on the table (footsteps, doors, bumps)
+  /// as transient events per second; 0 = quiet room (paper setting).
+  /// Used for the SVI-C robustness ablation.
+  double environment_bump_rate_hz = 0.0;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+/// Ground truth for one played utterance, in accelerometer samples.
+struct ScheduledUtterance {
+  std::size_t corpus_index = 0;
+  int speaker_id = 0;
+  audio::Emotion emotion = audio::Emotion::kNeutral;
+  std::size_t start_sample = 0;
+  std::size_t end_sample = 0;  ///< one past the last sample
+};
+
+/// One continuous accelerometer capture with its playback schedule.
+struct Recording {
+  std::vector<double> accel;  ///< sensed axis, m/s^2 (includes gravity)
+  double rate_hz = 0.0;
+  std::vector<ScheduledUtterance> schedule;
+  audio::DatasetSpec dataset;
+};
+
+/// Plays every utterance of `corpus` through `profile`'s speaker and
+/// returns the captured trace. Deterministic given config.seed.
+[[nodiscard]] Recording record_session(const audio::Corpus& corpus,
+                                       const PhoneProfile& profile,
+                                       const RecorderConfig& config);
+
+/// Convenience: records a subset of corpus indices (in the given order,
+/// still grouped by emotion when configured).
+[[nodiscard]] Recording record_session(const audio::Corpus& corpus,
+                                       std::vector<std::size_t> indices,
+                                       const PhoneProfile& profile,
+                                       const RecorderConfig& config);
+
+}  // namespace emoleak::phone

@@ -1,0 +1,113 @@
+#include "util/csv.h"
+
+#include <cmath>
+#include <iomanip>
+
+#include "util/error.h"
+
+namespace emoleak::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void write_csv(std::ostream& out,
+               const std::vector<std::string>& feature_names,
+               const std::vector<std::vector<double>>& rows,
+               const std::vector<std::string>& labels) {
+  if (rows.size() != labels.size()) {
+    throw DataError{"write_csv: rows and labels must have equal length"};
+  }
+  for (std::size_t i = 0; i < feature_names.size(); ++i) {
+    if (i) out << ',';
+    out << csv_escape(feature_names[i]);
+  }
+  out << ",label\n";
+  out << std::setprecision(12);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != feature_names.size()) {
+      throw DataError{"write_csv: row width does not match header"};
+    }
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      if (c) out << ',';
+      const double v = rows[r][c];
+      if (std::isfinite(v)) out << v;
+      // NaN / inf cells are written empty; the paper's pipeline removes
+      // such invalid entries during preprocessing (§IV-D1).
+    }
+    out << ',' << csv_escape(labels[r]) << '\n';
+  }
+}
+
+void write_arff(std::ostream& out, const std::string& relation,
+                const std::vector<std::string>& feature_names,
+                const std::vector<std::vector<double>>& rows,
+                const std::vector<std::string>& labels,
+                const std::vector<std::string>& class_values) {
+  if (rows.size() != labels.size()) {
+    throw DataError{"write_arff: rows and labels must have equal length"};
+  }
+  out << "@relation " << relation << "\n\n";
+  for (const std::string& name : feature_names) {
+    out << "@attribute " << name << " numeric\n";
+  }
+  out << "@attribute class {";
+  for (std::size_t i = 0; i < class_values.size(); ++i) {
+    if (i) out << ',';
+    out << class_values[i];
+  }
+  out << "}\n\n@data\n";
+  out << std::setprecision(12);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != feature_names.size()) {
+      throw DataError{"write_arff: row width does not match attributes"};
+    }
+    for (const double v : rows[r]) {
+      if (std::isfinite(v)) out << v;
+      else out << '?';
+      out << ',';
+    }
+    out << labels[r] << '\n';
+  }
+}
+
+std::vector<std::string> parse_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace emoleak::util

@@ -1,0 +1,37 @@
+// CSV and ARFF serialization.
+//
+// The paper's toolchain exports time-frequency features to CSV for the
+// Keras CNN and to ARFF for Weka (§IV-D). These writers reproduce the
+// same artifact boundary so downstream users can inspect or reuse the
+// extracted features outside this library.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace emoleak::util {
+
+/// Escapes a single CSV field per RFC 4180 (quotes fields containing
+/// commas, quotes, or newlines).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// Writes a CSV file: a header row followed by numeric data rows with a
+/// trailing string label column.
+void write_csv(std::ostream& out,
+               const std::vector<std::string>& feature_names,
+               const std::vector<std::vector<double>>& rows,
+               const std::vector<std::string>& labels);
+
+/// Writes a Weka ARFF file with numeric attributes and a nominal class
+/// attribute enumerating `class_values`.
+void write_arff(std::ostream& out, const std::string& relation,
+                const std::vector<std::string>& feature_names,
+                const std::vector<std::vector<double>>& rows,
+                const std::vector<std::string>& labels,
+                const std::vector<std::string>& class_values);
+
+/// Parses one CSV line into fields (handles RFC 4180 quoting).
+[[nodiscard]] std::vector<std::string> parse_csv_line(const std::string& line);
+
+}  // namespace emoleak::util

@@ -1,0 +1,29 @@
+// Error types shared across the EmoLeak library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace emoleak::util {
+
+/// Thrown when a configuration struct is internally inconsistent
+/// (e.g. a negative sampling rate or an empty corpus spec).
+class ConfigError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when input data violates a documented precondition
+/// (e.g. mismatched feature-matrix dimensions).
+class DataError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown on numerical failure (non-finite loss, singular system, ...).
+class NumericalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace emoleak::util

@@ -1,0 +1,99 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace emoleak::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_{std::move(header)} {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TablePrinter::add_rule() { pending_rule_ = true; }
+
+namespace {
+
+std::string rule_line(const std::vector<std::size_t>& widths) {
+  std::string out = "+";
+  for (const std::size_t w : widths) {
+    out.append(w + 2, '-');
+    out += '+';
+  }
+  out += '\n';
+  return out;
+}
+
+std::string cells_line(const std::vector<std::string>& cells,
+                       const std::vector<std::size_t>& widths) {
+  std::string out = "|";
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+    out += ' ';
+    out += cell;
+    out.append(widths[i] - cell.size() + 1, ' ');
+    out += '|';
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace
+
+std::string TablePrinter::str() const {
+  std::size_t columns = header_.size();
+  for (const Row& row : rows_) columns = std::max(columns, row.cells.size());
+
+  std::vector<std::size_t> widths(columns, 0);
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = std::max(widths[i], header_[i].size());
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t i = 0; i < row.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  std::string out = rule_line(widths);
+  out += cells_line(header_, widths);
+  out += rule_line(widths);
+  for (const Row& row : rows_) {
+    if (row.rule_before) out += rule_line(widths);
+    out += cells_line(row.cells, widths);
+  }
+  out += rule_line(widths);
+  return out;
+}
+
+std::string percent(double fraction, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << fraction * 100.0 << '%';
+  return os.str();
+}
+
+std::string fixed(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+std::string render_confusion(
+    const std::vector<std::vector<std::size_t>>& matrix,
+    const std::vector<std::string>& labels) {
+  std::vector<std::string> header{"true \\ pred"};
+  header.insert(header.end(), labels.begin(), labels.end());
+  TablePrinter t{std::move(header)};
+  for (std::size_t r = 0; r < matrix.size(); ++r) {
+    std::vector<std::string> row;
+    row.push_back(r < labels.size() ? labels[r] : std::to_string(r));
+    for (const std::size_t count : matrix[r]) row.push_back(std::to_string(count));
+    t.add_row(std::move(row));
+  }
+  return t.str();
+}
+
+}  // namespace emoleak::util

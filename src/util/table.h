@@ -1,0 +1,57 @@
+// Fixed-width plain-text table rendering for benchmark output.
+//
+// Every bench binary regenerates one of the paper's tables/figures; the
+// TablePrinter gives them a uniform, aligned, diff-friendly format.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace emoleak::util {
+
+/// Column-aligned text table. Usage:
+///   TablePrinter t{{"Classifier", "Paper", "Measured"}};
+///   t.add_row({"Logistic", "94.52%", "93.80%"});
+///   std::cout << t.str();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row. Rows shorter than the header are padded with
+  /// empty cells; longer rows extend the table width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule between the previously added row and the
+  /// next one.
+  void add_rule();
+
+  /// Renders the full table, including the header and border rules.
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+/// Formats a fraction as a percentage string, e.g. 0.9534 -> "95.34%".
+[[nodiscard]] std::string percent(double fraction, int decimals = 2);
+
+/// Formats a double with fixed decimals, e.g. 1.30714 -> "1.307".
+[[nodiscard]] std::string fixed(double value, int decimals = 3);
+
+/// Renders a confusion matrix in the layout of the paper's Figure 6:
+/// rows are true labels, columns are predictions.
+[[nodiscard]] std::string render_confusion(
+    const std::vector<std::vector<std::size_t>>& matrix,
+    const std::vector<std::string>& labels);
+
+}  // namespace emoleak::util

@@ -1,0 +1,113 @@
+// Tests for CSV/ARFF serialization (util/csv.h).
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace {
+
+using emoleak::util::csv_escape;
+using emoleak::util::parse_csv_line;
+using emoleak::util::write_arff;
+using emoleak::util::write_csv;
+
+TEST(CsvEscapeTest, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscapeTest, CommaQuoted) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscapeTest, QuoteDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscapeTest, NewlineQuoted) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(WriteCsvTest, HeaderAndRows) {
+  std::ostringstream os;
+  write_csv(os, {"f1", "f2"}, {{1.5, 2.5}, {3.0, 4.0}}, {"cat", "dog"});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("f1,f2,label"), std::string::npos);
+  EXPECT_NE(s.find("1.5,2.5,cat"), std::string::npos);
+  EXPECT_NE(s.find("3,4,dog"), std::string::npos);
+}
+
+TEST(WriteCsvTest, NanWrittenEmpty) {
+  std::ostringstream os;
+  write_csv(os, {"f"}, {{std::nan("")}}, {"x"});
+  EXPECT_NE(os.str().find(",x"), std::string::npos);
+  EXPECT_EQ(os.str().find("nan"), std::string::npos);
+}
+
+TEST(WriteCsvTest, SizeMismatchThrows) {
+  std::ostringstream os;
+  EXPECT_THROW(write_csv(os, {"f"}, {{1.0}}, {"a", "b"}),
+               emoleak::util::DataError);
+  EXPECT_THROW(write_csv(os, {"f", "g"}, {{1.0}}, {"a"}),
+               emoleak::util::DataError);
+}
+
+TEST(WriteArffTest, ContainsRelationAttributesAndData) {
+  std::ostringstream os;
+  write_arff(os, "emotions", {"f1"}, {{2.0}}, {"Angry"}, {"Angry", "Sad"});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("@relation emotions"), std::string::npos);
+  EXPECT_NE(s.find("@attribute f1 numeric"), std::string::npos);
+  EXPECT_NE(s.find("@attribute class {Angry,Sad}"), std::string::npos);
+  EXPECT_NE(s.find("@data"), std::string::npos);
+  EXPECT_NE(s.find("2,Angry"), std::string::npos);
+}
+
+TEST(WriteArffTest, MissingValueWrittenAsQuestionMark) {
+  std::ostringstream os;
+  write_arff(os, "r", {"f"}, {{std::nan("")}}, {"A"}, {"A"});
+  EXPECT_NE(os.str().find("?,A"), std::string::npos);
+}
+
+TEST(ParseCsvLineTest, SplitsSimpleFields) {
+  const auto fields = parse_csv_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(ParseCsvLineTest, HandlesQuotedCommas) {
+  const auto fields = parse_csv_line("\"a,b\",c");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "a,b");
+}
+
+TEST(ParseCsvLineTest, HandlesEscapedQuotes) {
+  const auto fields = parse_csv_line("\"say \"\"hi\"\"\",x");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(ParseCsvLineTest, EmptyFieldsPreserved) {
+  const auto fields = parse_csv_line("a,,b");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "");
+}
+
+TEST(ParseCsvLineTest, RoundTripsEscapedField) {
+  const std::string original = "weird \"value\", with, commas";
+  const auto fields = parse_csv_line(csv_escape(original));
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], original);
+}
+
+TEST(ParseCsvLineTest, StripsCarriageReturn) {
+  const auto fields = parse_csv_line("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+}  // namespace

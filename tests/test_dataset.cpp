@@ -1,0 +1,222 @@
+// Tests for dataset handling and preprocessing (ml/dataset.h).
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/error.h"
+
+namespace {
+
+using emoleak::ml::Dataset;
+using emoleak::ml::Split;
+using emoleak::ml::StandardScaler;
+using emoleak::ml::stratified_folds;
+using emoleak::ml::train_test_split;
+using emoleak::util::Rng;
+
+Dataset blobs(std::size_t per_class, int classes, std::uint64_t seed) {
+  Rng rng{seed};
+  Dataset d;
+  d.class_count = classes;
+  for (int c = 0; c < classes; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      d.x.push_back({static_cast<double>(c) * 3.0 + rng.normal(),
+                     -static_cast<double>(c) + 0.5 * rng.normal()});
+      d.y.push_back(c);
+    }
+  }
+  return d;
+}
+
+TEST(DatasetTest, ValidateAcceptsConsistentData) {
+  EXPECT_NO_THROW(blobs(10, 3, 1).validate());
+}
+
+TEST(DatasetTest, ValidateRejectsInconsistencies) {
+  Dataset d = blobs(5, 2, 1);
+  d.y.pop_back();
+  EXPECT_THROW(d.validate(), emoleak::util::DataError);
+
+  d = blobs(5, 2, 1);
+  d.x[2].push_back(9.0);
+  EXPECT_THROW(d.validate(), emoleak::util::DataError);
+
+  d = blobs(5, 2, 1);
+  d.y[0] = 7;
+  EXPECT_THROW(d.validate(), emoleak::util::DataError);
+
+  d = blobs(5, 2, 1);
+  d.class_count = 0;
+  EXPECT_THROW(d.validate(), emoleak::util::DataError);
+}
+
+TEST(DatasetTest, SubsetSelectsRows) {
+  const Dataset d = blobs(5, 2, 2);
+  const std::vector<std::size_t> idx{0, 7, 3};
+  const Dataset s = d.subset(idx);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.x[0], d.x[0]);
+  EXPECT_EQ(s.x[1], d.x[7]);
+  EXPECT_EQ(s.y[2], d.y[3]);
+  EXPECT_EQ(s.class_count, d.class_count);
+}
+
+TEST(DatasetTest, SubsetOutOfRangeThrows) {
+  const Dataset d = blobs(3, 2, 2);
+  const std::vector<std::size_t> idx{99};
+  EXPECT_THROW((void)d.subset(idx), emoleak::util::DataError);
+}
+
+TEST(DatasetTest, DropInvalidRemovesNanRows) {
+  Dataset d = blobs(4, 2, 3);
+  d.x[1][0] = std::nan("");
+  d.x[5][1] = std::numeric_limits<double>::infinity();
+  const std::size_t before = d.size();
+  EXPECT_EQ(d.drop_invalid(), 2u);
+  EXPECT_EQ(d.size(), before - 2);
+  EXPECT_NO_THROW(d.validate());
+}
+
+TEST(DatasetTest, DropInvalidPreservesAlignment) {
+  Dataset d;
+  d.class_count = 3;
+  d.x = {{0.0}, {std::nan("")}, {2.0}};
+  d.y = {0, 1, 2};
+  d.drop_invalid();
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.y[0], 0);
+  EXPECT_EQ(d.y[1], 2);
+  EXPECT_DOUBLE_EQ(d.x[1][0], 2.0);
+}
+
+TEST(StandardScalerTest, TransformsToZeroMeanUnitVar) {
+  const Dataset d = blobs(200, 3, 4);
+  StandardScaler scaler;
+  scaler.fit(d);
+  const Dataset t = scaler.transform(d);
+  for (std::size_t j = 0; j < d.dim(); ++j) {
+    double mean = 0.0;
+    for (const auto& row : t.x) mean += row[j];
+    mean /= static_cast<double>(t.size());
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    double var = 0.0;
+    for (const auto& row : t.x) var += row[j] * row[j];
+    var /= static_cast<double>(t.size());
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+}
+
+TEST(StandardScalerTest, ConstantFeatureCentered) {
+  Dataset d;
+  d.class_count = 2;
+  d.x = {{5.0, 1.0}, {5.0, 2.0}};
+  d.y = {0, 1};
+  StandardScaler scaler;
+  scaler.fit(d);
+  const auto row = scaler.transform_row(std::vector<double>{5.0, 1.5});
+  EXPECT_DOUBLE_EQ(row[0], 0.0);
+}
+
+TEST(StandardScalerTest, UnfittedThrows) {
+  StandardScaler scaler;
+  EXPECT_THROW((void)scaler.transform_row(std::vector<double>{1.0}),
+               emoleak::util::DataError);
+}
+
+TEST(StandardScalerTest, DimensionMismatchThrows) {
+  StandardScaler scaler;
+  scaler.fit(blobs(5, 2, 5));
+  EXPECT_THROW((void)scaler.transform_row(std::vector<double>{1.0, 2.0, 3.0}),
+               emoleak::util::DataError);
+}
+
+TEST(TrainTestSplitTest, SplitsByFraction) {
+  const Dataset d = blobs(50, 4, 6);
+  Rng rng{1};
+  const Split s = train_test_split(d, 0.8, rng);
+  EXPECT_EQ(s.train.size() + s.test.size(), d.size());
+  EXPECT_NEAR(static_cast<double>(s.train.size()), 160.0, 4.0);
+}
+
+TEST(TrainTestSplitTest, StratifiedPerClass) {
+  const Dataset d = blobs(50, 4, 7);
+  Rng rng{2};
+  const Split s = train_test_split(d, 0.8, rng);
+  std::vector<int> train_counts(4, 0);
+  for (const int y : s.train.y) ++train_counts[static_cast<std::size_t>(y)];
+  for (const int c : train_counts) EXPECT_EQ(c, 40);
+}
+
+TEST(TrainTestSplitTest, NoSampleInBothSets) {
+  // Rows are unique in blobs; verify disjointness via value matching.
+  const Dataset d = blobs(30, 2, 8);
+  Rng rng{3};
+  const Split s = train_test_split(d, 0.7, rng);
+  std::set<std::pair<double, double>> train_rows;
+  for (const auto& r : s.train.x) train_rows.insert({r[0], r[1]});
+  for (const auto& r : s.test.x) {
+    EXPECT_EQ(train_rows.count({r[0], r[1]}), 0u);
+  }
+}
+
+TEST(TrainTestSplitTest, InvalidFractionThrows) {
+  const Dataset d = blobs(10, 2, 9);
+  Rng rng{4};
+  EXPECT_THROW((void)train_test_split(d, 0.0, rng), emoleak::util::ConfigError);
+  EXPECT_THROW((void)train_test_split(d, 1.0, rng), emoleak::util::ConfigError);
+}
+
+TEST(StratifiedFoldsTest, PartitionsAllIndices) {
+  const Dataset d = blobs(33, 3, 10);
+  Rng rng{5};
+  const auto folds = stratified_folds(d, 10, rng);
+  ASSERT_EQ(folds.size(), 10u);
+  std::set<std::size_t> seen;
+  for (const auto& fold : folds) {
+    for (const std::size_t i : fold) {
+      EXPECT_TRUE(seen.insert(i).second) << "duplicate index " << i;
+    }
+  }
+  EXPECT_EQ(seen.size(), d.size());
+}
+
+TEST(StratifiedFoldsTest, FoldsAreBalanced) {
+  const Dataset d = blobs(40, 2, 11);
+  Rng rng{6};
+  const auto folds = stratified_folds(d, 10, rng);
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.size(), 8u);
+  }
+}
+
+TEST(StratifiedFoldsTest, InvalidKThrows) {
+  const Dataset d = blobs(10, 2, 12);
+  Rng rng{7};
+  EXPECT_THROW((void)stratified_folds(d, 1, rng), emoleak::util::ConfigError);
+  EXPECT_THROW((void)stratified_folds(d, 1000, rng),
+               emoleak::util::ConfigError);
+}
+
+// Property: splits remain stratified for many fractions.
+class SplitSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitSweep, ClassBalancePreserved) {
+  const double frac = GetParam();
+  const Dataset d = blobs(100, 5, 13);
+  Rng rng{8};
+  const Split s = train_test_split(d, frac, rng);
+  std::vector<int> counts(5, 0);
+  for (const int y : s.train.y) ++counts[static_cast<std::size_t>(y)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), frac * 100.0, 2.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SplitSweep,
+                         ::testing::Values(0.5, 0.6, 0.7, 0.8, 0.9));
+
+}  // namespace

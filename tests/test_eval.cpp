@@ -1,0 +1,167 @@
+// Tests for evaluation utilities (ml/eval.h).
+#include "ml/eval.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/logistic.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+using emoleak::ml::ConfusionMatrix;
+using emoleak::ml::cross_validate;
+using emoleak::ml::Dataset;
+using emoleak::ml::evaluate_holdout;
+using emoleak::ml::evaluate_split;
+using emoleak::ml::LogisticRegression;
+using emoleak::util::Rng;
+
+Dataset blobs(std::size_t per_class, int classes, double spread,
+              std::uint64_t seed) {
+  Rng rng{seed};
+  Dataset d;
+  d.class_count = classes;
+  for (int c = 0; c < classes; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      d.x.push_back({2.5 * c + spread * rng.normal(),
+                     -1.5 * c + spread * rng.normal()});
+      d.y.push_back(c);
+    }
+  }
+  return d;
+}
+
+TEST(ConfusionMatrixTest, CountsAndAccuracy) {
+  ConfusionMatrix cm{2};
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_EQ(cm.count(0, 0), 2u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_NEAR(cm.accuracy(), 0.75, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, RecallAndPrecision) {
+  ConfusionMatrix cm{2};
+  // Class 0: 3 true, 2 recalled. Class 1: 2 true, 2 recalled.
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(1, 1);
+  const auto recall = cm.recall();
+  EXPECT_NEAR(recall[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(recall[1], 1.0, 1e-12);
+  const auto precision = cm.precision();
+  EXPECT_NEAR(precision[0], 1.0, 1e-12);
+  EXPECT_NEAR(precision[1], 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, MacroF1PerfectClassifier) {
+  ConfusionMatrix cm{3};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 5; ++i) cm.add(c, c);
+  }
+  EXPECT_NEAR(cm.macro_f1(), 1.0, 1e-12);
+  EXPECT_NEAR(cm.accuracy(), 1.0, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, MergeAddsCounts) {
+  ConfusionMatrix a{2}, b{2};
+  a.add(0, 0);
+  b.add(0, 1);
+  b.add(1, 1);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.count(0, 1), 1u);
+}
+
+TEST(ConfusionMatrixTest, MergeDimensionMismatchThrows) {
+  ConfusionMatrix a{2}, b{3};
+  EXPECT_THROW(a.merge(b), emoleak::util::DataError);
+}
+
+TEST(ConfusionMatrixTest, OutOfRangeThrows) {
+  ConfusionMatrix cm{2};
+  EXPECT_THROW(cm.add(2, 0), emoleak::util::DataError);
+  EXPECT_THROW(cm.add(0, -1), emoleak::util::DataError);
+  EXPECT_THROW((void)cm.count(5, 0), emoleak::util::DataError);
+  EXPECT_THROW(ConfusionMatrix{0}, emoleak::util::DataError);
+}
+
+TEST(ConfusionMatrixTest, EmptyAccuracyIsZero) {
+  EXPECT_DOUBLE_EQ(ConfusionMatrix{3}.accuracy(), 0.0);
+}
+
+TEST(EvaluateHoldoutTest, PerfectOnSeparableData) {
+  const Dataset train = blobs(50, 3, 0.2, 1);
+  const Dataset test = blobs(20, 3, 0.2, 2);
+  LogisticRegression model;
+  const auto result = evaluate_holdout(model, train, test);
+  EXPECT_GT(result.accuracy, 0.97);
+  EXPECT_EQ(result.confusion.total(), test.size());
+}
+
+TEST(EvaluateHoldoutTest, ClassMismatchThrows) {
+  Dataset train = blobs(10, 2, 0.5, 3);
+  Dataset test = blobs(10, 3, 0.5, 4);
+  LogisticRegression model;
+  EXPECT_THROW((void)evaluate_holdout(model, train, test),
+               emoleak::util::DataError);
+}
+
+TEST(EvaluateSplitTest, EvaluatesOnTwentyPercent) {
+  const Dataset d = blobs(50, 2, 0.3, 5);
+  const auto result = evaluate_split(LogisticRegression{}, d, 0.8, 7);
+  EXPECT_NEAR(static_cast<double>(result.confusion.total()), 20.0, 3.0);
+  EXPECT_GT(result.accuracy, 0.9);
+}
+
+TEST(EvaluateSplitTest, DeterministicGivenSeed) {
+  const Dataset d = blobs(40, 3, 1.0, 6);
+  const auto a = evaluate_split(LogisticRegression{}, d, 0.8, 9);
+  const auto b = evaluate_split(LogisticRegression{}, d, 0.8, 9);
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+}
+
+TEST(CrossValidateTest, PoolsEverySampleExactlyOnce) {
+  const Dataset d = blobs(30, 3, 0.4, 7);
+  const auto result = cross_validate(LogisticRegression{}, d, 10, 11);
+  EXPECT_EQ(result.confusion.total(), d.size());
+  EXPECT_GT(result.accuracy, 0.9);
+}
+
+TEST(CrossValidateTest, WorksWithSmallK) {
+  const Dataset d = blobs(20, 2, 0.4, 8);
+  const auto result = cross_validate(LogisticRegression{}, d, 2, 12);
+  EXPECT_EQ(result.confusion.total(), d.size());
+}
+
+TEST(CrossValidateTest, HarderDataLowerAccuracy) {
+  const Dataset easy = blobs(40, 3, 0.2, 9);
+  const Dataset hard = blobs(40, 3, 2.5, 9);
+  const auto e = cross_validate(LogisticRegression{}, easy, 5, 13);
+  const auto h = cross_validate(LogisticRegression{}, hard, 5, 13);
+  EXPECT_GT(e.accuracy, h.accuracy);
+}
+
+// Property: CV accuracy is well-calibrated (between chance and 1) for
+// multiple fold counts.
+class CvSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CvSweep, AccuracyInSaneRange) {
+  const Dataset d = blobs(25, 4, 0.8, 10);
+  const auto result = cross_validate(LogisticRegression{}, d, GetParam(), 14);
+  EXPECT_GT(result.accuracy, 0.25);
+  EXPECT_LE(result.accuracy, 1.0);
+  EXPECT_EQ(result.confusion.total(), d.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Folds, CvSweep, ::testing::Values(2, 3, 5, 10));
+
+}  // namespace

@@ -1,0 +1,174 @@
+// Tests for the extension features: speaker-id propagation (gender /
+// speaker leakage analyses), environmental disturbances, and the
+// posture-drift / grip models behind Table I.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/attack.h"
+#include "ml/logistic.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace emoleak;
+
+core::ExtractedData tess_capture(phone::Posture posture,
+                                 double env_bumps_hz = 0.0,
+                                 std::uint64_t seed = 50) {
+  const audio::DatasetSpec spec = audio::scaled_spec(audio::tess_spec(), 0.05);
+  const audio::Corpus corpus{spec, seed};
+  phone::RecorderConfig rc;
+  rc.posture = posture;
+  rc.speaker = posture == phone::Posture::kHandheld
+                   ? phone::SpeakerKind::kEarSpeaker
+                   : phone::SpeakerKind::kLoudspeaker;
+  rc.seed = seed;
+  rc.environment_bump_rate_hz = env_bumps_hz;
+  const phone::Recording rec =
+      record_session(corpus, phone::oneplus_7t(), rc);
+  core::PipelineConfig pipeline;
+  pipeline.detector = posture == phone::Posture::kHandheld
+                          ? core::handheld_detector_config()
+                          : core::tabletop_detector_config();
+  return core::extract(rec, pipeline);
+}
+
+TEST(SpeakerIdTest, AlignedWithFeatures) {
+  const core::ExtractedData data = tess_capture(phone::Posture::kTableTop);
+  EXPECT_EQ(data.speaker_ids.size(), data.features.size());
+}
+
+TEST(SpeakerIdTest, CoversAllSpeakers) {
+  const core::ExtractedData data = tess_capture(phone::Posture::kTableTop);
+  const std::set<int> speakers{data.speaker_ids.begin(),
+                               data.speaker_ids.end()};
+  EXPECT_EQ(speakers.size(), 2u);  // both TESS actresses
+}
+
+TEST(SpeakerIdTest, SpeakerClassifiableFromVibrations) {
+  // Spearphone-style: the same features that leak emotion identify the
+  // speaker. SAVEE's four male speakers have strongly distinct voices
+  // (speaker_variability 0.95), so 4-way identification must beat the
+  // 25% random-guess rate by a wide margin.
+  const audio::Corpus corpus{audio::scaled_spec(audio::savee_spec(), 0.5), 54};
+  phone::RecorderConfig rc;
+  rc.seed = 54;
+  const phone::Recording rec =
+      record_session(corpus, phone::oneplus_7t(), rc);
+  const core::ExtractedData data = core::extract(rec, core::PipelineConfig{});
+  ml::Dataset speaker;
+  speaker.class_count = 4;
+  speaker.class_names = {"s0", "s1", "s2", "s3"};
+  speaker.x = data.features.x;
+  for (const int s : data.speaker_ids) speaker.y.push_back(s);
+  const double acc =
+      core::evaluate_classical(ml::LogisticRegression{}, speaker, 3).accuracy;
+  EXPECT_GT(acc, 0.55);
+}
+
+TEST(EnvironmentTest, BumpsReduceButDontKillExtraction) {
+  const core::ExtractedData quiet = tess_capture(phone::Posture::kTableTop, 0.0);
+  const core::ExtractedData noisy =
+      tess_capture(phone::Posture::kTableTop, 1.5);
+  EXPECT_GT(quiet.extraction_rate, 0.9);
+  EXPECT_GT(noisy.extraction_rate, 0.3);
+  // Disturbances add false or corrupted regions.
+  EXPECT_LE(noisy.extraction_rate, quiet.extraction_rate + 1e-9);
+}
+
+TEST(EnvironmentTest, QuietDefaultIsZeroBumps) {
+  const phone::RecorderConfig rc;
+  EXPECT_DOUBLE_EQ(rc.environment_bump_rate_hz, 0.0);
+}
+
+TEST(PostureDriftTest, HandheldBlocksCarryDcOffsets) {
+  // With per-block posture shifts, the region means in different
+  // emotion blocks differ more than within one block.
+  const audio::DatasetSpec spec = audio::scaled_spec(audio::tess_spec(), 0.05);
+  const audio::Corpus corpus{spec, 51};
+  phone::RecorderConfig rc;
+  rc.posture = phone::Posture::kHandheld;
+  rc.speaker = phone::SpeakerKind::kEarSpeaker;
+  rc.seed = 51;
+  rc.block_posture_sigma = 0.5;  // exaggerate for the test
+  const phone::Recording rec =
+      record_session(corpus, phone::oneplus_7t(), rc);
+  // Mean level per schedule entry.
+  std::vector<double> block_means(7, 0.0);
+  std::vector<int> block_counts(7, 0);
+  for (const auto& s : rec.schedule) {
+    double m = 0.0;
+    for (std::size_t i = s.start_sample; i < s.end_sample; ++i) {
+      m += rec.accel[i];
+    }
+    m /= static_cast<double>(s.end_sample - s.start_sample);
+    block_means[static_cast<std::size_t>(s.emotion)] += m;
+    ++block_counts[static_cast<std::size_t>(s.emotion)];
+  }
+  double spread = 0.0;
+  for (std::size_t e = 0; e < 7; ++e) {
+    block_means[e] /= block_counts[e];
+    for (std::size_t f = 0; f < e; ++f) {
+      spread = std::max(spread, std::abs(block_means[e] - block_means[f]));
+    }
+  }
+  EXPECT_GT(spread, 0.2);  // clearly distinct block levels
+}
+
+TEST(PostureDriftTest, TableTopHasNoBlockOffsets) {
+  const audio::DatasetSpec spec = audio::scaled_spec(audio::tess_spec(), 0.05);
+  const audio::Corpus corpus{spec, 52};
+  phone::RecorderConfig rc;
+  rc.posture = phone::Posture::kTableTop;
+  rc.seed = 52;
+  rc.block_posture_sigma = 0.5;  // must be ignored on the table
+  const phone::Recording rec =
+      record_session(corpus, phone::oneplus_7t(), rc);
+  double min_mean = 1e9, max_mean = -1e9;
+  for (const auto& s : rec.schedule) {
+    double m = 0.0;
+    for (std::size_t i = s.start_sample; i < s.end_sample; ++i) {
+      m += rec.accel[i];
+    }
+    m /= static_cast<double>(s.end_sample - s.start_sample);
+    min_mean = std::min(min_mean, m);
+    max_mean = std::max(max_mean, m);
+  }
+  EXPECT_LT(max_mean - min_mean, 0.1);
+}
+
+TEST(CouplingJitterTest, ScramblesPerUtteranceEnergy) {
+  // With high coupling jitter, per-utterance vibration RMS varies far
+  // more than with none. Measured on the loudspeaker/table-top channel
+  // where the signal is far above the noise floor.
+  const audio::DatasetSpec spec = audio::scaled_spec(audio::tess_spec(), 0.03);
+  const audio::Corpus corpus{spec, 53};
+  const auto rms_spread = [&](double coupling) {
+    phone::PhoneProfile profile = phone::oneplus_7t();
+    profile.coupling_jitter = coupling;
+    phone::RecorderConfig rc;
+    rc.seed = 53;
+    const phone::Recording rec =
+        record_session(corpus, profile, rc);
+    std::vector<double> log_rms;
+    for (const auto& s : rec.schedule) {
+      double e = 0.0;
+      for (std::size_t i = s.start_sample; i < s.end_sample; ++i) {
+        const double d = rec.accel[i] - 9.81;
+        e += d * d;
+      }
+      log_rms.push_back(std::log(
+          std::sqrt(e / static_cast<double>(s.end_sample - s.start_sample))));
+    }
+    double mean = 0.0;
+    for (const double v : log_rms) mean += v;
+    mean /= static_cast<double>(log_rms.size());
+    double var = 0.0;
+    for (const double v : log_rms) var += (v - mean) * (v - mean);
+    return std::sqrt(var / static_cast<double>(log_rms.size()));
+  };
+  EXPECT_GT(rms_spread(0.8), rms_spread(0.0) + 0.2);
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+// Tests for FFT implementations (dsp/fft.h): correctness against a
+// direct DFT, Parseval's theorem across sizes (property sweep),
+// round-trip inversion, and special inputs.
+#include "dsp/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+using emoleak::dsp::Complex;
+using emoleak::dsp::fft;
+using emoleak::dsp::fft_pow2;
+using emoleak::dsp::irfft;
+using emoleak::dsp::is_pow2;
+using emoleak::dsp::next_pow2;
+using emoleak::dsp::rfft;
+using emoleak::dsp::rfft_magnitude;
+
+std::vector<Complex> naive_dft(const std::vector<Complex>& x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex sum{};
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * t) / static_cast<double>(n);
+      sum += x[t] * Complex{std::cos(angle), std::sin(angle)};
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  emoleak::util::Rng rng{seed};
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex{rng.normal(), rng.normal()};
+  return x;
+}
+
+TEST(FftPow2Test, ImpulseGivesFlatSpectrum) {
+  std::vector<Complex> x(8, Complex{});
+  x[0] = Complex{1.0, 0.0};
+  fft_pow2(x);
+  for (const Complex& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftPow2Test, DcGivesSingleBin) {
+  std::vector<Complex> x(16, Complex{1.0, 0.0});
+  fft_pow2(x);
+  EXPECT_NEAR(x[0].real(), 16.0, 1e-12);
+  for (std::size_t k = 1; k < 16; ++k) EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-10);
+}
+
+TEST(FftPow2Test, NonPow2Throws) {
+  std::vector<Complex> x(6);
+  EXPECT_THROW(fft_pow2(x), emoleak::util::DataError);
+}
+
+TEST(FftPow2Test, MatchesNaiveDft) {
+  const std::vector<Complex> x = random_signal(32, 1);
+  std::vector<Complex> fast = x;
+  fft_pow2(fast);
+  const std::vector<Complex> slow = naive_dft(x);
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    EXPECT_NEAR(std::abs(fast[k] - slow[k]), 0.0, 1e-9);
+  }
+}
+
+TEST(FftPow2Test, InverseRoundTrip) {
+  const std::vector<Complex> x = random_signal(64, 2);
+  std::vector<Complex> y = x;
+  fft_pow2(y, false);
+  fft_pow2(y, true);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(y[i] / 64.0 - x[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(FftTest, BluesteinMatchesNaiveDft) {
+  for (const std::size_t n : {3u, 5u, 7u, 12u, 15u, 31u, 100u}) {
+    const std::vector<Complex> x = random_signal(n, n);
+    const std::vector<Complex> fast = fft(x);
+    const std::vector<Complex> slow = naive_dft(x);
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(std::abs(fast[k] - slow[k]), 0.0, 1e-8)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(FftTest, LinearityHolds) {
+  const std::vector<Complex> a = random_signal(24, 3);
+  const std::vector<Complex> b = random_signal(24, 4);
+  std::vector<Complex> sum(24);
+  for (std::size_t i = 0; i < 24; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  const auto fa = fft(a);
+  const auto fb = fft(b);
+  const auto fs = fft(sum);
+  for (std::size_t k = 0; k < 24; ++k) {
+    EXPECT_NEAR(std::abs(fs[k] - (2.0 * fa[k] + 3.0 * fb[k])), 0.0, 1e-8);
+  }
+}
+
+TEST(FftTest, EmptyAndSingleElement) {
+  EXPECT_TRUE(fft(std::vector<Complex>{}).empty());
+  const std::vector<Complex> one{Complex{3.0, -2.0}};
+  const auto f = fft(one);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_NEAR(std::abs(f[0] - one[0]), 0.0, 1e-12);
+}
+
+TEST(RfftTest, SineLocalizedInCorrectBin) {
+  const std::size_t n = 128;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * 10.0 * static_cast<double>(i) /
+                    static_cast<double>(n));
+  }
+  const std::vector<double> mag = rfft_magnitude(x);
+  ASSERT_EQ(mag.size(), n / 2 + 1);
+  std::size_t peak = 0;
+  for (std::size_t k = 1; k < mag.size(); ++k) {
+    if (mag[k] > mag[peak]) peak = k;
+  }
+  EXPECT_EQ(peak, 10u);
+  EXPECT_NEAR(mag[10], static_cast<double>(n) / 2.0, 1e-9);
+}
+
+TEST(RfftTest, HalfSpectrumSize) {
+  for (const std::size_t n : {8u, 9u, 100u}) {
+    EXPECT_EQ(rfft(std::vector<double>(n, 1.0)).size(), n / 2 + 1);
+  }
+}
+
+TEST(IrfftTest, RoundTripsRealSignal) {
+  emoleak::util::Rng rng{9};
+  for (const std::size_t n : {8u, 16u, 64u}) {
+    std::vector<double> x(n);
+    for (double& v : x) v = rng.normal();
+    const auto half = rfft(x);
+    const auto back = irfft(half, n);
+    ASSERT_EQ(back.size(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], x[i], 1e-9);
+  }
+}
+
+TEST(IrfftTest, WrongSizeThrows) {
+  const std::vector<Complex> half(5);
+  EXPECT_THROW((void)irfft(half, 16), emoleak::util::DataError);
+}
+
+TEST(NextPow2Test, Values) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(17), 32u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+TEST(IsPow2Test, Values) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(65));
+}
+
+// Property: Parseval's theorem across sizes, including non-powers of 2.
+class FftParseval : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftParseval, EnergyPreserved) {
+  const std::size_t n = GetParam();
+  const std::vector<Complex> x = random_signal(n, n * 7 + 1);
+  const std::vector<Complex> f = fft(x);
+  double time_energy = 0.0;
+  double freq_energy = 0.0;
+  for (const Complex& v : x) time_energy += std::norm(v);
+  for (const Complex& v : f) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-8 * time_energy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftParseval,
+                         ::testing::Values(2, 3, 4, 5, 8, 13, 16, 27, 64, 100,
+                                           128, 255, 256, 1000));
+
+}  // namespace

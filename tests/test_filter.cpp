@@ -1,0 +1,191 @@
+// Tests for IIR filters (dsp/filter.h): RBJ designs against their
+// analytic responses, Butterworth flatness/attenuation, stability across
+// a parameter sweep, and zero-phase filtfilt behaviour.
+#include "dsp/filter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace {
+
+using emoleak::dsp::Biquad;
+using emoleak::dsp::BiquadCascade;
+using emoleak::dsp::design_bandpass;
+using emoleak::dsp::design_highpass;
+using emoleak::dsp::design_lowpass;
+
+TEST(BiquadDesignTest, LowpassPassesDcBlocksNyquist) {
+  const Biquad lp = design_lowpass(100.0, 1000.0);
+  EXPECT_NEAR(lp.magnitude_at(0.0), 1.0, 1e-9);
+  EXPECT_LT(lp.magnitude_at(std::numbers::pi), 0.05);
+}
+
+TEST(BiquadDesignTest, HighpassBlocksDcPassesNyquist) {
+  const Biquad hp = design_highpass(100.0, 1000.0);
+  EXPECT_NEAR(hp.magnitude_at(0.0), 0.0, 1e-9);
+  EXPECT_NEAR(hp.magnitude_at(std::numbers::pi), 1.0, 1e-6);
+}
+
+TEST(BiquadDesignTest, ButterworthQGivesMinus3dbAtCutoff) {
+  const double fs = 1000.0;
+  const double fc = 150.0;
+  const Biquad lp = design_lowpass(fc, fs);
+  const double w = 2.0 * std::numbers::pi * fc / fs;
+  EXPECT_NEAR(lp.magnitude_at(w), 1.0 / std::sqrt(2.0), 1e-3);
+}
+
+TEST(BiquadDesignTest, BandpassPeaksAtCenterWithUnitGain) {
+  const double fs = 2000.0;
+  const double f0 = 120.0;
+  const Biquad bp = design_bandpass(f0, fs, 5.0);
+  const double w0 = 2.0 * std::numbers::pi * f0 / fs;
+  EXPECT_NEAR(bp.magnitude_at(w0), 1.0, 1e-6);
+  EXPECT_LT(bp.magnitude_at(w0 * 3.0), 0.5);
+  EXPECT_LT(bp.magnitude_at(w0 / 3.0), 0.5);
+}
+
+TEST(BiquadDesignTest, InvalidArgsThrow) {
+  EXPECT_THROW((void)design_lowpass(0.0, 1000.0), emoleak::util::ConfigError);
+  EXPECT_THROW((void)design_lowpass(600.0, 1000.0), emoleak::util::ConfigError);
+  EXPECT_THROW((void)design_highpass(100.0, 0.0), emoleak::util::ConfigError);
+  EXPECT_THROW((void)design_bandpass(100.0, 1000.0, 0.0),
+               emoleak::util::ConfigError);
+}
+
+TEST(BiquadTest, DesignedSectionsAreStable) {
+  EXPECT_TRUE(design_lowpass(10.0, 1000.0).is_stable());
+  EXPECT_TRUE(design_highpass(499.0, 1000.0).is_stable());
+  EXPECT_TRUE(design_bandpass(250.0, 1000.0, 30.0).is_stable());
+}
+
+TEST(BiquadTest, UnstableSectionDetected) {
+  Biquad s;
+  s.a2 = 1.5;  // pole outside the unit circle
+  EXPECT_FALSE(s.is_stable());
+}
+
+TEST(ButterworthTest, OddOrderThrows) {
+  EXPECT_THROW((void)BiquadCascade::butterworth_highpass(3, 10.0, 100.0),
+               emoleak::util::ConfigError);
+  EXPECT_THROW((void)BiquadCascade::butterworth_lowpass(0, 10.0, 100.0),
+               emoleak::util::ConfigError);
+}
+
+TEST(ButterworthTest, HighpassMagnitudeMatchesAnalytic) {
+  // |H(f)| = (f/fc)^N / sqrt(1 + (f/fc)^(2N)) for Butterworth HP.
+  const double fs = 1000.0;
+  const double fc = 50.0;
+  for (const int order : {2, 4, 8}) {
+    const auto hpf = BiquadCascade::butterworth_highpass(order, fc, fs);
+    for (const double f : {10.0, 25.0, 50.0, 100.0, 200.0}) {
+      // The bilinear-transform-free RBJ sections approximate the analog
+      // prototype well below Nyquist/2; compare loosely.
+      const double ratio = std::pow(f / fc, order);
+      const double expected = ratio / std::sqrt(1.0 + ratio * ratio);
+      EXPECT_NEAR(hpf.magnitude_at(f, fs), expected, 0.05)
+          << "order=" << order << " f=" << f;
+    }
+  }
+}
+
+TEST(ButterworthTest, CutoffIsMinus3db) {
+  const auto lpf = BiquadCascade::butterworth_lowpass(4, 80.0, 1000.0);
+  EXPECT_NEAR(lpf.magnitude_at(80.0, 1000.0), 1.0 / std::sqrt(2.0), 0.02);
+}
+
+TEST(ButterworthTest, StopbandAttenuationGrowsWithOrder) {
+  const double fs = 1000.0;
+  const auto lp2 = BiquadCascade::butterworth_lowpass(2, 50.0, fs);
+  const auto lp8 = BiquadCascade::butterworth_lowpass(8, 50.0, fs);
+  EXPECT_LT(lp8.magnitude_at(200.0, fs), lp2.magnitude_at(200.0, fs));
+}
+
+TEST(BiquadCascadeTest, FilterRemovesDcWithHighpass) {
+  auto hpf = BiquadCascade::butterworth_highpass(4, 8.0, 400.0);
+  const std::vector<double> dc(2000, 5.0);
+  const auto out = hpf.filter(dc);
+  // After the transient, the output should approach zero.
+  for (std::size_t i = 1500; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], 0.0, 0.05);
+  }
+}
+
+TEST(BiquadCascadeTest, SinePassesHighpassAboveCutoff) {
+  auto hpf = BiquadCascade::butterworth_highpass(4, 8.0, 400.0);
+  std::vector<double> x(4000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * 50.0 * static_cast<double>(i) / 400.0);
+  }
+  const auto out = hpf.filter(x);
+  double power = 0.0;
+  for (std::size_t i = 2000; i < out.size(); ++i) power += out[i] * out[i];
+  power /= 2000.0;
+  EXPECT_NEAR(power, 0.5, 0.02);  // sine power preserved
+}
+
+TEST(BiquadCascadeTest, ResetClearsState) {
+  auto lpf = BiquadCascade::butterworth_lowpass(2, 50.0, 1000.0);
+  const std::vector<double> x(100, 1.0);
+  const auto out1 = lpf.filter(x);
+  lpf.reset();
+  const auto out2 = lpf.filter(x);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(out1[i], out2[i]);
+}
+
+TEST(BiquadCascadeTest, FiltfiltIsZeroPhase) {
+  // A zero-phase filter must not shift a slow sine; compare peak
+  // positions of input and output.
+  auto lpf = BiquadCascade::butterworth_lowpass(4, 30.0, 1000.0);
+  std::vector<double> x(3000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * 5.0 * static_cast<double>(i) / 1000.0);
+  }
+  const auto out = lpf.filtfilt(x);
+  // Zero phase + passband tone => output tracks input sample-for-sample
+  // away from the edges.
+  for (std::size_t i = 1000; i < 2000; ++i) {
+    EXPECT_NEAR(out[i], x[i], 0.02) << "i=" << i;
+  }
+}
+
+TEST(BiquadCascadeTest, EmptyInputOk) {
+  auto lpf = BiquadCascade::butterworth_lowpass(2, 50.0, 1000.0);
+  EXPECT_TRUE(lpf.filter(std::vector<double>{}).empty());
+  EXPECT_TRUE(lpf.filtfilt(std::vector<double>{}).empty());
+}
+
+// Property: all Butterworth designs are stable across orders/cutoffs.
+class ButterworthStability
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ButterworthStability, HighpassStable) {
+  const auto [order, cutoff_frac] = GetParam();
+  const double fs = 1000.0;
+  const auto f = BiquadCascade::butterworth_highpass(order, cutoff_frac * fs, fs);
+  EXPECT_TRUE(f.is_stable());
+}
+
+TEST_P(ButterworthStability, LowpassStable) {
+  const auto [order, cutoff_frac] = GetParam();
+  const double fs = 1000.0;
+  const auto f = BiquadCascade::butterworth_lowpass(order, cutoff_frac * fs, fs);
+  EXPECT_TRUE(f.is_stable());
+}
+
+TEST_P(ButterworthStability, PassbandGainNearUnity) {
+  const auto [order, cutoff_frac] = GetParam();
+  const double fs = 1000.0;
+  const auto lp = BiquadCascade::butterworth_lowpass(order, cutoff_frac * fs, fs);
+  EXPECT_NEAR(lp.magnitude_at(0.001, fs), 1.0, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ButterworthStability,
+    ::testing::Combine(::testing::Values(2, 4, 6, 8, 12),
+                       ::testing::Values(0.001, 0.01, 0.1, 0.25, 0.45)));
+
+}  // namespace

@@ -1,0 +1,149 @@
+// Tests for information-gain analysis (features/info_gain.h).
+#include "features/info_gain.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+using emoleak::features::information_gain;
+using emoleak::features::information_gain_all;
+using emoleak::features::label_entropy;
+
+TEST(LabelEntropyTest, UniformBinaryIsOneBit) {
+  const std::vector<int> y{0, 1, 0, 1};
+  EXPECT_NEAR(label_entropy(y, 2), 1.0, 1e-12);
+}
+
+TEST(LabelEntropyTest, PureSampleIsZero) {
+  const std::vector<int> y{1, 1, 1};
+  EXPECT_DOUBLE_EQ(label_entropy(y, 2), 0.0);
+}
+
+TEST(LabelEntropyTest, SevenUniformClassesMatchLog2) {
+  std::vector<int> y;
+  for (int c = 0; c < 7; ++c) {
+    for (int i = 0; i < 10; ++i) y.push_back(c);
+  }
+  EXPECT_NEAR(label_entropy(y, 7), std::log2(7.0), 1e-12);
+}
+
+TEST(LabelEntropyTest, ErrorsOnBadInput) {
+  EXPECT_THROW((void)label_entropy(std::vector<int>{}, 2),
+               emoleak::util::DataError);
+  EXPECT_THROW((void)label_entropy(std::vector<int>{3}, 2),
+               emoleak::util::DataError);
+  EXPECT_THROW((void)label_entropy(std::vector<int>{0}, 0),
+               emoleak::util::DataError);
+}
+
+TEST(InformationGainTest, PerfectFeatureGivesFullEntropy) {
+  std::vector<double> x;
+  std::vector<int> y;
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 25; ++i) {
+      x.push_back(static_cast<double>(c) * 10.0);
+      y.push_back(c);
+    }
+  }
+  EXPECT_NEAR(information_gain(x, y, 4), 2.0, 0.05);
+}
+
+TEST(InformationGainTest, UselessFeatureGivesNearZero) {
+  emoleak::util::Rng rng{1};
+  std::vector<double> x(1000);
+  std::vector<int> y(1000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = static_cast<int>(rng.uniform_int(4));
+  }
+  EXPECT_LT(information_gain(x, y, 4), 0.1);
+}
+
+TEST(InformationGainTest, ConstantFeatureGivesZero) {
+  const std::vector<double> x(100, 3.0);
+  std::vector<int> y(100);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = static_cast<int>(i % 2);
+  EXPECT_NEAR(information_gain(x, y, 2), 0.0, 1e-9);
+}
+
+TEST(InformationGainTest, PartialInformation) {
+  // Feature separates class 0 (half the sample) from {1,2} but not 1
+  // from 2: H(y) = 1.5 bits, H(y|x) = 0.5 * 1 bit => gain 1.0.
+  std::vector<double> x;
+  std::vector<int> y;
+  for (int i = 0; i < 60; ++i) {
+    x.push_back(0.0);
+    y.push_back(0);
+  }
+  for (int i = 0; i < 30; ++i) {
+    x.push_back(10.0);
+    y.push_back(1);
+    x.push_back(10.0);
+    y.push_back(2);
+  }
+  EXPECT_NEAR(information_gain(x, y, 3), 1.0, 0.05);
+}
+
+TEST(InformationGainTest, SizeMismatchThrows) {
+  EXPECT_THROW(
+      (void)information_gain(std::vector<double>(3, 1.0),
+                             std::vector<int>{0, 1}, 2),
+      emoleak::util::DataError);
+}
+
+TEST(InformationGainTest, TooFewBinsThrows) {
+  EXPECT_THROW((void)information_gain(std::vector<double>{1.0, 2.0},
+                                      std::vector<int>{0, 1}, 2, 1),
+               emoleak::util::DataError);
+}
+
+TEST(InformationGainAllTest, PerColumnGains) {
+  // Column 0 informative, column 1 random.
+  emoleak::util::Rng rng{2};
+  std::vector<std::vector<double>> rows;
+  std::vector<int> y;
+  for (int i = 0; i < 400; ++i) {
+    const int label = static_cast<int>(rng.uniform_int(2));
+    rows.push_back({static_cast<double>(label) + 0.01 * rng.normal(),
+                    rng.normal()});
+    y.push_back(label);
+  }
+  const auto gains = information_gain_all(rows, y, 2);
+  ASSERT_EQ(gains.size(), 2u);
+  EXPECT_GT(gains[0], 0.9);
+  EXPECT_LT(gains[1], 0.1);
+}
+
+TEST(InformationGainAllTest, RaggedMatrixThrows) {
+  std::vector<std::vector<double>> rows{{1.0, 2.0}, {3.0}};
+  EXPECT_THROW((void)information_gain_all(rows, std::vector<int>{0, 1}, 2),
+               emoleak::util::DataError);
+}
+
+// Property: information gain is non-negative and bounded by label
+// entropy for arbitrary noisy features.
+class InfoGainBounds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InfoGainBounds, NonNegativeAndBounded) {
+  emoleak::util::Rng rng{GetParam()};
+  const int classes = 2 + static_cast<int>(rng.uniform_int(5));
+  std::vector<double> x(300);
+  std::vector<int> y(300);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(classes)));
+    x[i] = 0.5 * y[i] + rng.normal();  // partially informative
+  }
+  const double gain = information_gain(x, y, classes);
+  EXPECT_GE(gain, 0.0);
+  EXPECT_LE(gain, label_entropy(y, classes) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InfoGainBounds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace

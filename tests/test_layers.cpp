@@ -1,0 +1,376 @@
+// Gradient checks and forward-shape tests for all layers (nn/layers.h).
+//
+// Every layer's backward pass is verified against central finite
+// differences both for input gradients and parameter gradients.
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+using emoleak::nn::BatchNorm;
+using emoleak::nn::Conv2D;
+using emoleak::nn::Dense;
+using emoleak::nn::Dropout;
+using emoleak::nn::Flatten;
+using emoleak::nn::Layer;
+using emoleak::nn::MaxPool2D;
+using emoleak::nn::Parameter;
+using emoleak::nn::ReLU;
+using emoleak::nn::Tensor;
+using emoleak::util::Rng;
+
+Tensor random_tensor(std::vector<std::size_t> shape, std::uint64_t seed) {
+  Tensor t{std::move(shape)};
+  Rng rng{seed};
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.normal());
+  }
+  return t;
+}
+
+/// Scalar loss used for gradient checking: sum of weighted outputs.
+/// The weights make the loss sensitive to every output element.
+double weighted_sum(const Tensor& y) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    s += (0.3 + 0.1 * static_cast<double>(i % 7)) * y[i];
+  }
+  return s;
+}
+
+Tensor weighted_sum_grad(const Tensor& y) {
+  Tensor g{y.shape()};
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    g[i] = static_cast<float>(0.3 + 0.1 * static_cast<double>(i % 7));
+  }
+  return g;
+}
+
+/// Checks dLoss/dInput against central differences.
+void check_input_gradient(Layer& layer, Tensor x, double tol = 2e-2) {
+  const Tensor y = layer.forward(x, /*training=*/false);
+  const Tensor analytic = layer.backward(weighted_sum_grad(y));
+  ASSERT_TRUE(analytic.same_shape(x));
+  const float eps = 1e-2f;
+  // Check a deterministic subset of positions (full check is O(n^2)).
+  Rng rng{123};
+  for (int check = 0; check < 24; ++check) {
+    const std::size_t i = rng.uniform_int(x.size());
+    Tensor xp = x;
+    xp[i] += eps;
+    Tensor xm = x;
+    xm[i] -= eps;
+    const double fp = weighted_sum(layer.forward(xp, false));
+    const double fm = weighted_sum(layer.forward(xm, false));
+    const double numeric = (fp - fm) / (2.0 * eps);
+    EXPECT_NEAR(analytic[i], numeric, tol * std::max(1.0, std::abs(numeric)))
+        << "input index " << i;
+  }
+  // Restore the layer's forward cache for the caller.
+  (void)layer.forward(x, false);
+}
+
+/// Checks dLoss/dParam against central differences.
+void check_param_gradients(Layer& layer, const Tensor& x, double tol = 2e-2) {
+  const Tensor y = layer.forward(x, /*training=*/true);
+  (void)layer.backward(weighted_sum_grad(y));
+  const float eps = 1e-2f;
+  Rng rng{321};
+  for (Parameter* param : layer.parameters()) {
+    // Snapshot analytic gradients (backward overwrote them).
+    const Tensor analytic = param->grad;
+    for (int check = 0; check < 12; ++check) {
+      const std::size_t i = rng.uniform_int(param->value.size());
+      const float original = param->value[i];
+      param->value[i] = original + eps;
+      const double fp = weighted_sum(layer.forward(x, true));
+      param->value[i] = original - eps;
+      const double fm = weighted_sum(layer.forward(x, true));
+      param->value[i] = original;
+      const double numeric = (fp - fm) / (2.0 * eps);
+      EXPECT_NEAR(analytic[i], numeric, tol * std::max(1.0, std::abs(numeric)))
+          << "param index " << i;
+    }
+  }
+}
+
+TEST(Conv2DTest, SamePaddingPreservesSpatialDims) {
+  Conv2D conv{3, 5, 3, 3, /*same=*/true, 1};
+  const Tensor x = random_tensor({2, 8, 8, 3}, 1);
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 8u);
+  EXPECT_EQ(y.dim(2), 8u);
+  EXPECT_EQ(y.dim(3), 5u);
+}
+
+TEST(Conv2DTest, ValidPaddingShrinks) {
+  Conv2D conv{1, 2, 3, 3, /*same=*/false, 2};
+  const Tensor x = random_tensor({1, 8, 8, 1}, 2);
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.dim(1), 6u);
+  EXPECT_EQ(y.dim(2), 6u);
+}
+
+TEST(Conv2DTest, OneByOneKernelActsPerPixel) {
+  Conv2D conv{1, 1, 1, 1, true, 3};
+  // Set weight to 2, bias to 1 manually.
+  conv.parameters()[0]->value[0] = 2.0f;
+  conv.parameters()[1]->value[0] = 1.0f;
+  Tensor x{{1, 2, 2, 1}, {1.0f, 2.0f, 3.0f, 4.0f}};
+  const Tensor y = conv.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 3.0f);
+  EXPECT_FLOAT_EQ(y[3], 9.0f);
+}
+
+TEST(Conv2DTest, ChannelMismatchThrows) {
+  Conv2D conv{3, 4, 3, 3, true, 4};
+  EXPECT_THROW((void)conv.forward(random_tensor({1, 4, 4, 2}, 3), false),
+               emoleak::util::DataError);
+}
+
+TEST(Conv2DTest, InputGradientMatchesFiniteDifference) {
+  Conv2D conv{2, 3, 3, 3, true, 5};
+  check_input_gradient(conv, random_tensor({2, 5, 5, 2}, 4));
+}
+
+TEST(Conv2DTest, ParamGradientsMatchFiniteDifference) {
+  Conv2D conv{2, 3, 3, 3, true, 6};
+  check_param_gradients(conv, random_tensor({2, 5, 5, 2}, 5));
+}
+
+TEST(Conv2DTest, OneDimensionalKernelGradients) {
+  // The time-frequency CNN uses (1 x 3) kernels on (N, 1, D, C).
+  Conv2D conv{2, 4, 1, 3, true, 7};
+  check_input_gradient(conv, random_tensor({2, 1, 12, 2}, 6));
+  check_param_gradients(conv, random_tensor({2, 1, 12, 2}, 7));
+}
+
+TEST(ReLUTest, ClampsNegatives) {
+  ReLU relu;
+  Tensor x{{1, 4}, {-1.0f, 0.0f, 2.0f, -3.0f}};
+  const Tensor y = relu.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+}
+
+TEST(ReLUTest, GradientMasksNegatives) {
+  ReLU relu;
+  Tensor x{{1, 4}, {-1.0f, 0.5f, 2.0f, -3.0f}};
+  (void)relu.forward(x, true);
+  Tensor g{{1, 4}, {1.0f, 1.0f, 1.0f, 1.0f}};
+  const Tensor gi = relu.backward(g);
+  EXPECT_FLOAT_EQ(gi[0], 0.0f);
+  EXPECT_FLOAT_EQ(gi[1], 1.0f);
+  EXPECT_FLOAT_EQ(gi[3], 0.0f);
+}
+
+TEST(ReLUTest, BackwardShapeMismatchThrows) {
+  ReLU relu;
+  (void)relu.forward(random_tensor({1, 4}, 8), true);
+  EXPECT_THROW((void)relu.backward(random_tensor({1, 5}, 9)),
+               emoleak::util::DataError);
+}
+
+TEST(MaxPool2DTest, PoolsMaxima) {
+  MaxPool2D pool{2, 2};
+  Tensor x{{1, 2, 2, 1}, {1.0f, 5.0f, 3.0f, 2.0f}};
+  const Tensor y = pool.forward(x, false);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+}
+
+TEST(MaxPool2DTest, GradientRoutesToArgmax) {
+  MaxPool2D pool{2, 2};
+  Tensor x{{1, 2, 2, 1}, {1.0f, 5.0f, 3.0f, 2.0f}};
+  (void)pool.forward(x, true);
+  Tensor g{{1, 1, 1, 1}, {7.0f}};
+  const Tensor gi = pool.backward(g);
+  EXPECT_FLOAT_EQ(gi[0], 0.0f);
+  EXPECT_FLOAT_EQ(gi[1], 7.0f);
+  EXPECT_FLOAT_EQ(gi[2], 0.0f);
+}
+
+TEST(MaxPool2DTest, InputSmallerThanPoolClampedToOne) {
+  MaxPool2D pool{1, 8};
+  const Tensor x = random_tensor({1, 1, 3, 2}, 10);
+  const Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.dim(2), 1u);
+}
+
+TEST(MaxPool2DTest, InputGradientMatchesFiniteDifference) {
+  MaxPool2D pool{2, 2};
+  check_input_gradient(pool, random_tensor({2, 6, 6, 3}, 11));
+}
+
+TEST(MaxPool2DTest, ZeroPoolThrows) {
+  EXPECT_THROW(MaxPool2D(0, 2), emoleak::util::ConfigError);
+}
+
+TEST(DropoutTest, IdentityAtInference) {
+  Dropout drop{0.5, 1};
+  const Tensor x = random_tensor({4, 10}, 12);
+  const Tensor y = drop.forward(x, /*training=*/false);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(DropoutTest, DropsApproximatelyRateFraction) {
+  Dropout drop{0.3, 2};
+  Tensor x{{1, 10000}};
+  x.fill(1.0f);
+  const Tensor y = drop.forward(x, true);
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] == 0.0f) ++dropped;
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / 10000.0, 0.3, 0.02);
+}
+
+TEST(DropoutTest, KeptValuesScaledUp) {
+  Dropout drop{0.5, 3};
+  Tensor x{{1, 100}};
+  x.fill(1.0f);
+  const Tensor y = drop.forward(x, true);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_TRUE(y[i] == 0.0f || std::abs(y[i] - 2.0f) < 1e-6);
+  }
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Dropout drop{0.5, 4};
+  Tensor x{{1, 100}};
+  x.fill(1.0f);
+  const Tensor y = drop.forward(x, true);
+  Tensor g{{1, 100}};
+  g.fill(1.0f);
+  const Tensor gi = drop.backward(g);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_FLOAT_EQ(gi[i], y[i]);  // same mask + scale
+  }
+}
+
+TEST(DropoutTest, InvalidRateThrows) {
+  EXPECT_THROW(Dropout(1.0, 1), emoleak::util::ConfigError);
+  EXPECT_THROW(Dropout(-0.1, 1), emoleak::util::ConfigError);
+}
+
+TEST(BatchNormTest, NormalizesPerChannel) {
+  BatchNorm bn{3};
+  const Tensor x = random_tensor({8, 4, 4, 3}, 13);
+  const Tensor y = bn.forward(x, true);
+  // Per-channel mean ~0, var ~1.
+  const std::size_t groups = y.size() / 3;
+  for (std::size_t c = 0; c < 3; ++c) {
+    double mean = 0.0;
+    for (std::size_t g = 0; g < groups; ++g) mean += y[g * 3 + c];
+    mean /= static_cast<double>(groups);
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    double var = 0.0;
+    for (std::size_t g = 0; g < groups; ++g) {
+      var += (y[g * 3 + c] - mean) * (y[g * 3 + c] - mean);
+    }
+    var /= static_cast<double>(groups);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, InferenceUsesRunningStats) {
+  BatchNorm bn{2};
+  // Train on data with mean 5 so running stats move toward it.
+  Tensor x{{64, 2}};
+  Rng rng{14};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(5.0 + rng.normal());
+  }
+  for (int it = 0; it < 50; ++it) (void)bn.forward(x, true);
+  // At inference, an input of 5 should map near 0.
+  Tensor probe{{1, 2}, {5.0f, 5.0f}};
+  const Tensor y = bn.forward(probe, false);
+  EXPECT_NEAR(y[0], 0.0f, 0.3f);
+}
+
+TEST(BatchNormTest, InputGradientMatchesFiniteDifference) {
+  // Finite-difference check in training mode (batch statistics make
+  // the gradient non-trivial).
+  BatchNorm bn{2};
+  Tensor x = random_tensor({6, 2}, 15);
+  const Tensor y = bn.forward(x, true);
+  const Tensor analytic = bn.backward(weighted_sum_grad(y));
+  const float eps = 1e-2f;
+  Rng rng{16};
+  for (int check = 0; check < 16; ++check) {
+    const std::size_t i = rng.uniform_int(x.size());
+    Tensor xp = x;
+    xp[i] += eps;
+    Tensor xm = x;
+    xm[i] -= eps;
+    BatchNorm bnp{2};
+    BatchNorm bnm{2};
+    const double fp = weighted_sum(bnp.forward(xp, true));
+    const double fm = weighted_sum(bnm.forward(xm, true));
+    const double numeric = (fp - fm) / (2.0 * eps);
+    EXPECT_NEAR(analytic[i], numeric, 0.05 * std::max(1.0, std::abs(numeric)));
+  }
+}
+
+TEST(BatchNormTest, ParamGradientsMatchFiniteDifference) {
+  BatchNorm bn{3};
+  check_param_gradients(bn, random_tensor({8, 3}, 17), 0.03);
+}
+
+TEST(BatchNormTest, ChannelMismatchThrows) {
+  BatchNorm bn{3};
+  EXPECT_THROW((void)bn.forward(random_tensor({2, 4}, 18), true),
+               emoleak::util::DataError);
+}
+
+TEST(FlattenTest, FlattensAndRestores) {
+  Flatten flat;
+  const Tensor x = random_tensor({2, 3, 4, 5}, 19);
+  const Tensor y = flat.forward(x, false);
+  EXPECT_EQ(y.rank(), 2u);
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 60u);
+  const Tensor back = flat.backward(y);
+  EXPECT_TRUE(back.same_shape(x));
+}
+
+TEST(DenseTest, ComputesAffineMap) {
+  Dense dense{2, 1, 20};
+  dense.parameters()[0]->value[0] = 2.0f;  // w[0][0]
+  dense.parameters()[0]->value[1] = -1.0f; // w[1][0]
+  dense.parameters()[1]->value[0] = 0.5f;  // bias
+  Tensor x{{1, 2}, {3.0f, 4.0f}};
+  const Tensor y = dense.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 3.0f * 2.0f + 4.0f * -1.0f + 0.5f);
+}
+
+TEST(DenseTest, WrongInputShapeThrows) {
+  Dense dense{4, 2, 21};
+  EXPECT_THROW((void)dense.forward(random_tensor({1, 5}, 20), false),
+               emoleak::util::DataError);
+}
+
+TEST(DenseTest, InputGradientMatchesFiniteDifference) {
+  Dense dense{6, 4, 22};
+  check_input_gradient(dense, random_tensor({3, 6}, 21));
+}
+
+TEST(DenseTest, ParamGradientsMatchFiniteDifference) {
+  Dense dense{6, 4, 23};
+  check_param_gradients(dense, random_tensor({3, 6}, 22));
+}
+
+TEST(DenseTest, ZeroDimsThrow) {
+  EXPECT_THROW(Dense(0, 3, 1), emoleak::util::ConfigError);
+}
+
+}  // namespace

@@ -1,0 +1,201 @@
+// Tests for logistic regression and the one-vs-rest wrapper
+// (ml/logistic.h, ml/multiclass.h).
+#include "ml/logistic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/multiclass.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+using emoleak::ml::Dataset;
+using emoleak::ml::LogisticConfig;
+using emoleak::ml::LogisticRegression;
+using emoleak::ml::OneVsRestLogistic;
+using emoleak::ml::softmax_inplace;
+using emoleak::util::Rng;
+
+Dataset blobs(std::size_t per_class, int classes, double spread,
+              std::uint64_t seed) {
+  Rng rng{seed};
+  Dataset d;
+  d.class_count = classes;
+  for (int c = 0; c < classes; ++c) {
+    const double angle = 2.0 * 3.14159265358979 * c / classes;
+    for (std::size_t i = 0; i < per_class; ++i) {
+      d.x.push_back({3.0 * std::cos(angle) + spread * rng.normal(),
+                     3.0 * std::sin(angle) + spread * rng.normal()});
+      d.y.push_back(c);
+    }
+  }
+  return d;
+}
+
+double train_accuracy(const emoleak::ml::Classifier& c, const Dataset& d) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (c.predict(d.x[i]) == d.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(d.size());
+}
+
+TEST(SoftmaxTest, NormalizesToOne) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  softmax_inplace(v);
+  EXPECT_NEAR(v[0] + v[1] + v[2], 1.0, 1e-12);
+  EXPECT_GT(v[2], v[1]);
+  EXPECT_GT(v[1], v[0]);
+}
+
+TEST(SoftmaxTest, StableForLargeLogits) {
+  std::vector<double> v{1000.0, 1001.0};
+  softmax_inplace(v);
+  EXPECT_NEAR(v[0] + v[1], 1.0, 1e-12);
+  EXPECT_GT(v[1], v[0]);
+  EXPECT_TRUE(std::isfinite(v[0]));
+}
+
+TEST(SoftmaxTest, EmptyIsNoop) {
+  std::vector<double> v;
+  softmax_inplace(v);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(LogisticTest, LearnsSeparableBinary) {
+  const Dataset d = blobs(100, 2, 0.4, 1);
+  LogisticRegression model;
+  model.fit(d);
+  EXPECT_GT(train_accuracy(model, d), 0.98);
+}
+
+TEST(LogisticTest, LearnsSevenClasses) {
+  const Dataset d = blobs(60, 7, 0.3, 2);
+  LogisticRegression model;
+  model.fit(d);
+  EXPECT_GT(train_accuracy(model, d), 0.95);
+}
+
+TEST(LogisticTest, ProbabilitiesSumToOne) {
+  const Dataset d = blobs(50, 3, 0.5, 3);
+  LogisticRegression model;
+  model.fit(d);
+  const auto p = model.predict_proba(d.x[0]);
+  ASSERT_EQ(p.size(), 3u);
+  double sum = 0.0;
+  for (const double v : p) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(LogisticTest, ConfidentOnTrainingPoints) {
+  const Dataset d = blobs(80, 2, 0.2, 4);
+  LogisticRegression model;
+  model.fit(d);
+  const auto p = model.predict_proba(d.x[0]);
+  EXPECT_GT(p[static_cast<std::size_t>(d.y[0])], 0.9);
+}
+
+TEST(LogisticTest, DeterministicAcrossRuns) {
+  const Dataset d = blobs(50, 3, 0.6, 5);
+  LogisticRegression a, b;
+  a.fit(d);
+  b.fit(d);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(a.predict(d.x[i]), b.predict(d.x[i]));
+  }
+}
+
+TEST(LogisticTest, UnfittedThrows) {
+  const LogisticRegression model;
+  EXPECT_THROW((void)model.predict_proba(std::vector<double>{1.0, 2.0}),
+               emoleak::util::DataError);
+}
+
+TEST(LogisticTest, EmptyDatasetThrows) {
+  Dataset d;
+  d.class_count = 2;
+  LogisticRegression model;
+  EXPECT_THROW(model.fit(d), emoleak::util::DataError);
+}
+
+TEST(LogisticTest, CloneIsUntrainedWithSameConfig) {
+  LogisticConfig cfg;
+  cfg.max_epochs = 123;
+  const LogisticRegression model{cfg};
+  const auto clone = model.clone();
+  EXPECT_EQ(clone->name(), "Logistic");
+  EXPECT_THROW((void)clone->predict(std::vector<double>{0.0, 0.0}),
+               emoleak::util::DataError);
+}
+
+TEST(LogisticTest, RidgeShrinksConfidence) {
+  const Dataset d = blobs(50, 2, 0.2, 6);
+  LogisticConfig weak;
+  weak.ridge = 1e-6;
+  LogisticConfig strong;
+  strong.ridge = 1.0;
+  LogisticRegression a{weak}, b{strong};
+  a.fit(d);
+  b.fit(d);
+  const double pa = a.predict_proba(d.x[0])[static_cast<std::size_t>(d.y[0])];
+  const double pb = b.predict_proba(d.x[0])[static_cast<std::size_t>(d.y[0])];
+  EXPECT_GT(pa, pb);
+}
+
+TEST(OneVsRestTest, LearnsMulticlass) {
+  const Dataset d = blobs(60, 5, 0.3, 7);
+  OneVsRestLogistic model;
+  model.fit(d);
+  EXPECT_GT(train_accuracy(model, d), 0.95);
+}
+
+TEST(OneVsRestTest, ProbabilitiesNormalized) {
+  const Dataset d = blobs(40, 4, 0.5, 8);
+  OneVsRestLogistic model;
+  model.fit(d);
+  const auto p = model.predict_proba(d.x[5]);
+  double sum = 0.0;
+  for (const double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(OneVsRestTest, NameMatchesWeka) {
+  EXPECT_EQ(OneVsRestLogistic{}.name(), "multiClassClassifier");
+}
+
+TEST(OneVsRestTest, UnfittedThrows) {
+  const OneVsRestLogistic model;
+  EXPECT_THROW((void)model.predict(std::vector<double>{0.0, 0.0}),
+               emoleak::util::DataError);
+}
+
+TEST(OneVsRestTest, CloneWorks) {
+  const OneVsRestLogistic model;
+  const auto clone = model.clone();
+  const Dataset d = blobs(30, 3, 0.4, 9);
+  clone->fit(d);
+  EXPECT_GT(train_accuracy(*clone, d), 0.9);
+}
+
+// Property: both logistic variants beat chance on noisy blobs across
+// class counts.
+class LogisticSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LogisticSweep, BeatsChanceOnNoisyData) {
+  const int classes = GetParam();
+  const Dataset d = blobs(40, classes, 1.2, 100 + classes);
+  LogisticRegression model;
+  model.fit(d);
+  EXPECT_GT(train_accuracy(model, d), std::min(0.95, 2.0 / classes));
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, LogisticSweep, ::testing::Values(2, 3, 5, 7));
+
+}  // namespace

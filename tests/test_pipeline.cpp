@@ -1,0 +1,166 @@
+// Tests for region labelling + extraction pipeline (core/pipeline.h).
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "audio/corpus.h"
+#include "phone/profile.h"
+#include "util/error.h"
+
+namespace {
+
+using emoleak::audio::Corpus;
+using emoleak::audio::scaled_spec;
+using emoleak::audio::tess_spec;
+using emoleak::core::extract;
+using emoleak::core::extraction_rate;
+using emoleak::core::label_regions;
+using emoleak::core::LabelledRegion;
+using emoleak::core::PipelineConfig;
+using emoleak::core::Region;
+using emoleak::core::tabletop_detector_config;
+using emoleak::phone::oneplus_7t;
+using emoleak::phone::record_session;
+using emoleak::phone::RecorderConfig;
+using emoleak::phone::Recording;
+
+Recording tiny_recording(std::uint64_t seed = 21) {
+  const Corpus corpus{scaled_spec(tess_spec(), 0.02), seed};  // 56 utterances
+  RecorderConfig cfg;
+  cfg.seed = seed;
+  return record_session(corpus, oneplus_7t(), cfg);
+}
+
+TEST(LabelRegionsTest, AssignsByMaximalOverlap) {
+  Recording rec;
+  rec.rate_hz = 420.0;
+  rec.dataset = tess_spec();
+  rec.accel.assign(4000, 9.81);
+  rec.schedule = {
+      {0, 0, emoleak::audio::Emotion::kAngry, 100, 500},
+      {1, 0, emoleak::audio::Emotion::kSad, 900, 1400},
+  };
+  const std::vector<Region> regions{{150, 450}, {850, 1300}, {3000, 3500}};
+  const auto labelled = label_regions(regions, rec);
+  ASSERT_EQ(labelled.size(), 2u);  // third region overlaps nothing
+  EXPECT_EQ(labelled[0].emotion, emoleak::audio::Emotion::kAngry);
+  EXPECT_EQ(labelled[1].emotion, emoleak::audio::Emotion::kSad);
+  EXPECT_EQ(labelled[1].schedule_index, 1u);
+}
+
+TEST(LabelRegionsTest, TieBreaksToLargerOverlap) {
+  Recording rec;
+  rec.rate_hz = 420.0;
+  rec.dataset = tess_spec();
+  rec.accel.assign(2000, 9.81);
+  rec.schedule = {
+      {0, 0, emoleak::audio::Emotion::kAngry, 0, 500},
+      {1, 0, emoleak::audio::Emotion::kHappy, 520, 1000},
+  };
+  // Region straddles both; 80 samples over Angry, 380 over Happy.
+  const std::vector<Region> regions{{420, 900}};
+  const auto labelled = label_regions(regions, rec);
+  ASSERT_EQ(labelled.size(), 1u);
+  EXPECT_EQ(labelled[0].emotion, emoleak::audio::Emotion::kHappy);
+}
+
+TEST(ExtractionRateTest, CountsDistinctMatchedUtterances) {
+  Recording rec;
+  rec.rate_hz = 420.0;
+  rec.dataset = tess_spec();
+  rec.accel.assign(2000, 9.81);
+  rec.schedule = {
+      {0, 0, emoleak::audio::Emotion::kAngry, 0, 400},
+      {1, 0, emoleak::audio::Emotion::kSad, 500, 900},
+      {2, 0, emoleak::audio::Emotion::kFear, 1000, 1400},
+  };
+  std::vector<LabelledRegion> labelled{
+      {{10, 100}, 0, emoleak::audio::Emotion::kAngry, 0},
+      {{150, 300}, 0, emoleak::audio::Emotion::kAngry, 0},  // same utterance
+      {{600, 800}, 1, emoleak::audio::Emotion::kSad, 0},
+  };
+  EXPECT_NEAR(extraction_rate(labelled, rec), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ExtractionRateTest, EmptyScheduleGivesZero) {
+  Recording rec;
+  EXPECT_DOUBLE_EQ(extraction_rate({}, rec), 0.0);
+}
+
+TEST(PipelineConfigTest, Validation) {
+  PipelineConfig cfg;
+  cfg.image_size = 0;
+  EXPECT_THROW(cfg.validate(), emoleak::util::ConfigError);
+}
+
+TEST(ExtractTest, ProducesAlignedFeaturesAndImages) {
+  const Recording rec = tiny_recording();
+  PipelineConfig cfg;
+  cfg.detector = tabletop_detector_config();
+  const auto data = extract(rec, cfg);
+  EXPECT_GT(data.features.size(), 40u);
+  EXPECT_EQ(data.features.size(), data.spectrograms.size());
+  EXPECT_EQ(data.features.dim(), 24u);
+  for (const auto& img : data.spectrograms) {
+    EXPECT_EQ(img.size(), cfg.image_size * cfg.image_size);
+  }
+  EXPECT_NO_THROW(data.features.validate());
+}
+
+TEST(ExtractTest, HighExtractionRateOnCleanTabletop) {
+  const Recording rec = tiny_recording();
+  PipelineConfig cfg;
+  cfg.detector = tabletop_detector_config();
+  const auto data = extract(rec, cfg);
+  EXPECT_GT(data.extraction_rate, 0.9);  // paper: >= 90% table-top
+  EXPECT_EQ(data.utterances_total, rec.schedule.size());
+}
+
+TEST(ExtractTest, LabelsCoverAllSevenEmotions) {
+  const Recording rec = tiny_recording();
+  PipelineConfig cfg;
+  const auto data = extract(rec, cfg);
+  std::set<int> classes{data.features.y.begin(), data.features.y.end()};
+  EXPECT_EQ(classes.size(), 7u);
+  EXPECT_EQ(data.features.class_count, 7);
+  EXPECT_EQ(data.features.class_names.size(), 7u);
+}
+
+TEST(ExtractTest, FeatureNamesAttached) {
+  const Recording rec = tiny_recording();
+  const auto data = extract(rec, PipelineConfig{});
+  ASSERT_EQ(data.features.feature_names.size(), 24u);
+  EXPECT_EQ(data.features.feature_names[0], "Min");
+}
+
+TEST(ExtractTest, ImagesNormalizedToUnitRange) {
+  const Recording rec = tiny_recording();
+  const auto data = extract(rec, PipelineConfig{});
+  for (const auto& img : data.spectrograms) {
+    for (const double v : img) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(ExtractTest, DeterministicGivenSameRecording) {
+  const Recording rec = tiny_recording(33);
+  const auto a = extract(rec, PipelineConfig{});
+  const auto b = extract(rec, PipelineConfig{});
+  ASSERT_EQ(a.features.size(), b.features.size());
+  for (std::size_t i = 0; i < a.features.size(); ++i) {
+    EXPECT_EQ(a.features.y[i], b.features.y[i]);
+    EXPECT_EQ(a.features.x[i], b.features.x[i]);
+  }
+}
+
+TEST(ExtractTest, InvalidRecordingThrows) {
+  Recording rec;
+  rec.rate_hz = 0.0;
+  EXPECT_THROW((void)extract(rec, PipelineConfig{}), emoleak::util::DataError);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// Tests for the autocorrelation pitch tracker (dsp/pitch.h).
+#include "dsp/pitch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+using emoleak::dsp::estimate_pitch;
+using emoleak::dsp::PitchConfig;
+using emoleak::dsp::pitch_statistics;
+using emoleak::dsp::track_pitch;
+
+std::vector<double> tone(double f0, double rate, double seconds,
+                         double noise = 0.0, std::uint64_t seed = 1) {
+  emoleak::util::Rng rng{seed};
+  std::vector<double> x(static_cast<std::size_t>(rate * seconds));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * f0 * static_cast<double>(i) / rate) +
+           noise * rng.normal();
+  }
+  return x;
+}
+
+TEST(PitchConfigTest, Validation) {
+  PitchConfig c;
+  c.min_hz = 0.0;
+  EXPECT_THROW(c.validate(), emoleak::util::ConfigError);
+  c = PitchConfig{};
+  c.max_hz = c.min_hz;
+  EXPECT_THROW(c.validate(), emoleak::util::ConfigError);
+  c = PitchConfig{};
+  c.voicing_threshold = 1.5;
+  EXPECT_THROW(c.validate(), emoleak::util::ConfigError);
+}
+
+TEST(PitchTest, RecoversPureToneFrequency) {
+  for (const double f0 : {80.0, 120.0, 205.0, 310.0}) {
+    const auto x = tone(f0, 4000.0, 0.1);
+    const auto estimate = estimate_pitch(x, 4000.0);
+    ASSERT_TRUE(estimate.has_value()) << f0;
+    EXPECT_NEAR(*estimate, f0, 0.05 * f0) << f0;
+  }
+}
+
+TEST(PitchTest, RobustToModerateNoise) {
+  const auto x = tone(150.0, 4000.0, 0.1, 0.3, 2);
+  const auto estimate = estimate_pitch(x, 4000.0);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_NEAR(*estimate, 150.0, 10.0);
+}
+
+TEST(PitchTest, RejectsPureNoise) {
+  emoleak::util::Rng rng{3};
+  std::vector<double> x(800);
+  for (double& v : x) v = rng.normal();
+  EXPECT_FALSE(estimate_pitch(x, 4000.0).has_value());
+}
+
+TEST(PitchTest, RejectsSilence) {
+  EXPECT_FALSE(estimate_pitch(std::vector<double>(800, 0.0), 4000.0).has_value());
+  EXPECT_FALSE(estimate_pitch(std::vector<double>(800, 9.81), 4000.0).has_value());
+}
+
+TEST(PitchTest, TooShortFrameReturnsNothing) {
+  const auto x = tone(100.0, 4000.0, 0.005);
+  EXPECT_FALSE(estimate_pitch(x, 4000.0).has_value());
+}
+
+TEST(PitchTest, HarmonicComplexFindsFundamental) {
+  // Fundamental + 2 harmonics with a falling tilt.
+  const double rate = 4000.0;
+  std::vector<double> x(static_cast<std::size_t>(rate * 0.1));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double t = static_cast<double>(i) / rate;
+    x[i] = std::sin(2.0 * std::numbers::pi * 130.0 * t) +
+           0.5 * std::sin(2.0 * std::numbers::pi * 260.0 * t) +
+           0.25 * std::sin(2.0 * std::numbers::pi * 390.0 * t);
+  }
+  const auto estimate = estimate_pitch(x, rate);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_NEAR(*estimate, 130.0, 6.0);
+}
+
+TEST(TrackPitchTest, TracksChangingPitch) {
+  // 100 Hz for the first half, 200 Hz for the second.
+  const double rate = 4000.0;
+  std::vector<double> x;
+  const auto a = tone(100.0, rate, 0.5);
+  const auto b = tone(200.0, rate, 0.5);
+  x.insert(x.end(), a.begin(), a.end());
+  x.insert(x.end(), b.begin(), b.end());
+  const auto track = track_pitch(x, rate);
+  ASSERT_GT(track.size(), 20u);
+  // Early frames near 100, late frames near 200.
+  ASSERT_TRUE(track[3].f0_hz.has_value());
+  EXPECT_NEAR(*track[3].f0_hz, 100.0, 8.0);
+  ASSERT_TRUE(track[track.size() - 4].f0_hz.has_value());
+  EXPECT_NEAR(*track[track.size() - 4].f0_hz, 200.0, 8.0);
+}
+
+TEST(TrackPitchTest, FrameTimesAdvanceByHop) {
+  const auto x = tone(120.0, 4000.0, 0.5);
+  PitchConfig cfg;
+  const auto track = track_pitch(x, 4000.0, cfg);
+  ASSERT_GE(track.size(), 2u);
+  EXPECT_NEAR(track[1].time_s - track[0].time_s, cfg.hop_s, 1e-9);
+}
+
+TEST(TrackPitchTest, ShortSignalGivesEmptyTrack) {
+  EXPECT_TRUE(track_pitch(std::vector<double>(10, 0.0), 4000.0).empty());
+}
+
+TEST(PitchStatisticsTest, ComputesVoicedMeanAndSpread) {
+  const auto x = tone(150.0, 4000.0, 0.6);
+  const auto stats = pitch_statistics(track_pitch(x, 4000.0));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_NEAR(stats->first, 150.0, 5.0);
+  EXPECT_LT(stats->second, 5.0);  // stable tone => tiny spread
+}
+
+TEST(PitchStatisticsTest, EmptyTrackGivesNothing) {
+  EXPECT_FALSE(pitch_statistics({}).has_value());
+}
+
+// Property: pitch recovered across the full voice range at accel-like
+// and audio-like sample rates.
+class PitchSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(PitchSweep, RecoversWithinFivePercent) {
+  const auto [f0, rate] = GetParam();
+  if (f0 >= 0.45 * rate) GTEST_SKIP() << "above Nyquist";
+  if (rate / f0 < 6.0) GTEST_SKIP() << "period under 6 samples: lag grid too coarse";
+  const auto x = tone(f0, rate, 0.15, 0.05, 77);
+  const auto estimate = estimate_pitch(x, rate);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_NEAR(*estimate, f0, 0.05 * f0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Voices, PitchSweep,
+    ::testing::Combine(::testing::Values(70.0, 110.0, 160.0, 200.0),
+                       ::testing::Values(420.0, 2000.0, 8000.0)));
+
+}  // namespace

@@ -1,0 +1,139 @@
+// Tests for playback-protocol bookkeeping (audio/playlist.h).
+#include "audio/playlist.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phone/profile.h"
+#include "util/error.h"
+
+namespace {
+
+using emoleak::audio::Corpus;
+using emoleak::audio::EmotionBlock;
+using emoleak::audio::Playlist;
+using emoleak::audio::PlaylistConfig;
+using emoleak::audio::scaled_spec;
+using emoleak::audio::tess_spec;
+
+Corpus small_corpus(std::uint64_t seed = 9) {
+  return Corpus{scaled_spec(tess_spec(), 0.02), seed};  // 56 utterances
+}
+
+TEST(PlaylistConfigTest, NegativeGapThrows) {
+  PlaylistConfig cfg;
+  cfg.gap_s = -0.1;
+  EXPECT_THROW(cfg.validate(), emoleak::util::ConfigError);
+}
+
+TEST(PlaylistTest, CoversAllUtterancesExactlyOnce) {
+  const Corpus corpus = small_corpus();
+  const Playlist playlist{corpus, PlaylistConfig{}};
+  EXPECT_EQ(playlist.entries().size(), corpus.size());
+  std::vector<bool> seen(corpus.size(), false);
+  for (const auto& e : playlist.entries()) {
+    EXPECT_FALSE(seen[e.corpus_index]);
+    seen[e.corpus_index] = true;
+  }
+}
+
+TEST(PlaylistTest, EntriesAreChronologicalAndGapped) {
+  const Corpus corpus = small_corpus();
+  PlaylistConfig cfg;
+  cfg.gap_s = 0.5;
+  const Playlist playlist{corpus, cfg};
+  double prev_end = 0.0;
+  for (const auto& e : playlist.entries()) {
+    EXPECT_GE(e.start_s, prev_end + 0.5 - 1e-9);
+    EXPECT_GT(e.end_s, e.start_s);
+    prev_end = e.end_s;
+  }
+  EXPECT_GE(playlist.total_duration_s(), prev_end);
+}
+
+TEST(PlaylistTest, SevenContiguousEmotionBlocks) {
+  const Corpus corpus = small_corpus();
+  const Playlist playlist{corpus, PlaylistConfig{}};
+  EXPECT_EQ(playlist.blocks().size(), 7u);
+  std::size_t total = 0;
+  for (const EmotionBlock& b : playlist.blocks()) {
+    total += b.utterance_count;
+    EXPECT_LT(b.start_s, b.end_s);
+  }
+  EXPECT_EQ(total, corpus.size());
+}
+
+TEST(PlaylistTest, UngroupedModeInterleaves) {
+  const Corpus corpus = small_corpus();
+  PlaylistConfig cfg;
+  cfg.group_by_emotion = false;
+  const Playlist playlist{corpus, cfg};
+  EXPECT_GT(playlist.blocks().size(), 7u);  // shuffled => many short blocks
+}
+
+TEST(PlaylistTest, BlockAtFindsCoveringBlock) {
+  const Corpus corpus = small_corpus();
+  const Playlist playlist{corpus, PlaylistConfig{}};
+  const EmotionBlock& first = playlist.blocks().front();
+  const EmotionBlock* hit =
+      playlist.block_at(0.5 * (first.start_s + first.end_s));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(static_cast<int>(hit->emotion), static_cast<int>(first.emotion));
+  EXPECT_EQ(playlist.block_at(playlist.total_duration_s() + 10.0), nullptr);
+}
+
+TEST(PlaylistTest, RenderMatchesTimeline) {
+  const Corpus corpus = small_corpus();
+  const Playlist playlist{corpus, PlaylistConfig{}};
+  const auto audio = playlist.render(corpus);
+  const double rate = playlist.sample_rate_hz();
+  EXPECT_NEAR(static_cast<double>(audio.size()) / rate,
+              playlist.total_duration_s(), 0.1);
+  // Inside the first utterance there is sound; in the leading gap not.
+  const auto& first = playlist.entries().front();
+  double gap_energy = 0.0;
+  const auto gap_n = static_cast<std::size_t>(first.start_s * rate * 0.8);
+  for (std::size_t i = 0; i < gap_n; ++i) gap_energy += audio[i] * audio[i];
+  double utt_energy = 0.0;
+  const auto u0 = static_cast<std::size_t>(first.start_s * rate);
+  const auto u1 = static_cast<std::size_t>(first.end_s * rate);
+  for (std::size_t i = u0; i < u1 && i < audio.size(); ++i) {
+    utt_energy += audio[i] * audio[i];
+  }
+  EXPECT_DOUBLE_EQ(gap_energy, 0.0);
+  EXPECT_GT(utt_energy, 0.0);
+}
+
+TEST(PlaylistTest, TimelineListsAllEmotions) {
+  const Corpus corpus = small_corpus();
+  const Playlist playlist{corpus, PlaylistConfig{}};
+  const std::string timeline = playlist.timeline();
+  EXPECT_NE(timeline.find("Angry"), std::string::npos);
+  EXPECT_NE(timeline.find("Sad"), std::string::npos);
+  EXPECT_NE(timeline.find("from (s)"), std::string::npos);
+}
+
+TEST(PlaylistTest, DeterministicGivenSeed) {
+  const Corpus corpus = small_corpus();
+  PlaylistConfig cfg;
+  cfg.shuffle_seed = 77;
+  const Playlist a{corpus, cfg};
+  const Playlist b{corpus, cfg};
+  ASSERT_EQ(a.entries().size(), b.entries().size());
+  for (std::size_t i = 0; i < a.entries().size(); ++i) {
+    EXPECT_EQ(a.entries()[i].corpus_index, b.entries()[i].corpus_index);
+    EXPECT_DOUBLE_EQ(a.entries()[i].start_s, b.entries()[i].start_s);
+  }
+}
+
+TEST(GyroProfileTest, MuchWeakerThanAccelerometer) {
+  const auto base = emoleak::phone::oneplus_7t();
+  const auto gyro = emoleak::phone::as_gyroscope(base);
+  EXPECT_LT(gyro.loudspeaker_gain, 0.1 * base.loudspeaker_gain);
+  EXPECT_GT(gyro.accel_noise_sigma, base.accel_noise_sigma);
+  EXPECT_NE(gyro.name, base.name);
+  EXPECT_NO_THROW(gyro.validate());
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+// Tests for emotion profiles (audio/prosody.h): each emotion's
+// parameters must deviate from neutral in the direction the
+// speech-emotion literature predicts, and scaling must interpolate.
+#include "audio/prosody.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace {
+
+using emoleak::audio::Emotion;
+using emoleak::audio::emotion_profile;
+using emoleak::audio::EmotionProfile;
+using emoleak::audio::scaled_profile;
+using emoleak::audio::seven_emotions;
+
+TEST(ProsodyTest, NeutralIsBaseline) {
+  const EmotionProfile p = emotion_profile(Emotion::kNeutral);
+  EXPECT_DOUBLE_EQ(p.f0_scale, 1.0);
+  EXPECT_DOUBLE_EQ(p.energy_scale, 1.0);
+  EXPECT_DOUBLE_EQ(p.rate_scale, 1.0);
+  EXPECT_DOUBLE_EQ(p.f0_slope, 0.0);
+  EXPECT_DOUBLE_EQ(p.tremor_depth, 0.0);
+}
+
+TEST(ProsodyTest, HighArousalEmotionsRaiseF0) {
+  for (const Emotion e :
+       {Emotion::kAngry, Emotion::kFear, Emotion::kHappy, Emotion::kSurprise}) {
+    EXPECT_GT(emotion_profile(e).f0_scale, 1.05) << static_cast<int>(e);
+  }
+}
+
+TEST(ProsodyTest, LowArousalEmotionsLowerF0) {
+  EXPECT_LT(emotion_profile(Emotion::kSad).f0_scale, 0.95);
+  EXPECT_LT(emotion_profile(Emotion::kDisgust).f0_scale, 0.95);
+}
+
+TEST(ProsodyTest, AngerIsLoudSadnessIsQuiet) {
+  EXPECT_GT(emotion_profile(Emotion::kAngry).energy_scale, 1.5);
+  EXPECT_LT(emotion_profile(Emotion::kSad).energy_scale, 0.75);
+}
+
+TEST(ProsodyTest, FearIsFastSadnessIsSlow) {
+  EXPECT_GT(emotion_profile(Emotion::kFear).rate_scale, 1.1);
+  EXPECT_LT(emotion_profile(Emotion::kSad).rate_scale, 0.9);
+}
+
+TEST(ProsodyTest, OnlyFearHasTremor) {
+  for (const Emotion e : seven_emotions()) {
+    if (e == Emotion::kFear) {
+      EXPECT_GT(emotion_profile(e).tremor_depth, 0.0);
+      EXPECT_GT(emotion_profile(e).tremor_hz, 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(emotion_profile(e).tremor_depth, 0.0);
+    }
+  }
+}
+
+TEST(ProsodyTest, SurpriseHasStrongestRise) {
+  const double surprise_slope = emotion_profile(Emotion::kSurprise).f0_slope;
+  for (const Emotion e : seven_emotions()) {
+    if (e == Emotion::kSurprise) continue;
+    EXPECT_GT(surprise_slope, emotion_profile(e).f0_slope);
+  }
+}
+
+TEST(ProsodyTest, SadIsBreathyAngryIsBright) {
+  EXPECT_GT(emotion_profile(Emotion::kSad).noise_level,
+            emotion_profile(Emotion::kNeutral).noise_level);
+  // Flatter (less negative) tilt = brighter voice.
+  EXPECT_GT(emotion_profile(Emotion::kAngry).tilt_db_per_oct,
+            emotion_profile(Emotion::kNeutral).tilt_db_per_oct);
+  EXPECT_LT(emotion_profile(Emotion::kSad).tilt_db_per_oct,
+            emotion_profile(Emotion::kNeutral).tilt_db_per_oct);
+}
+
+TEST(ScaledProfileTest, ZeroExpressivenessIsNeutral) {
+  for (const Emotion e : seven_emotions()) {
+    const EmotionProfile p = scaled_profile(e, 0.0);
+    EXPECT_DOUBLE_EQ(p.f0_scale, 1.0) << static_cast<int>(e);
+    EXPECT_DOUBLE_EQ(p.energy_scale, 1.0);
+    EXPECT_DOUBLE_EQ(p.rate_scale, 1.0);
+  }
+}
+
+TEST(ScaledProfileTest, FullExpressivenessIsCanonical) {
+  for (const Emotion e : seven_emotions()) {
+    const EmotionProfile full = emotion_profile(e);
+    const EmotionProfile p = scaled_profile(e, 1.0);
+    EXPECT_DOUBLE_EQ(p.f0_scale, full.f0_scale);
+    EXPECT_DOUBLE_EQ(p.energy_scale, full.energy_scale);
+    EXPECT_DOUBLE_EQ(p.tilt_db_per_oct, full.tilt_db_per_oct);
+  }
+}
+
+TEST(ScaledProfileTest, HalfwayInterpolatesLinearly) {
+  const EmotionProfile full = emotion_profile(Emotion::kAngry);
+  const EmotionProfile half = scaled_profile(Emotion::kAngry, 0.5);
+  EXPECT_DOUBLE_EQ(half.f0_scale, 0.5 * (1.0 + full.f0_scale));
+  EXPECT_DOUBLE_EQ(half.energy_scale, 0.5 * (1.0 + full.energy_scale));
+}
+
+TEST(ScaledProfileTest, OverdriveExtrapolates) {
+  const EmotionProfile p = scaled_profile(Emotion::kAngry, 1.5);
+  EXPECT_GT(p.f0_scale, emotion_profile(Emotion::kAngry).f0_scale);
+}
+
+TEST(ScaledProfileTest, NegativeExpressivenessThrows) {
+  EXPECT_THROW((void)scaled_profile(Emotion::kAngry, -0.1),
+               emoleak::util::ConfigError);
+}
+
+// Property: every emotion at every expressiveness yields physically
+// sane parameters.
+class ProfileSanity
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ProfileSanity, ParametersInPhysicalRange) {
+  const auto [e_idx, expr] = GetParam();
+  const EmotionProfile p =
+      scaled_profile(static_cast<Emotion>(e_idx), expr);
+  EXPECT_GT(p.f0_scale, 0.3);
+  EXPECT_LT(p.f0_scale, 3.0);
+  EXPECT_GE(p.jitter, 0.0);
+  EXPECT_LT(p.jitter, 0.2);
+  EXPECT_GE(p.shimmer, 0.0);
+  EXPECT_GT(p.energy_scale, 0.0);
+  EXPECT_GT(p.rate_scale, 0.2);
+  EXPECT_LT(p.tilt_db_per_oct, 0.0);
+  EXPECT_GE(p.noise_level, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEmotions, ProfileSanity,
+    ::testing::Combine(::testing::Range(0, 7),
+                       ::testing::Values(0.0, 0.3, 0.58, 1.0, 1.3)));
+
+}  // namespace

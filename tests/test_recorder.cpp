@@ -1,0 +1,171 @@
+// Tests for recording sessions (phone/recorder.h).
+#include "phone/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/stats.h"
+#include "util/error.h"
+
+namespace {
+
+using emoleak::audio::Corpus;
+using emoleak::audio::scaled_spec;
+using emoleak::audio::tess_spec;
+using emoleak::phone::oneplus_7t;
+using emoleak::phone::Posture;
+using emoleak::phone::record_session;
+using emoleak::phone::RecorderConfig;
+using emoleak::phone::Recording;
+using emoleak::phone::SpeakerKind;
+
+Corpus small_corpus(std::uint64_t seed = 5) {
+  return Corpus{scaled_spec(tess_spec(), 0.02), seed};  // 2x7x4 = 56
+}
+
+TEST(RecorderConfigTest, Validation) {
+  RecorderConfig c;
+  c.gap_mean_s = -1.0;
+  EXPECT_THROW(c.validate(), emoleak::util::ConfigError);
+  c = RecorderConfig{};
+  c.gap_jitter_s = c.gap_mean_s + 1.0;
+  EXPECT_THROW(c.validate(), emoleak::util::ConfigError);
+}
+
+TEST(RecorderTest, ScheduleCoversAllUtterances) {
+  const Corpus corpus = small_corpus();
+  const Recording rec = record_session(corpus, oneplus_7t(), RecorderConfig{});
+  EXPECT_EQ(rec.schedule.size(), corpus.size());
+}
+
+TEST(RecorderTest, ScheduleIsMonotoneAndInBounds) {
+  const Corpus corpus = small_corpus();
+  const Recording rec = record_session(corpus, oneplus_7t(), RecorderConfig{});
+  std::size_t prev_end = 0;
+  for (const auto& s : rec.schedule) {
+    EXPECT_LE(prev_end, s.start_sample);
+    EXPECT_LT(s.start_sample, s.end_sample);
+    EXPECT_LE(s.end_sample, rec.accel.size());
+    prev_end = s.end_sample;
+  }
+}
+
+TEST(RecorderTest, GroupsByEmotion) {
+  const Corpus corpus = small_corpus();
+  RecorderConfig cfg;
+  cfg.group_by_emotion = true;
+  const Recording rec = record_session(corpus, oneplus_7t(), cfg);
+  // Emotion sequence in the schedule must be non-decreasing blocks.
+  int prev = -1;
+  int blocks = 0;
+  for (const auto& s : rec.schedule) {
+    const int e = static_cast<int>(s.emotion);
+    if (e != prev) {
+      ++blocks;
+      prev = e;
+    }
+  }
+  EXPECT_EQ(blocks, 7);  // one contiguous block per emotion
+}
+
+TEST(RecorderTest, RateMatchesProfile) {
+  const Corpus corpus = small_corpus();
+  const Recording rec = record_session(corpus, oneplus_7t(), RecorderConfig{});
+  EXPECT_DOUBLE_EQ(rec.rate_hz, oneplus_7t().accel_rate_hz);
+}
+
+TEST(RecorderTest, GravityPresent) {
+  const Corpus corpus = small_corpus();
+  const Recording rec = record_session(corpus, oneplus_7t(), RecorderConfig{});
+  EXPECT_NEAR(emoleak::dsp::mean(rec.accel), 9.81, 0.1);
+}
+
+TEST(RecorderTest, DeterministicGivenSeed) {
+  const Corpus corpus = small_corpus();
+  RecorderConfig cfg;
+  cfg.seed = 11;
+  const Recording a = record_session(corpus, oneplus_7t(), cfg);
+  const Recording b = record_session(corpus, oneplus_7t(), cfg);
+  ASSERT_EQ(a.accel.size(), b.accel.size());
+  for (std::size_t i = 0; i < a.accel.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.accel[i], b.accel[i]);
+  }
+}
+
+TEST(RecorderTest, UtteranceRegionsCarryVibration) {
+  const Corpus corpus = small_corpus();
+  const Recording rec = record_session(corpus, oneplus_7t(), RecorderConfig{});
+  // Variance inside scheduled utterances must exceed variance in gaps.
+  double in_var = 0.0;
+  std::size_t in_n = 0;
+  for (const auto& s : rec.schedule) {
+    for (std::size_t i = s.start_sample; i < s.end_sample; ++i) {
+      const double d = rec.accel[i] - 9.81;
+      in_var += d * d;
+      ++in_n;
+    }
+  }
+  in_var /= static_cast<double>(in_n);
+  // First gap (before any utterance).
+  double gap_var = 0.0;
+  const std::size_t gap_end = rec.schedule.front().start_sample;
+  for (std::size_t i = 0; i < gap_end; ++i) {
+    const double d = rec.accel[i] - 9.81;
+    gap_var += d * d;
+  }
+  gap_var /= static_cast<double>(gap_end);
+  EXPECT_GT(in_var, 10.0 * gap_var);
+}
+
+TEST(RecorderTest, HandheldAddsLowFrequencyMotion) {
+  const Corpus corpus = small_corpus();
+  RecorderConfig table;
+  table.posture = Posture::kTableTop;
+  RecorderConfig hand;
+  hand.posture = Posture::kHandheld;
+  const Recording t = record_session(corpus, oneplus_7t(), table);
+  const Recording h = record_session(corpus, oneplus_7t(), hand);
+  // Compare variance in the leading gap (no playback): handheld must be
+  // noisier.
+  const std::size_t n = std::min(t.schedule.front().start_sample,
+                                 h.schedule.front().start_sample);
+  double tv = 0.0, hv = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    tv += (t.accel[i] - 9.81) * (t.accel[i] - 9.81);
+    hv += (h.accel[i] - 9.81) * (h.accel[i] - 9.81);
+  }
+  EXPECT_GT(hv, 3.0 * tv);
+}
+
+TEST(RecorderTest, SubsetRecordingRespectsIndices) {
+  const Corpus corpus = small_corpus();
+  std::vector<std::size_t> subset{0, 5, 10};
+  const Recording rec =
+      record_session(corpus, subset, oneplus_7t(), RecorderConfig{});
+  EXPECT_EQ(rec.schedule.size(), 3u);
+}
+
+TEST(RecorderTest, EarSpeakerQuieterThanLoudspeaker) {
+  const Corpus corpus = small_corpus();
+  RecorderConfig loud;
+  loud.speaker = SpeakerKind::kLoudspeaker;
+  RecorderConfig ear;
+  ear.speaker = SpeakerKind::kEarSpeaker;
+  const Recording l = record_session(corpus, oneplus_7t(), loud);
+  const Recording e = record_session(corpus, oneplus_7t(), ear);
+  double lv = 0.0, ev = 0.0;
+  for (const auto& s : l.schedule) {
+    for (std::size_t i = s.start_sample; i < s.end_sample; ++i) {
+      lv += (l.accel[i] - 9.81) * (l.accel[i] - 9.81);
+    }
+  }
+  for (const auto& s : e.schedule) {
+    for (std::size_t i = s.start_sample; i < s.end_sample; ++i) {
+      ev += (e.accel[i] - 9.81) * (e.accel[i] - 9.81);
+    }
+  }
+  EXPECT_GT(lv, ev);
+}
+
+}  // namespace

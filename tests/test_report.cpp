@@ -1,0 +1,123 @@
+// Tests for report generation (core/report.h) and cross-module channel
+// properties (linearity / homogeneity of the conduction path).
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "ml/logistic.h"
+#include "phone/channel.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace emoleak;
+
+TEST(ReportTest, ContainsAllSections) {
+  core::ScenarioConfig sc = core::loudspeaker_scenario(
+      audio::tess_spec(), phone::oneplus_7t(), 70);
+  sc.corpus_fraction = 0.04;
+  const core::ExtractedData data = core::capture(sc);
+  const core::ClassifierResult result =
+      core::evaluate_classical(ml::LogisticRegression{}, data.features, 7);
+
+  core::ReportInputs inputs;
+  inputs.scenario = sc;
+  inputs.data = &data;
+  inputs.results = {result};
+  const std::string report = core::render_report(inputs);
+
+  EXPECT_NE(report.find("# EmoLeak experiment report"), std::string::npos);
+  EXPECT_NE(report.find("TESS"), std::string::npos);
+  EXPECT_NE(report.find("OnePlus 7T"), std::string::npos);
+  EXPECT_NE(report.find("loudspeaker"), std::string::npos);
+  EXPECT_NE(report.find("extraction rate"), std::string::npos);
+  EXPECT_NE(report.find("Logistic"), std::string::npos);
+  EXPECT_NE(report.find("kappa"), std::string::npos);
+  EXPECT_NE(report.find("true \\ pred"), std::string::npos);
+  EXPECT_NE(report.find("Angry"), std::string::npos);
+}
+
+TEST(ReportTest, MissingDataThrows) {
+  core::ReportInputs inputs;
+  inputs.results.resize(1, core::ClassifierResult{"x", 0.5,
+                                                  ml::ConfusionMatrix{2}});
+  EXPECT_THROW((void)core::render_report(inputs), util::DataError);
+}
+
+TEST(ReportTest, EmptyResultsThrow) {
+  core::ScenarioConfig sc = core::loudspeaker_scenario(
+      audio::tess_spec(), phone::oneplus_7t(), 71);
+  sc.corpus_fraction = 0.02;
+  const core::ExtractedData data = core::capture(sc);
+  core::ReportInputs inputs;
+  inputs.scenario = sc;
+  inputs.data = &data;
+  EXPECT_THROW((void)core::render_report(inputs), util::DataError);
+}
+
+// ---- channel properties ---------------------------------------------------
+
+std::vector<double> tone(double f0, double rate, std::size_t n,
+                         std::uint64_t seed = 0) {
+  util::Rng rng{seed};
+  std::vector<double> x(n);
+  const double phase = seed ? rng.uniform(0.0, 6.28) : 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * f0 * static_cast<double>(i) / rate +
+                    phase);
+  }
+  return x;
+}
+
+TEST(ChannelPropertyTest, ConductIsHomogeneous) {
+  // conduct(k * x) == k * conduct(x): the chassis is a linear system.
+  const auto x = tone(120.0, 2000.0, 4000);
+  std::vector<double> x3 = x;
+  for (double& v : x3) v *= 3.0;
+  const auto p = phone::oneplus_7t();
+  const auto y1 = phone::conduct(x, 2000.0, p, phone::SpeakerKind::kLoudspeaker);
+  const auto y3 = phone::conduct(x3, 2000.0, p, phone::SpeakerKind::kLoudspeaker);
+  for (std::size_t i = 0; i < y1.size(); ++i) {
+    EXPECT_NEAR(y3[i], 3.0 * y1[i], 1e-9);
+  }
+}
+
+TEST(ChannelPropertyTest, ConductIsAdditive) {
+  // conduct(a + b) == conduct(a) + conduct(b).
+  const auto a = tone(100.0, 2000.0, 4000, 1);
+  const auto b = tone(160.0, 2000.0, 4000, 2);
+  std::vector<double> sum(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) sum[i] = a[i] + b[i];
+  const auto p = phone::oneplus_7t();
+  const auto ya = phone::conduct(a, 2000.0, p, phone::SpeakerKind::kLoudspeaker);
+  const auto yb = phone::conduct(b, 2000.0, p, phone::SpeakerKind::kLoudspeaker);
+  const auto ys = phone::conduct(sum, 2000.0, p, phone::SpeakerKind::kLoudspeaker);
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    EXPECT_NEAR(ys[i], ya[i] + yb[i], 1e-9);
+  }
+}
+
+TEST(ChannelPropertyTest, SamplingChainIsDeterministic) {
+  const auto x = tone(130.0, 2000.0, 6000, 3);
+  const auto p = phone::oneplus_7t();
+  const auto a = phone::accel_sampling_chain(x, 2000.0, p);
+  const auto b = phone::accel_sampling_chain(x, 2000.0, p);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(ChannelPropertyTest, SilenceStaysSilentThroughChain) {
+  const std::vector<double> zeros(4000, 0.0);
+  const auto p = phone::oneplus_7t();
+  const auto vib =
+      phone::conduct(zeros, 2000.0, p, phone::SpeakerKind::kEarSpeaker);
+  for (const double v : vib) EXPECT_DOUBLE_EQ(v, 0.0);
+  const auto sampled = phone::accel_sampling_chain(vib, 2000.0, p);
+  for (const double v : sampled) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Tests for sample-rate conversion (dsp/resample.h), including the
+// deliberate aliasing behaviour of nearest-sample decimation that the
+// accelerometer model depends on.
+#include "dsp/resample.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/fft.h"
+#include "util/error.h"
+
+namespace {
+
+using emoleak::dsp::decimate;
+using emoleak::dsp::resample_linear;
+using emoleak::dsp::resample_nearest;
+
+std::vector<double> sine(double freq_hz, double rate_hz, std::size_t n) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * freq_hz * static_cast<double>(i) /
+                    rate_hz);
+  }
+  return x;
+}
+
+double dominant_frequency(const std::vector<double>& x, double rate_hz) {
+  const auto mag = emoleak::dsp::rfft_magnitude(x);
+  std::size_t peak = 1;
+  for (std::size_t k = 1; k < mag.size(); ++k) {
+    if (mag[k] > mag[peak]) peak = k;
+  }
+  return rate_hz * static_cast<double>(peak) / static_cast<double>(x.size());
+}
+
+TEST(ResampleLinearTest, IdentityAtSameRate) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const auto y = resample_linear(x, 100.0, 100.0);
+  ASSERT_EQ(y.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(ResampleLinearTest, UpsampleInterpolatesRamp) {
+  const std::vector<double> x{0.0, 1.0, 2.0};
+  const auto y = resample_linear(x, 100.0, 200.0);
+  ASSERT_EQ(y.size(), 5u);
+  EXPECT_NEAR(y[1], 0.5, 1e-12);
+  EXPECT_NEAR(y[3], 1.5, 1e-12);
+}
+
+TEST(ResampleLinearTest, DownsamplePreservesSlowSignal) {
+  const auto x = sine(5.0, 1000.0, 2000);
+  const auto y = resample_linear(x, 1000.0, 250.0);
+  EXPECT_NEAR(dominant_frequency(y, 250.0), 5.0, 0.5);
+}
+
+TEST(ResampleLinearTest, OutputLengthScalesWithRatio) {
+  const std::vector<double> x(1000, 0.0);
+  EXPECT_NEAR(static_cast<double>(resample_linear(x, 1000.0, 500.0).size()),
+              500.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(resample_linear(x, 1000.0, 420.0).size()),
+              420.0, 2.0);
+}
+
+TEST(ResampleLinearTest, InvalidRatesThrow) {
+  const std::vector<double> x(10, 0.0);
+  EXPECT_THROW((void)resample_linear(x, 0.0, 100.0), emoleak::util::ConfigError);
+  EXPECT_THROW((void)resample_linear(x, 100.0, -1.0), emoleak::util::ConfigError);
+}
+
+TEST(ResampleLinearTest, EmptyInput) {
+  EXPECT_TRUE(resample_linear(std::vector<double>{}, 100.0, 50.0).empty());
+}
+
+TEST(ResampleNearestTest, PicksNearestSamples) {
+  const std::vector<double> x{10.0, 20.0, 30.0, 40.0};
+  const auto y = resample_nearest(x, 100.0, 50.0);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 10.0);
+  EXPECT_DOUBLE_EQ(y[1], 30.0);
+}
+
+TEST(ResampleNearestTest, AliasesAboveNyquistTone) {
+  // A 300 Hz tone sampled at 420 Hz must fold to |300 - 420| = 120 Hz.
+  const auto x = sine(300.0, 2000.0, 20000);
+  const auto y = resample_nearest(x, 2000.0, 420.0);
+  EXPECT_NEAR(dominant_frequency(y, 420.0), 120.0, 2.0);
+}
+
+TEST(ResampleNearestTest, InBandToneUnchanged) {
+  const auto x = sine(100.0, 2000.0, 20000);
+  const auto y = resample_nearest(x, 2000.0, 420.0);
+  EXPECT_NEAR(dominant_frequency(y, 420.0), 100.0, 2.0);
+}
+
+TEST(DecimateTest, RemovesAboveNyquistContent) {
+  // The same 300 Hz tone through proper decimation must NOT fold: it is
+  // attenuated to near nothing instead.
+  const auto x = sine(300.0, 2000.0, 20000);
+  const auto y = decimate(x, 2000.0, 420.0);
+  double power = 0.0;
+  for (std::size_t i = y.size() / 2; i < y.size(); ++i) power += y[i] * y[i];
+  power /= static_cast<double>(y.size() / 2);
+  EXPECT_LT(power, 0.01);  // input power was 0.5
+}
+
+TEST(DecimateTest, PreservesInBandContent) {
+  const auto x = sine(50.0, 2000.0, 20000);
+  const auto y = decimate(x, 2000.0, 420.0);
+  double power = 0.0;
+  for (std::size_t i = y.size() / 2; i < y.size(); ++i) power += y[i] * y[i];
+  power /= static_cast<double>(y.size() / 2);
+  EXPECT_NEAR(power, 0.5, 0.05);
+}
+
+TEST(DecimateTest, UpsampleRequestThrows) {
+  const std::vector<double> x(100, 0.0);
+  EXPECT_THROW((void)decimate(x, 100.0, 200.0), emoleak::util::ConfigError);
+}
+
+// Property: nearest-sample decimation folds tones to the analytically
+// predicted alias frequency for a range of tones.
+class AliasSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AliasSweep, FoldsToPredictedFrequency) {
+  const double tone = GetParam();
+  const double out_rate = 420.0;
+  const auto x = sine(tone, 4200.0, 42000);
+  const auto y = resample_nearest(x, 4200.0, out_rate);
+  // Predicted alias: fold tone into [0, out_rate/2].
+  double alias = std::fmod(tone, out_rate);
+  if (alias > out_rate / 2.0) alias = out_rate - alias;
+  EXPECT_NEAR(dominant_frequency(y, out_rate), alias, 2.5) << "tone=" << tone;
+}
+
+INSTANTIATE_TEST_SUITE_P(Tones, AliasSweep,
+                         ::testing::Values(50.0, 150.0, 205.0, 250.0, 300.0,
+                                           350.0, 500.0, 640.0));
+
+}  // namespace

@@ -1,0 +1,214 @@
+// Tests for the deterministic RNG (util/rng.h).
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace {
+
+using emoleak::util::Rng;
+using emoleak::util::SplitMix64;
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a{1234};
+  SplitMix64 b{1234};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a{1};
+  SplitMix64 b{2};
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a{42};
+  Rng b{43};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.5, 2.5);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 2.5);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng{11};
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng{13};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_int(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng{13};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntZeroThrows) {
+  Rng rng{1};
+  EXPECT_THROW((void)rng.uniform_int(0), std::invalid_argument);
+}
+
+TEST(RngTest, UniformIntIsApproximatelyUnbiased) {
+  Rng rng{17};
+  const int buckets = 5;
+  std::vector<int> counts(buckets, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(buckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / buckets, 0.01);
+  }
+}
+
+TEST(RngTest, NormalMomentsMatchStandardNormal) {
+  Rng rng{19};
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParamsShiftsAndScales) {
+  Rng rng{23};
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, NormalClampedStaysInBounds) {
+  Rng rng{29};
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.normal_clamped(0.0, 10.0, -1.0, 1.0);
+    EXPECT_GE(x, -1.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesProbability) {
+  Rng rng{31};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng{37};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng{41};
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ShuffleActuallyShuffles) {
+  Rng rng{43};
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent{47};
+  Rng child1 = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.next() == child2.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a{47};
+  Rng b{47};
+  Rng ca = a.fork(5);
+  Rng cb = b.fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next(), cb.next());
+}
+
+// Property sweep: statistical sanity across many seeds.
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformMeanNearHalf) {
+  Rng rng{GetParam()};
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST_P(RngSeedSweep, NormalVarianceNearOne) {
+  Rng rng{GetParam()};
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 1337ULL,
+                                           0xDEADBEEFULL, 0xFFFFFFFFFFFFFFFFULL));
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Tests for model serialization (ml/serialize.h): every supported
+// classifier must round-trip to identical predictions.
+#include "ml/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "ml/ensemble.h"
+#include "ml/lmt.h"
+#include "ml/logistic.h"
+#include "ml/multiclass.h"
+#include "ml/tree.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace emoleak::ml;
+using emoleak::util::Rng;
+
+Dataset blobs(std::size_t per_class, int classes, std::uint64_t seed) {
+  Rng rng{seed};
+  Dataset d;
+  d.class_count = classes;
+  for (int c = 0; c < classes; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      d.x.push_back({1.8 * c + 0.7 * rng.normal(),
+                     -1.2 * c + 0.7 * rng.normal(),
+                     rng.normal()});
+      d.y.push_back(c);
+    }
+  }
+  return d;
+}
+
+/// Round-trips `model` through save/load and checks that predictions
+/// and probability vectors agree on every row of `probe`.
+void expect_roundtrip(Classifier& model, const Dataset& probe) {
+  std::stringstream buffer;
+  save_model(buffer, model);
+  const std::unique_ptr<Classifier> loaded = load_model(buffer);
+  ASSERT_EQ(loaded->name(), model.name());
+  for (const auto& row : probe.x) {
+    EXPECT_EQ(loaded->predict(row), model.predict(row));
+    const auto pa = model.predict_proba(row);
+    const auto pb = loaded->predict_proba(row);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t c = 0; c < pa.size(); ++c) {
+      EXPECT_NEAR(pa[c], pb[c], 1e-12);
+    }
+  }
+}
+
+TEST(SerializeTest, LogisticRoundTrips) {
+  const Dataset d = blobs(40, 3, 1);
+  LogisticRegression model;
+  model.fit(d);
+  expect_roundtrip(model, d);
+}
+
+TEST(SerializeTest, OneVsRestRoundTrips) {
+  const Dataset d = blobs(30, 4, 2);
+  OneVsRestLogistic model;
+  model.fit(d);
+  expect_roundtrip(model, d);
+}
+
+TEST(SerializeTest, DecisionTreeRoundTrips) {
+  const Dataset d = blobs(40, 3, 3);
+  DecisionTree model;
+  model.fit(d);
+  expect_roundtrip(model, d);
+}
+
+TEST(SerializeTest, RandomForestRoundTrips) {
+  const Dataset d = blobs(30, 3, 4);
+  RandomForestConfig cfg;
+  cfg.tree_count = 12;
+  RandomForest model{cfg};
+  model.fit(d);
+  expect_roundtrip(model, d);
+}
+
+TEST(SerializeTest, RandomSubspaceRoundTrips) {
+  const Dataset d = blobs(30, 3, 5);
+  RandomSubspaceConfig cfg;
+  cfg.ensemble_size = 8;
+  RandomSubspace model{cfg};
+  model.fit(d);
+  expect_roundtrip(model, d);
+}
+
+TEST(SerializeTest, LmtRoundTrips) {
+  const Dataset d = blobs(60, 3, 6);
+  LogisticModelTree model;
+  model.fit(d);
+  expect_roundtrip(model, d);
+}
+
+TEST(SerializeTest, UntrainedModelThrows) {
+  std::stringstream buffer;
+  const LogisticRegression model;
+  EXPECT_THROW(save_model(buffer, model), emoleak::util::DataError);
+}
+
+TEST(SerializeTest, BadHeaderThrows) {
+  std::stringstream buffer{"not-a-model Logistic"};
+  EXPECT_THROW((void)load_model(buffer), emoleak::util::DataError);
+}
+
+TEST(SerializeTest, UnknownClassifierThrows) {
+  std::stringstream buffer{"emoleak-model-v1\nQuantumSvm\n"};
+  EXPECT_THROW((void)load_model(buffer), emoleak::util::DataError);
+}
+
+TEST(SerializeTest, TruncatedPayloadThrows) {
+  const Dataset d = blobs(20, 2, 7);
+  LogisticRegression model;
+  model.fit(d);
+  std::stringstream buffer;
+  save_model(buffer, model);
+  std::stringstream cut{buffer.str().substr(0, buffer.str().size() / 2)};
+  EXPECT_THROW((void)load_model(cut), emoleak::util::DataError);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const Dataset d = blobs(20, 2, 8);
+  LogisticRegression model;
+  model.fit(d);
+  const std::string path = "/tmp/emoleak_test_model.txt";
+  save_model_file(path, model);
+  const auto loaded = load_model_file(path);
+  for (const auto& row : d.x) {
+    EXPECT_EQ(loaded->predict(row), model.predict(row));
+  }
+}
+
+}  // namespace

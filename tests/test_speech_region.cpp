@@ -1,0 +1,176 @@
+// Tests for the speech-region detector (core/speech_region.h).
+#include "core/speech_region.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+using emoleak::core::DetectorConfig;
+using emoleak::core::handheld_detector_config;
+using emoleak::core::Region;
+using emoleak::core::SpeechRegionDetector;
+using emoleak::core::tabletop_detector_config;
+using emoleak::util::Rng;
+
+/// A trace with gravity, sensor noise and bursts of 100 Hz vibration at
+/// the given sample positions.
+std::vector<double> synthetic_trace(
+    std::size_t n, double rate,
+    const std::vector<std::pair<std::size_t, std::size_t>>& bursts,
+    double burst_amp, double noise_sigma, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<double> x(n, 9.81);
+  for (std::size_t i = 0; i < n; ++i) x[i] += noise_sigma * rng.normal();
+  for (const auto& [start, end] : bursts) {
+    for (std::size_t i = start; i < end && i < n; ++i) {
+      x[i] += burst_amp *
+              std::sin(2.0 * std::numbers::pi * 100.0 * static_cast<double>(i) / rate);
+    }
+  }
+  return x;
+}
+
+TEST(DetectorConfigTest, Validation) {
+  DetectorConfig c;
+  c.detection_highpass_hz = -1.0;
+  EXPECT_THROW(c.validate(), emoleak::util::ConfigError);
+  c = DetectorConfig{};
+  c.highpass_order = 3;
+  EXPECT_THROW(c.validate(), emoleak::util::ConfigError);
+  c = DetectorConfig{};
+  c.threshold_k = 0.0;
+  EXPECT_THROW(c.validate(), emoleak::util::ConfigError);
+  c = DetectorConfig{};
+  c.envelope_window_s = 0.0;
+  EXPECT_THROW(c.validate(), emoleak::util::ConfigError);
+}
+
+TEST(DetectorTest, FindsSingleBurst) {
+  const double rate = 420.0;
+  const auto x = synthetic_trace(4200, rate, {{1500, 2100}}, 0.1, 0.003, 1);
+  const SpeechRegionDetector detector{tabletop_detector_config()};
+  const auto regions = detector.detect(x, rate);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(regions[0].start), 1500.0, 60.0);
+  EXPECT_NEAR(static_cast<double>(regions[0].end), 2100.0, 60.0);
+}
+
+TEST(DetectorTest, FindsMultipleBursts) {
+  const double rate = 420.0;
+  const auto x = synthetic_trace(
+      8400, rate, {{1000, 1600}, {3000, 3700}, {6000, 6500}}, 0.1, 0.003, 2);
+  const SpeechRegionDetector detector{tabletop_detector_config()};
+  const auto regions = detector.detect(x, rate);
+  EXPECT_EQ(regions.size(), 3u);
+}
+
+TEST(DetectorTest, SilenceYieldsNoRegions) {
+  const auto x = synthetic_trace(4200, 420.0, {}, 0.0, 0.003, 3);
+  const SpeechRegionDetector detector{tabletop_detector_config()};
+  EXPECT_TRUE(detector.detect(x, 420.0).empty());
+}
+
+TEST(DetectorTest, ShortBlipsFilteredByMinRegion) {
+  const double rate = 420.0;
+  // 20-sample blip = 48 ms < default min_region_s 150 ms.
+  const auto x = synthetic_trace(4200, rate, {{2000, 2020}}, 0.2, 0.003, 4);
+  DetectorConfig cfg = tabletop_detector_config();
+  cfg.pad_s = 0.0;
+  const SpeechRegionDetector detector{cfg};
+  EXPECT_TRUE(detector.detect(x, rate).empty());
+}
+
+TEST(DetectorTest, NearbyBurstsMerged) {
+  const double rate = 420.0;
+  // Two bursts 40 ms apart (< merge_gap 200 ms) merge into one region.
+  const auto x =
+      synthetic_trace(4200, rate, {{1500, 1800}, {1817, 2100}}, 0.1, 0.003, 5);
+  const SpeechRegionDetector detector{tabletop_detector_config()};
+  const auto regions = detector.detect(x, rate);
+  EXPECT_EQ(regions.size(), 1u);
+}
+
+TEST(DetectorTest, GravityOffsetIgnored) {
+  const double rate = 420.0;
+  auto x = synthetic_trace(4200, rate, {{1500, 2100}}, 0.1, 0.003, 6);
+  for (double& v : x) v += 3.0;  // different orientation
+  const SpeechRegionDetector detector{tabletop_detector_config()};
+  EXPECT_EQ(detector.detect(x, rate).size(), 1u);
+}
+
+TEST(DetectorTest, HighpassRemovesSlowDrift) {
+  const double rate = 420.0;
+  auto x = synthetic_trace(8400, rate, {{4000, 4600}}, 0.05, 0.003, 7);
+  // Strong sub-8 Hz drift (body motion) that would swamp detection.
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] += 0.5 * std::sin(2.0 * std::numbers::pi * 0.7 * static_cast<double>(i) / rate);
+  }
+  DetectorConfig handheld = handheld_detector_config();
+  const SpeechRegionDetector with_hpf{handheld};
+  const auto regions = with_hpf.detect(x, rate);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(regions[0].start), 4000.0, 100.0);
+}
+
+TEST(DetectorTest, PresetsMatchPaper) {
+  EXPECT_DOUBLE_EQ(tabletop_detector_config().detection_highpass_hz, 0.0);
+  EXPECT_DOUBLE_EQ(handheld_detector_config().detection_highpass_hz, 8.0);
+}
+
+TEST(DetectorTest, RegionsSortedAndDisjoint) {
+  const double rate = 420.0;
+  const auto x = synthetic_trace(
+      12600, rate, {{1000, 1500}, {4000, 4800}, {9000, 9700}}, 0.1, 0.003, 8);
+  const SpeechRegionDetector detector{tabletop_detector_config()};
+  const auto regions = detector.detect(x, rate);
+  for (std::size_t i = 1; i < regions.size(); ++i) {
+    EXPECT_LE(regions[i - 1].end, regions[i].start);
+  }
+  for (const Region& r : regions) EXPECT_LT(r.start, r.end);
+}
+
+TEST(DetectorTest, EnvelopeExposedForPlots) {
+  const auto x = synthetic_trace(4200, 420.0, {{1500, 2100}}, 0.1, 0.003, 9);
+  const SpeechRegionDetector detector{tabletop_detector_config()};
+  const auto env = detector.detection_envelope(x, 420.0);
+  ASSERT_EQ(env.size(), x.size());
+  // Envelope inside the burst exceeds envelope outside.
+  EXPECT_GT(env[1800], 3.0 * env[500]);
+}
+
+TEST(DetectorTest, EmptyTraceOk) {
+  const SpeechRegionDetector detector{tabletop_detector_config()};
+  EXPECT_TRUE(detector.detect(std::vector<double>{}, 420.0).empty());
+}
+
+TEST(DetectorTest, InvalidRateThrows) {
+  const SpeechRegionDetector detector{tabletop_detector_config()};
+  EXPECT_THROW((void)detector.detect(std::vector<double>(10, 0.0), 0.0),
+               emoleak::util::ConfigError);
+}
+
+// Property: detection is monotone in SNR — a burst found at some
+// amplitude is also found at any higher amplitude.
+class SnrSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SnrSweep, BurstDetectedAboveThresholdAmplitude) {
+  const double amp = GetParam();
+  const double rate = 420.0;
+  const auto x = synthetic_trace(4200, rate, {{1500, 2100}}, amp, 0.004, 10);
+  const SpeechRegionDetector detector{tabletop_detector_config()};
+  const auto regions = detector.detect(x, rate);
+  if (amp >= 0.05) {
+    EXPECT_GE(regions.size(), 1u) << "amp=" << amp;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Amplitudes, SnrSweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.5, 1.0, 2.0));
+
+}  // namespace

@@ -1,0 +1,176 @@
+// Tests for descriptive statistics (dsp/stats.h).
+#include "dsp/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+using emoleak::dsp::correlation;
+using emoleak::dsp::energy;
+using emoleak::dsp::mean;
+using emoleak::dsp::mean_crossing_rate;
+using emoleak::dsp::quantile;
+using emoleak::dsp::rms;
+using emoleak::dsp::stddev;
+using emoleak::dsp::summarize;
+using emoleak::dsp::Summary;
+using emoleak::dsp::variance;
+
+TEST(SummarizeTest, KnownSmallSample) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(x);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.variance, 1.25);  // population variance
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+  EXPECT_NEAR(s.skewness, 0.0, 1e-12);
+}
+
+TEST(SummarizeTest, ConstantSampleHasZeroMoments) {
+  const std::vector<double> x(10, 7.0);
+  const Summary s = summarize(x);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+  EXPECT_DOUBLE_EQ(s.skewness, 0.0);
+  EXPECT_DOUBLE_EQ(s.kurtosis, 0.0);
+}
+
+TEST(SummarizeTest, SkewnessSignDetectsAsymmetry) {
+  // Right-skewed sample: many small values, one large.
+  const std::vector<double> right{1.0, 1.0, 1.0, 1.0, 10.0};
+  EXPECT_GT(summarize(right).skewness, 0.5);
+  const std::vector<double> left{-10.0, 1.0, 1.0, 1.0, 1.0};
+  EXPECT_LT(summarize(left).skewness, -0.5);
+}
+
+TEST(SummarizeTest, GaussianSampleMomentsMatch) {
+  emoleak::util::Rng rng{5};
+  std::vector<double> x(100000);
+  for (double& v : x) v = rng.normal(3.0, 2.0);
+  const Summary s = summarize(x);
+  EXPECT_NEAR(s.mean, 3.0, 0.03);
+  EXPECT_NEAR(s.stddev, 2.0, 0.03);
+  EXPECT_NEAR(s.skewness, 0.0, 0.05);
+  EXPECT_NEAR(s.kurtosis, 0.0, 0.1);  // excess kurtosis
+}
+
+TEST(SummarizeTest, UniformSampleKurtosisNegative) {
+  emoleak::util::Rng rng{6};
+  std::vector<double> x(50000);
+  for (double& v : x) v = rng.uniform();
+  EXPECT_NEAR(summarize(x).kurtosis, -1.2, 0.1);
+}
+
+TEST(SummarizeTest, EmptyThrows) {
+  EXPECT_THROW((void)summarize(std::vector<double>{}), emoleak::util::DataError);
+  EXPECT_THROW((void)mean(std::vector<double>{}), emoleak::util::DataError);
+  EXPECT_THROW((void)rms(std::vector<double>{}), emoleak::util::DataError);
+}
+
+TEST(MeanVarianceTest, AgreeWithSummary) {
+  const std::vector<double> x{1.0, 5.0, -3.0, 2.0};
+  EXPECT_DOUBLE_EQ(mean(x), summarize(x).mean);
+  EXPECT_DOUBLE_EQ(variance(x), summarize(x).variance);
+  EXPECT_DOUBLE_EQ(stddev(x), summarize(x).stddev);
+}
+
+TEST(QuantileTest, MedianOfOddSample) {
+  const std::vector<double> x{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(x, 0.5), 3.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenValues) {
+  const std::vector<double> x{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(x, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(x, 0.75), 7.5);
+}
+
+TEST(QuantileTest, Extremes) {
+  const std::vector<double> x{4.0, -1.0, 9.0};
+  EXPECT_DOUBLE_EQ(quantile(x, 0.0), -1.0);
+  EXPECT_DOUBLE_EQ(quantile(x, 1.0), 9.0);
+}
+
+TEST(QuantileTest, InvalidArgsThrow) {
+  const std::vector<double> x{1.0};
+  EXPECT_THROW((void)quantile(x, -0.1), emoleak::util::DataError);
+  EXPECT_THROW((void)quantile(x, 1.1), emoleak::util::DataError);
+  EXPECT_THROW((void)quantile(std::vector<double>{}, 0.5),
+               emoleak::util::DataError);
+}
+
+TEST(MeanCrossingRateTest, SineCrossesTwicePerCycle) {
+  const double rate = 1000.0;
+  const double freq = 25.0;
+  std::vector<double> x(2000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * freq * static_cast<double>(i) / rate);
+  }
+  // Crossings per sample = 2 * freq / rate.
+  EXPECT_NEAR(mean_crossing_rate(x), 2.0 * freq / rate, 0.005);
+}
+
+TEST(MeanCrossingRateTest, ConstantSignalZero) {
+  EXPECT_DOUBLE_EQ(mean_crossing_rate(std::vector<double>(10, 2.0)), 0.0);
+}
+
+TEST(MeanCrossingRateTest, ShortSignalsZero) {
+  EXPECT_DOUBLE_EQ(mean_crossing_rate(std::vector<double>{1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_crossing_rate(std::vector<double>{}), 0.0);
+}
+
+TEST(MeanCrossingRateTest, OffsetInvariant) {
+  std::vector<double> x(500);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * 10.0 * static_cast<double>(i) / 500.0);
+  }
+  const double base = mean_crossing_rate(x);
+  for (double& v : x) v += 9.81;  // gravity offset
+  // Invariant up to floating-point jitter at exact-zero samples.
+  EXPECT_NEAR(mean_crossing_rate(x), base, 0.01);
+}
+
+TEST(EnergyRmsTest, KnownValues) {
+  const std::vector<double> x{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(energy(x), 25.0);
+  EXPECT_NEAR(rms(x), std::sqrt(12.5), 1e-12);
+}
+
+TEST(CorrelationTest, PerfectPositiveAndNegative) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(correlation(x, y), 1.0, 1e-12);
+  const std::vector<double> z{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(correlation(x, z), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, IndependentNoiseNearZero) {
+  emoleak::util::Rng rng{8};
+  std::vector<double> x(20000), y(20000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+  EXPECT_NEAR(correlation(x, y), 0.0, 0.03);
+}
+
+TEST(CorrelationTest, ConstantInputGivesZero) {
+  const std::vector<double> x(5, 1.0);
+  const std::vector<double> y{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(correlation(x, y), 0.0);
+}
+
+TEST(CorrelationTest, MismatchedSizesThrow) {
+  EXPECT_THROW((void)correlation(std::vector<double>(3, 1.0),
+                                 std::vector<double>(4, 1.0)),
+               emoleak::util::DataError);
+}
+
+}  // namespace

@@ -1,0 +1,194 @@
+// Tests for STFT / spectrogram computation (dsp/stft.h).
+#include "dsp/stft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace {
+
+using emoleak::dsp::Spectrogram;
+using emoleak::dsp::spectrogram_image;
+using emoleak::dsp::stft;
+using emoleak::dsp::StftConfig;
+
+std::vector<double> sine(double freq_hz, double rate_hz, std::size_t n) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * freq_hz * static_cast<double>(i) /
+                    rate_hz);
+  }
+  return x;
+}
+
+TEST(StftConfigTest, ValidatesParameters) {
+  StftConfig c;
+  c.window_length = 0;
+  EXPECT_THROW(c.validate(), emoleak::util::ConfigError);
+  c = StftConfig{};
+  c.hop = 0;
+  EXPECT_THROW(c.validate(), emoleak::util::ConfigError);
+  c = StftConfig{};
+  c.fft_size = 32;
+  c.window_length = 64;
+  EXPECT_THROW(c.validate(), emoleak::util::ConfigError);
+}
+
+TEST(StftTest, ShapeMatchesConfig) {
+  StftConfig c;
+  c.window_length = 64;
+  c.hop = 16;
+  c.center = false;
+  const auto spec = stft(std::vector<double>(256, 0.0), 1000.0, c);
+  EXPECT_EQ(spec.bins(), 33u);  // 64-point FFT -> 33 bins
+  EXPECT_EQ(spec.frames(), (256 - 64) / 16 + 1);
+}
+
+TEST(StftTest, SinePeaksAtCorrectBin) {
+  StftConfig c;
+  c.window_length = 64;
+  c.hop = 16;
+  const double rate = 400.0;
+  const auto spec = stft(sine(100.0, rate, 800), rate, c);
+  // Bin resolution = 400/64 = 6.25 Hz; 100 Hz -> bin 16.
+  for (std::size_t f = 2; f + 2 < spec.frames(); ++f) {
+    std::size_t peak = 0;
+    for (std::size_t b = 0; b < spec.bins(); ++b) {
+      if (spec.at(f, b) > spec.at(f, peak)) peak = b;
+    }
+    EXPECT_NEAR(spec.bin_frequency_hz(peak), 100.0, 7.0);
+  }
+}
+
+TEST(StftTest, BinFrequenciesSpanNyquist) {
+  StftConfig c;
+  c.window_length = 64;
+  const auto spec = stft(std::vector<double>(128, 0.0), 500.0, c);
+  EXPECT_NEAR(spec.bin_frequency_hz(0), 0.0, 1e-12);
+  EXPECT_NEAR(spec.bin_frequency_hz(spec.bins() - 1), 250.0, 1e-9);
+}
+
+TEST(StftTest, FrameTimesAdvanceByHop) {
+  StftConfig c;
+  c.window_length = 32;
+  c.hop = 8;
+  const auto spec = stft(std::vector<double>(128, 0.0), 100.0, c);
+  EXPECT_NEAR(spec.frame_time_s(1) - spec.frame_time_s(0), 0.08, 1e-12);
+}
+
+TEST(StftTest, ShortSignalStillProducesOneFrame) {
+  StftConfig c;
+  c.window_length = 64;
+  c.center = false;
+  const auto spec = stft(std::vector<double>(10, 1.0), 100.0, c);
+  EXPECT_GE(spec.frames(), 1u);
+}
+
+TEST(StftTest, EmptySignalProducesFrame) {
+  StftConfig c;
+  c.center = false;
+  const auto spec = stft(std::vector<double>{}, 100.0, c);
+  EXPECT_EQ(spec.frames(), 1u);
+}
+
+TEST(StftTest, InvalidRateThrows) {
+  EXPECT_THROW((void)stft(std::vector<double>(64, 0.0), 0.0, StftConfig{}),
+               emoleak::util::ConfigError);
+}
+
+TEST(SpectrogramTest, AtThrowsOutOfRange) {
+  StftConfig c;
+  const auto spec = stft(std::vector<double>(256, 0.0), 100.0, c);
+  EXPECT_THROW((void)spec.at(spec.frames(), 0), emoleak::util::DataError);
+  EXPECT_THROW((void)spec.at(0, spec.bins()), emoleak::util::DataError);
+}
+
+TEST(SpectrogramTest, ToDbBoundedByFloor) {
+  StftConfig c;
+  const auto spec = stft(sine(20.0, 100.0, 400), 100.0, c);
+  const auto db = spec.to_db(-80.0);
+  for (const double v : db) {
+    EXPECT_GE(v, -80.0);
+    EXPECT_LE(v, 0.0 + 1e-9);
+  }
+}
+
+TEST(SpectrogramTest, ToDbMaxIsZero) {
+  StftConfig c;
+  const auto spec = stft(sine(20.0, 100.0, 400), 100.0, c);
+  const auto db = spec.to_db();
+  double max_db = -1e9;
+  for (const double v : db) max_db = std::max(max_db, v);
+  EXPECT_NEAR(max_db, 0.0, 1e-9);
+}
+
+TEST(SpectrogramImageTest, SizeAndRange) {
+  StftConfig c;
+  const auto spec = stft(sine(30.0, 200.0, 1000), 200.0, c);
+  const auto img = spectrogram_image(spec, 32, 32);
+  ASSERT_EQ(img.size(), 32u * 32u);
+  for (const double v : img) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(SpectrogramImageTest, PureToneBrightensOneRowBand) {
+  StftConfig c;
+  c.window_length = 64;
+  const double rate = 320.0;
+  const auto spec = stft(sine(40.0, rate, 3200), rate, c);
+  const auto img = spectrogram_image(spec, 16, 16);
+  // 40 Hz / 160 Hz Nyquist = 0.25 up the frequency axis; with row 0 at
+  // the top (high frequency), the bright row is near row 12.
+  std::size_t brightest_row = 0;
+  double best = -1.0;
+  for (std::size_t r = 0; r < 16; ++r) {
+    double row_sum = 0.0;
+    for (std::size_t col = 0; col < 16; ++col) row_sum += img[r * 16 + col];
+    if (row_sum > best) {
+      best = row_sum;
+      brightest_row = r;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(brightest_row), 12.0, 1.5);
+}
+
+TEST(SpectrogramImageTest, ZeroSizeThrows) {
+  StftConfig c;
+  const auto spec = stft(std::vector<double>(64, 0.0), 100.0, c);
+  EXPECT_THROW((void)spectrogram_image(spec, 0, 32),
+               emoleak::util::ConfigError);
+}
+
+// Property: image is well-formed for many sizes.
+class SpectrogramImageSizes
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(SpectrogramImageSizes, WellFormed) {
+  const auto [w, h] = GetParam();
+  StftConfig c;
+  c.window_length = 32;
+  c.hop = 8;
+  const auto spec = stft(sine(25.0, 150.0, 600), 150.0, c);
+  const auto img = spectrogram_image(spec, w, h);
+  EXPECT_EQ(img.size(), w * h);
+  for (const double v : img) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SpectrogramImageSizes,
+    ::testing::Values(std::tuple<std::size_t, std::size_t>{1, 1},
+                      std::tuple<std::size_t, std::size_t>{8, 8},
+                      std::tuple<std::size_t, std::size_t>{32, 32},
+                      std::tuple<std::size_t, std::size_t>{64, 16},
+                      std::tuple<std::size_t, std::size_t>{5, 97}));
+
+}  // namespace

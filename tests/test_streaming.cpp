@@ -1,0 +1,179 @@
+// Tests for the online streaming attack (core/streaming.h).
+#include "core/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "audio/corpus.h"
+#include "core/attack.h"
+#include "ml/logistic.h"
+#include "phone/recorder.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace emoleak;
+using core::StreamingAttack;
+using core::StreamingConfig;
+
+std::vector<double> trace_with_bursts(
+    std::size_t n, double rate,
+    const std::vector<std::pair<std::size_t, std::size_t>>& bursts,
+    std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<double> x(n, 9.81);
+  for (std::size_t i = 0; i < n; ++i) x[i] += 0.003 * rng.normal();
+  for (const auto& [lo, hi] : bursts) {
+    for (std::size_t i = lo; i < hi && i < n; ++i) {
+      x[i] += 0.1 * std::sin(2.0 * std::numbers::pi * 100.0 *
+                             static_cast<double>(i) / rate);
+    }
+  }
+  return x;
+}
+
+StreamingConfig default_config() {
+  StreamingConfig cfg;
+  cfg.detector = core::tabletop_detector_config();
+  return cfg;
+}
+
+TEST(StreamingConfigTest, Validation) {
+  StreamingConfig cfg = default_config();
+  cfg.noise_window_s = 0.0;
+  EXPECT_THROW(cfg.validate(), util::ConfigError);
+  cfg = default_config();
+  cfg.max_region_s = 0.01;
+  EXPECT_THROW(cfg.validate(), util::ConfigError);
+  cfg = default_config();
+  cfg.history_s = 1.0;
+  EXPECT_THROW(cfg.validate(), util::ConfigError);
+}
+
+TEST(StreamingTest, DetectsBurstsWithoutClassifier) {
+  const double rate = 420.0;
+  const auto x = trace_with_bursts(
+      25200, rate, {{8000, 8700}, {13000, 13800}, {20000, 20600}}, 1);
+  StreamingAttack attack{default_config(), rate, nullptr};
+  const auto events = attack.push(x);
+  EXPECT_EQ(events.size(), 3u);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.predicted_class, -1);  // detection-only mode
+    EXPECT_LT(e.start_sample, e.end_sample);
+  }
+  EXPECT_NEAR(static_cast<double>(events[0].start_sample), 8000.0, 120.0);
+}
+
+TEST(StreamingTest, ChunkSizeDoesNotChangeEvents) {
+  const double rate = 420.0;
+  const auto x =
+      trace_with_bursts(16800, rate, {{8000, 8700}, {12000, 12800}}, 2);
+  StreamingAttack whole{default_config(), rate, nullptr};
+  const auto all = whole.push(x);
+
+  StreamingAttack chunked{default_config(), rate, nullptr};
+  std::vector<core::EmotionEvent> collected;
+  for (std::size_t i = 0; i < x.size(); i += 97) {
+    const std::size_t hi = std::min(i + 97, x.size());
+    const auto events = chunked.push(
+        std::span<const double>{x.data() + i, hi - i});
+    collected.insert(collected.end(), events.begin(), events.end());
+  }
+  ASSERT_EQ(collected.size(), all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(collected[i].start_sample, all[i].start_sample);
+    EXPECT_EQ(collected[i].end_sample, all[i].end_sample);
+  }
+}
+
+TEST(StreamingTest, FinishFlushesOpenRegion) {
+  const double rate = 420.0;
+  // Burst extends to the end of the stream.
+  const auto x = trace_with_bursts(12600, rate, {{12000, 12600}}, 3);
+  StreamingAttack attack{default_config(), rate, nullptr};
+  const auto during = attack.push(x);
+  EXPECT_TRUE(during.empty());
+  const auto final_event = attack.finish();
+  ASSERT_TRUE(final_event.has_value());
+  EXPECT_NEAR(static_cast<double>(final_event->start_sample), 12000.0, 120.0);
+}
+
+TEST(StreamingTest, SilenceEmitsNothing) {
+  const auto x = trace_with_bursts(21000, 420.0, {}, 4);
+  StreamingAttack attack{default_config(), 420.0, nullptr};
+  EXPECT_TRUE(attack.push(x).empty());
+  EXPECT_FALSE(attack.finish().has_value());
+  EXPECT_EQ(attack.samples_seen(), x.size());
+}
+
+TEST(StreamingTest, ForceClosesPathologicalRegions) {
+  StreamingConfig cfg = default_config();
+  cfg.max_region_s = 2.0;
+  const double rate = 420.0;
+  // 20-second continuous tone: must be chopped, not buffered forever.
+  const auto x = trace_with_bursts(12600, rate, {{4200, 12600}}, 5);
+  StreamingAttack attack{cfg, rate, nullptr};
+  const auto events = attack.push(x);
+  EXPECT_GE(events.size(), 2u);
+  for (const auto& e : events) {
+    EXPECT_LE(e.end_sample - e.start_sample,
+              static_cast<std::size_t>(2.5 * rate));
+  }
+}
+
+TEST(StreamingTest, ClassifiesEmotionsOnline) {
+  // Train offline on a captured session, then stream a fresh recording
+  // through the online pipeline and require above-chance accuracy.
+  core::ScenarioConfig train_sc = core::loudspeaker_scenario(
+      audio::tess_spec(), phone::oneplus_7t(), 60);
+  train_sc.corpus_fraction = 0.1;
+  const core::ExtractedData train = core::capture(train_sc);
+  auto model = std::make_shared<ml::LogisticRegression>();
+  model->fit(train.features);
+
+  const audio::Corpus corpus{audio::scaled_spec(audio::tess_spec(), 0.04), 61};
+  phone::RecorderConfig rc;
+  rc.seed = 61;
+  const phone::Recording rec =
+      record_session(corpus, phone::oneplus_7t(), rc);
+
+  StreamingAttack attack{default_config(), rec.rate_hz, model};
+  std::vector<core::EmotionEvent> events;
+  for (std::size_t i = 0; i < rec.accel.size(); i += 512) {
+    const std::size_t hi = std::min(i + 512, rec.accel.size());
+    auto chunk = attack.push(
+        std::span<const double>{rec.accel.data() + i, hi - i});
+    events.insert(events.end(), chunk.begin(), chunk.end());
+  }
+  if (auto last = attack.finish()) events.push_back(*last);
+
+  ASSERT_GT(events.size(), 20u);
+  // Match events to the schedule and score.
+  std::size_t correct = 0;
+  std::size_t scored = 0;
+  for (const auto& e : events) {
+    if (e.predicted_class < 0) continue;
+    for (const auto& s : rec.schedule) {
+      const std::size_t lo = std::max(e.start_sample, s.start_sample);
+      const std::size_t hi = std::min(e.end_sample, s.end_sample);
+      if (hi > lo && hi - lo > (e.end_sample - e.start_sample) / 2) {
+        ++scored;
+        int truth = 0;
+        for (std::size_t c = 0; c < rec.dataset.emotions.size(); ++c) {
+          if (rec.dataset.emotions[c] == s.emotion) truth = static_cast<int>(c);
+        }
+        if (truth == e.predicted_class) ++correct;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(scored, 20u);
+  const double accuracy =
+      static_cast<double>(correct) / static_cast<double>(scored);
+  EXPECT_GT(accuracy, 0.4);  // far above the 14.3% random guess
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+// Tests for the table renderer (util/table.h).
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using emoleak::util::fixed;
+using emoleak::util::percent;
+using emoleak::util::render_confusion;
+using emoleak::util::TablePrinter;
+
+TEST(PercentTest, FormatsFractions) {
+  EXPECT_EQ(percent(0.9534), "95.34%");
+  EXPECT_EQ(percent(0.0), "0.00%");
+  EXPECT_EQ(percent(1.0), "100.00%");
+}
+
+TEST(PercentTest, RespectsDecimals) {
+  EXPECT_EQ(percent(0.12345, 1), "12.3%");
+  EXPECT_EQ(percent(0.12345, 0), "12%");
+}
+
+TEST(FixedTest, FormatsValues) {
+  EXPECT_EQ(fixed(1.30714), "1.307");
+  EXPECT_EQ(fixed(2.0, 1), "2.0");
+  EXPECT_EQ(fixed(-0.5, 2), "-0.50");
+}
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter t{{"A", "B"}};
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| A "), std::string::npos);
+  EXPECT_NE(s.find("| 333 "), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter t{{"A", "B", "C"}};
+  t.add_row({"only"});
+  const std::string s = t.str();
+  // Every line must have the same length (aligned columns).
+  std::size_t line_len = 0;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    const std::size_t end = s.find('\n', start);
+    const std::size_t len = end - start;
+    if (line_len == 0) line_len = len;
+    EXPECT_EQ(len, line_len);
+    start = end + 1;
+  }
+}
+
+TEST(TablePrinterTest, LongRowsExtendTable) {
+  TablePrinter t{{"A"}};
+  t.add_row({"1", "2", "3"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| 3"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RuleInsertsSeparator) {
+  TablePrinter t{{"A"}};
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string s = t.str();
+  // Header rule + top + bottom + mid-rule = 4 horizontal rules.
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = s.find("+--", pos)) != std::string::npos) {
+    ++rules;
+    pos = s.find('\n', pos);
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TablePrinterTest, EmptyTableStillRenders) {
+  TablePrinter t{{"X", "Y"}};
+  const std::string s = t.str();
+  EXPECT_NE(s.find("X"), std::string::npos);
+  EXPECT_NE(s.find("Y"), std::string::npos);
+}
+
+TEST(RenderConfusionTest, ShowsCountsAndLabels) {
+  const std::vector<std::vector<std::size_t>> m{{5, 1}, {2, 7}};
+  const std::string s = render_confusion(m, {"cat", "dog"});
+  EXPECT_NE(s.find("cat"), std::string::npos);
+  EXPECT_NE(s.find("dog"), std::string::npos);
+  EXPECT_NE(s.find("7"), std::string::npos);
+  EXPECT_NE(s.find("true \\ pred"), std::string::npos);
+}
+
+TEST(RenderConfusionTest, MissingLabelsFallBackToIndices) {
+  const std::vector<std::vector<std::size_t>> m{{1, 0}, {0, 1}};
+  const std::string s = render_confusion(m, {"only-one"});
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+}  // namespace

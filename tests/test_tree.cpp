@@ -1,0 +1,193 @@
+// Tests for the CART decision tree (ml/tree.h).
+#include "ml/tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+using emoleak::ml::Dataset;
+using emoleak::ml::DecisionTree;
+using emoleak::ml::TreeConfig;
+using emoleak::util::Rng;
+
+Dataset xor_data(std::size_t n, std::uint64_t seed) {
+  Rng rng{seed};
+  Dataset d;
+  d.class_count = 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double b = rng.uniform(-1.0, 1.0);
+    d.x.push_back({a, b});
+    d.y.push_back((a > 0.0) != (b > 0.0) ? 1 : 0);
+  }
+  return d;
+}
+
+double train_accuracy(const DecisionTree& t, const Dataset& d) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (t.predict(d.x[i]) == d.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(d.size());
+}
+
+TEST(DecisionTreeTest, LearnsXorPerfectly) {
+  const Dataset d = xor_data(400, 1);
+  DecisionTree tree;
+  tree.fit(d);
+  EXPECT_GT(train_accuracy(tree, d), 0.99);
+}
+
+TEST(DecisionTreeTest, LinearBoundaryLearnable) {
+  Rng rng{2};
+  Dataset d;
+  d.class_count = 2;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    d.x.push_back({a, rng.normal()});
+    d.y.push_back(a > 0.25 ? 1 : 0);
+  }
+  DecisionTree tree;
+  tree.fit(d);
+  EXPECT_GT(train_accuracy(tree, d), 0.99);
+}
+
+TEST(DecisionTreeTest, DepthLimitRespected) {
+  const Dataset d = xor_data(400, 3);
+  TreeConfig cfg;
+  cfg.max_depth = 1;  // a stump cannot solve XOR
+  DecisionTree stump{cfg};
+  stump.fit(d);
+  EXPECT_LE(stump.depth(), 2);
+  EXPECT_LT(train_accuracy(stump, d), 0.75);
+}
+
+TEST(DecisionTreeTest, PureDatasetIsSingleLeaf) {
+  Dataset d;
+  d.class_count = 2;
+  for (int i = 0; i < 20; ++i) {
+    d.x.push_back({static_cast<double>(i), 0.0});
+    d.y.push_back(1);
+  }
+  DecisionTree tree;
+  tree.fit(d);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_EQ(tree.predict(std::vector<double>{5.0, 0.0}), 1);
+}
+
+TEST(DecisionTreeTest, ProbabilitiesAreLeafDistributions) {
+  const Dataset d = xor_data(200, 4);
+  DecisionTree tree;
+  tree.fit(d);
+  const auto p = tree.predict_proba(d.x[0]);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+}
+
+TEST(DecisionTreeTest, MinLeafRespected) {
+  const Dataset d = xor_data(100, 5);
+  TreeConfig cfg;
+  cfg.min_samples_leaf = 40;
+  DecisionTree tree{cfg};
+  tree.fit(d);
+  // With min leaf 40 of 100 samples, at most one split is possible.
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST(DecisionTreeTest, LeafIndexRoutesConsistently) {
+  const Dataset d = xor_data(200, 6);
+  DecisionTree tree;
+  tree.fit(d);
+  std::set<std::size_t> leaves;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const std::size_t leaf = tree.leaf_index(d.x[i]);
+    EXPECT_LT(leaf, tree.leaf_count());
+    leaves.insert(leaf);
+  }
+  EXPECT_GE(leaves.size(), 2u);
+}
+
+TEST(DecisionTreeTest, UnfittedThrows) {
+  const DecisionTree tree;
+  EXPECT_THROW((void)tree.predict(std::vector<double>{1.0}),
+               emoleak::util::DataError);
+}
+
+TEST(DecisionTreeTest, EmptyIndicesThrow) {
+  const Dataset d = xor_data(10, 7);
+  DecisionTree tree;
+  EXPECT_THROW(tree.fit_indices(d, std::vector<std::size_t>{}),
+               emoleak::util::DataError);
+}
+
+TEST(DecisionTreeTest, FitIndicesUsesOnlySubset) {
+  // Train only on class-0 rows: every prediction must be class 0.
+  Dataset d;
+  d.class_count = 2;
+  for (int i = 0; i < 40; ++i) {
+    d.x.push_back({static_cast<double>(i)});
+    d.y.push_back(i % 2);
+  }
+  std::vector<std::size_t> evens;
+  for (std::size_t i = 0; i < d.size(); i += 2) evens.push_back(i);
+  DecisionTree tree;
+  tree.fit_indices(d, evens);
+  for (const auto& row : d.x) EXPECT_EQ(tree.predict(row), 0);
+}
+
+TEST(DecisionTreeTest, RandomFeatureSubsetStillLearns) {
+  const Dataset d = xor_data(400, 8);
+  TreeConfig cfg;
+  cfg.features_per_split = 1;
+  DecisionTree tree{cfg};
+  tree.fit(d);
+  EXPECT_GT(train_accuracy(tree, d), 0.9);
+}
+
+TEST(DecisionTreeTest, DeterministicGivenConfigSeed) {
+  const Dataset d = xor_data(200, 9);
+  TreeConfig cfg;
+  cfg.features_per_split = 1;
+  cfg.seed = 77;
+  DecisionTree a{cfg}, b{cfg};
+  a.fit(d);
+  b.fit(d);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(a.predict(d.x[i]), b.predict(d.x[i]));
+  }
+}
+
+TEST(DecisionTreeTest, CloneIsFresh) {
+  const DecisionTree tree;
+  const auto clone = tree.clone();
+  EXPECT_EQ(clone->name(), "DecisionTree");
+  EXPECT_THROW((void)clone->predict(std::vector<double>{0.0}),
+               emoleak::util::DataError);
+}
+
+// Property: deeper trees never have lower training accuracy on the
+// same data (monotone in capacity).
+class DepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DepthSweep, AccuracyMonotoneInDepth) {
+  const Dataset d = xor_data(300, 10);
+  TreeConfig shallow;
+  shallow.max_depth = GetParam();
+  TreeConfig deeper;
+  deeper.max_depth = GetParam() + 2;
+  DecisionTree a{shallow}, b{deeper};
+  a.fit(d);
+  b.fit(d);
+  EXPECT_GE(train_accuracy(b, d) + 1e-9, train_accuracy(a, d));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DepthSweep, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace

@@ -1,0 +1,227 @@
+// Tests for speaker voices and utterance synthesis (audio/voice.h,
+// audio/utterance.h).
+#include "audio/utterance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "audio/prosody.h"
+#include "dsp/fft.h"
+#include "dsp/stats.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+using emoleak::audio::Emotion;
+using emoleak::audio::emotion_profile;
+using emoleak::audio::Gender;
+using emoleak::audio::SpeakerVoice;
+using emoleak::audio::SynthConfig;
+using emoleak::audio::synthesize_utterance;
+using emoleak::audio::Utterance;
+using emoleak::util::Rng;
+
+SpeakerVoice default_voice(Gender g = Gender::kFemale) {
+  Rng rng{100};
+  return SpeakerVoice::sample(g, 0.3, rng);
+}
+
+TEST(SpeakerVoiceTest, GenderSetsF0Register) {
+  Rng rng{1};
+  double male_sum = 0.0;
+  double female_sum = 0.0;
+  const int n = 50;
+  for (int i = 0; i < n; ++i) {
+    male_sum += SpeakerVoice::sample(Gender::kMale, 0.5, rng).f0_base_hz;
+    female_sum += SpeakerVoice::sample(Gender::kFemale, 0.5, rng).f0_base_hz;
+  }
+  EXPECT_NEAR(male_sum / n, 115.0, 15.0);
+  EXPECT_NEAR(female_sum / n, 205.0, 25.0);
+}
+
+TEST(SpeakerVoiceTest, VariabilityScalesSpread) {
+  Rng rng1{2}, rng2{2};
+  double lo_spread = 0.0;
+  double hi_spread = 0.0;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    lo_spread += std::abs(
+        SpeakerVoice::sample(Gender::kMale, 0.1, rng1).f0_base_hz - 115.0);
+    hi_spread += std::abs(
+        SpeakerVoice::sample(Gender::kMale, 1.0, rng2).f0_base_hz - 115.0);
+  }
+  EXPECT_LT(lo_spread, hi_spread);
+}
+
+TEST(SpeakerVoiceTest, ZeroVariabilityIsDeterministicTypical) {
+  Rng rng{3};
+  const SpeakerVoice v = SpeakerVoice::sample(Gender::kMale, 0.0, rng);
+  EXPECT_DOUBLE_EQ(v.f0_base_hz, 115.0);
+  EXPECT_DOUBLE_EQ(v.energy_base, 1.0);
+}
+
+TEST(SpeakerVoiceTest, NegativeVariabilityThrows) {
+  Rng rng{4};
+  EXPECT_THROW((void)SpeakerVoice::sample(Gender::kMale, -1.0, rng),
+               emoleak::util::ConfigError);
+}
+
+TEST(SynthConfigTest, Validation) {
+  SynthConfig c;
+  c.sample_rate_hz = 0.0;
+  EXPECT_THROW(c.validate(), emoleak::util::ConfigError);
+  c = SynthConfig{};
+  c.duration_jitter = 1.0;
+  EXPECT_THROW(c.validate(), emoleak::util::ConfigError);
+  c = SynthConfig{};
+  c.max_harmonics = 0;
+  EXPECT_THROW(c.validate(), emoleak::util::ConfigError);
+}
+
+TEST(UtteranceTest, DeterministicGivenSeed) {
+  const SpeakerVoice v = default_voice();
+  SynthConfig c;
+  Rng r1{55}, r2{55};
+  const Utterance a =
+      synthesize_utterance(v, emotion_profile(Emotion::kHappy), c, r1);
+  const Utterance b =
+      synthesize_utterance(v, emotion_profile(Emotion::kHappy), c, r2);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.samples[i], b.samples[i]);
+  }
+}
+
+TEST(UtteranceTest, DurationNearTarget) {
+  const SpeakerVoice v = default_voice();
+  SynthConfig c;
+  c.target_duration_s = 2.0;
+  c.duration_jitter = 0.0;
+  Rng rng{56};
+  const Utterance u =
+      synthesize_utterance(v, emotion_profile(Emotion::kNeutral), c, rng);
+  const double duration =
+      static_cast<double>(u.samples.size()) / c.sample_rate_hz;
+  EXPECT_NEAR(duration, 2.0, 0.6);
+}
+
+TEST(UtteranceTest, RealizedF0TracksProfile) {
+  const SpeakerVoice v = default_voice();
+  SynthConfig c;
+  Rng r1{57}, r2{58};
+  const Utterance neutral =
+      synthesize_utterance(v, emotion_profile(Emotion::kNeutral), c, r1);
+  const Utterance angry =
+      synthesize_utterance(v, emotion_profile(Emotion::kAngry), c, r2);
+  EXPECT_NEAR(neutral.mean_f0_hz, v.f0_base_hz, 0.25 * v.f0_base_hz);
+  EXPECT_GT(angry.mean_f0_hz, neutral.mean_f0_hz * 1.05);
+}
+
+TEST(UtteranceTest, AngryLouderThanSad) {
+  const SpeakerVoice v = default_voice();
+  SynthConfig c;
+  Rng r1{59}, r2{60};
+  const Utterance angry =
+      synthesize_utterance(v, emotion_profile(Emotion::kAngry), c, r1);
+  const Utterance sad =
+      synthesize_utterance(v, emotion_profile(Emotion::kSad), c, r2);
+  EXPECT_GT(angry.mean_energy, 1.5 * sad.mean_energy);
+}
+
+TEST(UtteranceTest, StartsAndEndsInSilence) {
+  const SpeakerVoice v = default_voice();
+  SynthConfig c;
+  Rng rng{61};
+  const Utterance u =
+      synthesize_utterance(v, emotion_profile(Emotion::kNeutral), c, rng);
+  // Leading silence is 0.02-0.06 s => at least 40 samples at 2 kHz.
+  for (std::size_t i = 0; i < 30; ++i) EXPECT_DOUBLE_EQ(u.samples[i], 0.0);
+  for (std::size_t i = u.samples.size() - 30; i < u.samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(u.samples[i], 0.0);
+  }
+}
+
+TEST(UtteranceTest, SpectrumPeaksNearF0) {
+  SpeakerVoice v = default_voice(Gender::kMale);
+  v.f0_base_hz = 120.0;
+  SynthConfig c;
+  c.target_duration_s = 2.0;
+  Rng rng{62};
+  const Utterance u =
+      synthesize_utterance(v, emotion_profile(Emotion::kNeutral), c, rng);
+  const auto mag = emoleak::dsp::rfft_magnitude(u.samples);
+  const double bin_hz =
+      c.sample_rate_hz / static_cast<double>(u.samples.size());
+  // Find the strongest bin above 50 Hz.
+  std::size_t peak = static_cast<std::size_t>(50.0 / bin_hz);
+  for (std::size_t k = peak; k < mag.size(); ++k) {
+    if (mag[k] > mag[peak]) peak = k;
+  }
+  EXPECT_NEAR(static_cast<double>(peak) * bin_hz, 120.0, 40.0);
+}
+
+TEST(UtteranceTest, FasterRateGivesMoreSyllables) {
+  const SpeakerVoice v = default_voice();
+  SynthConfig c;
+  c.target_duration_s = 2.0;
+  c.duration_jitter = 0.0;
+  auto count_bursts = [&](const Utterance& u) {
+    // Count transitions from silence to sound.
+    int bursts = 0;
+    bool active = false;
+    for (std::size_t i = 0; i < u.samples.size(); ++i) {
+      const bool now = std::abs(u.samples[i]) > 1e-9;
+      if (now && !active) ++bursts;
+      active = now;
+    }
+    return bursts;
+  };
+  Rng r1{63}, r2{64};
+  emoleak::audio::EmotionProfile slow = emotion_profile(Emotion::kNeutral);
+  slow.rate_scale = 0.6;
+  emoleak::audio::EmotionProfile fast = emotion_profile(Emotion::kNeutral);
+  fast.rate_scale = 1.6;
+  const Utterance u_slow = synthesize_utterance(v, slow, c, r1);
+  const Utterance u_fast = synthesize_utterance(v, fast, c, r2);
+  EXPECT_GT(count_bursts(u_fast), count_bursts(u_slow));
+}
+
+TEST(UtteranceTest, SamplesAreFinite) {
+  const SpeakerVoice v = default_voice();
+  SynthConfig c;
+  for (int e = 0; e < 7; ++e) {
+    Rng rng{static_cast<std::uint64_t>(70 + e)};
+    const Utterance u = synthesize_utterance(
+        v, emotion_profile(static_cast<Emotion>(e)), c, rng);
+    EXPECT_GT(u.samples.size(), 100u);
+    for (const double s : u.samples) EXPECT_TRUE(std::isfinite(s));
+  }
+}
+
+// Property: synthesis stays sane across emotions x sample rates.
+class SynthSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(SynthSweep, BoundedAmplitudeAndNonEmpty) {
+  const auto [e_idx, rate] = GetParam();
+  const SpeakerVoice v = default_voice();
+  SynthConfig c;
+  c.sample_rate_hz = rate;
+  Rng rng{static_cast<std::uint64_t>(e_idx) * 31 + 7};
+  const Utterance u = synthesize_utterance(
+      v, emotion_profile(static_cast<Emotion>(e_idx)), c, rng);
+  EXPECT_GT(u.samples.size(), 50u);
+  double peak = 0.0;
+  for (const double s : u.samples) peak = std::max(peak, std::abs(s));
+  EXPECT_GT(peak, 0.001);
+  EXPECT_LT(peak, 50.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EmotionsAndRates, SynthSweep,
+    ::testing::Combine(::testing::Range(0, 7),
+                       ::testing::Values(1000.0, 2000.0, 8000.0)));
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Tests for WAV I/O (audio/wav.h).
+#include "audio/wav.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "audio/corpus.h"
+#include "util/error.h"
+
+namespace {
+
+using emoleak::audio::read_wav;
+using emoleak::audio::WavData;
+using emoleak::audio::write_wav;
+
+std::vector<double> sine(double freq_hz, double rate_hz, std::size_t n) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 0.5 * std::sin(2.0 * std::numbers::pi * freq_hz *
+                          static_cast<double>(i) / rate_hz);
+  }
+  return x;
+}
+
+TEST(WavTest, RoundTripsSine) {
+  const auto original = sine(440.0, 8000.0, 800);
+  std::stringstream buffer;
+  write_wav(buffer, original, 8000.0);
+  const WavData back = read_wav(buffer);
+  EXPECT_DOUBLE_EQ(back.sample_rate_hz, 8000.0);
+  ASSERT_EQ(back.samples.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(back.samples[i], original[i], 1.0 / 32768.0 + 1e-9);
+  }
+}
+
+TEST(WavTest, ClipsOutOfRangeSamples) {
+  std::stringstream buffer;
+  write_wav(buffer, {2.0, -3.0, 0.0}, 1000.0);
+  const WavData back = read_wav(buffer);
+  EXPECT_NEAR(back.samples[0], 1.0, 1e-3);
+  EXPECT_NEAR(back.samples[1], -1.0, 1e-3);
+  EXPECT_NEAR(back.samples[2], 0.0, 1e-4);
+}
+
+TEST(WavTest, HeaderFieldsWellFormed) {
+  std::stringstream buffer;
+  write_wav(buffer, sine(100.0, 4000.0, 100), 4000.0);
+  const std::string bytes = buffer.str();
+  EXPECT_EQ(bytes.substr(0, 4), "RIFF");
+  EXPECT_EQ(bytes.substr(8, 4), "WAVE");
+  EXPECT_EQ(bytes.substr(12, 4), "fmt ");
+  EXPECT_EQ(bytes.size(), 44u + 200u);  // header + 100 samples * 2 bytes
+}
+
+TEST(WavTest, EmptySignalOk) {
+  std::stringstream buffer;
+  write_wav(buffer, {}, 1000.0);
+  const WavData back = read_wav(buffer);
+  EXPECT_TRUE(back.samples.empty());
+}
+
+TEST(WavTest, RejectsGarbage) {
+  std::stringstream buffer{"definitely not a wav file"};
+  EXPECT_THROW((void)read_wav(buffer), emoleak::util::DataError);
+}
+
+TEST(WavTest, RejectsTruncated) {
+  std::stringstream buffer;
+  write_wav(buffer, sine(100.0, 4000.0, 100), 4000.0);
+  std::stringstream cut{buffer.str().substr(0, 30)};
+  EXPECT_THROW((void)read_wav(cut), emoleak::util::DataError);
+}
+
+TEST(WavTest, InvalidRateThrows) {
+  std::stringstream buffer;
+  EXPECT_THROW(write_wav(buffer, {0.0}, 0.0), emoleak::util::DataError);
+}
+
+TEST(WavTest, SynthesizedUtteranceExportable) {
+  const emoleak::audio::Corpus corpus{
+      emoleak::audio::scaled_spec(emoleak::audio::tess_spec(), 0.01), 3};
+  const auto utterance = corpus.synthesize(0);
+  // Normalize to a sane range before export.
+  double peak = 1e-9;
+  for (const double s : utterance.samples) peak = std::max(peak, std::abs(s));
+  std::vector<double> normalized = utterance.samples;
+  for (double& s : normalized) s /= peak;
+  std::stringstream buffer;
+  write_wav(buffer, normalized, utterance.sample_rate_hz);
+  const WavData back = read_wav(buffer);
+  EXPECT_EQ(back.samples.size(), utterance.samples.size());
+  EXPECT_DOUBLE_EQ(back.sample_rate_hz, utterance.sample_rate_hz);
+}
+
+}  // namespace
