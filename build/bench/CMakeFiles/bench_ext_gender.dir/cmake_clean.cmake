@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_gender.dir/bench_ext_gender.cpp.o"
+  "CMakeFiles/bench_ext_gender.dir/bench_ext_gender.cpp.o.d"
+  "bench_ext_gender"
+  "bench_ext_gender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_gender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

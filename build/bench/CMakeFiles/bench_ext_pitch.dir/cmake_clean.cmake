@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_pitch.dir/bench_ext_pitch.cpp.o"
+  "CMakeFiles/bench_ext_pitch.dir/bench_ext_pitch.cpp.o.d"
+  "bench_ext_pitch"
+  "bench_ext_pitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_pitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

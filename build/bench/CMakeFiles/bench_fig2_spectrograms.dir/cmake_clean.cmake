@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_spectrograms.dir/bench_fig2_spectrograms.cpp.o"
+  "CMakeFiles/bench_fig2_spectrograms.dir/bench_fig2_spectrograms.cpp.o.d"
+  "bench_fig2_spectrograms"
+  "bench_fig2_spectrograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_spectrograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

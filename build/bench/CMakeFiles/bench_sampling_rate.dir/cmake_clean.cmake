@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sampling_rate.dir/bench_sampling_rate.cpp.o"
+  "CMakeFiles/bench_sampling_rate.dir/bench_sampling_rate.cpp.o.d"
+  "bench_sampling_rate"
+  "bench_sampling_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sampling_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_infogain.dir/bench_table1_infogain.cpp.o"
+  "CMakeFiles/bench_table1_infogain.dir/bench_table1_infogain.cpp.o.d"
+  "bench_table1_infogain"
+  "bench_table1_infogain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_infogain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

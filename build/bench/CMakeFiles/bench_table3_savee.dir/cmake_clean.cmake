@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_savee.dir/bench_table3_savee.cpp.o"
+  "CMakeFiles/bench_table3_savee.dir/bench_table3_savee.cpp.o.d"
+  "bench_table3_savee"
+  "bench_table3_savee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_savee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_cremad.dir/bench_table4_cremad.cpp.o"
+  "CMakeFiles/bench_table4_cremad.dir/bench_table4_cremad.cpp.o.d"
+  "bench_table4_cremad"
+  "bench_table4_cremad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_cremad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

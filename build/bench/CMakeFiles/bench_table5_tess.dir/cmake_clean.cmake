@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_tess.dir/bench_table5_tess.cpp.o"
+  "CMakeFiles/bench_table5_tess.dir/bench_table5_tess.cpp.o.d"
+  "bench_table5_tess"
+  "bench_table5_tess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_tess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

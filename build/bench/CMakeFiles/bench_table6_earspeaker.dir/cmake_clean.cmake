@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_earspeaker.dir/bench_table6_earspeaker.cpp.o"
+  "CMakeFiles/bench_table6_earspeaker.dir/bench_table6_earspeaker.cpp.o.d"
+  "bench_table6_earspeaker"
+  "bench_table6_earspeaker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_earspeaker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emoleak_bench_common.dir/common.cpp.o"
+  "CMakeFiles/emoleak_bench_common.dir/common.cpp.o.d"
+  "libemoleak_bench_common.a"
+  "libemoleak_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emoleak_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

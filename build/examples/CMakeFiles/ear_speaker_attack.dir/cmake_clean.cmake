@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_speaker_attack.dir/ear_speaker_attack.cpp.o"
+  "CMakeFiles/ear_speaker_attack.dir/ear_speaker_attack.cpp.o.d"
+  "ear_speaker_attack"
+  "ear_speaker_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_speaker_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

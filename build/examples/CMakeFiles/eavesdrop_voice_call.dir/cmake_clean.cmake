@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eavesdrop_voice_call.dir/eavesdrop_voice_call.cpp.o"
+  "CMakeFiles/eavesdrop_voice_call.dir/eavesdrop_voice_call.cpp.o.d"
+  "eavesdrop_voice_call"
+  "eavesdrop_voice_call.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eavesdrop_voice_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

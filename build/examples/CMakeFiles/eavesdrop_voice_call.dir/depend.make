@@ -1,0 +1,2 @@
+# Empty dependencies file for eavesdrop_voice_call.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emoleak_cli.dir/emoleak_cli.cpp.o"
+  "CMakeFiles/emoleak_cli.dir/emoleak_cli.cpp.o.d"
+  "emoleak_cli"
+  "emoleak_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emoleak_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/export_features.cpp" "examples/CMakeFiles/export_features.dir/export_features.cpp.o" "gcc" "examples/CMakeFiles/export_features.dir/export_features.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/emoleak_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/phone/CMakeFiles/emoleak_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/audio/CMakeFiles/emoleak_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/emoleak_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/emoleak_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/emoleak_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/emoleak_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emoleak_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

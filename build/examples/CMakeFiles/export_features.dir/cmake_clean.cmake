@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_features.dir/export_features.cpp.o"
+  "CMakeFiles/export_features.dir/export_features.cpp.o.d"
+  "export_features"
+  "export_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audio/corpus.cpp" "src/audio/CMakeFiles/emoleak_audio.dir/corpus.cpp.o" "gcc" "src/audio/CMakeFiles/emoleak_audio.dir/corpus.cpp.o.d"
+  "/root/repo/src/audio/emotion.cpp" "src/audio/CMakeFiles/emoleak_audio.dir/emotion.cpp.o" "gcc" "src/audio/CMakeFiles/emoleak_audio.dir/emotion.cpp.o.d"
+  "/root/repo/src/audio/playlist.cpp" "src/audio/CMakeFiles/emoleak_audio.dir/playlist.cpp.o" "gcc" "src/audio/CMakeFiles/emoleak_audio.dir/playlist.cpp.o.d"
+  "/root/repo/src/audio/prosody.cpp" "src/audio/CMakeFiles/emoleak_audio.dir/prosody.cpp.o" "gcc" "src/audio/CMakeFiles/emoleak_audio.dir/prosody.cpp.o.d"
+  "/root/repo/src/audio/utterance.cpp" "src/audio/CMakeFiles/emoleak_audio.dir/utterance.cpp.o" "gcc" "src/audio/CMakeFiles/emoleak_audio.dir/utterance.cpp.o.d"
+  "/root/repo/src/audio/voice.cpp" "src/audio/CMakeFiles/emoleak_audio.dir/voice.cpp.o" "gcc" "src/audio/CMakeFiles/emoleak_audio.dir/voice.cpp.o.d"
+  "/root/repo/src/audio/wav.cpp" "src/audio/CMakeFiles/emoleak_audio.dir/wav.cpp.o" "gcc" "src/audio/CMakeFiles/emoleak_audio.dir/wav.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/emoleak_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/emoleak_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emoleak_audio.dir/corpus.cpp.o"
+  "CMakeFiles/emoleak_audio.dir/corpus.cpp.o.d"
+  "CMakeFiles/emoleak_audio.dir/emotion.cpp.o"
+  "CMakeFiles/emoleak_audio.dir/emotion.cpp.o.d"
+  "CMakeFiles/emoleak_audio.dir/playlist.cpp.o"
+  "CMakeFiles/emoleak_audio.dir/playlist.cpp.o.d"
+  "CMakeFiles/emoleak_audio.dir/prosody.cpp.o"
+  "CMakeFiles/emoleak_audio.dir/prosody.cpp.o.d"
+  "CMakeFiles/emoleak_audio.dir/utterance.cpp.o"
+  "CMakeFiles/emoleak_audio.dir/utterance.cpp.o.d"
+  "CMakeFiles/emoleak_audio.dir/voice.cpp.o"
+  "CMakeFiles/emoleak_audio.dir/voice.cpp.o.d"
+  "CMakeFiles/emoleak_audio.dir/wav.cpp.o"
+  "CMakeFiles/emoleak_audio.dir/wav.cpp.o.d"
+  "libemoleak_audio.a"
+  "libemoleak_audio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emoleak_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emoleak_core.dir/attack.cpp.o"
+  "CMakeFiles/emoleak_core.dir/attack.cpp.o.d"
+  "CMakeFiles/emoleak_core.dir/pipeline.cpp.o"
+  "CMakeFiles/emoleak_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/emoleak_core.dir/report.cpp.o"
+  "CMakeFiles/emoleak_core.dir/report.cpp.o.d"
+  "CMakeFiles/emoleak_core.dir/speech_region.cpp.o"
+  "CMakeFiles/emoleak_core.dir/speech_region.cpp.o.d"
+  "CMakeFiles/emoleak_core.dir/streaming.cpp.o"
+  "CMakeFiles/emoleak_core.dir/streaming.cpp.o.d"
+  "libemoleak_core.a"
+  "libemoleak_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emoleak_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

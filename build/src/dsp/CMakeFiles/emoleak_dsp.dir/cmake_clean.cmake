@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emoleak_dsp.dir/envelope.cpp.o"
+  "CMakeFiles/emoleak_dsp.dir/envelope.cpp.o.d"
+  "CMakeFiles/emoleak_dsp.dir/fft.cpp.o"
+  "CMakeFiles/emoleak_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/emoleak_dsp.dir/filter.cpp.o"
+  "CMakeFiles/emoleak_dsp.dir/filter.cpp.o.d"
+  "CMakeFiles/emoleak_dsp.dir/pitch.cpp.o"
+  "CMakeFiles/emoleak_dsp.dir/pitch.cpp.o.d"
+  "CMakeFiles/emoleak_dsp.dir/resample.cpp.o"
+  "CMakeFiles/emoleak_dsp.dir/resample.cpp.o.d"
+  "CMakeFiles/emoleak_dsp.dir/stats.cpp.o"
+  "CMakeFiles/emoleak_dsp.dir/stats.cpp.o.d"
+  "CMakeFiles/emoleak_dsp.dir/stft.cpp.o"
+  "CMakeFiles/emoleak_dsp.dir/stft.cpp.o.d"
+  "CMakeFiles/emoleak_dsp.dir/window.cpp.o"
+  "CMakeFiles/emoleak_dsp.dir/window.cpp.o.d"
+  "libemoleak_dsp.a"
+  "libemoleak_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emoleak_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

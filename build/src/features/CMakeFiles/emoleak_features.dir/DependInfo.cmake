@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/features.cpp" "src/features/CMakeFiles/emoleak_features.dir/features.cpp.o" "gcc" "src/features/CMakeFiles/emoleak_features.dir/features.cpp.o.d"
+  "/root/repo/src/features/info_gain.cpp" "src/features/CMakeFiles/emoleak_features.dir/info_gain.cpp.o" "gcc" "src/features/CMakeFiles/emoleak_features.dir/info_gain.cpp.o.d"
+  "/root/repo/src/features/selection.cpp" "src/features/CMakeFiles/emoleak_features.dir/selection.cpp.o" "gcc" "src/features/CMakeFiles/emoleak_features.dir/selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/emoleak_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/emoleak_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emoleak_features.dir/features.cpp.o"
+  "CMakeFiles/emoleak_features.dir/features.cpp.o.d"
+  "CMakeFiles/emoleak_features.dir/info_gain.cpp.o"
+  "CMakeFiles/emoleak_features.dir/info_gain.cpp.o.d"
+  "CMakeFiles/emoleak_features.dir/selection.cpp.o"
+  "CMakeFiles/emoleak_features.dir/selection.cpp.o.d"
+  "libemoleak_features.a"
+  "libemoleak_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emoleak_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/emoleak_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/emoleak_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/ensemble.cpp" "src/ml/CMakeFiles/emoleak_ml.dir/ensemble.cpp.o" "gcc" "src/ml/CMakeFiles/emoleak_ml.dir/ensemble.cpp.o.d"
+  "/root/repo/src/ml/eval.cpp" "src/ml/CMakeFiles/emoleak_ml.dir/eval.cpp.o" "gcc" "src/ml/CMakeFiles/emoleak_ml.dir/eval.cpp.o.d"
+  "/root/repo/src/ml/lmt.cpp" "src/ml/CMakeFiles/emoleak_ml.dir/lmt.cpp.o" "gcc" "src/ml/CMakeFiles/emoleak_ml.dir/lmt.cpp.o.d"
+  "/root/repo/src/ml/logistic.cpp" "src/ml/CMakeFiles/emoleak_ml.dir/logistic.cpp.o" "gcc" "src/ml/CMakeFiles/emoleak_ml.dir/logistic.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/emoleak_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/emoleak_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/multiclass.cpp" "src/ml/CMakeFiles/emoleak_ml.dir/multiclass.cpp.o" "gcc" "src/ml/CMakeFiles/emoleak_ml.dir/multiclass.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/ml/CMakeFiles/emoleak_ml.dir/serialize.cpp.o" "gcc" "src/ml/CMakeFiles/emoleak_ml.dir/serialize.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/ml/CMakeFiles/emoleak_ml.dir/tree.cpp.o" "gcc" "src/ml/CMakeFiles/emoleak_ml.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/emoleak_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

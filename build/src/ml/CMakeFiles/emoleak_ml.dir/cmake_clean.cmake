@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emoleak_ml.dir/dataset.cpp.o"
+  "CMakeFiles/emoleak_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/emoleak_ml.dir/ensemble.cpp.o"
+  "CMakeFiles/emoleak_ml.dir/ensemble.cpp.o.d"
+  "CMakeFiles/emoleak_ml.dir/eval.cpp.o"
+  "CMakeFiles/emoleak_ml.dir/eval.cpp.o.d"
+  "CMakeFiles/emoleak_ml.dir/lmt.cpp.o"
+  "CMakeFiles/emoleak_ml.dir/lmt.cpp.o.d"
+  "CMakeFiles/emoleak_ml.dir/logistic.cpp.o"
+  "CMakeFiles/emoleak_ml.dir/logistic.cpp.o.d"
+  "CMakeFiles/emoleak_ml.dir/metrics.cpp.o"
+  "CMakeFiles/emoleak_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/emoleak_ml.dir/multiclass.cpp.o"
+  "CMakeFiles/emoleak_ml.dir/multiclass.cpp.o.d"
+  "CMakeFiles/emoleak_ml.dir/serialize.cpp.o"
+  "CMakeFiles/emoleak_ml.dir/serialize.cpp.o.d"
+  "CMakeFiles/emoleak_ml.dir/tree.cpp.o"
+  "CMakeFiles/emoleak_ml.dir/tree.cpp.o.d"
+  "libemoleak_ml.a"
+  "libemoleak_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emoleak_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

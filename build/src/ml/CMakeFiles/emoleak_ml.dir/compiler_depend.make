@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for emoleak_ml.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emoleak_nn.dir/cnn_models.cpp.o"
+  "CMakeFiles/emoleak_nn.dir/cnn_models.cpp.o.d"
+  "CMakeFiles/emoleak_nn.dir/layers.cpp.o"
+  "CMakeFiles/emoleak_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/emoleak_nn.dir/model.cpp.o"
+  "CMakeFiles/emoleak_nn.dir/model.cpp.o.d"
+  "CMakeFiles/emoleak_nn.dir/tensor.cpp.o"
+  "CMakeFiles/emoleak_nn.dir/tensor.cpp.o.d"
+  "libemoleak_nn.a"
+  "libemoleak_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emoleak_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

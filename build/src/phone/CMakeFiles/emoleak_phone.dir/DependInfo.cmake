@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phone/channel.cpp" "src/phone/CMakeFiles/emoleak_phone.dir/channel.cpp.o" "gcc" "src/phone/CMakeFiles/emoleak_phone.dir/channel.cpp.o.d"
+  "/root/repo/src/phone/profile.cpp" "src/phone/CMakeFiles/emoleak_phone.dir/profile.cpp.o" "gcc" "src/phone/CMakeFiles/emoleak_phone.dir/profile.cpp.o.d"
+  "/root/repo/src/phone/recorder.cpp" "src/phone/CMakeFiles/emoleak_phone.dir/recorder.cpp.o" "gcc" "src/phone/CMakeFiles/emoleak_phone.dir/recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/emoleak_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/emoleak_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/audio/CMakeFiles/emoleak_audio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emoleak_phone.dir/channel.cpp.o"
+  "CMakeFiles/emoleak_phone.dir/channel.cpp.o.d"
+  "CMakeFiles/emoleak_phone.dir/profile.cpp.o"
+  "CMakeFiles/emoleak_phone.dir/profile.cpp.o.d"
+  "CMakeFiles/emoleak_phone.dir/recorder.cpp.o"
+  "CMakeFiles/emoleak_phone.dir/recorder.cpp.o.d"
+  "libemoleak_phone.a"
+  "libemoleak_phone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emoleak_phone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

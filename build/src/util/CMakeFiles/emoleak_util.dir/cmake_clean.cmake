@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emoleak_util.dir/csv.cpp.o"
+  "CMakeFiles/emoleak_util.dir/csv.cpp.o.d"
+  "CMakeFiles/emoleak_util.dir/table.cpp.o"
+  "CMakeFiles/emoleak_util.dir/table.cpp.o.d"
+  "libemoleak_util.a"
+  "libemoleak_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emoleak_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libemoleak_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ensembles.dir/test_ensembles.cpp.o"
+  "CMakeFiles/test_ensembles.dir/test_ensembles.cpp.o.d"
+  "test_ensembles"
+  "test_ensembles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ensembles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

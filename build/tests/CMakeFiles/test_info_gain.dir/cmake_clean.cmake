@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_info_gain.dir/test_info_gain.cpp.o"
+  "CMakeFiles/test_info_gain.dir/test_info_gain.cpp.o.d"
+  "test_info_gain"
+  "test_info_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_info_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

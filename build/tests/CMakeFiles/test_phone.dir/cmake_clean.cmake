@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phone.dir/test_phone.cpp.o"
+  "CMakeFiles/test_phone.dir/test_phone.cpp.o.d"
+  "test_phone"
+  "test_phone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pitch.dir/test_pitch.cpp.o"
+  "CMakeFiles/test_pitch.dir/test_pitch.cpp.o.d"
+  "test_pitch"
+  "test_pitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_playlist.dir/test_playlist.cpp.o"
+  "CMakeFiles/test_playlist.dir/test_playlist.cpp.o.d"
+  "test_playlist"
+  "test_playlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_playlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

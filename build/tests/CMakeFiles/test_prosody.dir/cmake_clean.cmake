@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prosody.dir/test_prosody.cpp.o"
+  "CMakeFiles/test_prosody.dir/test_prosody.cpp.o.d"
+  "test_prosody"
+  "test_prosody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prosody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

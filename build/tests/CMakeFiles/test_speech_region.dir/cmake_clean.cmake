@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_speech_region.dir/test_speech_region.cpp.o"
+  "CMakeFiles/test_speech_region.dir/test_speech_region.cpp.o.d"
+  "test_speech_region"
+  "test_speech_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_speech_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

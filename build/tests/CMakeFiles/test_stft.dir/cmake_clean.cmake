@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stft.dir/test_stft.cpp.o"
+  "CMakeFiles/test_stft.dir/test_stft.cpp.o.d"
+  "test_stft"
+  "test_stft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_utterance.dir/test_utterance.cpp.o"
+  "CMakeFiles/test_utterance.dir/test_utterance.cpp.o.d"
+  "test_utterance"
+  "test_utterance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_utterance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
