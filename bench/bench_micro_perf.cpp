@@ -5,15 +5,20 @@
 
 #include <cmath>
 #include <numbers>
+#include <sstream>
 
 #include "audio/corpus.h"
+#include "core/pipeline.h"
 #include "core/speech_region.h"
 #include "dsp/fft.h"
 #include "dsp/filter.h"
 #include "dsp/stft.h"
 #include "features/features.h"
+#include "ml/ensemble.h"
+#include "ml/eval.h"
 #include "nn/cnn_models.h"
 #include "phone/channel.h"
+#include "phone/recorder.h"
 #include "util/rng.h"
 
 namespace {
@@ -125,6 +130,48 @@ void BM_SpeechRegionDetection(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 42000);
 }
 BENCHMARK(BM_SpeechRegionDetection);
+
+void BM_ExtractAndCrossValidate(benchmark::State& state) {
+  // End-to-end hot path at a given thread count (Arg): per-region
+  // extraction followed by 10-fold RandomForest cross-validation.
+  // Results are bit-identical across thread counts; only wall-clock
+  // changes. Run with --benchmark_filter=ExtractAndCrossValidate to
+  // compare Arg(1) vs Arg(4) for the parallel speedup.
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const audio::Corpus corpus{audio::scaled_spec(audio::tess_spec(), 0.06), 43};
+  phone::RecorderConfig rc;
+  rc.seed = 43;
+  const phone::Recording recording =
+      record_session(corpus, phone::oneplus_7t(), rc);
+
+  core::PipelineConfig pipeline;
+  pipeline.detector = core::tabletop_detector_config();
+  pipeline.parallelism.threads = threads;
+
+  ml::RandomForestConfig rf_cfg;
+  rf_cfg.parallelism.threads = threads;
+
+  double accuracy = 0.0;
+  for (auto _ : state) {
+    const core::ExtractedData data = core::extract(recording, pipeline);
+    const ml::EvalResult result =
+        ml::cross_validate(ml::RandomForest{rf_cfg}, data.features, 10, 43,
+                           {.threads = threads});
+    // No DoNotOptimize here: benchmark 1.7.1's "+m,r" asm constraint
+    // miscompiles scalar doubles under GCC 12, and the calls above are
+    // opaque to the optimizer anyway.
+    accuracy = result.accuracy;
+  }
+  std::ostringstream label;
+  label << "accuracy=" << accuracy;
+  state.SetLabel(label.str());
+}
+BENCHMARK(BM_ExtractAndCrossValidate)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_TimefreqCnnForward(benchmark::State& state) {
   nn::Sequential model = nn::build_timefreq_cnn(24, 7, nn::CnnConfig::fast());

@@ -49,15 +49,21 @@ void print_comparisons(const std::vector<Comparison>& rows,
 MethodAccuracies run_loudspeaker_methods(const core::ExtractedData& data,
                                          const MethodConfig& config) {
   MethodAccuracies out;
-  out.logistic =
-      core::evaluate_classical(ml::LogisticRegression{}, data.features, kBenchSeed)
-          .accuracy;
-  out.multiclass =
-      core::evaluate_classical(ml::OneVsRestLogistic{}, data.features, kBenchSeed)
-          .accuracy;
-  out.lmt =
-      core::evaluate_classical(ml::LogisticModelTree{}, data.features, kBenchSeed)
-          .accuracy;
+  // The classical sweep is a per-config fan-out: each classifier's
+  // split evaluation is independent and deterministic given the seed.
+  std::vector<std::unique_ptr<ml::Classifier>> classical;
+  classical.push_back(std::make_unique<ml::LogisticRegression>());
+  classical.push_back(std::make_unique<ml::OneVsRestLogistic>());
+  classical.push_back(std::make_unique<ml::LogisticModelTree>());
+  const std::vector<double> accuracies = util::parallel_map(
+      config.parallelism, classical.size(), [&](std::size_t i) {
+        return core::evaluate_classical(*classical[i], data.features,
+                                        kBenchSeed)
+            .accuracy;
+      });
+  out.logistic = accuracies[0];
+  out.multiclass = accuracies[1];
+  out.lmt = accuracies[2];
 
   core::CnnRunConfig tf;
   tf.train.epochs = config.tf_epochs;
@@ -82,15 +88,18 @@ EarMethodAccuracies run_ear_methods(const core::ExtractedData& data,
   EarMethodAccuracies out;
   // The paper uses 10-fold cross-validation in the ear-speaker setting
   // (Fig. 6b caption).
-  out.random_forest = core::evaluate_classical(ml::RandomForest{}, data.features,
-                                               kBenchSeed, /*cv=*/10)
-                          .accuracy;
+  // Folds parallelize inside each evaluation (10-fold CV), which beats
+  // fanning out the three classifiers: fold training dominates.
+  out.random_forest =
+      core::evaluate_classical(ml::RandomForest{}, data.features, kBenchSeed,
+                               /*cv=*/10, config.parallelism)
+          .accuracy;
   out.random_subspace =
       core::evaluate_classical(ml::RandomSubspace{}, data.features, kBenchSeed,
-                               /*cv=*/10)
+                               /*cv=*/10, config.parallelism)
           .accuracy;
   out.lmt = core::evaluate_classical(ml::LogisticModelTree{}, data.features,
-                                     kBenchSeed, /*cv=*/10)
+                                     kBenchSeed, /*cv=*/10, config.parallelism)
                 .accuracy;
   core::CnnRunConfig tf;
   tf.train.epochs = config.tf_epochs;

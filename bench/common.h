@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/attack.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
 namespace emoleak::bench {
@@ -65,6 +66,10 @@ struct MethodConfig {
   int spec_epochs = 22;
   bool paper_exact_cnn = false;
   bool run_spectrogram = true;
+  /// Threads for the classical-classifier sweep (and the CV folds
+  /// inside each evaluation). Accuracies are bit-identical at any
+  /// thread count.
+  util::Parallelism parallelism;
 };
 
 [[nodiscard]] MethodAccuracies run_loudspeaker_methods(

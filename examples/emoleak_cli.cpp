@@ -39,6 +39,7 @@ struct CliOptions {
   double fraction = 1.0;
   std::uint64_t seed = 43;
   std::size_t cv_folds = 0;  // 0 = 80/20 split
+  std::size_t threads = 0;   // 0 = hardware concurrency, 1 = serial
   bool rate_cap = false;
   std::string report_path;
   std::string features_path;
@@ -56,6 +57,9 @@ void usage() {
       "  --fraction F                    corpus fraction in (0,1] (default 1)\n"
       "  --seed N                        experiment seed (default 43)\n"
       "  --cv K                          K-fold CV instead of the 80/20 split\n"
+      "  --threads N                     worker threads for extraction/CV\n"
+      "                                  (0 = all cores, 1 = serial; results\n"
+      "                                  are identical at any thread count)\n"
       "  --rate-cap                      apply the Android 12 200 Hz cap\n"
       "  --report PATH                   write a Markdown report\n"
       "  --features PATH                 write extracted features as CSV\n"
@@ -108,6 +112,7 @@ CliOptions parse_args(int argc, char** argv) {
     else if (arg == "--fraction") opts.fraction = std::stod(need_value(i));
     else if (arg == "--seed") opts.seed = std::stoull(need_value(i));
     else if (arg == "--cv") opts.cv_folds = std::stoul(need_value(i));
+    else if (arg == "--threads") opts.threads = std::stoul(need_value(i));
     else if (arg == "--rate-cap") opts.rate_cap = true;
     else if (arg == "--report") opts.report_path = need_value(i);
     else if (arg == "--features") opts.features_path = need_value(i);
@@ -138,6 +143,8 @@ int main(int argc, char** argv) {
             : core::loudspeaker_scenario(parse_dataset(opts.dataset), device,
                                          opts.seed);
     scenario.corpus_fraction = opts.fraction;
+    const util::Parallelism parallelism{.threads = opts.threads};
+    scenario.pipeline.parallelism = parallelism;
 
     std::cout << "Capturing " << scenario.dataset.name << " via "
               << device.name << " ("
@@ -156,7 +163,7 @@ int main(int argc, char** argv) {
                       : " (80/20 split)")
               << "...\n";
     const core::ClassifierResult result = core::evaluate_classical(
-        *prototype, data.features, opts.seed, opts.cv_folds);
+        *prototype, data.features, opts.seed, opts.cv_folds, parallelism);
     std::cout << "  accuracy " << util::percent(result.accuracy)
               << " (random guess "
               << util::percent(1.0 / data.features.class_count) << ")\n\n"

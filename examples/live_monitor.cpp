@@ -6,8 +6,10 @@
 // example trains a model offline, persists it with ml::save_model, then
 // "deploys" it into a StreamingAttack fed 256-sample chunks.
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <sstream>
+#include <string>
 
 #include "core/attack.h"
 #include "core/streaming.h"
@@ -15,13 +17,28 @@
 #include "ml/serialize.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace emoleak;
+
+  // --threads N parallelizes the offline extraction stage (0 = all
+  // cores, 1 = serial); the streaming stage is inherently sequential.
+  util::Parallelism parallelism;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      try {
+        parallelism.threads = std::stoul(argv[i + 1]);
+      } catch (const std::exception&) {
+        std::cerr << "live_monitor: --threads expects a number\n";
+        return EXIT_FAILURE;
+      }
+    }
+  }
 
   // ---- Offline: train and persist the attacker's model. -------------
   core::ScenarioConfig training = core::loudspeaker_scenario(
       audio::tess_spec(), phone::oneplus_7t(), /*seed=*/21);
   training.corpus_fraction = 0.2;
+  training.pipeline.parallelism = parallelism;
   const core::ExtractedData train_data = core::capture(training);
   ml::LogisticRegression trained;
   trained.fit(train_data.features);

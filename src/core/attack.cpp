@@ -75,10 +75,12 @@ std::vector<std::unique_ptr<ml::Classifier>> ear_speaker_classifiers() {
 
 ClassifierResult evaluate_classical(const ml::Classifier& prototype,
                                     const ml::Dataset& features,
-                                    std::uint64_t seed, std::size_t cv_folds) {
+                                    std::uint64_t seed, std::size_t cv_folds,
+                                    const util::Parallelism& parallelism) {
   const ml::EvalResult r =
-      cv_folds >= 2 ? ml::cross_validate(prototype, features, cv_folds, seed)
-                    : ml::evaluate_split(prototype, features, 0.8, seed);
+      cv_folds >= 2
+          ? ml::cross_validate(prototype, features, cv_folds, seed, parallelism)
+          : ml::evaluate_split(prototype, features, 0.8, seed);
   return ClassifierResult{prototype.name(), r.accuracy, r.confusion};
 }
 

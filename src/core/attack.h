@@ -67,11 +67,13 @@ struct ClassifierResult {
 [[nodiscard]] std::vector<std::unique_ptr<ml::Classifier>> ear_speaker_classifiers();
 
 /// Evaluates a classical classifier on extracted features with the
-/// paper's protocol (80/20 split by default, or k-fold CV).
-[[nodiscard]] ClassifierResult evaluate_classical(const ml::Classifier& prototype,
-                                                  const ml::Dataset& features,
-                                                  std::uint64_t seed,
-                                                  std::size_t cv_folds = 0);
+/// paper's protocol (80/20 split by default, or k-fold CV). With CV,
+/// folds run across `parallelism` threads; results are bit-identical
+/// at any thread count.
+[[nodiscard]] ClassifierResult evaluate_classical(
+    const ml::Classifier& prototype, const ml::Dataset& features,
+    std::uint64_t seed, std::size_t cv_folds = 0,
+    const util::Parallelism& parallelism = {});
 
 struct CnnResult {
   double accuracy = 0.0;

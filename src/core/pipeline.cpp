@@ -79,35 +79,50 @@ ExtractedData extract(const phone::Recording& recording,
   data.features.class_names = audio::emotion_names(emotions);
   data.features.feature_names = features::feature_names();
 
+  // Per-region extraction is pure (no RNG, no shared state), so regions
+  // fan out across the pool; results are reduced in region order below,
+  // which keeps the output bit-identical to the serial loop.
+  struct RegionOutput {
+    std::vector<double> features;
+    std::vector<double> spectrogram;
+    bool valid = false;
+  };
   const std::span<const double> accel{recording.accel};
-  for (const LabelledRegion& lr : labelled) {
-    // Features always come from the *raw* samples (paper Table I:
-    // even a 1 Hz high-pass destroys the information).
-    const std::span<const double> region =
-        accel.subspan(lr.region.start, lr.region.length());
-    std::vector<double> row =
-        features::extract_features(region, recording.rate_hz);
-    // Paper §IV-D1: invalid entries (NaN/inf) are removed up front —
-    // done here so feature rows and spectrograms stay aligned.
-    const bool valid = std::all_of(row.begin(), row.end(), [](double v) {
-      return std::isfinite(v);
-    });
-    if (!valid) continue;
-    data.features.x.push_back(std::move(row));
-    data.features.y.push_back(class_of(lr.emotion));
-    data.speaker_ids.push_back(lr.speaker_id);
+  std::vector<RegionOutput> outputs = util::parallel_map(
+      config.parallelism, labelled.size(), [&](std::size_t i) {
+        const LabelledRegion& lr = labelled[i];
+        // Features always come from the *raw* samples (paper Table I:
+        // even a 1 Hz high-pass destroys the information).
+        const std::span<const double> region =
+            accel.subspan(lr.region.start, lr.region.length());
+        RegionOutput out;
+        out.features = features::extract_features(region, recording.rate_hz);
+        // Paper §IV-D1: invalid entries (NaN/inf) are removed up front —
+        // done here so feature rows and spectrograms stay aligned.
+        out.valid = std::all_of(out.features.begin(), out.features.end(),
+                                [](double v) { return std::isfinite(v); });
+        if (!out.valid) return out;
 
-    // Spectrogram image of the same raw region. Remove the DC offset so
-    // the gravity component does not saturate the dB scale.
-    std::vector<double> centered{region.begin(), region.end()};
-    double mean = 0.0;
-    for (const double v : centered) mean += v;
-    mean /= static_cast<double>(centered.size());
-    for (double& v : centered) v -= mean;
-    const dsp::Spectrogram spec =
-        dsp::stft(centered, recording.rate_hz, config.stft);
-    data.spectrograms.push_back(
-        dsp::spectrogram_image(spec, config.image_size, config.image_size));
+        // Spectrogram image of the same raw region. Remove the DC offset
+        // so the gravity component does not saturate the dB scale.
+        std::vector<double> centered{region.begin(), region.end()};
+        double mean = 0.0;
+        for (const double v : centered) mean += v;
+        mean /= static_cast<double>(centered.size());
+        for (double& v : centered) v -= mean;
+        const dsp::Spectrogram spec =
+            dsp::stft(centered, recording.rate_hz, config.stft);
+        out.spectrogram =
+            dsp::spectrogram_image(spec, config.image_size, config.image_size);
+        return out;
+      });
+
+  for (std::size_t i = 0; i < labelled.size(); ++i) {
+    if (!outputs[i].valid) continue;
+    data.features.x.push_back(std::move(outputs[i].features));
+    data.features.y.push_back(class_of(labelled[i].emotion));
+    data.speaker_ids.push_back(labelled[i].speaker_id);
+    data.spectrograms.push_back(std::move(outputs[i].spectrogram));
   }
   return data;
 }

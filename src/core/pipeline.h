@@ -16,6 +16,7 @@
 #include "features/features.h"
 #include "ml/dataset.h"
 #include "phone/recorder.h"
+#include "util/parallel.h"
 
 namespace emoleak::core {
 
@@ -42,6 +43,9 @@ struct PipelineConfig {
   DetectorConfig detector;
   std::size_t image_size = 32;  ///< spectrogram image side (paper: 32)
   dsp::StftConfig stft{.window_length = 64, .hop = 8};
+  /// Threads for per-region feature/spectrogram extraction. Outputs are
+  /// bit-identical at any thread count; 1 forces the serial path.
+  util::Parallelism parallelism;
 
   void validate() const;
 };

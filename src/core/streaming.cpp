@@ -10,6 +10,15 @@ namespace emoleak::core {
 
 void StreamingConfig::validate() const {
   detector.validate();
+  // The offline detector tolerates zero-length gap/region windows, but
+  // the incremental detector closes regions by counting sub-threshold
+  // samples, so both must be strictly positive here.
+  if (detector.merge_gap_s <= 0.0) {
+    throw util::ConfigError{"StreamingConfig: detector.merge_gap_s <= 0"};
+  }
+  if (detector.min_region_s <= 0.0) {
+    throw util::ConfigError{"StreamingConfig: detector.min_region_s <= 0"};
+  }
   if (noise_window_s <= 0.0) {
     throw util::ConfigError{"StreamingConfig: noise_window_s <= 0"};
   }
@@ -37,12 +46,18 @@ StreamingAttack::StreamingAttack(StreamingConfig config, double sample_rate_hz,
   // moving-RMS window length.
   env_alpha_ = std::exp(-1.0 / (config_.detector.envelope_window_s * rate_));
 
-  history_capacity_ = static_cast<std::size_t>(config_.history_s * rate_);
-  noise_capacity_ = static_cast<std::size_t>(config_.noise_window_s * rate_);
-  min_region_samples_ =
-      static_cast<std::size_t>(config_.detector.min_region_s * rate_);
-  gap_samples_ = static_cast<std::size_t>(config_.detector.merge_gap_s * rate_);
-  max_region_samples_ = static_cast<std::size_t>(config_.max_region_s * rate_);
+  // Each count is at least 1: at low sample rates the truncation of
+  // seconds * rate can reach 0, and gap_samples_ == 0 in particular
+  // closes a region on the first sub-threshold sample (below_count_ >= 0
+  // holds even while the signal is active).
+  const auto samples_of = [this](double seconds) {
+    return std::max<std::size_t>(1, static_cast<std::size_t>(seconds * rate_));
+  };
+  history_capacity_ = samples_of(config_.history_s);
+  noise_capacity_ = samples_of(config_.noise_window_s);
+  min_region_samples_ = samples_of(config_.detector.min_region_s);
+  gap_samples_ = samples_of(config_.detector.merge_gap_s);
+  max_region_samples_ = samples_of(config_.max_region_s);
   pad_samples_ = static_cast<std::size_t>(config_.detector.pad_s * rate_);
 }
 
@@ -69,12 +84,19 @@ EmotionEvent StreamingAttack::close_region(std::size_t start, std::size_t end) {
   event.end_sample = end + pad_samples_;
   ++events_;
 
-  // Slice the raw history for feature extraction.
+  // Slice the raw history for feature extraction. Both bounds clamp
+  // against history_start_ before subtracting: a padded region that has
+  // (partly or fully) been evicted from raw_history_ would otherwise
+  // wrap the unsigned difference and slice the entire history. A fully
+  // evicted region simply yields an unclassified event below.
   const std::size_t lo =
       event.start_sample > history_start_ ? event.start_sample - history_start_
                                           : 0;
-  const std::size_t hi = std::min<std::size_t>(
-      event.end_sample - history_start_, raw_history_.size());
+  const std::size_t hi =
+      event.end_sample > history_start_
+          ? std::min<std::size_t>(event.end_sample - history_start_,
+                                  raw_history_.size())
+          : 0;
   if (classifier_ && hi > lo + 4) {
     std::vector<double> region(raw_history_.begin() + static_cast<std::ptrdiff_t>(lo),
                                raw_history_.begin() + static_cast<std::ptrdiff_t>(hi));

@@ -63,6 +63,20 @@ std::vector<double> Spectrogram::to_db(double floor_db) const {
   return db;
 }
 
+namespace {
+
+/// Maps a virtual index from the padded axis onto [0, n) by reflecting
+/// around the first and last samples (librosa's `reflect`, no edge
+/// repeat): ..., s[2], s[1], | s[0..n-1] |, s[n-2], s[n-3], ...
+std::size_t reflect_index(std::size_t k, std::size_t n) {
+  if (n <= 1) return 0;
+  const std::size_t period = 2 * (n - 1);
+  k %= period;
+  return k < n ? k : period - k;
+}
+
+}  // namespace
+
 Spectrogram stft(std::span<const double> signal, double sample_rate_hz,
                  const StftConfig& config) {
   config.validate();
@@ -78,17 +92,22 @@ Spectrogram stft(std::span<const double> signal, double sample_rate_hz,
   std::vector<double> padded;
   std::span<const double> x = signal;
   if (config.center) {
+    // Front and back pads mirror symmetrically around the first / last
+    // sample; reflect_index keeps folding for signals shorter than half
+    // a window instead of clamping to an edge sample.
     const std::size_t pad = win_len / 2;
     padded.reserve(signal.size() + 2 * pad);
     for (std::size_t i = 0; i < pad; ++i) {
-      const std::size_t src = signal.empty() ? 0 : std::min(pad - i, signal.size() - 1);
-      padded.push_back(signal.empty() ? 0.0 : signal[src]);
+      padded.push_back(signal.empty()
+                           ? 0.0
+                           : signal[reflect_index(pad - i, signal.size())]);
     }
     padded.insert(padded.end(), signal.begin(), signal.end());
     for (std::size_t i = 0; i < pad; ++i) {
-      const std::size_t back =
-          signal.size() >= 2 + i ? signal.size() - 2 - i : 0;
-      padded.push_back(signal.empty() ? 0.0 : signal[back]);
+      padded.push_back(
+          signal.empty()
+              ? 0.0
+              : signal[reflect_index(signal.size() + i, signal.size())]);
     }
     x = padded;
   }

@@ -16,12 +16,19 @@ void RandomForest::fit(const Dataset& data) {
   }
   classes_ = data.class_count;
   trees_.clear();
-  trees_.reserve(config_.tree_count);
   util::Rng rng{config_.seed};
 
   const auto bag_size = static_cast<std::size_t>(
       std::max(1.0, config_.bootstrap_fraction * static_cast<double>(data.size())));
 
+  // All RNG draws happen serially here, in the same order the serial
+  // loop made them, so the trained forest is bit-identical at any
+  // thread count; the expensive tree fits then fan out below.
+  struct TreePlan {
+    TreeConfig cfg;
+    std::vector<std::size_t> bag;
+  };
+  std::vector<TreePlan> plans(config_.tree_count);
   for (std::size_t t = 0; t < config_.tree_count; ++t) {
     TreeConfig cfg = config_.tree;
     if (cfg.features_per_split == 0) {
@@ -34,10 +41,16 @@ void RandomForest::fit(const Dataset& data) {
     for (std::size_t i = 0; i < bag_size; ++i) {
       bag[i] = rng.uniform_int(data.size());
     }
-    DecisionTree tree{cfg};
-    tree.fit_indices(data, bag);
-    trees_.push_back(std::move(tree));
+    plans[t] = TreePlan{cfg, std::move(bag)};
   }
+
+  std::vector<DecisionTree> trees(config_.tree_count);
+  util::parallel_for(config_.parallelism, plans.size(), [&](std::size_t t) {
+    DecisionTree tree{plans[t].cfg};
+    tree.fit_indices(data, plans[t].bag);
+    trees[t] = std::move(tree);
+  });
+  trees_ = std::move(trees);
 }
 
 int RandomForest::predict(std::span<const double> row) const {
@@ -102,12 +115,26 @@ void RandomSubspace::fit(const Dataset& data) {
   std::vector<std::size_t> all_features(dim);
   for (std::size_t i = 0; i < dim; ++i) all_features[i] = i;
 
+  // Serial RNG phase (identical draw order to the serial loop): pick
+  // each tree's column subset and seed. The projection + fit fan out.
+  struct SubspacePlan {
+    TreeConfig cfg;
+    std::vector<std::size_t> cols;
+  };
+  std::vector<SubspacePlan> plans(config_.ensemble_size);
   for (std::size_t t = 0; t < config_.ensemble_size; ++t) {
     rng.shuffle(all_features);
     std::vector<std::size_t> cols{all_features.begin(),
                                   all_features.begin() + static_cast<std::ptrdiff_t>(sub_dim)};
     std::sort(cols.begin(), cols.end());
+    TreeConfig cfg = config_.tree;
+    cfg.seed = rng.next();
+    plans[t] = SubspacePlan{cfg, std::move(cols)};
+  }
 
+  std::vector<DecisionTree> trees(config_.ensemble_size);
+  util::parallel_for(config_.parallelism, plans.size(), [&](std::size_t t) {
+    const std::vector<std::size_t>& cols = plans[t].cols;
     Dataset projected;
     projected.class_count = data.class_count;
     projected.class_names = data.class_names;
@@ -118,14 +145,13 @@ void RandomSubspace::fit(const Dataset& data) {
       for (std::size_t j = 0; j < sub_dim; ++j) r[j] = row[cols[j]];
       projected.x.push_back(std::move(r));
     }
-
-    TreeConfig cfg = config_.tree;
-    cfg.seed = rng.next();
-    DecisionTree tree{cfg};
+    DecisionTree tree{plans[t].cfg};
     tree.fit(projected);
-    trees_.push_back(std::move(tree));
-    subspaces_.push_back(std::move(cols));
-  }
+    trees[t] = std::move(tree);
+  });
+  trees_ = std::move(trees);
+  subspaces_.reserve(config_.ensemble_size);
+  for (SubspacePlan& plan : plans) subspaces_.push_back(std::move(plan.cols));
 }
 
 int RandomSubspace::predict(std::span<const double> row) const {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "ml/tree.h"
+#include "util/parallel.h"
 
 namespace emoleak::ml {
 
@@ -14,6 +15,10 @@ struct RandomForestConfig {
   TreeConfig tree{};            ///< features_per_split 0 => sqrt(dim)
   double bootstrap_fraction = 1.0;
   std::uint64_t seed = 17;
+  /// Threads for per-tree training. Per-tree seeds and bootstrap bags
+  /// are drawn serially up front, so the fitted forest is bit-identical
+  /// at any thread count; 1 forces the serial path.
+  util::Parallelism parallelism;
 };
 
 /// Bagged CART trees with per-split random feature subsets; predictions
@@ -45,6 +50,8 @@ struct RandomSubspaceConfig {
   double subspace_fraction = 0.5;  ///< Weka default: half the features
   TreeConfig tree{};
   std::uint64_t seed = 19;
+  /// Threads for per-tree training (see RandomForestConfig::parallelism).
+  util::Parallelism parallelism;
 };
 
 /// Each base tree trains on a random fixed subset of feature columns

@@ -107,28 +107,34 @@ EvalResult evaluate_split(const Classifier& prototype, const Dataset& data,
 }
 
 EvalResult cross_validate(const Classifier& prototype, const Dataset& data,
-                          std::size_t folds, std::uint64_t seed) {
+                          std::size_t folds, std::uint64_t seed,
+                          const util::Parallelism& parallelism) {
   data.validate();
   util::Rng rng{seed};
   const std::vector<std::vector<std::size_t>> fold_sets =
       stratified_folds(data, folds, rng);
 
+  // Fold sets are fixed above, and each fold trains a fresh clone, so
+  // folds run in parallel; merging in fold order keeps the pooled
+  // matrix bit-identical to the serial loop.
+  const std::vector<ConfusionMatrix> fold_cms = util::parallel_map(
+      parallelism, fold_sets.size(), [&](std::size_t f) {
+        const std::vector<std::size_t>& test_idx = fold_sets[f];
+        std::vector<char> in_test(data.size(), 0);
+        for (const std::size_t i : test_idx) in_test[i] = 1;
+        std::vector<std::size_t> train_idx;
+        train_idx.reserve(data.size() - test_idx.size());
+        for (std::size_t i = 0; i < data.size(); ++i) {
+          if (!in_test[i]) train_idx.push_back(i);
+        }
+        const Dataset train = data.subset(train_idx);
+        const Dataset test = data.subset(test_idx);
+        const std::unique_ptr<Classifier> model = prototype.clone();
+        return evaluate_holdout(*model, train, test).confusion;
+      });
+
   ConfusionMatrix pooled{data.class_count};
-  std::vector<char> in_test(data.size(), 0);
-  for (const std::vector<std::size_t>& test_idx : fold_sets) {
-    std::fill(in_test.begin(), in_test.end(), 0);
-    for (const std::size_t i : test_idx) in_test[i] = 1;
-    std::vector<std::size_t> train_idx;
-    train_idx.reserve(data.size() - test_idx.size());
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      if (!in_test[i]) train_idx.push_back(i);
-    }
-    const Dataset train = data.subset(train_idx);
-    const Dataset test = data.subset(test_idx);
-    const std::unique_ptr<Classifier> model = prototype.clone();
-    const EvalResult fold = evaluate_holdout(*model, train, test);
-    pooled.merge(fold.confusion);
-  }
+  for (const ConfusionMatrix& cm : fold_cms) pooled.merge(cm);
   return EvalResult{pooled, pooled.accuracy()};
 }
 

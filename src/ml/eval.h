@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "ml/classifier.h"
+#include "util/parallel.h"
 
 namespace emoleak::ml {
 
@@ -55,9 +56,12 @@ struct EvalResult {
                                         std::uint64_t seed);
 
 /// Stratified k-fold cross-validation; returns the pooled confusion
-/// matrix over all folds (Weka's protocol).
-[[nodiscard]] EvalResult cross_validate(const Classifier& prototype,
-                                        const Dataset& data, std::size_t folds,
-                                        std::uint64_t seed);
+/// matrix over all folds (Weka's protocol). Folds are independent
+/// (fresh clone per fold, fold sets drawn up front), so they train and
+/// evaluate in parallel; the pooled matrix merges in fold order and is
+/// bit-identical at any thread count.
+[[nodiscard]] EvalResult cross_validate(
+    const Classifier& prototype, const Dataset& data, std::size_t folds,
+    std::uint64_t seed, const util::Parallelism& parallelism = {});
 
 }  // namespace emoleak::ml

@@ -1,0 +1,121 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+
+namespace emoleak::util {
+
+namespace {
+thread_local bool t_on_worker = false;
+}  // namespace
+
+struct ThreadPool::Batch {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t count = 0;
+  std::atomic<std::size_t> next{0};  ///< next unclaimed index
+  std::size_t slots = 0;    ///< worker joins remaining (guarded by mutex_)
+  std::size_t active = 0;   ///< participants still running (guarded by mutex_)
+  std::exception_ptr error;  ///< first exception (guarded by mutex_)
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::on_worker_thread() noexcept { return t_on_worker; }
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool{[] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? static_cast<std::size_t>(hw - 1) : std::size_t{0};
+  }()};
+  return pool;
+}
+
+void ThreadPool::work_on(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.count) return;
+    try {
+      (*batch.fn)(i);
+    } catch (...) {
+      // Stop claiming further indices and keep the first error.
+      batch.next.store(batch.count, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock{mutex_};
+      if (!batch.error) batch.error = std::current_exception();
+      return;
+    }
+  }
+}
+
+void ThreadPool::run(std::size_t count,
+                     const std::function<void(std::size_t)>& fn,
+                     std::size_t max_threads) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1 || max_threads == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock{run_mutex_};
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->count = count;
+  // Workers that may join beyond the caller; never more than useful.
+  std::size_t slots = workers_.size();
+  if (max_threads != 0) slots = std::min(slots, max_threads - 1);
+  slots = std::min(slots, count - 1);
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    batch->slots = slots;
+    batch->active = 1;  // the caller
+    batch_ = batch;
+  }
+  cv_work_.notify_all();
+
+  work_on(*batch);  // the caller participates; errors land in batch->error
+
+  std::unique_lock<std::mutex> lock{mutex_};
+  --batch->active;
+  cv_done_.wait(lock, [&] { return batch->active == 0; });
+  batch_ = nullptr;
+  const std::exception_ptr error = batch->error;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  std::shared_ptr<Batch> seen;  // last batch this worker considered
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      cv_work_.wait(lock, [&] { return stop_ || (batch_ && batch_ != seen); });
+      if (stop_) return;
+      seen = batch_;
+      if (batch_->slots == 0) continue;  // participation limit reached
+      --batch_->slots;
+      ++batch_->active;
+      batch = batch_;
+    }
+    work_on(*batch);
+    {
+      std::lock_guard<std::mutex> lock{mutex_};
+      if (--batch->active == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace emoleak::util

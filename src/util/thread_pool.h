@@ -1,0 +1,71 @@
+// Shared worker-thread pool for the parallel execution engine.
+//
+// One lazily-created pool (hardware_concurrency - 1 workers) backs every
+// parallel region in the library. Work is submitted as an indexed batch:
+// run(count, fn) executes fn(0..count-1) across the workers *and* the
+// calling thread, returning when every index has finished. Indices are
+// claimed from an atomic counter, so scheduling is dynamic, but callers
+// that write results into per-index slots get a deterministic, ordered
+// reduction regardless of thread count (see util/parallel.h).
+//
+// Nested parallel regions are intentionally not fanned out: a worker
+// thread that reaches another parallel region runs it inline
+// (on_worker_thread() lets helpers detect this), which keeps the pool
+// deadlock-free without a work-stealing scheduler.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace emoleak::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 is allowed: run() then executes
+  /// everything on the calling thread).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Executes fn(i) for every i in [0, count), using at most
+  /// `max_threads` threads including the caller (0 = no limit). Blocks
+  /// until all indices complete; rethrows the first exception raised by
+  /// fn. Concurrent run() calls from different threads are serialized.
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn,
+           std::size_t max_threads = 0);
+
+  /// True when called from one of this process's pool worker threads —
+  /// used to run nested parallel regions inline.
+  [[nodiscard]] static bool on_worker_thread() noexcept;
+
+  /// The process-wide pool (hardware_concurrency - 1 workers).
+  [[nodiscard]] static ThreadPool& shared();
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+  void work_on(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex run_mutex_;  ///< serializes top-level batches
+  std::mutex mutex_;      ///< guards batch_ / stop_ / Batch bookkeeping
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::shared_ptr<Batch> batch_;  ///< batch being executed, if any
+  bool stop_ = false;
+};
+
+}  // namespace emoleak::util

@@ -1,0 +1,182 @@
+// Tests for the deterministic parallel execution engine
+// (util/thread_pool.h, util/parallel.h) and its wiring through the hot
+// layers: extraction, cross-validation and ensemble training must be
+// bit-identical to the serial path at any thread count.
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/attack.h"
+#include "ml/ensemble.h"
+#include "ml/eval.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace emoleak;
+using util::Parallelism;
+
+TEST(ParallelismTest, ResolvesThreadCounts) {
+  EXPECT_EQ(Parallelism{.threads = 1}.resolved(), 1u);
+  EXPECT_TRUE(Parallelism{.threads = 1}.serial());
+  EXPECT_EQ(Parallelism{.threads = 8}.resolved(), 8u);
+  EXPECT_GE(Parallelism{}.resolved(), 1u);  // hardware concurrency
+}
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  util::ThreadPool pool{3};
+  std::vector<std::atomic<int>> hits(1000);
+  const std::function<void(std::size_t)> fn = [&](std::size_t i) {
+    hits[i].fetch_add(1);
+  };
+  pool.run(hits.size(), fn);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  util::ThreadPool pool{2};
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    const std::function<void(std::size_t)> fn = [&](std::size_t i) {
+      sum.fetch_add(i + 1);
+    };
+    pool.run(17, fn);
+    EXPECT_EQ(sum.load(), 17u * 18u / 2u);
+  }
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  util::ThreadPool pool{2};
+  const std::function<void(std::size_t)> fn = [](std::size_t i) {
+    if (i == 5) throw std::runtime_error{"task failed"};
+  };
+  EXPECT_THROW(pool.run(32, fn), std::runtime_error);
+  // The pool stays usable after a failed batch.
+  std::atomic<int> count{0};
+  const std::function<void(std::size_t)> ok = [&](std::size_t) { ++count; };
+  pool.run(8, ok);
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ParallelMapTest, OrderedResultsMatchSerialAcrossThreadCounts) {
+  const auto work = [](std::size_t i) {
+    return std::sqrt(static_cast<double>(i) + 1.0) * 1.000000001;
+  };
+  const std::vector<double> serial =
+      util::parallel_map(Parallelism{.threads = 1}, 257, work);
+  for (const std::size_t threads : {2u, 8u}) {
+    const std::vector<double> parallel =
+        util::parallel_map(Parallelism{.threads = threads}, 257, work);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i], serial[i]) << "index " << i;
+    }
+  }
+}
+
+TEST(ParallelMapTest, PerTaskRngStreamsAreSchedulingIndependent) {
+  const auto draw = [](std::size_t i) {
+    util::Rng rng = util::task_rng(99, i);
+    return rng.uniform();
+  };
+  const auto serial = util::parallel_map(Parallelism{.threads = 1}, 64, draw);
+  const auto parallel = util::parallel_map(Parallelism{.threads = 8}, 64, draw);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i], serial[i]);
+  }
+  // Distinct tasks draw from distinct streams.
+  EXPECT_NE(serial[0], serial[1]);
+}
+
+TEST(ParallelForTest, NestedRegionsRunInline) {
+  // A parallel task hitting another parallel_for must not deadlock; the
+  // inner region runs serially on the worker.
+  std::vector<std::atomic<int>> hits(64);
+  util::parallel_for(Parallelism{.threads = 4}, 8, [&](std::size_t outer) {
+    util::parallel_for(Parallelism{.threads = 4}, 8, [&](std::size_t inner) {
+      hits[outer * 8 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+class ParallelPipelineTest : public ::testing::Test {
+ protected:
+  static core::ExtractedData extract_with(std::size_t threads) {
+    core::ScenarioConfig sc = core::loudspeaker_scenario(
+        audio::tess_spec(), phone::oneplus_7t(), 43);
+    sc.corpus_fraction = 0.05;
+    sc.pipeline.parallelism.threads = threads;
+    return core::capture(sc);
+  }
+};
+
+TEST_F(ParallelPipelineTest, ExtractIsBitIdenticalAcrossThreadCounts) {
+  const core::ExtractedData serial = extract_with(1);
+  ASSERT_GT(serial.features.size(), 10u);
+  for (const std::size_t threads : {2u, 8u}) {
+    const core::ExtractedData parallel = extract_with(threads);
+    ASSERT_EQ(parallel.features.size(), serial.features.size());
+    ASSERT_EQ(parallel.spectrograms.size(), serial.spectrograms.size());
+    EXPECT_EQ(parallel.features.y, serial.features.y);
+    EXPECT_EQ(parallel.speaker_ids, serial.speaker_ids);
+    for (std::size_t i = 0; i < serial.features.size(); ++i) {
+      EXPECT_EQ(parallel.features.x[i], serial.features.x[i]) << "row " << i;
+      EXPECT_EQ(parallel.spectrograms[i], serial.spectrograms[i]) << "row " << i;
+    }
+  }
+}
+
+TEST_F(ParallelPipelineTest, CrossValidateIsBitIdenticalAcrossThreadCounts) {
+  const core::ExtractedData data = extract_with(1);
+  ml::RandomForestConfig rf;
+  rf.tree_count = 12;
+  const ml::EvalResult serial = ml::cross_validate(
+      ml::RandomForest{rf}, data.features, 5, 43, Parallelism{.threads = 1});
+  for (const std::size_t threads : {2u, 8u}) {
+    const ml::EvalResult parallel =
+        ml::cross_validate(ml::RandomForest{rf}, data.features, 5, 43,
+                           Parallelism{.threads = threads});
+    EXPECT_DOUBLE_EQ(parallel.accuracy, serial.accuracy);
+    EXPECT_EQ(parallel.confusion.counts(), serial.confusion.counts());
+  }
+}
+
+TEST_F(ParallelPipelineTest, EnsembleTrainingIsBitIdenticalAcrossThreadCounts) {
+  const core::ExtractedData data = extract_with(1);
+
+  const auto serialize_forest = [&](std::size_t threads) {
+    ml::RandomForestConfig cfg;
+    cfg.tree_count = 10;
+    cfg.parallelism.threads = threads;
+    ml::RandomForest forest{cfg};
+    forest.fit(data.features);
+    std::ostringstream out;
+    forest.serialize(out);
+    return out.str();
+  };
+  const std::string rf_serial = serialize_forest(1);
+  EXPECT_EQ(serialize_forest(2), rf_serial);
+  EXPECT_EQ(serialize_forest(8), rf_serial);
+
+  const auto serialize_subspace = [&](std::size_t threads) {
+    ml::RandomSubspaceConfig cfg;
+    cfg.ensemble_size = 8;
+    cfg.parallelism.threads = threads;
+    ml::RandomSubspace model{cfg};
+    model.fit(data.features);
+    std::ostringstream out;
+    model.serialize(out);
+    return out.str();
+  };
+  const std::string rs_serial = serialize_subspace(1);
+  EXPECT_EQ(serialize_subspace(2), rs_serial);
+  EXPECT_EQ(serialize_subspace(8), rs_serial);
+}
+
+}  // namespace

@@ -63,6 +63,71 @@ TEST(StftTest, SinePeaksAtCorrectBin) {
   }
 }
 
+TEST(StftTest, ShortSignalReflectPaddingIsSymmetric) {
+  // Regression: for signals shorter than half a window the front pad
+  // used to clamp to repeating signal[size-1] instead of reflecting
+  // around the first sample. True reflect padding is symmetric, so with
+  // a symmetric (Hann) window the spectrogram of the reversed signal
+  // must be the frame-reversed spectrogram of the original.
+  StftConfig c;
+  c.window_length = 64;
+  c.hop = 1;
+  const std::vector<double> ramp{0.1, 0.9, -0.4, 0.7, 0.2};
+  std::vector<double> reversed{ramp.rbegin(), ramp.rend()};
+  const auto spec = stft(ramp, 100.0, c);
+  const auto spec_rev = stft(reversed, 100.0, c);
+  ASSERT_EQ(spec.frames(), spec_rev.frames());
+  ASSERT_EQ(spec.bins(), spec_rev.bins());
+  for (std::size_t f = 0; f < spec.frames(); ++f) {
+    for (std::size_t b = 0; b < spec.bins(); ++b) {
+      EXPECT_NEAR(spec.at(f, b), spec_rev.at(spec.frames() - 1 - f, b), 1e-9)
+          << "frame " << f << " bin " << b;
+    }
+  }
+}
+
+TEST(StftTest, SingleSampleSignalCenterPadIsConstant) {
+  // Reflecting around a single sample can only yield that sample.
+  StftConfig c;
+  c.window_length = 16;
+  c.hop = 4;
+  const auto spec = stft(std::vector<double>{2.5}, 100.0, c);
+  ASSERT_GE(spec.frames(), 1u);
+  // Every frame sees the same constant input, so all frames agree.
+  for (std::size_t f = 1; f < spec.frames(); ++f) {
+    for (std::size_t b = 0; b < spec.bins(); ++b) {
+      EXPECT_NEAR(spec.at(f, b), spec.at(0, b), 1e-9);
+    }
+  }
+}
+
+TEST(StftTest, LongSignalPaddingUnchangedByReflectFix) {
+  // Signals longer than half a window must produce the exact same
+  // spectrogram as before the short-signal fix (pad indices only fold
+  // when they run past the ends).
+  StftConfig c;
+  c.window_length = 16;
+  c.hop = 4;
+  const auto x = sine(20.0, 100.0, 64);
+  const auto spec = stft(x, 100.0, c);
+  // Spot-check against the clamped-index formula valid for long
+  // signals: front pad i -> x[pad - i], back pad i -> x[n - 2 - i].
+  std::vector<double> padded;
+  const std::size_t pad = 8;
+  for (std::size_t i = 0; i < pad; ++i) padded.push_back(x[pad - i]);
+  padded.insert(padded.end(), x.begin(), x.end());
+  for (std::size_t i = 0; i < pad; ++i) padded.push_back(x[x.size() - 2 - i]);
+  StftConfig no_center = c;
+  no_center.center = false;
+  const auto ref = stft(padded, 100.0, no_center);
+  ASSERT_EQ(spec.frames(), ref.frames());
+  for (std::size_t f = 0; f < spec.frames(); ++f) {
+    for (std::size_t b = 0; b < spec.bins(); ++b) {
+      EXPECT_NEAR(spec.at(f, b), ref.at(f, b), 1e-12);
+    }
+  }
+}
+
 TEST(StftTest, BinFrequenciesSpanNyquist) {
   StftConfig c;
   c.window_length = 64;

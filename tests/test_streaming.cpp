@@ -53,6 +53,103 @@ TEST(StreamingConfigTest, Validation) {
   EXPECT_THROW(cfg.validate(), util::ConfigError);
 }
 
+TEST(StreamingConfigTest, RejectsZeroGapAndMinRegion) {
+  // The incremental detector closes regions by counting sub-threshold
+  // samples, so zero-length gap/min-region windows are meaningless for
+  // it (the offline detector tolerates them).
+  StreamingConfig cfg = default_config();
+  cfg.detector.merge_gap_s = 0.0;
+  EXPECT_THROW(cfg.validate(), util::ConfigError);
+  cfg = default_config();
+  cfg.detector.min_region_s = 0.0;
+  EXPECT_THROW(cfg.validate(), util::ConfigError);
+}
+
+TEST(StreamingTest, LowRateBurstYieldsSingleEvent) {
+  // Regression: at very low sample rates, seconds * rate truncated
+  // gap_samples_ to 0, so `below_count_ >= gap_samples_` held on every
+  // in-region sample and a single burst shattered into an event per
+  // sample. The counts must clamp to at least one sample.
+  const double rate = 2.0;  // merge_gap_s = 0.2 -> 0.4 samples pre-fix
+  StreamingConfig cfg;
+  cfg.detector.detection_highpass_hz = 0.0;
+  cfg.detector.envelope_window_s = 0.5;
+  cfg.detector.min_ratio = 3.0;
+  cfg.detector.pad_s = 0.0;
+  cfg.noise_window_s = 8.0;
+  cfg.max_region_s = 30.0;
+  cfg.history_s = 30.0;
+
+  // Constant gravity outside the burst: the detection-domain envelope is
+  // exactly zero there, so the only activity is the burst itself.
+  std::vector<double> x(64, 9.81);
+  for (std::size_t i = 24; i < 34; ++i) {
+    x[i] += (i % 2 == 0 ? -1.0 : 1.0);  // alternating so DC stays put
+  }
+
+  StreamingAttack attack{cfg, rate, nullptr};
+  auto events = attack.push(x);
+  if (auto last = attack.finish()) events.push_back(*last);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(events[0].start_sample), 24.0, 2.0);
+  EXPECT_GT(events[0].end_sample, events[0].start_sample);
+  EXPECT_LE(events[0].end_sample, attack.samples_seen());
+}
+
+/// Always-confident two-class stub; a classified event would carry
+/// predicted_class == 1, so predicted_class == -1 proves the streaming
+/// attack declined to classify.
+class StubClassifier final : public ml::Classifier {
+ public:
+  void fit(const ml::Dataset&) override {}
+  [[nodiscard]] int predict(std::span<const double>) const override {
+    return 1;
+  }
+  [[nodiscard]] std::vector<double> predict_proba(
+      std::span<const double>) const override {
+    return {0.1, 0.9};
+  }
+  [[nodiscard]] std::unique_ptr<ml::Classifier> clone() const override {
+    return std::make_unique<StubClassifier>();
+  }
+  [[nodiscard]] std::string name() const override { return "stub"; }
+};
+
+TEST(StreamingTest, EvictedHistoryYieldsUnclassifiedEvent) {
+  // Regression guard for the raw-history slice in close_region: when a
+  // force-closed region has (partly) slid out of the bounded raw
+  // history, the slice bounds clamp to the retained window and the
+  // event is emitted unclassified instead of wrapping the unsigned
+  // subtraction and slicing garbage.
+  const double rate = 1.0;
+  StreamingConfig cfg;
+  cfg.detector.detection_highpass_hz = 0.0;
+  cfg.detector.envelope_window_s = 1.0;
+  cfg.detector.min_ratio = 3.0;
+  cfg.detector.min_region_s = 1.0;
+  cfg.detector.merge_gap_s = 2.0;
+  cfg.detector.pad_s = 0.0;
+  cfg.noise_window_s = 8.0;
+  cfg.max_region_s = 4.0;   // force-close after 4 samples...
+  cfg.history_s = 4.0;      // ...with only 4 samples of history
+
+  std::vector<double> x(24, 9.81);
+  for (std::size_t i = 12; i < x.size(); ++i) {
+    x[i] += (i % 2 == 0 ? -1.0 : 1.0);  // burst to the end of the stream
+  }
+
+  StreamingAttack attack{cfg, rate, std::make_shared<StubClassifier>()};
+  auto events = attack.push(x);
+  if (auto last = attack.finish()) events.push_back(*last);
+  ASSERT_GE(events.size(), 1u);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.predicted_class, -1);  // history evicted -> no features
+    EXPECT_TRUE(e.probabilities.empty());
+    EXPECT_LT(e.start_sample, e.end_sample);
+    EXPECT_LE(e.end_sample, attack.samples_seen());
+  }
+}
+
 TEST(StreamingTest, DetectsBurstsWithoutClassifier) {
   const double rate = 420.0;
   const auto x = trace_with_bursts(
