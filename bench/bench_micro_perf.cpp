@@ -16,7 +16,9 @@
 #include "features/features.h"
 #include "ml/ensemble.h"
 #include "ml/eval.h"
+#include "ml/logistic.h"
 #include "nn/cnn_models.h"
+#include "serve/service.h"
 #include "phone/channel.h"
 #include "phone/recorder.h"
 #include "util/rng.h"
@@ -203,6 +205,73 @@ void BM_SpectrogramCnnForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 8);
 }
 BENCHMARK(BM_SpectrogramCnnForward);
+
+void BM_ServeThroughput(benchmark::State& state) {
+  // End-to-end serving-layer throughput: N concurrent streams of
+  // burst-bearing accelerometer data pushed as 512-sample chunks and
+  // drained on the thread pool. Arg is the drain thread count; items
+  // processed counts samples classified end to end.
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kStreams = 8;
+  constexpr std::size_t kSamples = 25200;  // 60 s at 420 Hz
+  constexpr std::size_t kChunk = 512;
+  constexpr double kRate = 420.0;
+
+  std::vector<std::vector<double>> traces;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    util::Rng rng{300 + s};
+    std::vector<double> x(kSamples, 9.81);
+    for (std::size_t i = 0; i < kSamples; ++i) x[i] += 0.003 * rng.normal();
+    for (std::size_t i = 8000; i < 8700; ++i) {
+      x[i] += 0.1 * std::sin(2.0 * std::numbers::pi * 100.0 *
+                             static_cast<double>(i) / kRate);
+    }
+    traces.push_back(std::move(x));
+  }
+  util::Rng rng{310};
+  ml::Dataset d;
+  d.class_count = 3;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 12; ++i) {
+      std::vector<double> row(24);
+      for (double& v : row) v = rng.normal() + 1.5 * c;
+      d.x.push_back(std::move(row));
+      d.y.push_back(c);
+    }
+  }
+  auto model = std::make_shared<ml::LogisticRegression>();
+  model->fit(d);
+
+  for (auto _ : state) {
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    registry->add("m", model);
+    serve::ServeConfig cfg;
+    cfg.session.stream.detector = core::tabletop_detector_config();
+    cfg.session.sample_rate_hz = kRate;
+    cfg.session.max_sessions = kStreams;
+    // Hash collisions can land several streams on one shard; size each
+    // queue to hold every request so nothing is shed mid-benchmark.
+    cfg.batcher.queue_capacity = kStreams * (kSamples / kChunk + 2);
+    cfg.parallelism = util::Parallelism{.threads = threads};
+    serve::ServeService service{cfg, registry};
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      for (std::size_t i = 0; i < kSamples; i += kChunk) {
+        const std::size_t hi = std::min(i + kChunk, kSamples);
+        (void)service.push(
+            s, std::vector<double>{
+                   traces[s].begin() + static_cast<std::ptrdiff_t>(i),
+                   traces[s].begin() + static_cast<std::ptrdiff_t>(hi)});
+      }
+      (void)service.finish_stream(s);
+    }
+    service.drain();
+    benchmark::DoNotOptimize(service.stats().events_emitted);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(kStreams * kSamples));
+}
+BENCHMARK(BM_ServeThroughput)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -9,6 +9,8 @@
 //               --cv 10 --report run.md
 //   emoleak_cli --dataset cremad --phone galaxys10 --fraction 0.3
 //               --features features.csv --save-model model.txt
+//   emoleak_cli --dataset tess --model model.txt        # evaluate a
+//               pre-trained model file instead of training
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -45,6 +47,7 @@ struct CliOptions {
   std::string features_path;
   std::string arff_path;
   std::string model_path;
+  std::string load_model_path;
 };
 
 void usage() {
@@ -64,7 +67,10 @@ void usage() {
       "  --report PATH                   write a Markdown report\n"
       "  --features PATH                 write extracted features as CSV\n"
       "  --arff PATH                     write extracted features as ARFF\n"
-      "  --save-model PATH               serialize the trained classifier\n";
+      "  --save-model PATH               serialize the trained classifier\n"
+      "  --model PATH                    load a pre-trained model (from\n"
+      "                                  --save-model) and evaluate it on\n"
+      "                                  the captured data, skipping training\n";
 }
 
 phone::PhoneProfile parse_phone(const std::string& name) {
@@ -118,6 +124,7 @@ CliOptions parse_args(int argc, char** argv) {
     else if (arg == "--features") opts.features_path = need_value(i);
     else if (arg == "--arff") opts.arff_path = need_value(i);
     else if (arg == "--save-model") opts.model_path = need_value(i);
+    else if (arg == "--model") opts.load_model_path = need_value(i);
     else if (arg == "--help" || arg == "-h") {
       usage();
       std::exit(EXIT_SUCCESS);
@@ -155,15 +162,33 @@ int main(int argc, char** argv) {
     std::cout << "  " << data.features.size() << " labelled regions, "
               << util::percent(data.extraction_rate) << " extraction rate\n";
 
-    const std::unique_ptr<ml::Classifier> prototype =
-        parse_classifier(opts.classifier);
-    std::cout << "Evaluating " << prototype->name()
-              << (opts.cv_folds >= 2
-                      ? " (" + std::to_string(opts.cv_folds) + "-fold CV)"
-                      : " (80/20 split)")
-              << "...\n";
-    const core::ClassifierResult result = core::evaluate_classical(
-        *prototype, data.features, opts.seed, opts.cv_folds, parallelism);
+    core::ClassifierResult result;
+    std::unique_ptr<ml::Classifier> prototype;
+    if (!opts.load_model_path.empty()) {
+      // Serve-side handoff: evaluate a model trained in a different
+      // process (ml::load_model_file rejects malformed files with
+      // util::DataError) on this capture, without retraining.
+      const std::unique_ptr<ml::Classifier> loaded =
+          ml::load_model_file(opts.load_model_path);
+      std::cout << "Evaluating pre-trained " << loaded->name() << " from "
+                << opts.load_model_path << " on the full capture...\n";
+      result.classifier = loaded->name();
+      result.confusion = ml::ConfusionMatrix{data.features.class_count};
+      for (std::size_t i = 0; i < data.features.size(); ++i) {
+        result.confusion.add(data.features.y[i],
+                             loaded->predict(data.features.x[i]));
+      }
+      result.accuracy = result.confusion.accuracy();
+    } else {
+      prototype = parse_classifier(opts.classifier);
+      std::cout << "Evaluating " << prototype->name()
+                << (opts.cv_folds >= 2
+                        ? " (" + std::to_string(opts.cv_folds) + "-fold CV)"
+                        : " (80/20 split)")
+                << "...\n";
+      result = core::evaluate_classical(*prototype, data.features, opts.seed,
+                                        opts.cv_folds, parallelism);
+    }
     std::cout << "  accuracy " << util::percent(result.accuracy)
               << " (random guess "
               << util::percent(1.0 / data.features.class_count) << ")\n\n"
@@ -199,6 +224,9 @@ int main(int argc, char** argv) {
       }
     }
     if (!opts.model_path.empty()) {
+      if (!prototype) {
+        throw util::ConfigError{"--save-model requires training (drop --model)"};
+      }
       // Refit on everything so the exported model uses all the data.
       const std::unique_ptr<ml::Classifier> final_model = prototype->clone();
       final_model->fit(data.features);

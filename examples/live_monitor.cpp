@@ -5,11 +5,17 @@
 // must emit emotion events in real time, with bounded memory. This
 // example trains a model offline, persists it with ml::save_model, then
 // "deploys" it into a StreamingAttack fed 256-sample chunks.
+//
+//   --save-model PATH   persist the trained model file (the handoff
+//                       artifact serve_demo / emoleak_cli --model load)
+//   --model PATH        skip training and deploy a model file instead
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/attack.h"
 #include "core/streaming.h"
@@ -23,6 +29,8 @@ int main(int argc, char** argv) {
   // --threads N parallelizes the offline extraction stage (0 = all
   // cores, 1 = serial); the streaming stage is inherently sequential.
   util::Parallelism parallelism;
+  std::string save_model_path;
+  std::string load_model_path;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0) {
       try {
@@ -31,27 +39,46 @@ int main(int argc, char** argv) {
         std::cerr << "live_monitor: --threads expects a number\n";
         return EXIT_FAILURE;
       }
+    } else if (std::strcmp(argv[i], "--save-model") == 0) {
+      save_model_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--model") == 0) {
+      load_model_path = argv[i + 1];
     }
   }
 
-  // ---- Offline: train and persist the attacker's model. -------------
-  core::ScenarioConfig training = core::loudspeaker_scenario(
-      audio::tess_spec(), phone::oneplus_7t(), /*seed=*/21);
-  training.corpus_fraction = 0.2;
-  training.pipeline.parallelism = parallelism;
-  const core::ExtractedData train_data = core::capture(training);
-  ml::LogisticRegression trained;
-  trained.fit(train_data.features);
+  // ---- Offline: train (or load) the attacker's model. ---------------
+  std::shared_ptr<const ml::Classifier> deployed;
+  std::vector<std::string> class_names;
+  if (!load_model_path.empty()) {
+    // The handoff artifact from a previous run (or emoleak_cli
+    // --save-model): a real file, not an in-memory blob.
+    deployed = ml::load_model_file(load_model_path);
+    class_names = audio::Corpus{audio::tess_spec(), /*seed=*/21}.class_names();
+    std::cout << "Deployed pre-trained " << deployed->name() << " from "
+              << load_model_path << ".\n\n";
+  } else {
+    core::ScenarioConfig training = core::loudspeaker_scenario(
+        audio::tess_spec(), phone::oneplus_7t(), /*seed=*/21);
+    training.corpus_fraction = 0.2;
+    training.pipeline.parallelism = parallelism;
+    const core::ExtractedData train_data = core::capture(training);
+    ml::LogisticRegression trained;
+    trained.fit(train_data.features);
+    class_names = train_data.features.class_names;
 
-  std::stringstream model_blob;  // would be a file shipped to the implant
-  ml::save_model(model_blob, trained);
-  std::cout << "Trained on " << train_data.features.size()
-            << " regions; serialized model is " << model_blob.str().size()
-            << " bytes.\n\n";
+    std::stringstream model_blob;  // a file shipped to the implant
+    ml::save_model(model_blob, trained);
+    std::cout << "Trained on " << train_data.features.size()
+              << " regions; serialized model is " << model_blob.str().size()
+              << " bytes.\n\n";
+    if (!save_model_path.empty()) {
+      ml::save_model_file(save_model_path, trained);
+      std::cout << "Wrote model to " << save_model_path << ".\n\n";
+    }
 
-  // ---- Online: the implant loads the model and monitors live. -------
-  const std::shared_ptr<const ml::Classifier> deployed =
-      ml::load_model(model_blob);
+    // ---- Online: the implant loads the model and monitors live. -----
+    deployed = ml::load_model(model_blob);
+  }
 
   const audio::Corpus live_corpus{audio::scaled_spec(audio::tess_spec(), 0.03),
                                   /*seed=*/22};
@@ -83,8 +110,7 @@ int main(int argc, char** argv) {
     const double dur =
         static_cast<double>(e.end_sample - e.start_sample) / live.rate_hz;
     t.add_row({util::fixed(t0, 1), util::fixed(dur, 2),
-               train_data.features.class_names[static_cast<std::size_t>(
-                   e.predicted_class)],
+               class_names[static_cast<std::size_t>(e.predicted_class)],
                util::percent(e.probabilities[static_cast<std::size_t>(
                    e.predicted_class)])});
   }

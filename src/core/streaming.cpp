@@ -182,6 +182,21 @@ std::vector<EmotionEvent> StreamingAttack::push(std::span<const double> samples)
   return out;
 }
 
+void StreamingAttack::reset() {
+  hpf_.reset();
+  dc_estimate_ = 0.0;
+  dc_initialized_ = false;
+  envelope_sq_ = 0.0;
+  raw_history_.clear();
+  history_start_ = 0;
+  noise_window_.clear();
+  absolute_ = 0;
+  events_ = 0;
+  in_region_ = false;
+  region_start_ = 0;
+  below_count_ = 0;
+}
+
 std::optional<EmotionEvent> StreamingAttack::finish() {
   if (!in_region_) return std::nullopt;
   in_region_ = false;

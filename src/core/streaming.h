@@ -57,6 +57,19 @@ class StreamingAttack {
   /// Flushes a region still open at end-of-stream, if any.
   [[nodiscard]] std::optional<EmotionEvent> finish();
 
+  /// Rewinds to the just-constructed state (filter delay lines, DC/
+  /// envelope trackers, histories, counters) without reallocating the
+  /// config-derived capacities, so a session pool can reuse instances
+  /// across streams (serve::SessionManager).
+  void reset();
+
+  /// Swaps the model used for subsequent regions (hot-swap in the
+  /// serving layer). Pass nullptr for detection-only mode. Regions
+  /// closed before the call keep their old predictions.
+  void set_classifier(std::shared_ptr<const ml::Classifier> classifier) {
+    classifier_ = std::move(classifier);
+  }
+
   [[nodiscard]] std::size_t samples_seen() const noexcept { return absolute_; }
   [[nodiscard]] std::size_t events_emitted() const noexcept { return events_; }
 

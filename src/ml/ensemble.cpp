@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "ml/serialize.h"
 #include "util/error.h"
 
 namespace emoleak::ml {
@@ -86,12 +87,22 @@ void RandomForest::deserialize(std::istream& in) {
   if (!in || classes_ <= 0) {
     throw util::DataError{"RandomForest::deserialize: bad header"};
   }
+  detail::check_count(static_cast<std::size_t>(classes_), detail::kMaxClasses,
+                      "RandomForest::deserialize classes");
+  detail::check_count(count, detail::kMaxEnsemble,
+                      "RandomForest::deserialize trees");
   trees_.clear();
   for (std::size_t t = 0; t < count; ++t) {
     DecisionTree tree;
     tree.deserialize(in);
+    // predict_proba sums tree distributions into a classes_-sized
+    // accumulator, so a class-count mismatch would read out of bounds.
+    if (tree.classes() != classes_) {
+      throw util::DataError{"RandomForest::deserialize: tree class mismatch"};
+    }
     trees_.push_back(std::move(tree));
   }
+  if (!in) throw util::DataError{"RandomForest::deserialize: truncated"};
 }
 
 void RandomSubspace::fit(const Dataset& data) {
@@ -167,7 +178,12 @@ std::vector<double> RandomSubspace::predict_proba(
   for (std::size_t t = 0; t < trees_.size(); ++t) {
     const std::vector<std::size_t>& cols = subspaces_[t];
     projected.resize(cols.size());
-    for (std::size_t j = 0; j < cols.size(); ++j) projected[j] = row[cols[j]];
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      if (cols[j] >= row.size()) {
+        throw util::DataError{"RandomSubspace: row narrower than subspace"};
+      }
+      projected[j] = row[cols[j]];
+    }
     const std::vector<double> p = trees_[t].predict_proba(projected);
     for (std::size_t c = 0; c < acc.size(); ++c) acc[c] += p[c];
   }
@@ -198,16 +214,32 @@ void RandomSubspace::deserialize(std::istream& in) {
   if (!in || classes_ <= 0) {
     throw util::DataError{"RandomSubspace::deserialize: bad header"};
   }
+  detail::check_count(static_cast<std::size_t>(classes_), detail::kMaxClasses,
+                      "RandomSubspace::deserialize classes");
+  detail::check_count(count, detail::kMaxEnsemble,
+                      "RandomSubspace::deserialize trees");
   trees_.clear();
   subspaces_.clear();
   for (std::size_t t = 0; t < count; ++t) {
     std::size_t cols = 0;
     in >> cols;
+    if (!in) throw util::DataError{"RandomSubspace::deserialize: truncated"};
+    detail::check_count(cols, detail::kMaxDim,
+                        "RandomSubspace::deserialize subspace");
     std::vector<std::size_t> subspace(cols);
-    for (std::size_t& c : subspace) in >> c;
+    for (std::size_t& c : subspace) {
+      in >> c;
+      if (c > detail::kMaxDim) {
+        throw util::DataError{
+            "RandomSubspace::deserialize: column index out of range"};
+      }
+    }
     subspaces_.push_back(std::move(subspace));
     DecisionTree tree;
     tree.deserialize(in);
+    if (tree.classes() != classes_) {
+      throw util::DataError{"RandomSubspace::deserialize: tree class mismatch"};
+    }
     trees_.push_back(std::move(tree));
   }
   if (!in) throw util::DataError{"RandomSubspace::deserialize: truncated"};

@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "ml/serialize.h"
 #include "util/error.h"
 
 namespace emoleak::ml {
@@ -89,12 +90,21 @@ void LogisticModelTree::deserialize(std::istream& in) {
   if (!in || classes_ <= 0) {
     throw util::DataError{"LMT::deserialize: bad header"};
   }
+  detail::check_count(static_cast<std::size_t>(classes_), detail::kMaxClasses,
+                      "LMT::deserialize classes");
+  detail::check_count(leaves, detail::kMaxNodes, "LMT::deserialize leaves");
   structure_.deserialize(in);
+  if (structure_.classes() != classes_) {
+    throw util::DataError{"LMT::deserialize: structure class mismatch"};
+  }
   leaf_models_.clear();
   leaf_models_.resize(leaves);
   for (std::size_t leaf = 0; leaf < leaves; ++leaf) {
     int present = 0;
     in >> present;
+    if (!in || (present != 0 && present != 1)) {
+      throw util::DataError{"LMT::deserialize: bad leaf-model flag"};
+    }
     if (present) {
       auto model = std::make_unique<LogisticRegression>();
       model->deserialize(in);

@@ -7,6 +7,7 @@
 #include <limits>
 #include <ostream>
 
+#include "ml/serialize.h"
 #include "util/error.h"
 
 namespace emoleak::ml {
@@ -136,14 +137,33 @@ void LogisticRegression::deserialize(std::istream& in) {
   if (!in || classes_ <= 0) {
     throw util::DataError{"Logistic::deserialize: bad header"};
   }
+  detail::check_count(static_cast<std::size_t>(classes_), detail::kMaxClasses,
+                      "Logistic::deserialize classes");
+  detail::check_count(dim_, detail::kMaxDim, "Logistic::deserialize dim");
   std::vector<double> mean(dim_);
   std::vector<double> stddev(dim_);
   for (double& v : mean) in >> v;
   for (double& v : stddev) in >> v;
+  if (!in) throw util::DataError{"Logistic::deserialize: truncated"};
+  for (const double v : stddev) {
+    if (!std::isfinite(v) || v <= 0.0) {
+      throw util::DataError{"Logistic::deserialize: bad scaler stddev"};
+    }
+  }
+  for (const double v : mean) {
+    if (!std::isfinite(v)) {
+      throw util::DataError{"Logistic::deserialize: bad scaler mean"};
+    }
+  }
   scaler_.set_state(std::move(mean), std::move(stddev));
   weights_.assign(static_cast<std::size_t>(classes_) * (dim_ + 1), 0.0);
   for (double& v : weights_) in >> v;
   if (!in) throw util::DataError{"Logistic::deserialize: truncated"};
+  for (const double v : weights_) {
+    if (!std::isfinite(v)) {
+      throw util::DataError{"Logistic::deserialize: non-finite weight"};
+    }
+  }
 }
 
 }  // namespace emoleak::ml

@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "ml/serialize.h"
 #include "util/error.h"
 
 namespace emoleak::ml {
@@ -73,12 +74,15 @@ void OneVsRestLogistic::deserialize(std::istream& in) {
   if (!in || classes_ <= 0) {
     throw util::DataError{"OneVsRest::deserialize: bad header"};
   }
+  detail::check_count(static_cast<std::size_t>(classes_), detail::kMaxClasses,
+                      "OneVsRest::deserialize classes");
   binary_.clear();
   for (int c = 0; c < classes_; ++c) {
     LogisticRegression model;
     model.deserialize(in);
     binary_.push_back(std::move(model));
   }
+  if (!in) throw util::DataError{"OneVsRest::deserialize: truncated"};
 }
 
 }  // namespace emoleak::ml

@@ -39,6 +39,18 @@ std::unique_ptr<Classifier> make_by_name(const std::string& name) {
 
 }  // namespace
 
+namespace detail {
+
+void check_count(std::size_t value, std::size_t max, const char* what) {
+  if (value == 0 || value > max) {
+    throw util::DataError{std::string{what} + ": count " +
+                          std::to_string(value) + " out of range [1, " +
+                          std::to_string(max) + "]"};
+  }
+}
+
+}  // namespace detail
+
 void save_model(std::ostream& out, const Classifier& model) {
   out << kMagic << '\n' << model.name() << '\n';
   model.serialize(out);

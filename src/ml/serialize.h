@@ -7,6 +7,7 @@
 // format so the two phases can run in different processes.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -29,5 +30,25 @@ void save_model(std::ostream& out, const Classifier& model);
 void save_model_file(const std::string& path, const Classifier& model);
 [[nodiscard]] std::unique_ptr<Classifier> load_model_file(
     const std::string& path);
+
+namespace detail {
+
+// Hard ceilings on counts parsed from model streams. Model files are
+// untrusted input in the serving threat model (an implant loads
+// whatever the operator ships), so any count beyond these limits is a
+// malformed file, and deserialize must reject it with util::DataError
+// *before* allocating — never crash on bad_alloc or (worse) mis-load.
+inline constexpr std::size_t kMaxClasses = 4096;
+inline constexpr std::size_t kMaxDim = std::size_t{1} << 20;
+inline constexpr std::size_t kMaxNodes = std::size_t{1} << 22;
+inline constexpr std::size_t kMaxEnsemble = std::size_t{1} << 16;
+
+/// Throws util::DataError unless value ∈ [1, max]. Note that reading a
+/// negative token into an unsigned via operator>> wraps instead of
+/// failing, so the upper bound is the only thing standing between a
+/// "-1" in the file and a 2^64-element allocation.
+void check_count(std::size_t value, std::size_t max, const char* what);
+
+}  // namespace detail
 
 }  // namespace emoleak::ml

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "ml/serialize.h"
 #include "util/error.h"
 
 namespace emoleak::ml {
@@ -147,8 +148,13 @@ const DecisionTree::Node& DecisionTree::route(std::span<const double> row) const
   if (nodes_.empty()) throw util::DataError{"DecisionTree: not fitted"};
   const Node* node = &nodes_[0];
   // The root is node 0: build() pushes the root's slot first for
-  // internal roots; a pure-leaf tree has exactly one node.
+  // internal roots; a pure-leaf tree has exactly one node. Child
+  // indices were validated at fit/deserialize time; the feature index
+  // still has to be checked against this row's width.
   while (!node->is_leaf()) {
+    if (node->feature >= row.size()) {
+      throw util::DataError{"DecisionTree: row narrower than split feature"};
+    }
     const std::int32_t next =
         row[node->feature] <= node->threshold ? node->left : node->right;
     node = &nodes_[static_cast<std::size_t>(next)];
@@ -193,15 +199,52 @@ void DecisionTree::deserialize(std::istream& in) {
   if (!in || classes_ <= 0) {
     throw util::DataError{"DecisionTree::deserialize: bad header"};
   }
+  detail::check_count(static_cast<std::size_t>(classes_), detail::kMaxClasses,
+                      "DecisionTree::deserialize classes");
+  detail::check_count(node_count, detail::kMaxNodes,
+                      "DecisionTree::deserialize nodes");
+  if (leaf_count_ == 0 || leaf_count_ > node_count) {
+    throw util::DataError{"DecisionTree::deserialize: bad leaf count"};
+  }
   nodes_.assign(node_count, Node{});
   for (Node& n : nodes_) {
     std::size_t dist_size = 0;
     in >> n.feature >> n.threshold >> n.left >> n.right >> n.leaf_id >>
         dist_size;
+    if (!in || dist_size > detail::kMaxClasses) {
+      throw util::DataError{"DecisionTree::deserialize: bad node"};
+    }
     n.distribution.assign(dist_size, 0.0);
     for (double& v : n.distribution) in >> v;
+    if (!in) throw util::DataError{"DecisionTree::deserialize: truncated"};
   }
-  if (!in) throw util::DataError{"DecisionTree::deserialize: truncated"};
+  // Structural validation: route() walks child indices unchecked on the
+  // hot path, so everything it relies on is proven here. The builder's
+  // invariant — children are appended after their parent — doubles as
+  // the acyclicity proof: strictly increasing indices must terminate.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.is_leaf()) {
+      if (n.distribution.size() != static_cast<std::size_t>(classes_)) {
+        throw util::DataError{
+            "DecisionTree::deserialize: leaf distribution size mismatch"};
+      }
+      if (n.leaf_id >= leaf_count_) {
+        throw util::DataError{"DecisionTree::deserialize: leaf id out of range"};
+      }
+    } else {
+      const auto lo = static_cast<std::int32_t>(i);
+      const auto hi = static_cast<std::int32_t>(node_count);
+      if (n.left <= lo || n.left >= hi || n.right <= lo || n.right >= hi) {
+        throw util::DataError{
+            "DecisionTree::deserialize: child index out of range"};
+      }
+      if (n.feature > detail::kMaxDim) {
+        throw util::DataError{
+            "DecisionTree::deserialize: feature index out of range"};
+      }
+    }
+  }
 }
 
 int DecisionTree::depth() const noexcept {

@@ -43,6 +43,7 @@ class DecisionTree final : public Classifier {
   void deserialize(std::istream& in) override;
 
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] int classes() const noexcept { return classes_; }
   [[nodiscard]] int depth() const noexcept;
 
   /// Index of the leaf a row lands in (tree must be fitted). Exposed so

@@ -1,0 +1,54 @@
+#include "serve/batcher.h"
+
+#include "util/error.h"
+
+namespace emoleak::serve {
+
+void BatcherConfig::validate() const {
+  if (shard_count == 0) {
+    throw util::ConfigError{"BatcherConfig: shard_count == 0"};
+  }
+  if (queue_capacity == 0) {
+    throw util::ConfigError{"BatcherConfig: queue_capacity == 0"};
+  }
+}
+
+RequestBatcher::RequestBatcher(BatcherConfig config) : config_{config} {
+  config_.validate();
+  shards_.reserve(config_.shard_count);
+  for (std::size_t s = 0; s < config_.shard_count; ++s) {
+    shards_.push_back(
+        std::make_unique<util::BoundedQueue<PushRequest>>(config_.queue_capacity));
+  }
+}
+
+bool RequestBatcher::submit(PushRequest request) {
+  const std::size_t shard = shard_of(request.stream_id);
+  return shards_[shard]->try_push(std::move(request));
+}
+
+std::size_t RequestBatcher::drain(
+    const std::function<void(PushRequest&)>& process,
+    const util::Parallelism& parallelism) {
+  // Snapshot each shard's backlog up front so the cycle is bounded:
+  // requests submitted while the drain runs wait for the next cycle
+  // rather than extending this one indefinitely.
+  std::vector<std::vector<PushRequest>> backlog(shards_.size());
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    total += shards_[s]->drain_into(backlog[s]);
+  }
+  if (total == 0) return 0;
+  util::parallel_for(parallelism, backlog.size(), [&](std::size_t s) {
+    for (PushRequest& request : backlog[s]) process(request);
+  });
+  return total;
+}
+
+std::size_t RequestBatcher::pending() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->size();
+  return total;
+}
+
+}  // namespace emoleak::serve

@@ -1,0 +1,74 @@
+// Request batching + admission control for the serving layer.
+//
+// Requests land on bounded per-shard MPSC queues (util::BoundedQueue);
+// a full queue rejects at submit() — the service answers "overloaded"
+// instead of queueing unboundedly, which is the backpressure policy the
+// whole layer is built around. drain() snapshots every shard's backlog
+// and fans the shards out over the PR-1 thread pool: one task per
+// shard, so all requests for a stream (same shard, FIFO queue) are
+// processed sequentially in arrival order while distinct shards run in
+// parallel. That sharding is the whole determinism argument — a
+// stream's event sequence depends only on its own chunk order, never on
+// thread count or scheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/bounded_queue.h"
+#include "util/parallel.h"
+
+namespace emoleak::serve {
+
+struct BatcherConfig {
+  std::size_t shard_count = 8;
+  std::size_t queue_capacity = 256;  ///< per shard, in requests
+
+  void validate() const;
+};
+
+/// One unit of work: a chunk of samples for a stream, or (with
+/// `finish` set and `samples` empty) an end-of-stream flush.
+struct PushRequest {
+  std::uint64_t stream_id = 0;
+  std::vector<double> samples;
+  bool finish = false;
+};
+
+class RequestBatcher {
+ public:
+  explicit RequestBatcher(BatcherConfig config);
+
+  /// Routes the request to its stream's shard. False = that shard's
+  /// queue is full (overload) — the caller rejects, never blocks.
+  [[nodiscard]] bool submit(PushRequest request);
+
+  /// Drains every shard's current backlog, invoking `process` for each
+  /// request (per-shard sequentially, shards in parallel across up to
+  /// `parallelism` threads). Returns the number of requests processed.
+  /// `process` must be safe to call concurrently for requests of
+  /// *different* shards. Only one drain may run at a time (the service
+  /// serializes callers).
+  std::size_t drain(const std::function<void(PushRequest&)>& process,
+                    const util::Parallelism& parallelism);
+
+  [[nodiscard]] std::size_t shard_of(std::uint64_t stream_id) const noexcept {
+    // splitmix64 finalizer: cheap, well-mixed, stable across runs.
+    std::uint64_t x = stream_id + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x % shards_.size());
+  }
+
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] const BatcherConfig& config() const noexcept { return config_; }
+
+ private:
+  BatcherConfig config_;
+  std::vector<std::unique_ptr<util::BoundedQueue<PushRequest>>> shards_;
+};
+
+}  // namespace emoleak::serve

@@ -1,0 +1,96 @@
+// Service counters for emoleak::serve.
+//
+// Producers bump atomic counters from any thread; drain latency goes
+// through a mutex-guarded ring of recent samples (p50/p99 need order
+// statistics, which atomics can't give). snapshot() assembles the
+// ServeStats message payload exposed over the wire protocol.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace emoleak::serve {
+
+/// Plain snapshot of the service counters (the `stats` wire message).
+struct ServeStats {
+  std::uint64_t requests = 0;           ///< push/finish requests submitted
+  std::uint64_t accepted = 0;           ///< admitted to a shard queue
+  std::uint64_t rejected_overload = 0;  ///< shard queue full
+  std::uint64_t rejected_capacity = 0;  ///< session table full
+  std::uint64_t chunks_processed = 0;
+  std::uint64_t samples_processed = 0;
+  std::uint64_t events_emitted = 0;
+  std::uint64_t drains = 0;
+  std::uint64_t sessions_active = 0;
+  std::uint64_t sessions_created = 0;
+  std::uint64_t sessions_evicted = 0;
+  std::uint64_t sessions_pooled = 0;  ///< reused from the free pool
+  std::uint64_t model_generation = 0;
+  double drain_p50_us = 0.0;
+  double drain_p99_us = 0.0;
+};
+
+class ServeCounters {
+ public:
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected_overload{0};
+  std::atomic<std::uint64_t> rejected_capacity{0};
+  std::atomic<std::uint64_t> chunks_processed{0};
+  std::atomic<std::uint64_t> samples_processed{0};
+  std::atomic<std::uint64_t> events_emitted{0};
+  std::atomic<std::uint64_t> drains{0};
+
+  /// Records one drain-cycle wall time; keeps the most recent
+  /// kLatencyWindow samples.
+  void record_drain_latency(double microseconds) {
+    std::lock_guard<std::mutex> lock{latency_mutex_};
+    if (latencies_.size() < kLatencyWindow) {
+      latencies_.push_back(microseconds);
+    } else {
+      latencies_[latency_next_ % kLatencyWindow] = microseconds;
+    }
+    ++latency_next_;
+  }
+
+  /// Fills the request/latency half of a snapshot; the session/model
+  /// fields are owned by SessionManager / ModelRegistry and are filled
+  /// in by ServeService::stats().
+  [[nodiscard]] ServeStats snapshot() const {
+    ServeStats s;
+    s.requests = requests.load(std::memory_order_relaxed);
+    s.accepted = accepted.load(std::memory_order_relaxed);
+    s.rejected_overload = rejected_overload.load(std::memory_order_relaxed);
+    s.rejected_capacity = rejected_capacity.load(std::memory_order_relaxed);
+    s.chunks_processed = chunks_processed.load(std::memory_order_relaxed);
+    s.samples_processed = samples_processed.load(std::memory_order_relaxed);
+    s.events_emitted = events_emitted.load(std::memory_order_relaxed);
+    s.drains = drains.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock{latency_mutex_};
+    if (!latencies_.empty()) {
+      std::vector<double> sorted = latencies_;
+      std::sort(sorted.begin(), sorted.end());
+      s.drain_p50_us = quantile(sorted, 0.50);
+      s.drain_p99_us = quantile(sorted, 0.99);
+    }
+    return s;
+  }
+
+ private:
+  static constexpr std::size_t kLatencyWindow = 1024;
+
+  static double quantile(const std::vector<double>& sorted, double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+  }
+
+  mutable std::mutex latency_mutex_;
+  std::vector<double> latencies_;
+  std::size_t latency_next_ = 0;
+};
+
+}  // namespace emoleak::serve

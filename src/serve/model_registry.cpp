@@ -1,0 +1,71 @@
+#include "serve/model_registry.h"
+
+#include "ml/serialize.h"
+#include "util/error.h"
+
+namespace emoleak::serve {
+
+std::uint32_t ModelRegistry::add(std::string name, ModelPtr model) {
+  if (!model) throw util::DataError{"ModelRegistry::add: null model"};
+  std::lock_guard<std::mutex> lock{mutex_};
+  entries_.push_back(Entry{std::move(name), std::move(model)});
+  const auto version = static_cast<std::uint32_t>(entries_.size());
+  if (!current_) {
+    current_ = entries_.back().model;
+    generation_.store(1, std::memory_order_release);
+  }
+  return version;
+}
+
+std::uint32_t ModelRegistry::load_file(std::string name,
+                                       const std::string& path) {
+  // Parse outside the lock: load_model_file is the expensive, throwing
+  // part, and a malformed file must not poison the registry.
+  ModelPtr model = ml::load_model_file(path);
+  return add(std::move(name), std::move(model));
+}
+
+void ModelRegistry::activate(std::uint32_t version) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  if (version == 0 || version > entries_.size()) {
+    throw util::DataError{"ModelRegistry::activate: unknown version " +
+                          std::to_string(version)};
+  }
+  current_ = entries_[version - 1].model;
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+ModelRegistry::ModelPtr ModelRegistry::current() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return current_;
+}
+
+std::pair<ModelRegistry::ModelPtr, std::uint64_t>
+ModelRegistry::current_with_generation() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return {current_, generation_.load(std::memory_order_acquire)};
+}
+
+ModelRegistry::ModelPtr ModelRegistry::get(std::uint32_t version) const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  if (version == 0 || version > entries_.size()) return nullptr;
+  return entries_[version - 1].model;
+}
+
+std::vector<ModelRegistry::ModelInfo> ModelRegistry::list() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  std::vector<ModelInfo> out;
+  out.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    out.push_back(ModelInfo{static_cast<std::uint32_t>(i + 1),
+                            entries_[i].name, entries_[i].model->name()});
+  }
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return entries_.size();
+}
+
+}  // namespace emoleak::serve

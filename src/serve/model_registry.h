@@ -1,0 +1,75 @@
+// Versioned model registry for the serving layer.
+//
+// The registry warm-loads trained classifiers (ml::load_model_file) and
+// hands them out as shared_ptr<const Classifier>, so every session
+// shares one immutable model instance and a hot-swap is a pointer
+// swing, not a reload. activate() bumps a generation counter; sessions
+// compare their cached generation against it at drain time and refresh
+// lazily — an O(1) check on the hot path, no locking unless a swap
+// actually happened.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace emoleak::serve {
+
+class ModelRegistry {
+ public:
+  using ModelPtr = std::shared_ptr<const ml::Classifier>;
+
+  struct ModelInfo {
+    std::uint32_t version = 0;
+    std::string name;
+    std::string classifier;  ///< Classifier::name()
+  };
+
+  /// Registers an already-loaded model under the next version number
+  /// (versions start at 1). The first registered model auto-activates.
+  std::uint32_t add(std::string name, ModelPtr model);
+
+  /// Loads a model file (ml::load_model_file — throws util::DataError
+  /// on malformed input) and registers it.
+  std::uint32_t load_file(std::string name, const std::string& path);
+
+  /// Atomically makes `version` the model for new work. Throws
+  /// util::DataError for an unknown version.
+  void activate(std::uint32_t version);
+
+  /// The active model; nullptr before any registration.
+  [[nodiscard]] ModelPtr current() const;
+
+  /// Active model plus the generation it belongs to, read atomically
+  /// (sessions cache the generation to detect swaps).
+  [[nodiscard]] std::pair<ModelPtr, std::uint64_t> current_with_generation()
+      const;
+
+  /// Bumps on every activate(); 0 until the first activation. Cheap
+  /// enough to poll per request.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] ModelPtr get(std::uint32_t version) const;
+  [[nodiscard]] std::vector<ModelInfo> list() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    ModelPtr model;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;  ///< version v lives at entries_[v - 1]
+  ModelPtr current_;
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace emoleak::serve

@@ -1,0 +1,275 @@
+#include "serve/protocol.h"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+#include "util/error.h"
+
+namespace emoleak::serve {
+
+namespace {
+
+// A frame longer than this is corrupt, not big: the largest legitimate
+// payload is a chunk push, and chunks are seconds of accelerometer
+// data, not gigabytes. Checked before any allocation.
+constexpr std::size_t kMaxPayload = std::size_t{64} << 20;  // 64 MiB
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_i32(std::string& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked little-endian cursor over one frame payload.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view payload) : payload_{payload} {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(payload_[pos_++]);
+  }
+
+  [[nodiscard]] std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(payload_[pos_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(payload_[pos_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  [[nodiscard]] std::int32_t i32() {
+    return static_cast<std::int32_t>(u32());
+  }
+
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+
+  [[nodiscard]] std::vector<double> f64_array() {
+    const std::uint32_t n = u32();
+    need(std::size_t{n} * 8);  // before allocating — see kMaxPayload
+    std::vector<double> out(n);
+    for (double& v : out) v = f64();
+    return out;
+  }
+
+  void expect_done() const {
+    if (pos_ != payload_.size()) {
+      throw util::DataError{"serve::decode: trailing bytes in frame"};
+    }
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (payload_.size() - pos_ < n) {
+      throw util::DataError{"serve::decode: short payload"};
+    }
+  }
+
+  std::string_view payload_;
+  std::size_t pos_ = 0;
+};
+
+void encode_payload(std::string& out, const Message& msg) {
+  std::visit(
+      [&out](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, ChunkPushMsg>) {
+          put_u8(out, static_cast<std::uint8_t>(MsgType::kChunkPush));
+          put_u64(out, m.stream_id);
+          put_u32(out, static_cast<std::uint32_t>(m.samples.size()));
+          for (const double v : m.samples) put_f64(out, v);
+        } else if constexpr (std::is_same_v<T, StreamFinishMsg>) {
+          put_u8(out, static_cast<std::uint8_t>(MsgType::kStreamFinish));
+          put_u64(out, m.stream_id);
+        } else if constexpr (std::is_same_v<T, EventMsg>) {
+          put_u8(out, static_cast<std::uint8_t>(MsgType::kEvent));
+          put_u64(out, m.stream_id);
+          put_u64(out, m.event.start_sample);
+          put_u64(out, m.event.end_sample);
+          put_i32(out, m.event.predicted_class);
+          put_u32(out, static_cast<std::uint32_t>(m.event.probabilities.size()));
+          for (const double v : m.event.probabilities) put_f64(out, v);
+        } else if constexpr (std::is_same_v<T, StatsRequestMsg>) {
+          put_u8(out, static_cast<std::uint8_t>(MsgType::kStatsRequest));
+        } else if constexpr (std::is_same_v<T, StatsReplyMsg>) {
+          put_u8(out, static_cast<std::uint8_t>(MsgType::kStatsReply));
+          const ServeStats& s = m.stats;
+          put_u64(out, s.requests);
+          put_u64(out, s.accepted);
+          put_u64(out, s.rejected_overload);
+          put_u64(out, s.rejected_capacity);
+          put_u64(out, s.chunks_processed);
+          put_u64(out, s.samples_processed);
+          put_u64(out, s.events_emitted);
+          put_u64(out, s.drains);
+          put_u64(out, s.sessions_active);
+          put_u64(out, s.sessions_created);
+          put_u64(out, s.sessions_evicted);
+          put_u64(out, s.sessions_pooled);
+          put_u64(out, s.model_generation);
+          put_f64(out, s.drain_p50_us);
+          put_f64(out, s.drain_p99_us);
+        } else if constexpr (std::is_same_v<T, ModelSwapMsg>) {
+          put_u8(out, static_cast<std::uint8_t>(MsgType::kModelSwap));
+          put_u32(out, m.version);
+        } else if constexpr (std::is_same_v<T, AckMsg>) {
+          put_u8(out, static_cast<std::uint8_t>(MsgType::kAck));
+          put_u8(out, static_cast<std::uint8_t>(m.status));
+        }
+      },
+      msg);
+}
+
+Message decode_payload(std::string_view payload) {
+  Cursor c{payload};
+  const auto type = static_cast<MsgType>(c.u8());
+  Message msg;
+  switch (type) {
+    case MsgType::kChunkPush: {
+      ChunkPushMsg m;
+      m.stream_id = c.u64();
+      m.samples = c.f64_array();
+      msg = std::move(m);
+      break;
+    }
+    case MsgType::kStreamFinish: {
+      StreamFinishMsg m;
+      m.stream_id = c.u64();
+      msg = m;
+      break;
+    }
+    case MsgType::kEvent: {
+      EventMsg m;
+      m.stream_id = c.u64();
+      m.event.start_sample = c.u64();
+      m.event.end_sample = c.u64();
+      m.event.predicted_class = c.i32();
+      m.event.probabilities = c.f64_array();
+      msg = std::move(m);
+      break;
+    }
+    case MsgType::kStatsRequest:
+      msg = StatsRequestMsg{};
+      break;
+    case MsgType::kStatsReply: {
+      StatsReplyMsg m;
+      ServeStats& s = m.stats;
+      s.requests = c.u64();
+      s.accepted = c.u64();
+      s.rejected_overload = c.u64();
+      s.rejected_capacity = c.u64();
+      s.chunks_processed = c.u64();
+      s.samples_processed = c.u64();
+      s.events_emitted = c.u64();
+      s.drains = c.u64();
+      s.sessions_active = c.u64();
+      s.sessions_created = c.u64();
+      s.sessions_evicted = c.u64();
+      s.sessions_pooled = c.u64();
+      s.model_generation = c.u64();
+      s.drain_p50_us = c.f64();
+      s.drain_p99_us = c.f64();
+      msg = m;
+      break;
+    }
+    case MsgType::kModelSwap: {
+      ModelSwapMsg m;
+      m.version = c.u32();
+      msg = m;
+      break;
+    }
+    case MsgType::kAck: {
+      AckMsg m;
+      const std::uint8_t status = c.u8();
+      if (status > static_cast<std::uint8_t>(Status::kError)) {
+        throw util::DataError{"serve::decode: bad ack status"};
+      }
+      m.status = static_cast<Status>(status);
+      msg = m;
+      break;
+    }
+    default:
+      throw util::DataError{"serve::decode: unknown message type"};
+  }
+  c.expect_done();
+  return msg;
+}
+
+}  // namespace
+
+void encode(std::string& out, const Message& msg) {
+  const std::size_t header_at = out.size();
+  put_u32(out, 0);  // placeholder
+  encode_payload(out, msg);
+  const std::size_t payload_size = out.size() - header_at - 4;
+  const auto len = static_cast<std::uint32_t>(payload_size);
+  for (int i = 0; i < 4; ++i) {
+    out[header_at + static_cast<std::size_t>(i)] =
+        static_cast<char>((len >> (8 * i)) & 0xff);
+  }
+}
+
+std::string encode_one(const Message& msg) {
+  std::string out;
+  encode(out, msg);
+  return out;
+}
+
+std::optional<Message> FrameReader::next() {
+  if (offset_ == bytes_.size()) return std::nullopt;
+  if (bytes_.size() - offset_ < 4) {
+    throw util::DataError{"serve::decode: truncated frame header"};
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(bytes_[offset_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+  }
+  if (len > kMaxPayload) {
+    throw util::DataError{"serve::decode: frame length out of range"};
+  }
+  if (bytes_.size() - offset_ - 4 < len) {
+    throw util::DataError{"serve::decode: truncated frame payload"};
+  }
+  const std::string_view payload = bytes_.substr(offset_ + 4, len);
+  offset_ += 4 + len;
+  return decode_payload(payload);
+}
+
+}  // namespace emoleak::serve

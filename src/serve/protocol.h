@@ -1,0 +1,103 @@
+// Wire protocol for the emoleak::serve inference service.
+//
+// Little-endian, length-prefixed binary frames:
+//
+//   u32 payload_length | u8 type | type-specific payload
+//
+// The in-process transport used by tests and serve_demo concatenates
+// frames into a byte buffer; a real deployment would ship the same
+// bytes over a socket. Doubles travel as IEEE-754 bit patterns
+// (std::bit_cast), so a chunk pushed over the wire classifies
+// bit-identically to one passed in memory. decode failures throw
+// util::DataError — truncated or corrupt frames must never crash the
+// service (same hardening contract as ml::load_model).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "core/streaming.h"
+#include "serve/counters.h"
+
+namespace emoleak::serve {
+
+enum class MsgType : std::uint8_t {
+  kChunkPush = 1,   ///< client -> service: samples for one stream
+  kStreamFinish,    ///< client -> service: end-of-stream flush
+  kEvent,           ///< service -> client: one classified speech region
+  kStatsRequest,    ///< client -> service
+  kStatsReply,      ///< service -> client
+  kModelSwap,       ///< client -> service: activate a registry version
+  kAck,             ///< service -> client: request status
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kOverloaded,   ///< shard queue full — retry after a drain
+  kNoCapacity,   ///< session table full and nothing evictable
+  kError,        ///< malformed request / unknown model version
+};
+
+struct ChunkPushMsg {
+  std::uint64_t stream_id = 0;
+  std::vector<double> samples;
+};
+
+struct StreamFinishMsg {
+  std::uint64_t stream_id = 0;
+};
+
+struct EventMsg {
+  std::uint64_t stream_id = 0;
+  core::EmotionEvent event;
+};
+
+struct StatsRequestMsg {};
+
+struct StatsReplyMsg {
+  ServeStats stats;
+};
+
+struct ModelSwapMsg {
+  std::uint32_t version = 0;
+};
+
+struct AckMsg {
+  Status status = Status::kOk;
+};
+
+using Message = std::variant<ChunkPushMsg, StreamFinishMsg, EventMsg,
+                             StatsRequestMsg, StatsReplyMsg, ModelSwapMsg,
+                             AckMsg>;
+
+/// Appends one length-prefixed frame for `msg` to `out`.
+void encode(std::string& out, const Message& msg);
+
+/// Convenience: a single message as its own buffer.
+[[nodiscard]] std::string encode_one(const Message& msg);
+
+/// Iterates the frames of a byte buffer. Throws util::DataError on a
+/// corrupt frame (bad type, short payload, absurd length).
+class FrameReader {
+ public:
+  explicit FrameReader(std::string_view bytes) : bytes_{bytes} {}
+  /// Deleted: a temporary's bytes would dangle while frames are read.
+  explicit FrameReader(std::string&& bytes) = delete;
+
+  /// Next decoded message, or nullopt at end-of-buffer. A partial
+  /// trailing frame is an error: the in-process transport always hands
+  /// over whole buffers.
+  [[nodiscard]] std::optional<Message> next();
+
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::string_view bytes_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace emoleak::serve

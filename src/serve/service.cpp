@@ -1,0 +1,171 @@
+#include "serve/service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "util/error.h"
+
+namespace emoleak::serve {
+
+void ServeConfig::validate() const {
+  session.validate();
+  batcher.validate();
+}
+
+ServeService::ServeService(ServeConfig config,
+                           std::shared_ptr<ModelRegistry> registry)
+    : config_{std::move(config)},
+      registry_{std::move(registry)},
+      sessions_{config_.session, registry_},
+      batcher_{config_.batcher} {
+  config_.validate();
+}
+
+Status ServeService::push(std::uint64_t stream_id,
+                          std::vector<double> samples) {
+  counters_.requests.fetch_add(1, std::memory_order_relaxed);
+  PushRequest request;
+  request.stream_id = stream_id;
+  request.samples = std::move(samples);
+  if (!batcher_.submit(std::move(request))) {
+    counters_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+    return Status::kOverloaded;
+  }
+  counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+  return Status::kOk;
+}
+
+Status ServeService::finish_stream(std::uint64_t stream_id) {
+  counters_.requests.fetch_add(1, std::memory_order_relaxed);
+  PushRequest request;
+  request.stream_id = stream_id;
+  request.finish = true;
+  if (!batcher_.submit(std::move(request))) {
+    counters_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+    return Status::kOverloaded;
+  }
+  counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+  return Status::kOk;
+}
+
+void ServeService::process(PushRequest& request) {
+  if (request.finish) {
+    sessions_.finish(request.stream_id);
+    return;
+  }
+  const std::uint64_t tick = tick_.load(std::memory_order_relaxed);
+  SessionManager::Session* session =
+      sessions_.acquire(request.stream_id, tick);
+  if (session == nullptr) {
+    // Admission control, second gate: the queue had room but the
+    // session table is full. The chunk is dropped (and counted) rather
+    // than parked — parking would be unbounded queueing by another name.
+    counters_.rejected_capacity.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Lazy hot-swap: an activate() since this session's last request
+  // swings its classifier before the next region closes. The generation
+  // probe is one relaxed atomic load; the registry lock is only taken
+  // when a swap actually happened.
+  if (session->model_generation != registry_->generation()) {
+    auto [model, generation] = registry_->current_with_generation();
+    session->attack.set_classifier(std::move(model));
+    session->model_generation = generation;
+  }
+  std::vector<core::EmotionEvent> events = session->attack.push(
+      std::span<const double>{request.samples.data(), request.samples.size()});
+  counters_.chunks_processed.fetch_add(1, std::memory_order_relaxed);
+  counters_.samples_processed.fetch_add(request.samples.size(),
+                                        std::memory_order_relaxed);
+  if (!events.empty()) {
+    counters_.events_emitted.fetch_add(events.size(),
+                                       std::memory_order_relaxed);
+    for (core::EmotionEvent& event : events) {
+      session->outbox.push_back(std::move(event));
+    }
+  }
+}
+
+std::size_t ServeService::drain() {
+  std::lock_guard<std::mutex> lock{drain_mutex_};
+  const std::uint64_t tick =
+      tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  counters_.drains.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t evicted = sessions_.evict_idle(tick);
+  (void)evicted;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t processed = batcher_.drain(
+      [this](PushRequest& request) { process(request); },
+      config_.parallelism);
+  if (processed > 0) {
+    const auto t1 = std::chrono::steady_clock::now();
+    counters_.record_drain_latency(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  return processed;
+}
+
+std::vector<EventMsg> ServeService::take_events() {
+  std::lock_guard<std::mutex> lock{drain_mutex_};
+  std::vector<EventMsg> out;
+  for (auto& [stream_id, event] : sessions_.take_events()) {
+    out.push_back(EventMsg{stream_id, std::move(event)});
+  }
+  return out;
+}
+
+Status ServeService::swap_model(std::uint32_t version) {
+  try {
+    registry_->activate(version);
+    return Status::kOk;
+  } catch (const util::DataError&) {
+    return Status::kError;
+  }
+}
+
+ServeStats ServeService::stats() const {
+  ServeStats s = counters_.snapshot();
+  s.sessions_active = sessions_.active_sessions();
+  s.sessions_created = sessions_.sessions_created();
+  s.sessions_evicted = sessions_.sessions_evicted();
+  s.sessions_pooled = sessions_.sessions_pooled();
+  s.model_generation = registry_->generation();
+  return s;
+}
+
+std::string ServeService::handle(std::string_view bytes) {
+  std::string reply;
+  FrameReader reader{bytes};
+  while (auto msg = reader.next()) {
+    std::visit(
+        [this, &reply](auto& m) {
+          using T = std::decay_t<decltype(m)>;
+          if constexpr (std::is_same_v<T, ChunkPushMsg>) {
+            encode(reply, AckMsg{push(m.stream_id, std::move(m.samples))});
+          } else if constexpr (std::is_same_v<T, StreamFinishMsg>) {
+            encode(reply, AckMsg{finish_stream(m.stream_id)});
+          } else if constexpr (std::is_same_v<T, StatsRequestMsg>) {
+            encode(reply, StatsReplyMsg{stats()});
+          } else if constexpr (std::is_same_v<T, ModelSwapMsg>) {
+            encode(reply, AckMsg{swap_model(m.version)});
+          } else {
+            // Server-to-client message types arriving at the service
+            // (Event, StatsReply, Ack) are protocol misuse, not fatal.
+            encode(reply, AckMsg{Status::kError});
+          }
+        },
+        *msg);
+  }
+  return reply;
+}
+
+std::string ServeService::poll_events() {
+  std::string out;
+  for (const EventMsg& event : take_events()) {
+    encode(out, event);
+  }
+  return out;
+}
+
+}  // namespace emoleak::serve

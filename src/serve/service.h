@@ -1,0 +1,106 @@
+// ServeService — the multi-session inference front end.
+//
+// The deployed shape of the paper's attack (§III-A): exfiltrated
+// accelerometer streams from many devices are classified centrally
+// against pre-trained models. ServeService wires the pieces together:
+//
+//   push/finish  -> RequestBatcher (bounded shard queues, admission
+//                   control: full queue => Status::kOverloaded)
+//   drain        -> shards fan out over util::ThreadPool; each shard
+//                   feeds its streams' StreamingAttack sequentially,
+//                   so per-stream event sequences are bit-identical to
+//                   a standalone StreamingAttack at any thread count
+//   SessionManager  bounded session table, idle eviction by drain
+//                   tick, session pooling via StreamingAttack::reset()
+//   ModelRegistry   versioned models, atomic hot-swap; sessions pick
+//                   up a swap lazily at their next processed request
+//   counters     -> requests/rejections/events + p50/p99 drain latency
+//
+// The wire face (handle / poll_events) speaks serve/protocol.h frames;
+// tests and serve_demo use it as an in-process transport.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/counters.h"
+#include "serve/model_registry.h"
+#include "serve/protocol.h"
+#include "serve/session_manager.h"
+#include "util/parallel.h"
+
+namespace emoleak::serve {
+
+struct ServeConfig {
+  SessionConfig session;
+  BatcherConfig batcher;
+  /// Thread budget for drain cycles (0 = all cores, 1 = serial).
+  util::Parallelism parallelism;
+
+  void validate() const;
+};
+
+class ServeService {
+ public:
+  ServeService(ServeConfig config, std::shared_ptr<ModelRegistry> registry);
+
+  // ---- typed API -----------------------------------------------------
+  /// Enqueues a chunk for `stream_id`. kOverloaded when the stream's
+  /// shard queue is full — the caller should drain (or back off) and
+  /// retry; nothing was enqueued.
+  Status push(std::uint64_t stream_id, std::vector<double> samples);
+
+  /// Enqueues an end-of-stream flush (emits the final open region, if
+  /// any, and retires the session into the pool).
+  Status finish_stream(std::uint64_t stream_id);
+
+  /// Runs one batch cycle: advances the logical clock, evicts idle
+  /// sessions, then processes every queued request (per-stream
+  /// sequential, streams parallel). Returns requests processed.
+  /// Thread-safe; concurrent callers are serialized.
+  std::size_t drain();
+
+  /// Events completed since the last call, ordered by (stream id,
+  /// emission order).
+  [[nodiscard]] std::vector<EventMsg> take_events();
+
+  /// Activates a registry version for subsequent work; kError for an
+  /// unknown version. Sessions apply the swap at their next processed
+  /// request — regions already closed keep their old predictions.
+  Status swap_model(std::uint32_t version);
+
+  [[nodiscard]] ServeStats stats() const;
+
+  // ---- wire API (in-process transport) -------------------------------
+  /// Decodes each frame in `bytes`, applies it, and returns the reply
+  /// frames (Ack per push/finish/swap, StatsReply per stats request).
+  /// Throws util::DataError on a corrupt buffer.
+  [[nodiscard]] std::string handle(std::string_view bytes);
+
+  /// take_events() as encoded Event frames.
+  [[nodiscard]] std::string poll_events();
+
+  [[nodiscard]] ModelRegistry& registry() noexcept { return *registry_; }
+  [[nodiscard]] std::uint64_t tick() const noexcept {
+    return tick_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void process(PushRequest& request);
+
+  ServeConfig config_;
+  std::shared_ptr<ModelRegistry> registry_;
+  SessionManager sessions_;
+  RequestBatcher batcher_;
+  ServeCounters counters_;
+  std::mutex drain_mutex_;          ///< one drain cycle at a time
+  std::atomic<std::uint64_t> tick_{0};  ///< logical clock, 1 per drain
+};
+
+}  // namespace emoleak::serve

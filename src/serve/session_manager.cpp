@@ -1,0 +1,159 @@
+#include "serve/session_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace emoleak::serve {
+
+void SessionConfig::validate() const {
+  stream.validate();
+  if (sample_rate_hz <= 0.0) {
+    throw util::ConfigError{"SessionConfig: sample_rate_hz <= 0"};
+  }
+  if (max_sessions == 0) {
+    throw util::ConfigError{"SessionConfig: max_sessions == 0"};
+  }
+}
+
+SessionManager::Session::Session(const SessionConfig& config,
+                                 ModelRegistry::ModelPtr model)
+    : attack{config.stream, config.sample_rate_hz, std::move(model)} {}
+
+SessionManager::SessionManager(SessionConfig config,
+                               std::shared_ptr<ModelRegistry> registry)
+    : config_{std::move(config)}, registry_{std::move(registry)} {
+  config_.validate();
+  if (!registry_) {
+    throw util::ConfigError{"SessionManager: null model registry"};
+  }
+}
+
+SessionManager::Session* SessionManager::acquire(std::uint64_t stream_id,
+                                                 std::uint64_t tick) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  const auto it = sessions_.find(stream_id);
+  if (it != sessions_.end()) {
+    it->second->last_active_tick = tick;
+    return it->second.get();
+  }
+  if (sessions_.size() >= config_.max_sessions) return nullptr;
+
+  std::unique_ptr<Session> session;
+  auto [model, generation] = registry_->current_with_generation();
+  if (!free_pool_.empty()) {
+    session = std::move(free_pool_.back());
+    free_pool_.pop_back();
+    session->attack.reset();
+    session->attack.set_classifier(std::move(model));
+    session->outbox.clear();
+    ++pooled_;
+  } else {
+    session = std::make_unique<Session>(config_, std::move(model));
+  }
+  session->stream_id = stream_id;
+  session->last_active_tick = tick;
+  session->model_generation = generation;
+  ++created_;
+  Session* raw = session.get();
+  sessions_.emplace(stream_id, std::move(session));
+  return raw;
+}
+
+SessionManager::Session* SessionManager::find(std::uint64_t stream_id) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  const auto it = sessions_.find(stream_id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+void SessionManager::retire(std::unique_ptr<Session> session) {
+  // Bounded pool: keeping more parked sessions than the table can hold
+  // live would just hoard history buffers.
+  if (free_pool_.size() < config_.max_sessions) {
+    free_pool_.push_back(std::move(session));
+  }
+}
+
+bool SessionManager::finish(std::uint64_t stream_id) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  const auto it = sessions_.find(stream_id);
+  if (it == sessions_.end()) return false;
+  std::unique_ptr<Session> session = std::move(it->second);
+  sessions_.erase(it);
+  if (auto last = session->attack.finish()) {
+    session->outbox.push_back(*last);
+  }
+  // The outbox must survive retirement until take_events(); park the
+  // events on the side rather than losing them with the pool slot.
+  for (core::EmotionEvent& event : session->outbox) {
+    orphaned_events_.emplace_back(stream_id, std::move(event));
+  }
+  session->outbox.clear();
+  retire(std::move(session));
+  return true;
+}
+
+std::size_t SessionManager::evict_idle(std::uint64_t tick) {
+  if (config_.idle_timeout_ticks == 0) return 0;
+  std::lock_guard<std::mutex> lock{mutex_};
+  std::size_t evicted = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    Session& session = *it->second;
+    if (tick - session.last_active_tick >= config_.idle_timeout_ticks) {
+      if (auto last = session.attack.finish()) {
+        session.outbox.push_back(*last);
+      }
+      for (core::EmotionEvent& event : session.outbox) {
+        orphaned_events_.emplace_back(session.stream_id, std::move(event));
+      }
+      session.outbox.clear();
+      retire(std::move(it->second));
+      it = sessions_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  evicted_ += evicted;
+  return evicted;
+}
+
+std::vector<std::pair<std::uint64_t, core::EmotionEvent>>
+SessionManager::take_events() {
+  std::lock_guard<std::mutex> lock{mutex_};
+  std::vector<std::pair<std::uint64_t, core::EmotionEvent>> out;
+  out.swap(orphaned_events_);
+  for (auto& [id, session] : sessions_) {
+    for (core::EmotionEvent& event : session->outbox) {
+      out.emplace_back(id, std::move(event));
+    }
+    session->outbox.clear();
+  }
+  // Deterministic order across streams: sort by stream id; the sort is
+  // stable, so each stream's events keep their emission order.
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  });
+  return out;
+}
+
+std::size_t SessionManager::active_sessions() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return sessions_.size();
+}
+
+std::uint64_t SessionManager::sessions_created() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return created_;
+}
+
+std::uint64_t SessionManager::sessions_evicted() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return evicted_;
+}
+
+std::uint64_t SessionManager::sessions_pooled() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return pooled_;
+}
+
+}  // namespace emoleak::serve

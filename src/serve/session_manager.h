@@ -1,0 +1,104 @@
+// Session table for the serving layer.
+//
+// One core::StreamingAttack per device/stream id, with a bounded total
+// and idle eviction measured in drain ticks (a logical clock — wall
+// time would make eviction scheduling-dependent and untestable).
+// Evicted sessions park in a free pool and are recycled via
+// StreamingAttack::reset(), so steady-state serving allocates nothing
+// per new stream.
+//
+// Concurrency contract: acquire() may be called from any shard task
+// (the table mutex covers lookup/creation), but a given Session object
+// is only ever touched by the shard that owns its stream id while a
+// drain is running — the batcher's sharding provides that exclusivity,
+// not this class. begin_tick()/evict_idle() must be called outside any
+// drain (ServeService does so from the single drain() caller).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/streaming.h"
+#include "serve/model_registry.h"
+#include "util/error.h"
+
+namespace emoleak::serve {
+
+struct SessionConfig {
+  core::StreamingConfig stream;     ///< detector knobs for every session
+  double sample_rate_hz = 420.0;    ///< accelerometer rate of the fleet
+  std::size_t max_sessions = 64;    ///< hard cap on live sessions
+  /// Sessions untouched for this many drain ticks are evicted (their
+  /// open region is flushed into the outbox first); 0 disables idle
+  /// eviction — sessions then live until explicitly finished.
+  std::uint64_t idle_timeout_ticks = 0;
+
+  void validate() const;
+};
+
+class SessionManager {
+ public:
+  struct Session {
+    std::uint64_t stream_id = 0;
+    core::StreamingAttack attack;
+    /// Events awaiting pickup, in emission order (per-stream order is
+    /// the determinism contract; only the owning shard appends).
+    std::vector<core::EmotionEvent> outbox;
+    std::uint64_t last_active_tick = 0;
+    std::uint64_t model_generation = 0;
+
+    Session(const SessionConfig& config, ModelRegistry::ModelPtr model);
+  };
+
+  SessionManager(SessionConfig config, std::shared_ptr<ModelRegistry> registry);
+
+  /// The session for `stream_id`, creating (or recycling) one if the
+  /// cap allows; nullptr when the table is full. The returned pointer
+  /// stays valid until the session is evicted or finished — safe here
+  /// because eviction never runs concurrently with shard processing.
+  [[nodiscard]] Session* acquire(std::uint64_t stream_id, std::uint64_t tick);
+
+  /// Existing session or nullptr; never creates.
+  [[nodiscard]] Session* find(std::uint64_t stream_id);
+
+  /// Flushes the open region (if any) into the outbox and retires the
+  /// session into the free pool. Returns false for an unknown stream.
+  bool finish(std::uint64_t stream_id);
+
+  /// Evicts every session idle since before `tick - idle_timeout`;
+  /// returns the number evicted. Call only between drains.
+  std::size_t evict_idle(std::uint64_t tick);
+
+  /// Moves every queued event out of the session outboxes, ordered by
+  /// (stream id, emission order). Call only between drains.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, core::EmotionEvent>>
+  take_events();
+
+  [[nodiscard]] std::size_t active_sessions() const;
+  [[nodiscard]] std::uint64_t sessions_created() const;
+  [[nodiscard]] std::uint64_t sessions_evicted() const;
+  [[nodiscard]] std::uint64_t sessions_pooled() const;
+
+  [[nodiscard]] const SessionConfig& config() const noexcept { return config_; }
+  [[nodiscard]] ModelRegistry& registry() noexcept { return *registry_; }
+
+ private:
+  void retire(std::unique_ptr<Session> session);
+
+  SessionConfig config_;
+  std::shared_ptr<ModelRegistry> registry_;
+
+  mutable std::mutex mutex_;  ///< guards the table + pool + counters
+  std::unordered_map<std::uint64_t, std::unique_ptr<Session>> sessions_;
+  std::vector<std::unique_ptr<Session>> free_pool_;
+  /// Events from finished/evicted sessions awaiting take_events().
+  std::vector<std::pair<std::uint64_t, core::EmotionEvent>> orphaned_events_;
+  std::uint64_t created_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t pooled_ = 0;
+};
+
+}  // namespace emoleak::serve

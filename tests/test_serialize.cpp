@@ -36,7 +36,9 @@ Dataset blobs(std::size_t per_class, int classes, std::uint64_t seed) {
 }
 
 /// Round-trips `model` through save/load and checks that predictions
-/// and probability vectors agree on every row of `probe`.
+/// and probability vectors are bit-identical on every row of `probe`
+/// (the serving layer's hot-swap contract: a reloaded model is
+/// indistinguishable from the one it replaced).
 void expect_roundtrip(Classifier& model, const Dataset& probe) {
   std::stringstream buffer;
   save_model(buffer, model);
@@ -48,9 +50,19 @@ void expect_roundtrip(Classifier& model, const Dataset& probe) {
     const auto pb = loaded->predict_proba(row);
     ASSERT_EQ(pa.size(), pb.size());
     for (std::size_t c = 0; c < pa.size(); ++c) {
-      EXPECT_NEAR(pa[c], pb[c], 1e-12);
+      EXPECT_EQ(pa[c], pb[c]);  // exact: setprecision(17) round-trips
     }
   }
+}
+
+/// A full model file with the given classifier name and payload.
+std::string model_file(const std::string& name, const std::string& payload) {
+  return "emoleak-model-v1\n" + name + "\n" + payload;
+}
+
+void expect_rejected(const std::string& contents) {
+  std::stringstream buffer{contents};
+  EXPECT_THROW((void)load_model(buffer), emoleak::util::DataError);
 }
 
 TEST(SerializeTest, LogisticRoundTrips) {
@@ -123,6 +135,99 @@ TEST(SerializeTest, TruncatedPayloadThrows) {
   save_model(buffer, model);
   std::stringstream cut{buffer.str().substr(0, buffer.str().size() / 2)};
   EXPECT_THROW((void)load_model(cut), emoleak::util::DataError);
+}
+
+// ---- malformed payloads ----------------------------------------------
+//
+// A model file is untrusted input to the serving layer (ModelRegistry
+// warm-loads whatever the operator points it at), so every parse
+// failure must surface as util::DataError — never a crash, hang, or a
+// silently mis-loaded model. `operator>>` into an unsigned count WRAPS
+// on negative input without setting failbit, so the upper-bound caps in
+// ml/serialize.h are the only defense against huge allocations.
+
+TEST(SerializeTest, HugeCountsRejectedBeforeAllocation) {
+  // 2^64 - 1 elements would be a ~147 EB allocation if attempted.
+  expect_rejected(model_file("Logistic", "3 18446744073709551615\n"));
+  expect_rejected(model_file("DecisionTree", "3 99999999999 1\n"));
+  expect_rejected(model_file("RandomForest", "3 18446744073709551615\n"));
+}
+
+TEST(SerializeTest, NegativeCountsRejected) {
+  // -7 wraps to 2^64 - 7 in the unsigned dim; the cap must catch it.
+  expect_rejected(model_file("Logistic", "3 -7\n"));
+  expect_rejected(model_file("DecisionTree", "3 -1 1\n"));
+  expect_rejected(model_file("RandomSubSpace", "3 -2\n"));
+}
+
+TEST(SerializeTest, TreeChildIndexOutOfRangeRejected) {
+  // Node 0 is internal with left = 5, but only 3 nodes exist: route()
+  // would index past the node array.
+  expect_rejected(model_file("DecisionTree",
+                             "2 3 2\n"
+                             "0 0.5 5 2 0 0\n"
+                             "0 0 -1 -1 0 2 0.5 0.5\n"
+                             "0 0 -1 -1 1 2 0.5 0.5\n"));
+}
+
+TEST(SerializeTest, TreeBackwardChildIndexRejected) {
+  // Node 1 points back at node 0: a cycle, so route() would never
+  // terminate. Children must be strictly after their parent (the
+  // builder's append-order invariant doubles as the acyclicity proof).
+  expect_rejected(model_file("DecisionTree",
+                             "2 3 2\n"
+                             "0 0.5 1 2 0 0\n"
+                             "0 0.5 0 2 0 0\n"
+                             "0 0 -1 -1 0 2 0.5 0.5\n"));
+}
+
+TEST(SerializeTest, TreeLeafDistributionMismatchRejected) {
+  // Leaf carries 1 probability for a 2-class tree: predict_proba would
+  // hand the caller a wrong-sized distribution.
+  expect_rejected(model_file("DecisionTree", "2 1 1\n0 0 -1 -1 0 1 1.0\n"));
+}
+
+TEST(SerializeTest, TreeLeafIdOutOfRangeRejected) {
+  expect_rejected(
+      model_file("DecisionTree", "2 1 1\n0 0 -1 -1 5 2 0.5 0.5\n"));
+}
+
+TEST(SerializeTest, ForestTreeClassMismatchRejected) {
+  // A 2-class tree inside a 3-class forest: the vote accumulator would
+  // be read out of bounds.
+  expect_rejected(model_file("RandomForest",
+                             "3 1\n"
+                             "2 1 1\n0 0 -1 -1 0 2 0.5 0.5\n"));
+}
+
+TEST(SerializeTest, SubspaceColumnOutOfRangeRejected) {
+  // Column index beyond any plausible feature dimension.
+  expect_rejected(model_file("RandomSubSpace",
+                             "2 1\n"
+                             "1 99999999999\n"
+                             "2 1 1\n0 0 -1 -1 0 2 0.5 0.5\n"));
+}
+
+TEST(SerializeTest, BadScalerStddevRejected) {
+  // Zero stddev would divide by zero on every later predict.
+  expect_rejected(model_file("Logistic", "2 1\n0.0 \n0.0 \n1 2 3 4 \n"));
+}
+
+TEST(SerializeTest, NonFiniteWeightRejected) {
+  expect_rejected(model_file("Logistic", "2 1\n0.0 \n1.0 \n1 nan 3 4 \n"));
+}
+
+TEST(SerializeTest, LoadedTreeGuardsNarrowRows) {
+  // A deserialized tree must reject a row narrower than its split
+  // features at predict time instead of reading past the row.
+  const Dataset d = blobs(40, 3, 9);
+  DecisionTree model;
+  model.fit(d);
+  std::stringstream buffer;
+  save_model(buffer, model);
+  const auto loaded = load_model(buffer);
+  const std::vector<double> empty;
+  EXPECT_THROW((void)loaded->predict(empty), emoleak::util::DataError);
 }
 
 TEST(SerializeTest, FileRoundTrip) {

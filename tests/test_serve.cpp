@@ -1,0 +1,566 @@
+// Tests for the emoleak::serve inference service: wire-protocol
+// round-trips and malformed-frame rejection, bounded-queue admission
+// control, registry versioning/hot-swap, batching determinism at 1/2/8
+// threads, session eviction/pooling, and overload rejection. The
+// concurrent-producer test is the TSan target for the serving layer
+// (see the sanitizer recipe in ROADMAP.md).
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numbers>
+#include <optional>
+#include <thread>
+#include <variant>
+
+#include "core/speech_region.h"
+#include "core/streaming.h"
+#include "ml/dataset.h"
+#include "ml/logistic.h"
+#include "serve/protocol.h"
+#include "util/bounded_queue.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace emoleak;
+using serve::ModelRegistry;
+using serve::ServeService;
+using serve::Status;
+
+constexpr double kRate = 420.0;
+
+/// Noise floor + sine bursts, same signal shape as test_streaming.
+std::vector<double> trace_with_bursts(
+    std::size_t n, const std::vector<std::pair<std::size_t, std::size_t>>& bursts,
+    std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<double> x(n, 9.81);
+  for (std::size_t i = 0; i < n; ++i) x[i] += 0.003 * rng.normal();
+  for (const auto& [lo, hi] : bursts) {
+    for (std::size_t i = lo; i < hi && i < n; ++i) {
+      x[i] += 0.1 * std::sin(2.0 * std::numbers::pi * 100.0 *
+                             static_cast<double>(i) / kRate);
+    }
+  }
+  return x;
+}
+
+/// 60 s with three bursts past the noise-floor warm-up: three events.
+std::vector<double> default_trace(std::uint64_t seed) {
+  return trace_with_bursts(
+      25200, {{8000, 8700}, {13000, 13800}, {20000, 20600}}, seed);
+}
+
+core::StreamingConfig stream_config() {
+  core::StreamingConfig cfg;
+  cfg.detector = core::tabletop_detector_config();
+  return cfg;
+}
+
+/// A classifier over the 24 Table-II features. Training rows are
+/// feature-sized blobs — the serving layer needs deterministic
+/// predictions, not attack accuracy.
+std::shared_ptr<const ml::Classifier> make_model(int classes,
+                                                 std::uint64_t seed) {
+  util::Rng rng{seed};
+  ml::Dataset d;
+  d.class_count = classes;
+  for (int c = 0; c < classes; ++c) {
+    for (int i = 0; i < 12; ++i) {
+      std::vector<double> row(24);
+      for (double& v : row) v = rng.normal() + 1.5 * c;
+      d.x.push_back(std::move(row));
+      d.y.push_back(c);
+    }
+  }
+  auto model = std::make_shared<ml::LogisticRegression>();
+  model->fit(d);
+  return model;
+}
+
+serve::ServeConfig service_config(std::size_t threads) {
+  serve::ServeConfig cfg;
+  cfg.session.stream = stream_config();
+  cfg.session.sample_rate_hz = kRate;
+  cfg.session.max_sessions = 16;
+  cfg.batcher.shard_count = 8;
+  cfg.batcher.queue_capacity = 1024;
+  cfg.parallelism = util::Parallelism{.threads = threads};
+  return cfg;
+}
+
+std::vector<double> slice(const std::vector<double>& x, std::size_t lo,
+                          std::size_t hi) {
+  return {x.begin() + static_cast<std::ptrdiff_t>(lo),
+          x.begin() + static_cast<std::ptrdiff_t>(hi)};
+}
+
+std::vector<core::EmotionEvent> standalone_events(
+    const std::vector<double>& trace, std::size_t chunk,
+    std::shared_ptr<const ml::Classifier> model) {
+  core::StreamingAttack attack{stream_config(), kRate, std::move(model)};
+  std::vector<core::EmotionEvent> events;
+  for (std::size_t i = 0; i < trace.size(); i += chunk) {
+    const std::size_t hi = std::min(i + chunk, trace.size());
+    auto out =
+        attack.push(std::span<const double>{trace.data() + i, hi - i});
+    events.insert(events.end(), out.begin(), out.end());
+  }
+  if (auto last = attack.finish()) events.push_back(*last);
+  return events;
+}
+
+void expect_same_events(const std::vector<core::EmotionEvent>& a,
+                        const std::vector<core::EmotionEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start_sample, b[i].start_sample);
+    EXPECT_EQ(a[i].end_sample, b[i].end_sample);
+    EXPECT_EQ(a[i].predicted_class, b[i].predicted_class);
+    ASSERT_EQ(a[i].probabilities.size(), b[i].probabilities.size());
+    for (std::size_t c = 0; c < a[i].probabilities.size(); ++c) {
+      // Bit-identical, not approximately equal: batching must never
+      // change results.
+      EXPECT_EQ(a[i].probabilities[c], b[i].probabilities[c]);
+    }
+  }
+}
+
+// ---- wire protocol ----------------------------------------------------
+
+TEST(ServeProtocolTest, RoundTripsEveryMessageType) {
+  serve::ServeStats stats;
+  stats.requests = 42;
+  stats.rejected_overload = 7;
+  stats.model_generation = 3;
+  stats.drain_p99_us = 1234.5;
+
+  core::EmotionEvent event;
+  event.start_sample = 100;
+  event.end_sample = 400;
+  event.predicted_class = 2;
+  event.probabilities = {0.125, 0.25, 0.625};
+
+  std::string buffer;
+  serve::encode(buffer, serve::ChunkPushMsg{9, {1.0, -2.5, 0.0, 3.25}});
+  serve::encode(buffer, serve::StreamFinishMsg{9});
+  serve::encode(buffer, serve::EventMsg{9, event});
+  serve::encode(buffer, serve::StatsRequestMsg{});
+  serve::encode(buffer, serve::StatsReplyMsg{stats});
+  serve::encode(buffer, serve::ModelSwapMsg{5});
+  serve::encode(buffer, serve::AckMsg{Status::kOverloaded});
+
+  serve::FrameReader reader{buffer};
+  const auto push = std::get<serve::ChunkPushMsg>(*reader.next());
+  EXPECT_EQ(push.stream_id, 9u);
+  EXPECT_EQ(push.samples, (std::vector<double>{1.0, -2.5, 0.0, 3.25}));
+  EXPECT_EQ(std::get<serve::StreamFinishMsg>(*reader.next()).stream_id, 9u);
+  const auto ev = std::get<serve::EventMsg>(*reader.next());
+  EXPECT_EQ(ev.stream_id, 9u);
+  EXPECT_EQ(ev.event.start_sample, 100u);
+  EXPECT_EQ(ev.event.end_sample, 400u);
+  EXPECT_EQ(ev.event.predicted_class, 2);
+  EXPECT_EQ(ev.event.probabilities, event.probabilities);
+  EXPECT_TRUE(std::holds_alternative<serve::StatsRequestMsg>(*reader.next()));
+  const auto reply = std::get<serve::StatsReplyMsg>(*reader.next());
+  EXPECT_EQ(reply.stats.requests, 42u);
+  EXPECT_EQ(reply.stats.rejected_overload, 7u);
+  EXPECT_EQ(reply.stats.model_generation, 3u);
+  EXPECT_EQ(reply.stats.drain_p99_us, 1234.5);
+  EXPECT_EQ(std::get<serve::ModelSwapMsg>(*reader.next()).version, 5u);
+  EXPECT_EQ(std::get<serve::AckMsg>(*reader.next()).status,
+            Status::kOverloaded);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(ServeProtocolTest, RejectsMalformedFrames) {
+  const std::string valid = serve::encode_one(serve::ChunkPushMsg{1, {1.0}});
+
+  // Truncated header, then truncated payload.
+  for (const std::size_t cut : {std::size_t{2}, valid.size() - 3}) {
+    serve::FrameReader reader{std::string_view{valid}.substr(0, cut)};
+    EXPECT_THROW((void)reader.next(), util::DataError);
+  }
+  // Unknown message type (type byte sits right after the u32 length).
+  std::string bad_type = valid;
+  bad_type[4] = 99;
+  {
+    serve::FrameReader reader{bad_type};
+    EXPECT_THROW((void)reader.next(), util::DataError);
+  }
+  // Declared length larger than the message body: trailing junk.
+  std::string trailing = serve::encode_one(serve::StreamFinishMsg{1});
+  trailing.push_back('\0');
+  trailing[0] = static_cast<char>(trailing[0] + 1);
+  {
+    serve::FrameReader reader{trailing};
+    EXPECT_THROW((void)reader.next(), util::DataError);
+  }
+  // Absurd frame length (4 GiB): rejected before any allocation.
+  const std::string huge(4, '\xff');
+  {
+    serve::FrameReader reader{huge};
+    EXPECT_THROW((void)reader.next(), util::DataError);
+  }
+  // Sample count claiming more doubles than the payload carries.
+  std::string overclaim = serve::encode_one(serve::ChunkPushMsg{1, {}});
+  overclaim[4 + 1 + 8] = 0x40;  // claim 64 samples, carry none
+  {
+    serve::FrameReader reader{overclaim};
+    EXPECT_THROW((void)reader.next(), util::DataError);
+  }
+}
+
+// ---- bounded queue ----------------------------------------------------
+
+TEST(BoundedQueueTest, CapacityFifoAndClose) {
+  util::BoundedQueue<int> q{3};
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_FALSE(q.try_push(4));  // full: admission control, not blocking
+  EXPECT_EQ(q.size(), 3u);
+
+  std::vector<int> out;
+  EXPECT_EQ(q.drain_into(out), 3u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(q.try_push(5));
+  EXPECT_EQ(*q.try_pop(), 5);
+  EXPECT_FALSE(q.try_pop().has_value());
+
+  q.close();
+  EXPECT_FALSE(q.try_push(6));
+  EXPECT_THROW(util::BoundedQueue<int>{0}, util::ConfigError);
+}
+
+// ---- model registry ---------------------------------------------------
+
+TEST(ModelRegistryTest, VersionsActivateAndSwap) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.current(), nullptr);
+  EXPECT_EQ(registry.generation(), 0u);
+
+  const auto v1 = registry.add("three", make_model(3, 1));
+  const auto v2 = registry.add("four", make_model(4, 2));
+  EXPECT_EQ(v1, 1u);
+  EXPECT_EQ(v2, 2u);
+  EXPECT_EQ(registry.generation(), 1u);  // first model auto-activates
+  EXPECT_EQ(registry.current(), registry.get(1));
+
+  registry.activate(2);
+  EXPECT_EQ(registry.generation(), 2u);
+  EXPECT_EQ(registry.current(), registry.get(2));
+  const auto [model, generation] = registry.current_with_generation();
+  EXPECT_EQ(model, registry.get(2));
+  EXPECT_EQ(generation, 2u);
+
+  EXPECT_EQ(registry.get(0), nullptr);
+  EXPECT_EQ(registry.get(3), nullptr);
+  EXPECT_THROW(registry.activate(3), util::DataError);
+  EXPECT_THROW(registry.add("null", nullptr), util::DataError);
+
+  const auto info = registry.list();
+  ASSERT_EQ(info.size(), 2u);
+  EXPECT_EQ(info[0].name, "three");
+  EXPECT_EQ(info[0].classifier, "Logistic");
+  EXPECT_EQ(info[1].version, 2u);
+}
+
+// ---- service ----------------------------------------------------------
+
+TEST(ServeServiceTest, BatchingIsDeterministicAcrossThreadCounts) {
+  const auto model = make_model(3, 7);
+  constexpr std::size_t kStreams = 6;
+  constexpr std::size_t kChunk = 256;
+
+  std::vector<std::vector<double>> traces;
+  std::vector<std::vector<core::EmotionEvent>> reference;
+  std::size_t expected_events = 0;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    traces.push_back(default_trace(40 + s));
+    reference.push_back(standalone_events(traces[s], kChunk, model));
+    expected_events += reference[s].size();
+  }
+  ASSERT_GT(expected_events, 0u);
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    auto registry = std::make_shared<ModelRegistry>();
+    registry->add("m", model);
+    ServeService service{service_config(threads), registry};
+
+    // Interleave the streams chunk-by-chunk with periodic drains, the
+    // way concurrent devices land on a real deployment.
+    std::size_t offset = 0;
+    bool any = true;
+    while (any) {
+      any = false;
+      for (std::size_t round = 0; round < 4; ++round) {
+        for (std::size_t s = 0; s < kStreams; ++s) {
+          const std::size_t i = offset + round * kChunk;
+          if (i >= traces[s].size()) continue;
+          any = true;
+          const std::size_t hi = std::min(i + kChunk, traces[s].size());
+          ASSERT_EQ(service.push(s, slice(traces[s], i, hi)), Status::kOk);
+        }
+      }
+      offset += 4 * kChunk;
+      service.drain();
+    }
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      ASSERT_EQ(service.finish_stream(s), Status::kOk);
+    }
+    service.drain();
+
+    std::vector<std::vector<core::EmotionEvent>> served(kStreams);
+    for (auto& event : service.take_events()) {
+      served[event.stream_id].push_back(event.event);
+    }
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " stream=" + std::to_string(s));
+      expect_same_events(served[s], reference[s]);
+    }
+    const serve::ServeStats stats = service.stats();
+    EXPECT_EQ(stats.rejected_overload, 0u);
+    EXPECT_EQ(stats.events_emitted, expected_events);
+  }
+}
+
+TEST(ServeServiceTest, OverloadRejectsInsteadOfQueueing) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->add("m", make_model(3, 7));
+  serve::ServeConfig cfg = service_config(1);
+  cfg.batcher.shard_count = 1;
+  cfg.batcher.queue_capacity = 2;
+  ServeService service{cfg, registry};
+
+  const std::vector<double> chunk(64, 9.81);
+  EXPECT_EQ(service.push(1, chunk), Status::kOk);
+  EXPECT_EQ(service.push(1, chunk), Status::kOk);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(service.push(1, chunk), Status::kOverloaded);
+  }
+  serve::ServeStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 5u);
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.rejected_overload, 3u);
+
+  // A drain empties the queue; the service recovers without losing the
+  // admitted work.
+  EXPECT_EQ(service.drain(), 2u);
+  EXPECT_EQ(service.push(1, chunk), Status::kOk);
+  stats = service.stats();
+  EXPECT_EQ(stats.chunks_processed, 2u);
+  EXPECT_EQ(stats.rejected_overload, 3u);
+}
+
+TEST(ServeServiceTest, SessionCapacityEvictionAndPooling) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->add("m", make_model(3, 7));
+  serve::ServeConfig cfg = service_config(1);
+  cfg.session.max_sessions = 2;
+  cfg.session.idle_timeout_ticks = 2;
+  ServeService service{cfg, registry};
+
+  const std::vector<double> chunk(64, 9.81);
+  ASSERT_EQ(service.push(1, chunk), Status::kOk);
+  ASSERT_EQ(service.push(2, chunk), Status::kOk);
+  service.drain();  // tick 1: sessions 1 and 2 created
+  serve::ServeStats stats = service.stats();
+  EXPECT_EQ(stats.sessions_active, 2u);
+  EXPECT_EQ(stats.sessions_created, 2u);
+
+  // Table full: stream 3's chunk is dropped and counted.
+  ASSERT_EQ(service.push(3, chunk), Status::kOk);
+  service.drain();  // tick 2: 1 and 2 idle for one tick — not evictable
+  stats = service.stats();
+  EXPECT_EQ(stats.rejected_capacity, 1u);
+  EXPECT_EQ(stats.sessions_active, 2u);
+
+  service.drain();  // tick 3: idle for idle_timeout_ticks — evicted
+  stats = service.stats();
+  EXPECT_EQ(stats.sessions_evicted, 2u);
+  EXPECT_EQ(stats.sessions_active, 0u);
+
+  // The freed slots admit stream 3, recycled from the pool.
+  ASSERT_EQ(service.push(3, chunk), Status::kOk);
+  service.drain();
+  stats = service.stats();
+  EXPECT_EQ(stats.sessions_active, 1u);
+  EXPECT_EQ(stats.sessions_pooled, 1u);
+  EXPECT_EQ(stats.rejected_capacity, 1u);
+}
+
+TEST(ServeServiceTest, PooledSessionsResetCleanly) {
+  // A recycled session must behave exactly like a fresh one: drive
+  // stream A through the only slot, finish it, then drive stream B
+  // through the recycled slot and compare with a standalone attack.
+  const auto model = make_model(3, 7);
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->add("m", model);
+  serve::ServeConfig cfg = service_config(1);
+  cfg.session.max_sessions = 1;
+  ServeService service{cfg, registry};
+
+  const auto trace_a = default_trace(91);
+  const auto trace_b = default_trace(92);
+  constexpr std::size_t kChunk = 512;
+
+  for (std::size_t i = 0; i < trace_a.size(); i += kChunk) {
+    const std::size_t hi = std::min(i + kChunk, trace_a.size());
+    ASSERT_EQ(service.push(1, slice(trace_a, i, hi)), Status::kOk);
+  }
+  ASSERT_EQ(service.finish_stream(1), Status::kOk);
+  service.drain();
+  EXPECT_FALSE(service.take_events().empty());
+
+  for (std::size_t i = 0; i < trace_b.size(); i += kChunk) {
+    const std::size_t hi = std::min(i + kChunk, trace_b.size());
+    ASSERT_EQ(service.push(2, slice(trace_b, i, hi)), Status::kOk);
+  }
+  ASSERT_EQ(service.finish_stream(2), Status::kOk);
+  service.drain();
+
+  std::vector<core::EmotionEvent> served;
+  for (auto& event : service.take_events()) {
+    ASSERT_EQ(event.stream_id, 2u);
+    served.push_back(event.event);
+  }
+  expect_same_events(served, standalone_events(trace_b, kChunk, model));
+  EXPECT_GE(service.stats().sessions_pooled, 1u);
+}
+
+TEST(ServeServiceTest, ModelHotSwapAppliesToLaterRegions) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    auto registry = std::make_shared<ModelRegistry>();
+    registry->add("three-class", make_model(3, 7));
+    registry->add("four-class", make_model(4, 8));
+    ServeService service{service_config(threads), registry};
+
+    const auto trace = default_trace(70);
+    constexpr std::size_t kChunk = 256;
+    const auto push_range = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; i += kChunk) {
+        ASSERT_EQ(service.push(1, slice(trace, i, std::min(i + kChunk, hi))),
+                  Status::kOk);
+      }
+    };
+
+    // First burst under v1, then a swap over the wire, then the rest:
+    // regions closed before the swap keep their 3-class distribution,
+    // later regions get the 4-class model.
+    push_range(0, 12000);
+    service.drain();
+    const std::string reply =
+        service.handle(serve::encode_one(serve::ModelSwapMsg{2}));
+    serve::FrameReader reader{reply};
+    EXPECT_EQ(std::get<serve::AckMsg>(*reader.next()).status, Status::kOk);
+    push_range(12000, trace.size());
+    ASSERT_EQ(service.finish_stream(1), Status::kOk);
+    service.drain();
+
+    const auto events = service.take_events();
+    ASSERT_GE(events.size(), 2u);
+    EXPECT_EQ(events.front().event.probabilities.size(), 3u);
+    EXPECT_EQ(events.back().event.probabilities.size(), 4u);
+    EXPECT_EQ(service.stats().model_generation, 2u);
+
+    // Unknown version: rejected without disturbing the active model.
+    EXPECT_EQ(service.swap_model(9), Status::kError);
+    EXPECT_EQ(service.stats().model_generation, 2u);
+  }
+}
+
+TEST(ServeServiceTest, WireTransportEndToEnd) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->add("m", make_model(3, 7));
+  ServeService service{service_config(1), registry};
+
+  const auto trace = default_trace(51);
+  std::string request;
+  for (std::size_t i = 0; i < trace.size(); i += 512) {
+    const std::size_t hi = std::min(i + 512, trace.size());
+    serve::encode(request, serve::ChunkPushMsg{3, slice(trace, i, hi)});
+  }
+  serve::encode(request, serve::StreamFinishMsg{3});
+  serve::encode(request, serve::StatsRequestMsg{});
+
+  const std::string reply = service.handle(request);
+  serve::FrameReader acks{reply};
+  std::size_t ok = 0;
+  bool saw_stats = false;
+  while (auto msg = acks.next()) {
+    if (const auto* ack = std::get_if<serve::AckMsg>(&*msg)) {
+      EXPECT_EQ(ack->status, Status::kOk);
+      ++ok;
+    } else {
+      const auto& stats = std::get<serve::StatsReplyMsg>(*msg).stats;
+      EXPECT_EQ(stats.accepted, ok);
+      saw_stats = true;
+    }
+  }
+  EXPECT_TRUE(saw_stats);
+
+  service.drain();
+  const std::string event_bytes = service.poll_events();
+  serve::FrameReader events{event_bytes};
+  std::size_t count = 0;
+  while (auto msg = events.next()) {
+    EXPECT_EQ(std::get<serve::EventMsg>(*msg).stream_id, 3u);
+    ++count;
+  }
+  EXPECT_EQ(count, standalone_events(trace, 512, registry->current()).size());
+}
+
+TEST(ServeServiceTest, ConcurrentProducersAndDrainsAreClean) {
+  // The TSan target: producers hammer push() from four threads while
+  // this thread drains. The test checks the accounting invariants; the
+  // sanitizer checks everything else.
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->add("m", make_model(3, 7));
+  serve::ServeConfig cfg = service_config(0);
+  cfg.batcher.queue_capacity = 8;  // small on purpose: real overload traffic
+  ServeService service{cfg, registry};
+
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kChunksEach = 60;
+  std::atomic<std::size_t> live{kProducers};
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&service, &live, p] {
+      util::Rng rng{500 + p};
+      for (std::size_t i = 0; i < kChunksEach; ++i) {
+        std::vector<double> chunk(128, 9.81);
+        for (double& v : chunk) v += 0.01 * rng.normal();
+        // Producers share stream ids pairwise to exercise same-shard
+        // contention; overloads are retried so every chunk lands.
+        while (service.push(p % 2, chunk) != Status::kOk) {
+          std::this_thread::yield();
+        }
+      }
+      live.fetch_sub(1);
+    });
+  }
+  while (live.load() > 0) {
+    service.drain();
+    std::this_thread::yield();
+  }
+  for (auto& t : producers) t.join();
+  service.drain();
+
+  const serve::ServeStats stats = service.stats();
+  EXPECT_EQ(stats.chunks_processed, kProducers * kChunksEach);
+  EXPECT_EQ(stats.accepted, kProducers * kChunksEach);
+  EXPECT_EQ(stats.requests, stats.accepted + stats.rejected_overload);
+  EXPECT_EQ(stats.samples_processed, kProducers * kChunksEach * 128);
+  EXPECT_EQ(stats.sessions_active, 2u);
+}
+
+}  // namespace

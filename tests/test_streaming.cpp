@@ -273,4 +273,55 @@ TEST(StreamingTest, ClassifiesEmotionsOnline) {
   EXPECT_GT(accuracy, 0.4);  // far above the 14.3% random guess
 }
 
+TEST(StreamingTest, ResetReproducesFreshInstanceBitForBit) {
+  // reset() is what lets serve::SessionManager recycle sessions across
+  // streams: after a full run (filters warmed, histories populated, a
+  // region left open at finish), a reset instance must emit exactly the
+  // events a newly constructed one does.
+  const double rate = 420.0;
+  const auto x = trace_with_bursts(
+      25200, rate, {{8000, 8700}, {13000, 13800}, {24800, 25200}}, 6);
+
+  StreamingAttack fresh{default_config(), rate, nullptr};
+  StreamingAttack reused{default_config(), rate, nullptr};
+
+  // Dirty `reused` with a different trace first (open region at the
+  // end, so finish() flushes state too), then reset.
+  const auto other = trace_with_bursts(16800, rate, {{9000, 16800}}, 7);
+  (void)reused.push(other);
+  (void)reused.finish();
+  reused.reset();
+  EXPECT_EQ(reused.samples_seen(), 0u);
+  EXPECT_EQ(reused.events_emitted(), 0u);
+
+  std::vector<std::vector<core::EmotionEvent>> runs;
+  for (StreamingAttack* attack : {&fresh, &reused}) {
+    std::vector<core::EmotionEvent> events;
+    for (std::size_t i = 0; i < x.size(); i += 97) {
+      const std::size_t hi = std::min(i + 97, x.size());
+      const auto chunk = attack->push(
+          std::span<const double>{x.data() + i, hi - i});
+      events.insert(events.end(), chunk.begin(), chunk.end());
+    }
+    if (auto last = attack->finish()) events.push_back(*last);
+    runs.push_back(std::move(events));
+  }
+  ASSERT_GE(runs[0].size(), 3u);
+  ASSERT_EQ(runs[0].size(), runs[1].size());
+  for (std::size_t i = 0; i < runs[0].size(); ++i) {
+    EXPECT_EQ(runs[0][i].start_sample, runs[1][i].start_sample);
+    EXPECT_EQ(runs[0][i].end_sample, runs[1][i].end_sample);
+  }
+
+  // A second reset replays the exact same stream again.
+  reused.reset();
+  std::vector<core::EmotionEvent> replay = reused.push(x);
+  if (auto last = reused.finish()) replay.push_back(*last);
+  ASSERT_EQ(replay.size(), runs[1].size());
+  for (std::size_t i = 0; i < replay.size(); ++i) {
+    EXPECT_EQ(replay[i].start_sample, runs[1][i].start_sample);
+    EXPECT_EQ(replay[i].end_sample, runs[1][i].end_sample);
+  }
+}
+
 }  // namespace
