@@ -18,6 +18,7 @@
 #include "ml/eval.h"
 #include "ml/logistic.h"
 #include "nn/cnn_models.h"
+#include "nn/gemm.h"
 #include "serve/service.h"
 #include "phone/channel.h"
 #include "phone/recorder.h"
@@ -59,6 +60,18 @@ void BM_FftBluestein(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FftBluestein)->Arg(1000)->Arg(2187);
+
+void BM_Rfft(benchmark::State& state) {
+  const auto x = noise_signal(static_cast<std::size_t>(state.range(0)), 11);
+  util::Workspace ws;
+  std::vector<double> mags(x.size() / 2 + 1);
+  for (auto _ : state) {
+    dsp::rfft_magnitude_into(x, mags, ws);
+    benchmark::DoNotOptimize(mags.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Rfft)->Arg(256)->Arg(1024)->Arg(4096);
 
 void BM_Stft(benchmark::State& state) {
   const auto x = noise_signal(static_cast<std::size_t>(state.range(0)));
@@ -175,6 +188,21 @@ BENCHMARK(BM_ExtractAndCrossValidate)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng{12};
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  for (float& v : a) v = static_cast<float>(rng.normal());
+  for (float& v : b) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    nn::gemm(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(256);
+
 void BM_TimefreqCnnForward(benchmark::State& state) {
   nn::Sequential model = nn::build_timefreq_cnn(24, 7, nn::CnnConfig::fast());
   nn::Tensor x{{32, 1, 24, 1}};
@@ -205,6 +233,28 @@ void BM_SpectrogramCnnForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 8);
 }
 BENCHMARK(BM_SpectrogramCnnForward);
+
+void BM_Conv2DBackward(benchmark::State& state) {
+  // One representative 3x3 'same' convolution layer, forward + backward
+  // (the backward pass dominates training time).
+  nn::Conv2D conv{8, 16, 3, 3, /*same=*/true, 13};
+  nn::Tensor x{{4, 16, 16, 8}};
+  nn::Tensor g{{4, 16, 16, 16}};
+  util::Rng rng{14};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.normal());
+  }
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g[i] = static_cast<float>(rng.normal());
+  }
+  for (auto _ : state) {
+    (void)conv.forward(x, true);
+    const nn::Tensor& gx = conv.backward(g);
+    benchmark::DoNotOptimize(gx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_Conv2DBackward);
 
 void BM_ServeThroughput(benchmark::State& state) {
   // End-to-end serving-layer throughput: N concurrent streams of

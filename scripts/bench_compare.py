@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Kernel-benchmark regression harness.
+
+Runs bench_micro_perf with google-benchmark's JSON reporter over the
+kernel-level benchmarks, compares each one against the checked-in
+baseline (BENCH_kernels.json), and fails when a benchmark regresses
+beyond the tolerance. With --update, rewrites the baseline's `after_ns`
+numbers from the fresh run instead (the `before_ns` column — the
+pre-overhaul numbers — is preserved so the speedup history stays
+visible).
+
+Usage:
+  scripts/bench_compare.py --bench build/bench/bench_micro_perf
+  scripts/bench_compare.py --bench ... --update     # re-baseline
+  scripts/bench_compare.py --bench ... --tolerance 0.4
+
+Wired into CMake as the `bench_check` target.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+# Kernel benchmarks tracked by the baseline. Fixture-heavy end-to-end
+# benchmarks (serving, synthesis) are too noisy for a regression gate.
+KERNEL_FILTER = (
+    "BM_FftPow2|BM_Rfft|BM_FftBluestein|BM_Stft|BM_Gemm|"
+    "BM_FeatureExtraction|BM_TimefreqCnnForward|BM_SpectrogramCnnForward|"
+    "BM_Conv2DBackward"
+)
+
+
+def run_benchmarks(bench_path: Path, repetitions: int) -> dict[str, float]:
+    """Runs the benchmark binary; returns {name: real_time_ns}."""
+    cmd = [
+        str(bench_path),
+        f"--benchmark_filter={KERNEL_FILTER}",
+        "--benchmark_format=json",
+    ]
+    if repetitions > 1:
+        cmd += [
+            f"--benchmark_repetitions={repetitions}",
+            "--benchmark_report_aggregates_only=true",
+        ]
+    out = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    report = json.loads(out.stdout)
+
+    results: dict[str, float] = {}
+    for row in report.get("benchmarks", []):
+        name = row["name"]
+        if repetitions > 1:
+            if row.get("aggregate_name") != "median":
+                continue
+            name = name.removesuffix("_median")
+        unit = row.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        results[name] = float(row["real_time"]) * scale
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", type=Path, required=True,
+                        help="path to the bench_micro_perf binary")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path(__file__).resolve().parent.parent /
+                        "BENCH_kernels.json")
+    parser.add_argument("--tolerance", type=float, default=0.35,
+                        help="allowed fractional slowdown vs after_ns "
+                             "(default 0.35 = 35%%, absorbs machine noise)")
+    parser.add_argument("--repetitions", type=int, default=1,
+                        help="benchmark repetitions; >1 compares medians")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline's after_ns from this run")
+    args = parser.parse_args()
+
+    measured = run_benchmarks(args.bench, args.repetitions)
+    if not measured:
+        print("error: benchmark run produced no results", file=sys.stderr)
+        return 2
+
+    baseline = {"benchmarks": {}}
+    if args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+    entries = baseline.setdefault("benchmarks", {})
+
+    if args.update:
+        for name, after_ns in sorted(measured.items()):
+            entry = entries.setdefault(name, {})
+            entry["after_ns"] = round(after_ns, 1)
+            before = entry.get("before_ns")
+            if before:
+                entry["speedup"] = round(before / after_ns, 2)
+        args.baseline.write_text(json.dumps(baseline, indent=2,
+                                            sort_keys=True) + "\n")
+        print(f"updated {args.baseline} with {len(measured)} benchmarks")
+        return 0
+
+    failures = []
+    missing = []
+    for name, got_ns in sorted(measured.items()):
+        entry = entries.get(name)
+        if entry is None or "after_ns" not in entry:
+            missing.append(name)
+            continue
+        want_ns = entry["after_ns"]
+        ratio = got_ns / want_ns
+        status = "ok"
+        if ratio > 1.0 + args.tolerance:
+            status = "REGRESSION"
+            failures.append(name)
+        print(f"{name:45s} {got_ns:12.1f} ns  baseline {want_ns:12.1f} ns  "
+              f"x{ratio:5.2f}  {status}")
+    for name in missing:
+        print(f"{name:45s} {measured[name]:12.1f} ns  (no baseline — run "
+              f"with --update)")
+
+    stale = sorted(set(entries) - set(measured))
+    for name in stale:
+        print(f"{name:45s} in baseline but not measured (filter changed?)")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed beyond "
+              f"{args.tolerance:.0%}: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(measured) - len(missing)} tracked benchmarks within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

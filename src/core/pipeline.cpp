@@ -5,6 +5,7 @@
 #include <set>
 
 #include "util/error.h"
+#include "util/workspace.h"
 
 namespace emoleak::core {
 
@@ -95,8 +96,14 @@ ExtractedData extract(const phone::Recording& recording,
         // even a 1 Hz high-pass destroys the information).
         const std::span<const double> region =
             accel.subspan(lr.region.start, lr.region.length());
+        // Per-worker scratch arena: after the first few regions warm it
+        // up, extraction runs without heap allocation (beyond the
+        // returned feature/spectrogram vectors themselves).
+        util::Workspace& ws = util::thread_workspace();
+        const util::Workspace::Scope scope{ws};
         RegionOutput out;
-        out.features = features::extract_features(region, recording.rate_hz);
+        out.features =
+            features::extract_features(region, recording.rate_hz, ws);
         // Paper §IV-D1: invalid entries (NaN/inf) are removed up front —
         // done here so feature rows and spectrograms stay aligned.
         out.valid = std::all_of(out.features.begin(), out.features.end(),
@@ -105,13 +112,14 @@ ExtractedData extract(const phone::Recording& recording,
 
         // Spectrogram image of the same raw region. Remove the DC offset
         // so the gravity component does not saturate the dB scale.
-        std::vector<double> centered{region.begin(), region.end()};
+        std::span<double> centered = ws.take<double>(region.size());
+        std::copy(region.begin(), region.end(), centered.begin());
         double mean = 0.0;
         for (const double v : centered) mean += v;
         mean /= static_cast<double>(centered.size());
         for (double& v : centered) v -= mean;
         const dsp::Spectrogram spec =
-            dsp::stft(centered, recording.rate_hz, config.stft);
+            dsp::stft(centered, recording.rate_hz, config.stft, ws);
         out.spectrogram =
             dsp::spectrogram_image(spec, config.image_size, config.image_size);
         return out;

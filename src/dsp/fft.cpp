@@ -1,7 +1,9 @@
 #include "dsp/fft.h"
 
 #include <cmath>
+#include <memory>
 #include <numbers>
+#include <utility>
 
 #include "util/error.h"
 
@@ -11,34 +13,168 @@ namespace {
 
 constexpr double kTau = 2.0 * std::numbers::pi;
 
-// Twiddle-factor cache keyed by (size, direction). FFT sizes in the
-// pipeline are few (spectrogram window, Bluestein padding), so a tiny
-// linear cache is enough and avoids repeated sin/cos work.
-struct TwiddleTable {
-  std::size_t n = 0;
-  bool inverse = false;
-  std::vector<Complex> w;
-};
+/// Complex multiply spelled out in real arithmetic: keeps the hot
+/// butterflies free of the library's Annex-G (__muldc3) call.
+inline Complex cmul(Complex a, Complex b) noexcept {
+  return Complex{a.real() * b.real() - a.imag() * b.imag(),
+                 a.real() * b.imag() + a.imag() * b.real()};
+}
 
-const std::vector<Complex>& twiddles(std::size_t n, bool inverse) {
-  thread_local std::vector<TwiddleTable> cache;
-  for (const TwiddleTable& t : cache) {
-    if (t.n == n && t.inverse == inverse) return t.w;
-  }
-  TwiddleTable t;
-  t.n = n;
-  t.inverse = inverse;
-  t.w.resize(n / 2);
+std::vector<Complex> make_twiddles(std::size_t n, bool inverse) {
+  std::vector<Complex> w(n / 2);
   const double sign = inverse ? 1.0 : -1.0;
   for (std::size_t k = 0; k < n / 2; ++k) {
     const double angle = sign * kTau * static_cast<double>(k) / static_cast<double>(n);
-    t.w[k] = Complex{std::cos(angle), std::sin(angle)};
+    w[k] = Complex{std::cos(angle), std::sin(angle)};
   }
-  cache.push_back(std::move(t));
-  return cache.back().w;
+  return w;
 }
 
 }  // namespace
+
+FftPlan::FftPlan(std::size_t n) : n_{n} {
+  if (n <= 1) return;
+  if (!is_pow2(n)) {
+    throw util::DataError{"FftPlan: size must be a power of two"};
+  }
+  fwd_ = make_twiddles(n, false);
+  inv_ = make_twiddles(n, true);
+  bitrev_.resize(n);
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    bitrev_[i] = static_cast<std::uint32_t>(j);
+  }
+}
+
+const FftPlan& FftPlan::get(std::size_t n) {
+  // Plans live in unique_ptr slots so the vector can grow without
+  // moving any plan: references returned earlier stay valid even when
+  // later transforms (e.g. Bluestein's two internal sizes) extend the
+  // cache. This replaces the old thread_local TwiddleTable vector whose
+  // reallocation dangled previously returned references.
+  thread_local std::vector<std::unique_ptr<FftPlan>> cache;
+  for (const std::unique_ptr<FftPlan>& p : cache) {
+    if (p->size() == n) return *p;
+  }
+  cache.push_back(std::make_unique<FftPlan>(n));
+  return *cache.back();
+}
+
+void FftPlan::transform(std::span<Complex> data,
+                        const std::vector<Complex>& w) const {
+  const std::size_t n = n_;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t stride = n / len;
+    for (std::size_t start = 0; start < n; start += len) {
+      const Complex* tw = w.data();
+      for (std::size_t k = 0; k < half; ++k, tw += stride) {
+        const Complex even = data[start + k];
+        const Complex odd = cmul(data[start + k + half], *tw);
+        data[start + k] = even + odd;
+        data[start + k + half] = even - odd;
+      }
+    }
+  }
+}
+
+void FftPlan::forward(std::span<Complex> data) const {
+  if (n_ <= 1) return;
+  if (data.size() != n_) throw util::DataError{"FftPlan::forward: size mismatch"};
+  transform(data, fwd_);
+}
+
+void FftPlan::inverse(std::span<Complex> data) const {
+  if (n_ <= 1) return;
+  if (data.size() != n_) throw util::DataError{"FftPlan::inverse: size mismatch"};
+  transform(data, inv_);
+}
+
+void FftPlan::rfft(std::span<const double> in, std::span<Complex> out,
+                   util::Workspace& ws) const {
+  if (in.size() != n_ || out.size() != n_ / 2 + 1) {
+    throw util::DataError{"FftPlan::rfft: size mismatch"};
+  }
+  if (n_ == 0) {
+    out[0] = Complex{};
+    return;
+  }
+  if (n_ == 1) {
+    out[0] = Complex{in[0], 0.0};
+    return;
+  }
+
+  // Pack pairs of real samples into a half-length complex signal,
+  // transform, then split even/odd spectra and recombine. The
+  // recombination twiddles e^{-2πik/n} are exactly this plan's forward
+  // table; the sub-transform uses the cached half-size plan.
+  const std::size_t m = n_ / 2;
+  const util::Workspace::Scope scope{ws};
+  std::span<Complex> z = ws.take<Complex>(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    z[j] = Complex{in[2 * j], in[2 * j + 1]};
+  }
+  FftPlan::get(m).forward(z);
+
+  out[0] = Complex{z[0].real() + z[0].imag(), 0.0};
+  out[m] = Complex{z[0].real() - z[0].imag(), 0.0};
+  for (std::size_t k = 1; k < m; ++k) {
+    const Complex zk = z[k];
+    const Complex zc = std::conj(z[m - k]);
+    const Complex even = 0.5 * (zk + zc);
+    const Complex diff = zk - zc;
+    const Complex odd = Complex{0.5 * diff.imag(), -0.5 * diff.real()};  // -i/2 * diff
+    out[k] = even + cmul(fwd_[k], odd);
+  }
+}
+
+void FftPlan::rfft_magnitude(std::span<const double> in, std::span<double> out,
+                             util::Workspace& ws) const {
+  if (out.size() != n_ / 2 + 1) {
+    throw util::DataError{"FftPlan::rfft_magnitude: size mismatch"};
+  }
+  const util::Workspace::Scope scope{ws};
+  std::span<Complex> half = ws.take<Complex>(n_ / 2 + 1);
+  rfft(in, half, ws);
+  for (std::size_t k = 0; k < half.size(); ++k) out[k] = std::abs(half[k]);
+}
+
+void FftPlan::irfft(std::span<const Complex> half, std::span<double> out,
+                    util::Workspace& ws) const {
+  if (half.size() != n_ / 2 + 1 || out.size() != n_) {
+    throw util::DataError{"FftPlan::irfft: size mismatch"};
+  }
+  if (n_ == 0) return;
+  if (n_ == 1) {
+    out[0] = half[0].real();
+    return;
+  }
+
+  // Invert the split/recombine, run a half-length inverse transform,
+  // and unpack interleaved samples.
+  const std::size_t m = n_ / 2;
+  const util::Workspace::Scope scope{ws};
+  std::span<Complex> z = ws.take<Complex>(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const Complex xk = half[k];
+    const Complex xc = std::conj(half[m - k]);
+    const Complex even = 0.5 * (xk + xc);
+    const Complex odd = cmul(inv_[k], 0.5 * (xk - xc));
+    z[k] = even + Complex{-odd.imag(), odd.real()};  // even + i*odd
+  }
+  FftPlan::get(m).inverse(z);
+  const double scale = 1.0 / static_cast<double>(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    out[2 * j] = z[j].real() * scale;
+    out[2 * j + 1] = z[j].imag() * scale;
+  }
+}
 
 void fft_pow2(std::span<Complex> data, bool inverse) {
   const std::size_t n = data.size();
@@ -46,29 +182,70 @@ void fft_pow2(std::span<Complex> data, bool inverse) {
   if (!is_pow2(n)) {
     throw util::DataError{"fft_pow2: size must be a power of two"};
   }
-
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(data[i], data[j]);
-  }
-
-  const std::vector<Complex>& w = twiddles(n, inverse);
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const std::size_t stride = n / len;
-    for (std::size_t start = 0; start < n; start += len) {
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex twiddle = w[k * stride];
-        const Complex even = data[start + k];
-        const Complex odd = data[start + k + len / 2] * twiddle;
-        data[start + k] = even + odd;
-        data[start + k + len / 2] = even - odd;
-      }
-    }
+  const FftPlan& plan = FftPlan::get(n);
+  if (inverse) {
+    plan.inverse(data);
+  } else {
+    plan.forward(data);
   }
 }
+
+namespace {
+
+/// Bluestein's algorithm expresses a length-n DFT as a circular
+/// convolution of length m = next_pow2(2n-1). The chirp sequence and
+/// the transformed convolution kernel depend only on n, so both are
+/// cached per thread (stable unique_ptr slots, like FftPlan::get).
+struct BluesteinPlan {
+  std::size_t n = 0;
+  std::size_t m = 0;
+  std::vector<Complex> chirp;  ///< e^{-iπ k²/n}, forward sign
+  std::vector<Complex> fft_b;  ///< forward FFT of the convolution kernel
+};
+
+const BluesteinPlan& bluestein_plan(std::size_t n) {
+  thread_local std::vector<std::unique_ptr<BluesteinPlan>> cache;
+  for (const std::unique_ptr<BluesteinPlan>& p : cache) {
+    if (p->n == n) return *p;
+  }
+  auto plan = std::make_unique<BluesteinPlan>();
+  plan->n = n;
+  plan->m = next_pow2(2 * n - 1);
+  plan->chirp.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n keeps the angle argument small for numerical accuracy.
+    const std::size_t k2 = (k * k) % (2 * n);
+    const double angle =
+        -std::numbers::pi * static_cast<double>(k2) / static_cast<double>(n);
+    plan->chirp[k] = Complex{std::cos(angle), std::sin(angle)};
+  }
+  plan->fft_b.assign(plan->m, Complex{});
+  plan->fft_b[0] = std::conj(plan->chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    plan->fft_b[k] = plan->fft_b[plan->m - k] = std::conj(plan->chirp[k]);
+  }
+  FftPlan::get(plan->m).forward(plan->fft_b);
+  cache.push_back(std::move(plan));
+  return *cache.back();
+}
+
+/// Forward DFT of arbitrary size via Bluestein. Writes in place.
+void bluestein_forward(std::span<Complex> x, util::Workspace& ws) {
+  const std::size_t n = x.size();
+  const BluesteinPlan& plan = bluestein_plan(n);
+  const util::Workspace::Scope scope{ws};
+  std::span<Complex> a = ws.take<Complex>(plan.m);
+  for (std::size_t k = 0; k < n; ++k) a[k] = cmul(x[k], plan.chirp[k]);
+  for (std::size_t k = n; k < plan.m; ++k) a[k] = Complex{};
+  const FftPlan& big = FftPlan::get(plan.m);
+  big.forward(a);
+  for (std::size_t k = 0; k < plan.m; ++k) a[k] = cmul(a[k], plan.fft_b[k]);
+  big.inverse(a);
+  const double scale = 1.0 / static_cast<double>(plan.m);
+  for (std::size_t k = 0; k < n; ++k) x[k] = cmul(a[k] * scale, plan.chirp[k]);
+}
+
+}  // namespace
 
 std::vector<Complex> fft(std::span<const Complex> input, bool inverse) {
   const std::size_t n = input.size();
@@ -78,47 +255,64 @@ std::vector<Complex> fft(std::span<const Complex> input, bool inverse) {
     fft_pow2(out, inverse);
     return out;
   }
-
-  // Bluestein's algorithm: express the DFT as a convolution and compute
-  // the convolution with a padded power-of-two FFT.
-  const double sign = inverse ? 1.0 : -1.0;
-  std::vector<Complex> chirp(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    // k^2 mod 2n keeps the angle argument small for numerical accuracy.
-    const std::size_t k2 = (static_cast<std::size_t>(k) * k) % (2 * n);
-    const double angle =
-        sign * std::numbers::pi * static_cast<double>(k2) / static_cast<double>(n);
-    chirp[k] = Complex{std::cos(angle), std::sin(angle)};
+  util::Workspace& ws = util::thread_workspace();
+  if (!inverse) {
+    bluestein_forward(out, ws);
+    return out;
   }
-
-  const std::size_t m = next_pow2(2 * n - 1);
-  std::vector<Complex> a(m, Complex{});
-  std::vector<Complex> b(m, Complex{});
-  for (std::size_t k = 0; k < n; ++k) a[k] = out[k] * chirp[k];
-  b[0] = std::conj(chirp[0]);
-  for (std::size_t k = 1; k < n; ++k) {
-    b[k] = b[m - k] = std::conj(chirp[k]);
-  }
-  fft_pow2(a, false);
-  fft_pow2(b, false);
-  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
-  fft_pow2(a, true);
-  const double scale = 1.0 / static_cast<double>(m);
-  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * scale * chirp[k];
+  // Unscaled inverse via conjugation: IDFT(x) = conj(DFT(conj(x))).
+  for (Complex& v : out) v = std::conj(v);
+  bluestein_forward(out, ws);
+  for (Complex& v : out) v = std::conj(v);
   return out;
 }
 
 std::vector<Complex> rfft(std::span<const double> input) {
-  std::vector<Complex> buffer(input.size());
-  for (std::size_t i = 0; i < input.size(); ++i) buffer[i] = Complex{input[i], 0.0};
+  const std::size_t n = input.size();
+  std::vector<Complex> half(n / 2 + 1);
+  if (is_pow2(n)) {
+    FftPlan::get(n).rfft(input, half, util::thread_workspace());
+    return half;
+  }
+  if (n == 0) return half;  // single zero bin, matching the legacy shape
+  // Odd / non-power-of-two sizes: complex Bluestein path, truncated to
+  // the non-redundant half.
+  std::vector<Complex> buffer(n);
+  for (std::size_t i = 0; i < n; ++i) buffer[i] = Complex{input[i], 0.0};
   std::vector<Complex> full = fft(buffer, false);
-  full.resize(input.size() / 2 + 1);
-  return full;
+  for (std::size_t i = 0; i < half.size(); ++i) half[i] = full[i];
+  return half;
+}
+
+void rfft_magnitude_into(std::span<const double> input, std::span<double> out,
+                         util::Workspace& ws) {
+  const std::size_t n = input.size();
+  if (out.size() != n / 2 + 1) {
+    throw util::DataError{"rfft_magnitude_into: output must have n/2+1 bins"};
+  }
+  if (is_pow2(n)) {
+    FftPlan::get(n).rfft_magnitude(input, out, ws);
+    return;
+  }
+  if (n == 0) {
+    out[0] = 0.0;
+    return;
+  }
+  const util::Workspace::Scope scope{ws};
+  std::span<Complex> z = ws.take<Complex>(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = Complex{input[i], 0.0};
+  bluestein_forward(z, ws);
+  for (std::size_t k = 0; k < out.size(); ++k) out[k] = std::abs(z[k]);
 }
 
 std::vector<double> rfft_magnitude(std::span<const double> input) {
+  const std::size_t n = input.size();
+  std::vector<double> mags(n / 2 + 1);
+  if (is_pow2(n)) {
+    FftPlan::get(n).rfft_magnitude(input, mags, util::thread_workspace());
+    return mags;
+  }
   const std::vector<Complex> half = rfft(input);
-  std::vector<double> mags(half.size());
   for (std::size_t i = 0; i < half.size(); ++i) mags[i] = std::abs(half[i]);
   return mags;
 }
@@ -127,13 +321,17 @@ std::vector<double> irfft(std::span<const Complex> half_spectrum, std::size_t n)
   if (half_spectrum.size() != n / 2 + 1) {
     throw util::DataError{"irfft: half spectrum must have n/2+1 bins"};
   }
+  std::vector<double> out(n);
+  if (is_pow2(n)) {
+    FftPlan::get(n).irfft(half_spectrum, out, util::thread_workspace());
+    return out;
+  }
   std::vector<Complex> full(n);
   for (std::size_t i = 0; i < half_spectrum.size(); ++i) full[i] = half_spectrum[i];
   for (std::size_t i = half_spectrum.size(); i < n; ++i) {
     full[i] = std::conj(full[n - i]);
   }
   std::vector<Complex> time = fft(full, true);
-  std::vector<double> out(n);
   const double scale = 1.0 / static_cast<double>(n);
   for (std::size_t i = 0; i < n; ++i) out[i] = time[i].real() * scale;
   return out;

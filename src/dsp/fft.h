@@ -4,16 +4,74 @@
 // and Bluestein's chirp-z algorithm for arbitrary sizes, plus real-input
 // helpers. These back the STFT/spectrogram generation and all
 // frequency-domain feature extraction in the EmoLeak pipeline.
+//
+// All transforms execute against an FftPlan: twiddle factors, the
+// bit-reversal permutation, and (for Bluestein sizes) the precomputed
+// chirp spectrum are built once per size and cached per thread in
+// stable storage, so references handed out stay valid no matter how
+// many other sizes are planned later. Plan-based real transforms
+// (FftPlan::rfft and friends) draw scratch from a util::Workspace and
+// perform zero heap allocations in steady state.
 #pragma once
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
+
+#include "util/workspace.h"
 
 namespace emoleak::dsp {
 
 using Complex = std::complex<double>;
+
+/// An execution plan for power-of-two FFTs of one size: twiddle tables
+/// for both directions, the bit-reversal permutation, and the
+/// recombination twiddles that let a length-n real transform run as a
+/// length-n/2 complex transform. Plans are immutable after
+/// construction; obtain shared cached instances via FftPlan::get().
+class FftPlan {
+ public:
+  /// Builds a plan for size n (must be a power of two; n == 0 or 1 are
+  /// accepted as trivial plans). Throws util::DataError otherwise.
+  explicit FftPlan(std::size_t n);
+
+  /// The per-thread cached plan for size n. The reference is stable
+  /// for the thread's lifetime: later get() calls for other sizes
+  /// never invalidate it (plans live in unique_ptr slots).
+  [[nodiscard]] static const FftPlan& get(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// In-place forward / unscaled inverse complex FFT of size() points.
+  void forward(std::span<Complex> data) const;
+  void inverse(std::span<Complex> data) const;
+
+  /// Real-input FFT: size() real samples -> size()/2 + 1 bins, computed
+  /// as a size()/2 complex FFT plus a split/recombine pass (half the
+  /// butterfly work of the complex transform). Scratch comes from `ws`;
+  /// zero heap allocations once the arena is warm.
+  void rfft(std::span<const double> in, std::span<Complex> out,
+            util::Workspace& ws) const;
+
+  /// Magnitudes of rfft(): writes size()/2 + 1 values into `out`.
+  void rfft_magnitude(std::span<const double> in, std::span<double> out,
+                      util::Workspace& ws) const;
+
+  /// Inverse of rfft(): size()/2 + 1 bins -> size() real samples
+  /// (exact inverse, including the 1/n scale).
+  void irfft(std::span<const Complex> half, std::span<double> out,
+             util::Workspace& ws) const;
+
+ private:
+  void transform(std::span<Complex> data, const std::vector<Complex>& w) const;
+
+  std::size_t n_ = 0;
+  std::vector<Complex> fwd_;           ///< e^{-2πik/n}, k in [0, n/2)
+  std::vector<Complex> inv_;           ///< e^{+2πik/n}, k in [0, n/2)
+  std::vector<std::uint32_t> bitrev_;  ///< bit-reversal permutation
+};
 
 /// In-place FFT of a power-of-two-sized buffer.
 /// `inverse` computes the unscaled inverse transform; callers divide by
@@ -21,18 +79,25 @@ using Complex = std::complex<double>;
 /// not a power of two (use `fft` for arbitrary sizes).
 void fft_pow2(std::span<Complex> data, bool inverse = false);
 
-/// FFT of arbitrary size. Power-of-two inputs dispatch to fft_pow2;
-/// other sizes use Bluestein's algorithm. Returns the transformed
-/// sequence; input is unmodified.
+/// FFT of arbitrary size. Power-of-two inputs dispatch to the cached
+/// plan; other sizes use Bluestein's algorithm (chirp spectrum cached
+/// per size). Returns the transformed sequence; input is unmodified.
 [[nodiscard]] std::vector<Complex> fft(std::span<const Complex> input,
                                        bool inverse = false);
 
 /// Forward FFT of a real sequence. Returns the first n/2+1 bins
-/// (the remainder is conjugate-symmetric).
+/// (the remainder is conjugate-symmetric). Power-of-two sizes run the
+/// packed real transform; other sizes fall back to the complex path.
 [[nodiscard]] std::vector<Complex> rfft(std::span<const double> input);
 
 /// Magnitude of each bin of `rfft(input)`.
 [[nodiscard]] std::vector<double> rfft_magnitude(std::span<const double> input);
+
+/// Writes the n/2+1 magnitudes of `rfft(input)` into `out`, drawing all
+/// scratch (including the Bluestein convolution for non-power-of-two
+/// sizes) from `ws`: zero heap allocations once the arena is warm.
+void rfft_magnitude_into(std::span<const double> input, std::span<double> out,
+                         util::Workspace& ws);
 
 /// Inverse of rfft: reconstructs a real sequence of length n from
 /// n/2+1 half-spectrum bins.

@@ -77,59 +77,93 @@ std::size_t reflect_index(std::size_t k, std::size_t n) {
 
 }  // namespace
 
-Spectrogram stft(std::span<const double> signal, double sample_rate_hz,
-                 const StftConfig& config) {
+StftShape stft_shape(std::size_t signal_len, const StftConfig& config) {
   config.validate();
-  if (sample_rate_hz <= 0.0) throw util::ConfigError{"stft: sample_rate_hz <= 0"};
-
   const std::size_t win_len = config.window_length;
   const std::size_t fft_size =
       config.fft_size == 0 ? next_pow2(win_len) : config.fft_size;
-  const std::vector<double> window = make_window(config.window, win_len);
+  const std::size_t padded_len =
+      config.center ? signal_len + 2 * (win_len / 2) : signal_len;
+  StftShape shape;
+  shape.bins = fft_size / 2 + 1;
+  shape.frames =
+      padded_len >= win_len ? (padded_len - win_len) / config.hop + 1 : 0;
+  if (shape.frames == 0) shape.frames = 1;  // always >= one (zero-padded) frame
+  return shape;
+}
+
+void stft_magnitudes(std::span<const double> signal, const StftConfig& config,
+                     std::span<double> mags, util::Workspace& ws) {
+  config.validate();
+  const std::size_t win_len = config.window_length;
+  const std::size_t fft_size =
+      config.fft_size == 0 ? next_pow2(win_len) : config.fft_size;
+  const StftShape shape = stft_shape(signal.size(), config);
+  if (mags.size() != shape.cells()) {
+    throw util::DataError{"stft_magnitudes: output size != frames * bins"};
+  }
+
+  const util::Workspace::Scope scope{ws};
+  std::span<double> window = ws.take<double>(win_len);
+  fill_window(config.window, window);
 
   // Optionally reflect-pad by half a window on both ends so frame
   // centers align with signal samples (librosa-style `center=True`).
-  std::vector<double> padded;
   std::span<const double> x = signal;
   if (config.center) {
     // Front and back pads mirror symmetrically around the first / last
     // sample; reflect_index keeps folding for signals shorter than half
     // a window instead of clamping to an edge sample.
     const std::size_t pad = win_len / 2;
-    padded.reserve(signal.size() + 2 * pad);
+    std::span<double> padded = ws.take<double>(signal.size() + 2 * pad);
     for (std::size_t i = 0; i < pad; ++i) {
-      padded.push_back(signal.empty()
-                           ? 0.0
-                           : signal[reflect_index(pad - i, signal.size())]);
+      padded[i] = signal.empty()
+                      ? 0.0
+                      : signal[reflect_index(pad - i, signal.size())];
     }
-    padded.insert(padded.end(), signal.begin(), signal.end());
+    std::copy(signal.begin(), signal.end(), padded.begin() + static_cast<std::ptrdiff_t>(pad));
     for (std::size_t i = 0; i < pad; ++i) {
-      padded.push_back(
-          signal.empty()
-              ? 0.0
-              : signal[reflect_index(signal.size() + i, signal.size())]);
+      padded[pad + signal.size() + i] =
+          signal.empty() ? 0.0
+                         : signal[reflect_index(signal.size() + i, signal.size())];
     }
     x = padded;
   }
 
-  const std::size_t bins = fft_size / 2 + 1;
-  std::size_t frames = 0;
-  if (x.size() >= win_len) frames = (x.size() - win_len) / config.hop + 1;
-  if (frames == 0) frames = 1;  // always produce at least one (zero-padded) frame
-
-  std::vector<double> mags(frames * bins, 0.0);
-  std::vector<double> frame_buf(fft_size, 0.0);
-  for (std::size_t f = 0; f < frames; ++f) {
+  const bool pow2 = is_pow2(fft_size);
+  const FftPlan* plan = pow2 ? &FftPlan::get(fft_size) : nullptr;
+  std::span<double> frame_buf = ws.take<double>(fft_size);
+  for (std::size_t f = 0; f < shape.frames; ++f) {
     const std::size_t start = f * config.hop;
-    std::fill(frame_buf.begin(), frame_buf.end(), 0.0);
     for (std::size_t i = 0; i < win_len; ++i) {
       const std::size_t idx = start + i;
       frame_buf[i] = idx < x.size() ? x[idx] * window[i] : 0.0;
     }
-    const std::vector<double> mag = rfft_magnitude(frame_buf);
-    std::copy(mag.begin(), mag.end(), mags.begin() + static_cast<std::ptrdiff_t>(f * bins));
+    std::fill(frame_buf.begin() + static_cast<std::ptrdiff_t>(win_len),
+              frame_buf.end(), 0.0);
+    std::span<double> row = mags.subspan(f * shape.bins, shape.bins);
+    if (plan != nullptr) {
+      plan->rfft_magnitude(frame_buf, row, ws);
+    } else {
+      const std::vector<double> mag = rfft_magnitude(frame_buf);
+      std::copy(mag.begin(), mag.end(), row.begin());
+    }
   }
-  return Spectrogram{std::move(mags), frames, bins, sample_rate_hz, config.hop};
+}
+
+Spectrogram stft(std::span<const double> signal, double sample_rate_hz,
+                 const StftConfig& config, util::Workspace& ws) {
+  if (sample_rate_hz <= 0.0) throw util::ConfigError{"stft: sample_rate_hz <= 0"};
+  const StftShape shape = stft_shape(signal.size(), config);
+  std::vector<double> mags(shape.cells());
+  stft_magnitudes(signal, config, mags, ws);
+  return Spectrogram{std::move(mags), shape.frames, shape.bins, sample_rate_hz,
+                     config.hop};
+}
+
+Spectrogram stft(std::span<const double> signal, double sample_rate_hz,
+                 const StftConfig& config) {
+  return stft(signal, sample_rate_hz, config, util::thread_workspace());
 }
 
 std::vector<double> spectrogram_image(const Spectrogram& spec, std::size_t width,

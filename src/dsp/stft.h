@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "dsp/window.h"
+#include "util/workspace.h"
 
 namespace emoleak::dsp {
 
@@ -62,9 +63,34 @@ class Spectrogram {
   std::size_t hop_;
 };
 
-/// Computes the magnitude STFT of `signal`.
+/// Frame/bin geometry of the STFT of a signal of `signal_len` samples.
+struct StftShape {
+  std::size_t frames = 0;
+  std::size_t bins = 0;
+
+  [[nodiscard]] std::size_t cells() const noexcept { return frames * bins; }
+};
+
+/// Geometry `stft` will produce for a given signal length and config.
+[[nodiscard]] StftShape stft_shape(std::size_t signal_len,
+                                   const StftConfig& config);
+
+/// Zero-allocation STFT core: writes `stft_shape(...).cells()` magnitudes
+/// (row-major frames x bins) into `mags`. Padding, frame windows, and
+/// FFT scratch all come from `ws`, so a warm workspace makes repeated
+/// calls allocation-free (asserted in tests via Workspace::grow_count).
+void stft_magnitudes(std::span<const double> signal, const StftConfig& config,
+                     std::span<double> mags, util::Workspace& ws);
+
+/// Computes the magnitude STFT of `signal`. Scratch comes from the
+/// calling thread's workspace (see util::thread_workspace).
 [[nodiscard]] Spectrogram stft(std::span<const double> signal,
                                double sample_rate_hz, const StftConfig& config);
+
+/// As above with an explicit scratch arena.
+[[nodiscard]] Spectrogram stft(std::span<const double> signal,
+                               double sample_rate_hz, const StftConfig& config,
+                               util::Workspace& ws);
 
 /// Downsamples a spectrogram to a fixed `width x height` image in
 /// [0, 1], matching the paper's 32x32 CNN input (§IV-C1). Uses mean

@@ -8,28 +8,34 @@
 namespace emoleak::dsp {
 
 std::vector<double> make_window(WindowType type, std::size_t length) {
+  std::vector<double> w(length);
+  fill_window(type, w);
+  return w;
+}
+
+void fill_window(WindowType type, std::span<double> out) {
+  const std::size_t length = out.size();
   if (length == 0) throw util::DataError{"make_window: length must be > 0"};
-  std::vector<double> w(length, 1.0);
-  if (length == 1 || type == WindowType::kRectangular) return w;
+  for (double& v : out) v = 1.0;
+  if (length == 1 || type == WindowType::kRectangular) return;
   const double n = static_cast<double>(length);  // periodic convention
   constexpr double tau = 2.0 * std::numbers::pi;
   for (std::size_t i = 0; i < length; ++i) {
     const double x = static_cast<double>(i) / n;
     switch (type) {
       case WindowType::kHann:
-        w[i] = 0.5 - 0.5 * std::cos(tau * x);
+        out[i] = 0.5 - 0.5 * std::cos(tau * x);
         break;
       case WindowType::kHamming:
-        w[i] = 0.54 - 0.46 * std::cos(tau * x);
+        out[i] = 0.54 - 0.46 * std::cos(tau * x);
         break;
       case WindowType::kBlackman:
-        w[i] = 0.42 - 0.5 * std::cos(tau * x) + 0.08 * std::cos(2.0 * tau * x);
+        out[i] = 0.42 - 0.5 * std::cos(tau * x) + 0.08 * std::cos(2.0 * tau * x);
         break;
       case WindowType::kRectangular:
         break;
     }
   }
-  return w;
 }
 
 std::vector<double> apply_window(std::span<const double> frame,

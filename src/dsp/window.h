@@ -19,6 +19,10 @@ enum class WindowType {
 /// even, which is the convention for spectrogram analysis).
 [[nodiscard]] std::vector<double> make_window(WindowType type, std::size_t length);
 
+/// Writes the same window into caller-provided storage (no allocation;
+/// used by the zero-allocation STFT path).
+void fill_window(WindowType type, std::span<double> out);
+
 /// Multiplies `frame` by `window` element-wise into a new vector.
 /// Sizes must match.
 [[nodiscard]] std::vector<double> apply_window(std::span<const double> frame,

@@ -43,6 +43,13 @@ std::array<double, kTimeFeatureCount> time_features(
 
 std::array<double, kFreqFeatureCount> freq_features(
     std::span<const double> region, double sample_rate_hz, double split_hz) {
+  return freq_features(region, sample_rate_hz, split_hz,
+                       util::thread_workspace());
+}
+
+std::array<double, kFreqFeatureCount> freq_features(
+    std::span<const double> region, double sample_rate_hz, double split_hz,
+    util::Workspace& ws) {
   if (region.empty()) throw util::DataError{"freq_features: empty region"};
   if (sample_rate_hz <= 0.0) {
     throw util::ConfigError{"freq_features: sample_rate_hz must be > 0"};
@@ -50,11 +57,14 @@ std::array<double, kFreqFeatureCount> freq_features(
 
   // Remove DC (gravity) before the spectral analysis; the DC bin would
   // otherwise dominate every spectral moment.
-  std::vector<double> x{region.begin(), region.end()};
+  const util::Workspace::Scope scope{ws};
+  std::span<double> x = ws.take<double>(region.size());
+  std::copy(region.begin(), region.end(), x.begin());
   const double m = dsp::mean(x);
   for (double& v : x) v -= m;
 
-  std::vector<double> mag = dsp::rfft_magnitude(x);
+  std::span<double> mag = ws.take<double>(region.size() / 2 + 1);
+  dsp::rfft_magnitude_into(x, mag, ws);
   const std::size_t bins = mag.size();
   std::array<double, kFreqFeatureCount> f{};
   if (bins < 3) return f;
@@ -158,8 +168,14 @@ std::array<double, kFreqFeatureCount> freq_features(
 
 std::vector<double> extract_features(std::span<const double> region,
                                      double sample_rate_hz) {
+  return extract_features(region, sample_rate_hz, util::thread_workspace());
+}
+
+std::vector<double> extract_features(std::span<const double> region,
+                                     double sample_rate_hz,
+                                     util::Workspace& ws) {
   const auto t = time_features(region);
-  const auto q = freq_features(region, sample_rate_hz);
+  const auto q = freq_features(region, sample_rate_hz, 50.0, ws);
   std::vector<double> out;
   out.reserve(kFeatureCount);
   out.insert(out.end(), t.begin(), t.end());

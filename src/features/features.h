@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "util/workspace.h"
+
 namespace emoleak::features {
 
 inline constexpr std::size_t kTimeFeatureCount = 12;
@@ -38,8 +40,21 @@ inline constexpr std::size_t kFeatureCount = kTimeFeatureCount + kFreqFeatureCou
     std::span<const double> region, double sample_rate_hz,
     double split_hz = 50.0);
 
-/// Full 24-dimensional feature vector for one region.
+/// As above with an explicit scratch arena for the DC-removed copy and
+/// the magnitude spectrum (zero heap allocations once `ws` is warm).
+[[nodiscard]] std::array<double, kFreqFeatureCount> freq_features(
+    std::span<const double> region, double sample_rate_hz, double split_hz,
+    util::Workspace& ws);
+
+/// Full 24-dimensional feature vector for one region. Spectral scratch
+/// comes from the calling thread's workspace.
 [[nodiscard]] std::vector<double> extract_features(std::span<const double> region,
                                                    double sample_rate_hz);
+
+/// As above with an explicit scratch arena. Only the returned vector
+/// itself is heap-allocated.
+[[nodiscard]] std::vector<double> extract_features(std::span<const double> region,
+                                                   double sample_rate_hz,
+                                                   util::Workspace& ws);
 
 }  // namespace emoleak::features

@@ -1,0 +1,293 @@
+#include "nn/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+// The GEMM entry points are cloned for wider vector ISAs and resolved
+// once at load time (glibc ifunc). AVX2 is enabled without FMA, so
+// multiplies and adds stay separate IEEE operations and every clone
+// produces bit-identical results — the dispatch only changes speed,
+// never numerics. TSan builds skip the clones: the ifunc resolver runs
+// during relocation, before the TSan runtime is initialized, and
+// crashes at startup. Since all clones are bit-identical, the TSan
+// build still validates the exact same math.
+#if defined(__GNUC__) && !defined(__clang__) && defined(__x86_64__) && \
+    defined(__gnu_linux__) && !defined(__SANITIZE_THREAD__)
+#define EMOLEAK_GEMM_CLONES __attribute__((target_clones("default", "avx2")))
+#else
+#define EMOLEAK_GEMM_CLONES
+#endif
+
+namespace emoleak::nn {
+
+namespace {
+
+// Block sizes tuned for the layer shapes in this repo (patch matrices
+// of a few thousand rows, tens-to-hundreds of columns). kKc keeps a
+// panel of B in L1; kNc keeps the active C tile in L2. Correctness and
+// bitwise results do not depend on these values: the k loop always
+// advances in ascending order for every output element.
+constexpr std::size_t kNc = 256;
+constexpr std::size_t kKc = 64;
+constexpr std::size_t kMr = 4;
+}  // namespace
+
+EMOLEAK_GEMM_CLONES void gemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
+          const float* b, float* c, bool accumulate) {
+  if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  if (m == 0 || n == 0 || k == 0) return;
+  for (std::size_t jc = 0; jc < n; jc += kNc) {
+    const std::size_t nc = std::min(kNc, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += kKc) {
+      const std::size_t kc = std::min(kKc, k - pc);
+      std::size_t i = 0;
+      for (; i + kMr <= m; i += kMr) {
+        const float* __restrict a0 = a + (i + 0) * k + pc;
+        const float* __restrict a1 = a + (i + 1) * k + pc;
+        const float* __restrict a2 = a + (i + 2) * k + pc;
+        const float* __restrict a3 = a + (i + 3) * k + pc;
+        float* __restrict c0 = c + (i + 0) * n + jc;
+        float* __restrict c1 = c + (i + 1) * n + jc;
+        float* __restrict c2 = c + (i + 2) * n + jc;
+        float* __restrict c3 = c + (i + 3) * n + jc;
+        for (std::size_t p = 0; p < kc; ++p) {
+          const float* __restrict brow = b + (pc + p) * n + jc;
+          const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+          for (std::size_t j = 0; j < nc; ++j) {
+            const float bv = brow[j];
+            c0[j] += v0 * bv;
+            c1[j] += v1 * bv;
+            c2[j] += v2 * bv;
+            c3[j] += v3 * bv;
+          }
+        }
+      }
+      for (; i < m; ++i) {
+        const float* __restrict arow = a + i * k + pc;
+        float* __restrict crow = c + i * n + jc;
+        for (std::size_t p = 0; p < kc; ++p) {
+          const float* __restrict brow = b + (pc + p) * n + jc;
+          const float v = arow[p];
+          for (std::size_t j = 0; j < nc; ++j) crow[j] += v * brow[j];
+        }
+      }
+    }
+  }
+}
+
+EMOLEAK_GEMM_CLONES void gemm_at(std::size_t m, std::size_t n, std::size_t k, const float* a,
+             const float* b, float* c, bool accumulate) {
+  // c[i][j] = sum_p a[p][i] * b[p][j]; p ascends in the outer loop so
+  // each output element accumulates in contraction order.
+  if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  if (m == 0 || n == 0 || k == 0) return;
+  for (std::size_t pc = 0; pc < k; pc += kKc) {
+    const std::size_t kc = std::min(kKc, k - pc);
+    for (std::size_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      for (std::size_t p = 0; p < kc; ++p) {
+        const float v = a[(pc + p) * m + i];
+        const float* brow = b + (pc + p) * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += v * brow[j];
+      }
+    }
+  }
+}
+
+EMOLEAK_GEMM_CLONES void gemm_bt(std::size_t m, std::size_t n, std::size_t k, const float* a,
+             const float* b, float* c, bool accumulate) {
+  // c[i][j] = dot(a_row_i, b_row_j): both operands are read along
+  // contiguous rows, so no packing is needed at these sizes.
+  if (m == 0 || n == 0) return;
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = accumulate ? crow[j] + acc : acc;
+    }
+  }
+}
+
+std::size_t conv_out_dim(std::size_t in, std::size_t kernel, std::size_t stride,
+                         std::size_t pad) noexcept {
+  const std::size_t padded = in + 2 * pad;
+  if (padded < kernel || stride == 0) return 0;
+  return (padded - kernel) / stride + 1;
+}
+
+void im2col(const float* in, std::size_t h, std::size_t w, std::size_t c,
+            std::size_t kh, std::size_t kw, std::size_t stride_h,
+            std::size_t stride_w, std::size_t pad_h, std::size_t pad_w,
+            std::size_t oh, std::size_t ow, float* col) {
+  const std::size_t row_len = kh * kw * c;
+  for (std::size_t i = 0; i < oh; ++i) {
+    for (std::size_t j = 0; j < ow; ++j) {
+      float* dst = col + (i * ow + j) * row_len;
+      for (std::size_t ki = 0; ki < kh; ++ki) {
+        const std::ptrdiff_t ii = static_cast<std::ptrdiff_t>(i * stride_h + ki) -
+                                  static_cast<std::ptrdiff_t>(pad_h);
+        if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(h)) {
+          std::memset(dst, 0, kw * c * sizeof(float));
+          dst += kw * c;
+          continue;
+        }
+        const std::ptrdiff_t j0 = static_cast<std::ptrdiff_t>(j * stride_w) -
+                                  static_cast<std::ptrdiff_t>(pad_w);
+        if (stride_w == 1 && j0 >= 0 &&
+            j0 + static_cast<std::ptrdiff_t>(kw) <=
+                static_cast<std::ptrdiff_t>(w)) {
+          // Fully in-bounds row of taps: one contiguous copy.
+          std::memcpy(dst,
+                      in + (static_cast<std::size_t>(ii) * w +
+                            static_cast<std::size_t>(j0)) *
+                               c,
+                      kw * c * sizeof(float));
+          dst += kw * c;
+          continue;
+        }
+        for (std::size_t kj = 0; kj < kw; ++kj) {
+          const std::ptrdiff_t jj =
+              static_cast<std::ptrdiff_t>(j * stride_w + kj) -
+              static_cast<std::ptrdiff_t>(pad_w);
+          if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(w)) {
+            std::memset(dst, 0, c * sizeof(float));
+          } else {
+            std::memcpy(dst,
+                        in + (static_cast<std::size_t>(ii) * w +
+                              static_cast<std::size_t>(jj)) *
+                                 c,
+                        c * sizeof(float));
+          }
+          dst += c;
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, std::size_t h, std::size_t w, std::size_t c,
+            std::size_t kh, std::size_t kw, std::size_t stride_h,
+            std::size_t stride_w, std::size_t pad_h, std::size_t pad_w,
+            std::size_t oh, std::size_t ow, float* in) {
+  const std::size_t row_len = kh * kw * c;
+  for (std::size_t i = 0; i < oh; ++i) {
+    for (std::size_t j = 0; j < ow; ++j) {
+      const float* src = col + (i * ow + j) * row_len;
+      for (std::size_t ki = 0; ki < kh; ++ki) {
+        const std::ptrdiff_t ii = static_cast<std::ptrdiff_t>(i * stride_h + ki) -
+                                  static_cast<std::ptrdiff_t>(pad_h);
+        if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(h)) {
+          src += kw * c;
+          continue;
+        }
+        for (std::size_t kj = 0; kj < kw; ++kj) {
+          const std::ptrdiff_t jj =
+              static_cast<std::ptrdiff_t>(j * stride_w + kj) -
+              static_cast<std::ptrdiff_t>(pad_w);
+          if (jj >= 0 && jj < static_cast<std::ptrdiff_t>(w)) {
+            float* dst = in + (static_cast<std::size_t>(ii) * w +
+                               static_cast<std::size_t>(jj)) *
+                                  c;
+            for (std::size_t ch = 0; ch < c; ++ch) dst[ch] += src[ch];
+          }
+          src += c;
+        }
+      }
+    }
+  }
+}
+
+void conv2d_naive_forward(const float* x, std::size_t n, std::size_t h,
+                          std::size_t w, std::size_t cin, const float* weight,
+                          const float* bias, std::size_t kh, std::size_t kw,
+                          std::size_t stride_h, std::size_t stride_w,
+                          std::size_t pad_h, std::size_t pad_w, std::size_t oh,
+                          std::size_t ow, std::size_t cout, float* y) {
+  for (std::size_t b = 0; b < n; ++b) {
+    const float* xb = x + b * h * w * cin;
+    for (std::size_t i = 0; i < oh; ++i) {
+      for (std::size_t j = 0; j < ow; ++j) {
+        float* out = y + ((b * oh + i) * ow + j) * cout;
+        for (std::size_t oc = 0; oc < cout; ++oc) {
+          out[oc] = bias != nullptr ? bias[oc] : 0.0f;
+        }
+        for (std::size_t ki = 0; ki < kh; ++ki) {
+          const std::ptrdiff_t ii =
+              static_cast<std::ptrdiff_t>(i * stride_h + ki) -
+              static_cast<std::ptrdiff_t>(pad_h);
+          if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(h)) continue;
+          for (std::size_t kj = 0; kj < kw; ++kj) {
+            const std::ptrdiff_t jj =
+                static_cast<std::ptrdiff_t>(j * stride_w + kj) -
+                static_cast<std::ptrdiff_t>(pad_w);
+            if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(w)) continue;
+            const float* in = xb + (static_cast<std::size_t>(ii) * w +
+                                    static_cast<std::size_t>(jj)) *
+                                       cin;
+            const float* wk = weight + (ki * kw + kj) * cin * cout;
+            for (std::size_t ic = 0; ic < cin; ++ic) {
+              const float xv = in[ic];
+              const float* wrow = wk + ic * cout;
+              for (std::size_t oc = 0; oc < cout; ++oc) out[oc] += xv * wrow[oc];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void conv2d_naive_backward(const float* x, const float* gout, std::size_t n,
+                           std::size_t h, std::size_t w, std::size_t cin,
+                           const float* weight, std::size_t kh, std::size_t kw,
+                           std::size_t stride_h, std::size_t stride_w,
+                           std::size_t pad_h, std::size_t pad_w, std::size_t oh,
+                           std::size_t ow, std::size_t cout, float* gx,
+                           float* gw, float* gb) {
+  std::fill(gx, gx + n * h * w * cin, 0.0f);
+  for (std::size_t b = 0; b < n; ++b) {
+    const float* xb = x + b * h * w * cin;
+    float* gxb = gx + b * h * w * cin;
+    for (std::size_t i = 0; i < oh; ++i) {
+      for (std::size_t j = 0; j < ow; ++j) {
+        const float* g = gout + ((b * oh + i) * ow + j) * cout;
+        for (std::size_t oc = 0; oc < cout; ++oc) gb[oc] += g[oc];
+        for (std::size_t ki = 0; ki < kh; ++ki) {
+          const std::ptrdiff_t ii =
+              static_cast<std::ptrdiff_t>(i * stride_h + ki) -
+              static_cast<std::ptrdiff_t>(pad_h);
+          if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(h)) continue;
+          for (std::size_t kj = 0; kj < kw; ++kj) {
+            const std::ptrdiff_t jj =
+                static_cast<std::ptrdiff_t>(j * stride_w + kj) -
+                static_cast<std::ptrdiff_t>(pad_w);
+            if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(w)) continue;
+            const std::size_t off = (static_cast<std::size_t>(ii) * w +
+                                     static_cast<std::size_t>(jj)) *
+                                    cin;
+            const float* in = xb + off;
+            float* gin = gxb + off;
+            const std::size_t base = (ki * kw + kj) * cin * cout;
+            for (std::size_t ic = 0; ic < cin; ++ic) {
+              const float xv = in[ic];
+              const float* wrow = weight + base + ic * cout;
+              float* gwrow = gw + base + ic * cout;
+              float acc = 0.0f;
+              for (std::size_t oc = 0; oc < cout; ++oc) {
+                const float gv = g[oc];
+                gwrow[oc] += xv * gv;
+                acc += wrow[oc] * gv;
+              }
+              gin[ic] += acc;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace emoleak::nn

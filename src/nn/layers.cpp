@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
+#include "nn/gemm.h"
 #include "util/error.h"
 
 namespace emoleak::nn {
@@ -47,7 +49,7 @@ Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
   he_uniform_init(weight_.value, kh_ * kw_ * in_c_, rng);
 }
 
-Tensor Conv2D::forward(const Tensor& x, bool /*training*/) {
+const Tensor& Conv2D::forward(const Tensor& x, bool /*training*/) {
   check_rank4(x, "Conv2D");
   if (x.dim(3) != in_c_) throw util::DataError{"Conv2D: channel mismatch"};
   input_ = x;
@@ -59,40 +61,37 @@ Tensor Conv2D::forward(const Tensor& x, bool /*training*/) {
   const std::size_t ow = same_ ? w : w - std::min(w, kw_ - 1);
   if (oh == 0 || ow == 0) throw util::DataError{"Conv2D: input smaller than kernel"};
 
-  Tensor y{{n, oh, ow, out_c_}};
-  const float* wt = weight_.value.data();
+  out_.resize({n, oh, ow, out_c_});
+  const std::size_t rows = oh * ow;
+  const std::size_t kcols = kh_ * kw_ * in_c_;
+  // A 1x1 unpadded kernel's patch matrix is the input itself — GEMM
+  // straight off the NHWC data and skip the im2col copy.
+  const bool pointwise = kh_ == 1 && kw_ == 1 && pad_h == 0 && pad_w == 0;
+  const util::Workspace::Scope scope{ws_};
+  const std::span<float> col =
+      pointwise ? std::span<float>{} : ws_.take<float>(rows * kcols);
+  const float* bias = bias_.value.data();
+  // Each image lowers to a patch matrix (one output position per row,
+  // taps ordered like the [KH, KW, Cin, Cout] weights), so the whole
+  // convolution is one GEMM accumulating onto the broadcast bias.
   for (std::size_t b = 0; b < n; ++b) {
-    for (std::size_t i = 0; i < oh; ++i) {
-      for (std::size_t j = 0; j < ow; ++j) {
-        float* out = &y.at4(b, i, j, 0);
-        for (std::size_t oc = 0; oc < out_c_; ++oc) out[oc] = bias_.value[oc];
-        for (std::size_t ki = 0; ki < kh_; ++ki) {
-          const std::ptrdiff_t ii =
-              static_cast<std::ptrdiff_t>(i + ki) - static_cast<std::ptrdiff_t>(pad_h);
-          if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(h)) continue;
-          for (std::size_t kj = 0; kj < kw_; ++kj) {
-            const std::ptrdiff_t jj =
-                static_cast<std::ptrdiff_t>(j + kj) - static_cast<std::ptrdiff_t>(pad_w);
-            if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(w)) continue;
-            const float* in = &x.at4(b, static_cast<std::size_t>(ii),
-                                     static_cast<std::size_t>(jj), 0);
-            const float* wk = &wt[((ki * kw_) + kj) * in_c_ * out_c_];
-            for (std::size_t ic = 0; ic < in_c_; ++ic) {
-              const float xv = in[ic];
-              const float* wrow = &wk[ic * out_c_];
-              for (std::size_t oc = 0; oc < out_c_; ++oc) {
-                out[oc] += xv * wrow[oc];
-              }
-            }
-          }
-        }
-      }
+    const float* patches = &x.at4(b, 0, 0, 0);
+    if (!pointwise) {
+      im2col(patches, h, w, in_c_, kh_, kw_, 1, 1, pad_h, pad_w, oh, ow,
+             col.data());
+      patches = col.data();
     }
+    float* yb = out_.data() + b * rows * out_c_;
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::memcpy(yb + r * out_c_, bias, out_c_ * sizeof(float));
+    }
+    gemm(rows, out_c_, kcols, patches, weight_.value.data(), yb,
+         /*accumulate=*/true);
   }
-  return y;
+  return out_;
 }
 
-Tensor Conv2D::backward(const Tensor& grad_out) {
+const Tensor& Conv2D::backward(const Tensor& grad_out) {
   check_rank4(grad_out, "Conv2D::backward");
   const Tensor& x = input_;
   const std::size_t n = x.dim(0), h = x.dim(1), w = x.dim(2);
@@ -100,74 +99,57 @@ Tensor Conv2D::backward(const Tensor& grad_out) {
   const std::size_t pad_h = same_ ? (kh_ - 1) / 2 : 0;
   const std::size_t pad_w = same_ ? (kw_ - 1) / 2 : 0;
 
-  Tensor grad_in{{n, h, w, in_c_}};
+  gin_.resize({n, h, w, in_c_});
+  gin_.fill(0.0f);
   weight_.grad.fill(0.0f);
   bias_.grad.fill(0.0f);
-  float* wg = weight_.grad.data();
-  const float* wt = weight_.value.data();
 
+  const std::size_t rows = oh * ow;
+  const std::size_t kcols = kh_ * kw_ * in_c_;
+  const util::Workspace::Scope scope{ws_};
+  const std::span<float> col = ws_.take<float>(rows * kcols);
+  const std::span<float> dcol = ws_.take<float>(rows * kcols);
   for (std::size_t b = 0; b < n; ++b) {
-    for (std::size_t i = 0; i < oh; ++i) {
-      for (std::size_t j = 0; j < ow; ++j) {
-        const float* gout = &grad_out.at4(b, i, j, 0);
-        for (std::size_t oc = 0; oc < out_c_; ++oc) bias_.grad[oc] += gout[oc];
-        for (std::size_t ki = 0; ki < kh_; ++ki) {
-          const std::ptrdiff_t ii =
-              static_cast<std::ptrdiff_t>(i + ki) - static_cast<std::ptrdiff_t>(pad_h);
-          if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(h)) continue;
-          for (std::size_t kj = 0; kj < kw_; ++kj) {
-            const std::ptrdiff_t jj =
-                static_cast<std::ptrdiff_t>(j + kj) - static_cast<std::ptrdiff_t>(pad_w);
-            if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(w)) continue;
-            const float* in = &x.at4(b, static_cast<std::size_t>(ii),
-                                     static_cast<std::size_t>(jj), 0);
-            float* gin = &grad_in.at4(b, static_cast<std::size_t>(ii),
-                                      static_cast<std::size_t>(jj), 0);
-            const std::size_t base = ((ki * kw_) + kj) * in_c_ * out_c_;
-            for (std::size_t ic = 0; ic < in_c_; ++ic) {
-              const float xv = in[ic];
-              const float* wrow = &wt[base + ic * out_c_];
-              float* wgrow = &wg[base + ic * out_c_];
-              float acc = 0.0f;
-              for (std::size_t oc = 0; oc < out_c_; ++oc) {
-                const float g = gout[oc];
-                wgrow[oc] += xv * g;
-                acc += wrow[oc] * g;
-              }
-              gin[ic] += acc;
-            }
-          }
-        }
+    const float* g = grad_out.data() + b * rows * out_c_;
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t oc = 0; oc < out_c_; ++oc) {
+        bias_.grad[oc] += g[r * out_c_ + oc];
       }
     }
+    // dW += colᵀ · dOut ; dCol = dOut · Wᵀ, scattered back to dX.
+    im2col(&x.at4(b, 0, 0, 0), h, w, in_c_, kh_, kw_, 1, 1, pad_h, pad_w, oh,
+           ow, col.data());
+    gemm_at(kcols, out_c_, rows, col.data(), g, weight_.grad.data(),
+            /*accumulate=*/true);
+    gemm_bt(rows, kcols, out_c_, g, weight_.value.data(), dcol.data(),
+            /*accumulate=*/false);
+    col2im(dcol.data(), h, w, in_c_, kh_, kw_, 1, 1, pad_h, pad_w, oh, ow,
+           &gin_.at4(b, 0, 0, 0));
   }
-  return grad_in;
+  return gin_;
 }
 
 std::vector<Parameter*> Conv2D::parameters() { return {&weight_, &bias_}; }
 
 // ------------------------------------------------------------------ ReLU
 
-Tensor ReLU::forward(const Tensor& x, bool /*training*/) {
-  mask_ = Tensor{x.shape()};
-  Tensor y{x.shape()};
+const Tensor& ReLU::forward(const Tensor& x, bool /*training*/) {
+  out_.resize(x.shape());
   for (std::size_t i = 0; i < x.size(); ++i) {
-    const bool pos = x[i] > 0.0f;
-    mask_[i] = pos ? 1.0f : 0.0f;
-    y[i] = pos ? x[i] : 0.0f;
+    out_[i] = x[i] > 0.0f ? x[i] : 0.0f;
   }
-  return y;
+  return out_;
 }
 
-Tensor ReLU::backward(const Tensor& grad_out) {
-  if (!grad_out.same_shape(mask_)) {
+const Tensor& ReLU::backward(const Tensor& grad_out) {
+  if (!grad_out.same_shape(out_)) {
     throw util::DataError{"ReLU::backward: shape mismatch"};
   }
-  Tensor grad_in{grad_out.shape()};
+  gin_.resize(grad_out.shape());
   for (std::size_t i = 0; i < grad_out.size(); ++i) {
-    grad_in[i] = grad_out[i] * mask_[i];
+    gin_[i] = out_[i] > 0.0f ? grad_out[i] : 0.0f;
   }
-  return grad_in;
+  return gin_;
 }
 
 // ------------------------------------------------------------- MaxPool2D
@@ -177,7 +159,7 @@ MaxPool2D::MaxPool2D(std::size_t pool_h, std::size_t pool_w)
   if (ph_ == 0 || pw_ == 0) throw util::ConfigError{"MaxPool2D: zero pool size"};
 }
 
-Tensor MaxPool2D::forward(const Tensor& x, bool /*training*/) {
+const Tensor& MaxPool2D::forward(const Tensor& x, bool /*training*/) {
   check_rank4(x, "MaxPool2D");
   const std::size_t n = x.dim(0), h = x.dim(1), w = x.dim(2), c = x.dim(3);
   const std::size_t oh = std::max<std::size_t>(1, h / ph_);
@@ -185,44 +167,75 @@ Tensor MaxPool2D::forward(const Tensor& x, bool /*training*/) {
   // When the input is smaller than the pool, pool over what exists
   // (Keras would error; clamping keeps tiny feature maps usable and is
   // covered by tests).
-  in_shape_ = x.shape();
-  Tensor y{{n, oh, ow, c}};
-  argmax_.assign(y.size(), 0);
+  in_ = x;  // retained so backward can re-derive the winning taps
+  out_.resize({n, oh, ow, c});
+  const float* src = x.data();
+  float* dst = out_.data();
   for (std::size_t b = 0; b < n; ++b) {
     for (std::size_t i = 0; i < oh; ++i) {
+      const std::size_t i0 = i * ph_;
+      const std::size_t i1 = std::min(h, i0 + ph_);
       for (std::size_t j = 0; j < ow; ++j) {
-        for (std::size_t ch = 0; ch < c; ++ch) {
-          float best = -std::numeric_limits<float>::infinity();
-          std::size_t best_idx = 0;
-          for (std::size_t pi = 0; pi < ph_; ++pi) {
-            const std::size_t ii = i * ph_ + pi;
-            if (ii >= h) break;
-            for (std::size_t pj = 0; pj < pw_; ++pj) {
-              const std::size_t jj = j * pw_ + pj;
-              if (jj >= w) break;
-              const float v = x.at4(b, ii, jj, ch);
-              if (v > best) {
-                best = v;
-                best_idx = ((b * h + ii) * w + jj) * c + ch;
-              }
+        const std::size_t j0 = j * pw_;
+        const std::size_t j1 = std::min(w, j0 + pw_);
+        float* orow = dst + ((b * oh + i) * ow + j) * c;
+        std::memcpy(orow, src + ((b * h + i0) * w + j0) * c,
+                    c * sizeof(float));
+        for (std::size_t ii = i0; ii < i1; ++ii) {
+          for (std::size_t jj = j0; jj < j1; ++jj) {
+            if (ii == i0 && jj == j0) continue;
+            const float* tap = src + ((b * h + ii) * w + jj) * c;
+            for (std::size_t ch = 0; ch < c; ++ch) {
+              orow[ch] = std::max(orow[ch], tap[ch]);
             }
           }
-          const std::size_t out_idx = ((b * oh + i) * ow + j) * c + ch;
-          y[out_idx] = best;
-          argmax_[out_idx] = best_idx;
         }
       }
     }
   }
-  return y;
+  return out_;
 }
 
-Tensor MaxPool2D::backward(const Tensor& grad_out) {
-  Tensor grad_in{in_shape_};
-  for (std::size_t i = 0; i < grad_out.size(); ++i) {
-    grad_in[argmax_[i]] += grad_out[i];
+const Tensor& MaxPool2D::backward(const Tensor& grad_out) {
+  if (!grad_out.same_shape(out_)) {
+    throw util::DataError{"MaxPool2D::backward: grad shape mismatch"};
   }
-  return grad_in;
+  const std::size_t n = in_.dim(0), h = in_.dim(1), w = in_.dim(2),
+                    c = in_.dim(3);
+  const std::size_t oh = out_.dim(1), ow = out_.dim(2);
+  gin_.resize(in_.shape());
+  gin_.fill(0.0f);
+  const float* src = in_.data();
+  float* gi = gin_.data();
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t i = 0; i < oh; ++i) {
+      const std::size_t i0 = i * ph_;
+      const std::size_t i1 = std::min(h, i0 + ph_);
+      for (std::size_t j = 0; j < ow; ++j) {
+        const std::size_t j0 = j * pw_;
+        const std::size_t j1 = std::min(w, j0 + pw_);
+        const std::size_t oidx = ((b * oh + i) * ow + j) * c;
+        for (std::size_t ch = 0; ch < c; ++ch) {
+          const float best = out_[oidx + ch];
+          // Route to the first tap that achieved the max, matching the
+          // strict-greater argmax scan order (ii-major, then jj).
+          for (std::size_t ii = i0; ii < i1; ++ii) {
+            bool routed = false;
+            for (std::size_t jj = j0; jj < j1; ++jj) {
+              const std::size_t idx = ((b * h + ii) * w + jj) * c + ch;
+              if (src[idx] == best) {
+                gi[idx] += grad_out[oidx + ch];
+                routed = true;
+                break;
+              }
+            }
+            if (routed) break;
+          }
+        }
+      }
+    }
+  }
+  return gin_;
 }
 
 // --------------------------------------------------------------- Dropout
@@ -233,29 +246,29 @@ Dropout::Dropout(double rate, std::uint64_t seed) : rate_{rate}, rng_{seed} {
   }
 }
 
-Tensor Dropout::forward(const Tensor& x, bool training) {
+const Tensor& Dropout::forward(const Tensor& x, bool training) {
   if (!training || rate_ == 0.0) {
-    mask_ = Tensor{};
+    mask_.resize({});  // marks the identity pass for backward
     return x;
   }
-  mask_ = Tensor{x.shape()};
-  Tensor y{x.shape()};
+  mask_.resize(x.shape());
+  out_.resize(x.shape());
   const float scale = static_cast<float>(1.0 / (1.0 - rate_));
   for (std::size_t i = 0; i < x.size(); ++i) {
     const bool keep = !rng_.bernoulli(rate_);
     mask_[i] = keep ? scale : 0.0f;
-    y[i] = x[i] * mask_[i];
+    out_[i] = x[i] * mask_[i];
   }
-  return y;
+  return out_;
 }
 
-Tensor Dropout::backward(const Tensor& grad_out) {
+const Tensor& Dropout::backward(const Tensor& grad_out) {
   if (mask_.size() == 0) return grad_out;  // was inference / rate 0
-  Tensor grad_in{grad_out.shape()};
+  gin_.resize(grad_out.shape());
   for (std::size_t i = 0; i < grad_out.size(); ++i) {
-    grad_in[i] = grad_out[i] * mask_[i];
+    gin_[i] = grad_out[i] * mask_[i];
   }
-  return grad_in;
+  return gin_;
 }
 
 // -------------------------------------------------------------- BatchNorm
@@ -272,101 +285,105 @@ BatchNorm::BatchNorm(std::size_t channels, double momentum, double epsilon)
   running_var_.assign(channels_, 1.0f);
 }
 
-Tensor BatchNorm::forward(const Tensor& x, bool training) {
+const Tensor& BatchNorm::forward(const Tensor& x, bool training) {
   if (x.dim(x.rank() - 1) != channels_) {
     throw util::DataError{"BatchNorm: channel mismatch"};
   }
   const std::size_t groups = x.size() / channels_;
-  Tensor y{x.shape()};
-  x_hat_ = Tensor{x.shape()};
+  out_.resize(x.shape());
+  x_hat_.resize(x.shape());
   batch_mean_.assign(channels_, 0.0f);
   batch_inv_std_.assign(channels_, 0.0f);
 
-  std::vector<float> mean(channels_, 0.0f);
-  std::vector<float> var(channels_, 0.0f);
   if (training) {
+    mean_.assign(channels_, 0.0f);
+    var_.assign(channels_, 0.0f);
     for (std::size_t g = 0; g < groups; ++g) {
       for (std::size_t c = 0; c < channels_; ++c) {
-        mean[c] += x[g * channels_ + c];
+        mean_[c] += x[g * channels_ + c];
       }
     }
-    for (float& m : mean) m /= static_cast<float>(groups);
+    for (float& m : mean_) m /= static_cast<float>(groups);
     for (std::size_t g = 0; g < groups; ++g) {
       for (std::size_t c = 0; c < channels_; ++c) {
-        const float d = x[g * channels_ + c] - mean[c];
-        var[c] += d * d;
+        const float d = x[g * channels_ + c] - mean_[c];
+        var_[c] += d * d;
       }
     }
-    for (float& v : var) v /= static_cast<float>(groups);
+    for (float& v : var_) v /= static_cast<float>(groups);
     for (std::size_t c = 0; c < channels_; ++c) {
       running_mean_[c] = static_cast<float>(momentum_) * running_mean_[c] +
-                         static_cast<float>(1.0 - momentum_) * mean[c];
+                         static_cast<float>(1.0 - momentum_) * mean_[c];
       running_var_[c] = static_cast<float>(momentum_) * running_var_[c] +
-                        static_cast<float>(1.0 - momentum_) * var[c];
+                        static_cast<float>(1.0 - momentum_) * var_[c];
     }
   } else {
-    mean = running_mean_;
-    var = running_var_;
+    mean_.assign(running_mean_.begin(), running_mean_.end());
+    var_.assign(running_var_.begin(), running_var_.end());
   }
 
   for (std::size_t c = 0; c < channels_; ++c) {
-    batch_mean_[c] = mean[c];
+    batch_mean_[c] = mean_[c];
     batch_inv_std_[c] =
-        1.0f / std::sqrt(var[c] + static_cast<float>(eps_));
+        1.0f / std::sqrt(var_[c] + static_cast<float>(eps_));
   }
   for (std::size_t g = 0; g < groups; ++g) {
     for (std::size_t c = 0; c < channels_; ++c) {
       const std::size_t i = g * channels_ + c;
       x_hat_[i] = (x[i] - batch_mean_[c]) * batch_inv_std_[c];
-      y[i] = gamma_.value[c] * x_hat_[i] + beta_.value[c];
+      out_[i] = gamma_.value[c] * x_hat_[i] + beta_.value[c];
     }
   }
-  return y;
+  return out_;
 }
 
-Tensor BatchNorm::backward(const Tensor& grad_out) {
+const Tensor& BatchNorm::backward(const Tensor& grad_out) {
   const std::size_t groups = grad_out.size() / channels_;
   const float n = static_cast<float>(groups);
   gamma_.grad.fill(0.0f);
   beta_.grad.fill(0.0f);
 
-  std::vector<float> sum_g(channels_, 0.0f);
-  std::vector<float> sum_gx(channels_, 0.0f);
+  sum_g_.assign(channels_, 0.0f);
+  sum_gx_.assign(channels_, 0.0f);
   for (std::size_t g = 0; g < groups; ++g) {
     for (std::size_t c = 0; c < channels_; ++c) {
       const std::size_t i = g * channels_ + c;
-      sum_g[c] += grad_out[i];
-      sum_gx[c] += grad_out[i] * x_hat_[i];
+      sum_g_[c] += grad_out[i];
+      sum_gx_[c] += grad_out[i] * x_hat_[i];
     }
   }
   for (std::size_t c = 0; c < channels_; ++c) {
-    gamma_.grad[c] = sum_gx[c];
-    beta_.grad[c] = sum_g[c];
+    gamma_.grad[c] = sum_gx_[c];
+    beta_.grad[c] = sum_g_[c];
   }
 
-  Tensor grad_in{grad_out.shape()};
+  gin_.resize(grad_out.shape());
   for (std::size_t g = 0; g < groups; ++g) {
     for (std::size_t c = 0; c < channels_; ++c) {
       const std::size_t i = g * channels_ + c;
-      grad_in[i] = gamma_.value[c] * batch_inv_std_[c] / n *
-                   (n * grad_out[i] - sum_g[c] - x_hat_[i] * sum_gx[c]);
+      gin_[i] = gamma_.value[c] * batch_inv_std_[c] / n *
+                (n * grad_out[i] - sum_g_[c] - x_hat_[i] * sum_gx_[c]);
     }
   }
-  return grad_in;
+  return gin_;
 }
 
 std::vector<Parameter*> BatchNorm::parameters() { return {&gamma_, &beta_}; }
 
 // ---------------------------------------------------------------- Flatten
 
-Tensor Flatten::forward(const Tensor& x, bool /*training*/) {
-  in_shape_ = x.shape();
+const Tensor& Flatten::forward(const Tensor& x, bool /*training*/) {
+  in_shape_.assign(x.shape().begin(), x.shape().end());
   const std::size_t n = x.dim(0);
-  return x.reshaped({n, x.size() / n});
+  out_ = x;  // copy-assign reuses capacity
+  out_.resize({n, x.size() / n});  // same element count: pure reshape
+  return out_;
 }
 
-Tensor Flatten::backward(const Tensor& grad_out) {
-  return grad_out.reshaped(in_shape_);
+const Tensor& Flatten::backward(const Tensor& grad_out) {
+  gin_ = grad_out;
+  gin_.resize(in_shape_);
+  return gin_;
 }
 
 // ------------------------------------------------------------------ Dense
@@ -382,52 +399,37 @@ Dense::Dense(std::size_t in_dim, std::size_t out_dim, std::uint64_t seed)
   he_uniform_init(weight_.value, in_d_, rng);
 }
 
-Tensor Dense::forward(const Tensor& x, bool /*training*/) {
+const Tensor& Dense::forward(const Tensor& x, bool /*training*/) {
   if (x.rank() != 2 || x.dim(1) != in_d_) {
     throw util::DataError{"Dense: expected (N, in_dim) input"};
   }
   input_ = x;
   const std::size_t n = x.dim(0);
-  Tensor y{{n, out_d_}};
-  const float* w = weight_.value.data();
+  out_.resize({n, out_d_});
+  const float* bias = bias_.value.data();
   for (std::size_t b = 0; b < n; ++b) {
-    float* out = &y.at2(b, 0);
-    for (std::size_t o = 0; o < out_d_; ++o) out[o] = bias_.value[o];
-    const float* in = &x.at2(b, 0);
-    for (std::size_t i = 0; i < in_d_; ++i) {
-      const float xv = in[i];
-      const float* wrow = &w[i * out_d_];
-      for (std::size_t o = 0; o < out_d_; ++o) out[o] += xv * wrow[o];
-    }
+    std::memcpy(out_.data() + b * out_d_, bias, out_d_ * sizeof(float));
   }
-  return y;
+  gemm(n, out_d_, in_d_, x.data(), weight_.value.data(), out_.data(),
+       /*accumulate=*/true);
+  return out_;
 }
 
-Tensor Dense::backward(const Tensor& grad_out) {
+const Tensor& Dense::backward(const Tensor& grad_out) {
   const std::size_t n = input_.dim(0);
-  weight_.grad.fill(0.0f);
   bias_.grad.fill(0.0f);
-  Tensor grad_in{{n, in_d_}};
-  const float* w = weight_.value.data();
-  float* wg = weight_.grad.data();
   for (std::size_t b = 0; b < n; ++b) {
-    const float* gout = &grad_out.at2(b, 0);
-    const float* in = &input_.at2(b, 0);
-    float* gin = &grad_in.at2(b, 0);
-    for (std::size_t o = 0; o < out_d_; ++o) bias_.grad[o] += gout[o];
-    for (std::size_t i = 0; i < in_d_; ++i) {
-      const float xv = in[i];
-      const float* wrow = &w[i * out_d_];
-      float* wgrow = &wg[i * out_d_];
-      float acc = 0.0f;
-      for (std::size_t o = 0; o < out_d_; ++o) {
-        wgrow[o] += xv * gout[o];
-        acc += wrow[o] * gout[o];
-      }
-      gin[i] = acc;
+    for (std::size_t o = 0; o < out_d_; ++o) {
+      bias_.grad[o] += grad_out.at2(b, o);
     }
   }
-  return grad_in;
+  // dW = Xᵀ · dOut ; dX = dOut · Wᵀ.
+  gemm_at(in_d_, out_d_, n, input_.data(), grad_out.data(),
+          weight_.grad.data(), /*accumulate=*/false);
+  gin_.resize({n, in_d_});
+  gemm_bt(n, in_d_, out_d_, grad_out.data(), weight_.value.data(), gin_.data(),
+          /*accumulate=*/false);
+  return gin_;
 }
 
 std::vector<Parameter*> Dense::parameters() { return {&weight_, &bias_}; }

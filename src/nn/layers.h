@@ -6,6 +6,13 @@
 // tensors; (N, D) tensors are treated by Dense/Dropout/BatchNorm as
 // 2-D. Backward passes are verified against finite differences in the
 // test suite.
+//
+// Memory discipline: forward/backward return references to buffers the
+// layer owns and reuses (resize() keeps capacity), and Conv2D draws its
+// im2col scratch from a private util::Workspace — after the first pass
+// at a given shape, the hot loop performs zero heap allocations
+// (asserted via tensor_alloc_count() in the layer tests). The returned
+// reference stays valid until the layer's next forward/backward call.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +22,7 @@
 
 #include "nn/tensor.h"
 #include "util/rng.h"
+#include "util/workspace.h"
 
 namespace emoleak::nn {
 
@@ -29,10 +37,14 @@ class Layer {
   virtual ~Layer() = default;
 
   /// Forward pass. `training` enables dropout / batch-stat collection.
-  [[nodiscard]] virtual Tensor forward(const Tensor& x, bool training) = 0;
+  /// Returns a reference to layer-owned storage, valid until the next
+  /// call on this layer (identity layers may return `x` itself).
+  [[nodiscard]] virtual const Tensor& forward(const Tensor& x,
+                                              bool training) = 0;
 
-  /// Backward pass for the most recent forward; returns dLoss/dInput.
-  [[nodiscard]] virtual Tensor backward(const Tensor& grad_out) = 0;
+  /// Backward pass for the most recent forward; returns dLoss/dInput
+  /// (same lifetime rules as forward()).
+  [[nodiscard]] virtual const Tensor& backward(const Tensor& grad_out) = 0;
 
   /// Learnable parameters (empty for stateless layers).
   [[nodiscard]] virtual std::vector<Parameter*> parameters() { return {}; }
@@ -45,16 +57,23 @@ class Layer {
 
 /// 2-D convolution, NHWC, stride 1, 'same' zero padding (Keras
 /// padding="same", which the paper's time-frequency CNN uses) or
-/// 'valid'.
+/// 'valid'. Lowered to im2col + blocked GEMM (see nn/gemm.h); the
+/// naive direct loop survives in gemm.h as the parity-test reference.
 class Conv2D final : public Layer {
  public:
   Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel_h,
          std::size_t kernel_w, bool same_padding, std::uint64_t seed);
 
-  [[nodiscard]] Tensor forward(const Tensor& x, bool training) override;
-  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] const Tensor& forward(const Tensor& x, bool training) override;
+  [[nodiscard]] const Tensor& backward(const Tensor& grad_out) override;
   [[nodiscard]] std::vector<Parameter*> parameters() override;
   [[nodiscard]] std::string name() const override { return "Conv2D"; }
+
+  /// The layer's scratch arena (exposed so tests can assert that the
+  /// steady state performs no workspace growth).
+  [[nodiscard]] const util::Workspace& workspace() const noexcept {
+    return ws_;
+  }
 
  private:
   std::size_t in_c_, out_c_, kh_, kw_;
@@ -62,16 +81,18 @@ class Conv2D final : public Layer {
   Parameter weight_;  ///< [KH, KW, Cin, Cout]
   Parameter bias_;    ///< [Cout]
   Tensor input_;      ///< cached for backward
+  Tensor out_, gin_;
+  util::Workspace ws_;  ///< im2col patch matrices
 };
 
 class ReLU final : public Layer {
  public:
-  [[nodiscard]] Tensor forward(const Tensor& x, bool training) override;
-  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] const Tensor& forward(const Tensor& x, bool training) override;
+  [[nodiscard]] const Tensor& backward(const Tensor& grad_out) override;
   [[nodiscard]] std::string name() const override { return "ReLU"; }
 
  private:
-  Tensor mask_;
+  Tensor out_, gin_;  ///< out_ doubles as the mask: gin = g * (out > 0)
 };
 
 /// Max pooling over (pool x pool) windows with matching stride
@@ -81,14 +102,14 @@ class MaxPool2D final : public Layer {
  public:
   explicit MaxPool2D(std::size_t pool_h, std::size_t pool_w);
 
-  [[nodiscard]] Tensor forward(const Tensor& x, bool training) override;
-  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] const Tensor& forward(const Tensor& x, bool training) override;
+  [[nodiscard]] const Tensor& backward(const Tensor& grad_out) override;
   [[nodiscard]] std::string name() const override { return "MaxPool2D"; }
 
  private:
   std::size_t ph_, pw_;
-  std::vector<std::size_t> argmax_;
-  std::vector<std::size_t> in_shape_;
+  Tensor in_;  ///< retained input; backward re-derives the argmax from it
+  Tensor out_, gin_;
 };
 
 /// Inverted dropout: scales kept activations by 1/(1-rate) in training,
@@ -97,14 +118,15 @@ class Dropout final : public Layer {
  public:
   Dropout(double rate, std::uint64_t seed);
 
-  [[nodiscard]] Tensor forward(const Tensor& x, bool training) override;
-  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] const Tensor& forward(const Tensor& x, bool training) override;
+  [[nodiscard]] const Tensor& backward(const Tensor& grad_out) override;
   [[nodiscard]] std::string name() const override { return "Dropout"; }
 
  private:
   double rate_;
   util::Rng rng_;
-  Tensor mask_;
+  Tensor mask_;  ///< empty (size 0) when the last forward was identity
+  Tensor out_, gin_;
 };
 
 /// Batch normalization over all axes except the last (channel) axis,
@@ -113,8 +135,8 @@ class BatchNorm final : public Layer {
  public:
   BatchNorm(std::size_t channels, double momentum = 0.9, double epsilon = 1e-5);
 
-  [[nodiscard]] Tensor forward(const Tensor& x, bool training) override;
-  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] const Tensor& forward(const Tensor& x, bool training) override;
+  [[nodiscard]] const Tensor& backward(const Tensor& grad_out) override;
   [[nodiscard]] std::vector<Parameter*> parameters() override;
   [[nodiscard]] std::string name() const override { return "BatchNorm"; }
 
@@ -123,29 +145,35 @@ class BatchNorm final : public Layer {
   double momentum_, eps_;
   Parameter gamma_, beta_;
   std::vector<float> running_mean_, running_var_;
+  // Per-call scratch lives in the layer so forward() allocates nothing
+  // once warm (mean_/var_ used to be stack vectors rebuilt every call).
+  std::vector<float> mean_, var_;
+  std::vector<float> sum_g_, sum_gx_;
   // Backward caches:
   Tensor x_hat_;
   std::vector<float> batch_mean_, batch_inv_std_;
+  Tensor out_, gin_;
 };
 
 /// Flattens (N, ...) to (N, D).
 class Flatten final : public Layer {
  public:
-  [[nodiscard]] Tensor forward(const Tensor& x, bool training) override;
-  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] const Tensor& forward(const Tensor& x, bool training) override;
+  [[nodiscard]] const Tensor& backward(const Tensor& grad_out) override;
   [[nodiscard]] std::string name() const override { return "Flatten"; }
 
  private:
   std::vector<std::size_t> in_shape_;
+  Tensor out_, gin_;
 };
 
-/// Fully connected layer on (N, D) tensors.
+/// Fully connected layer on (N, D) tensors, lowered to GEMM.
 class Dense final : public Layer {
  public:
   Dense(std::size_t in_dim, std::size_t out_dim, std::uint64_t seed);
 
-  [[nodiscard]] Tensor forward(const Tensor& x, bool training) override;
-  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] const Tensor& forward(const Tensor& x, bool training) override;
+  [[nodiscard]] const Tensor& backward(const Tensor& grad_out) override;
   [[nodiscard]] std::vector<Parameter*> parameters() override;
   [[nodiscard]] std::string name() const override { return "Dense"; }
 
@@ -154,6 +182,7 @@ class Dense final : public Layer {
   Parameter weight_;  ///< [D_in, D_out]
   Parameter bias_;    ///< [D_out]
   Tensor input_;
+  Tensor out_, gin_;
 };
 
 }  // namespace emoleak::nn

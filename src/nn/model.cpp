@@ -19,7 +19,7 @@ double softmax_cross_entropy(const Tensor& logits, const std::vector<int>& label
   if (labels.size() != n) {
     throw util::DataError{"softmax_cross_entropy: label count mismatch"};
   }
-  grad = Tensor{logits.shape()};
+  grad.resize(logits.shape());
   double loss = 0.0;
   for (std::size_t b = 0; b < n; ++b) {
     const float* row = &logits.at2(b, 0);
@@ -48,19 +48,21 @@ Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
 }
 
 Tensor Sequential::forward(const Tensor& x, bool training) {
-  Tensor current = x;
+  // Layers hand back references to their own reused buffers, so the
+  // chain is pointer-passing; only the final result is copied out.
+  const Tensor* current = &x;
   for (const std::unique_ptr<Layer>& layer : layers_) {
-    current = layer->forward(current, training);
+    current = &layer->forward(*current, training);
   }
-  return current;
+  return *current;
 }
 
 Tensor Sequential::backward(const Tensor& grad) {
-  Tensor current = grad;
+  const Tensor* current = &grad;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    current = (*it)->backward(current);
+    current = &(*it)->backward(*current);
   }
-  return current;
+  return *current;
 }
 
 std::vector<Parameter*> Sequential::parameters() {
@@ -71,16 +73,16 @@ std::vector<Parameter*> Sequential::parameters() {
   return out;
 }
 
-Tensor Sequential::gather(const Tensor& x, std::span<const std::size_t> indices) {
+void Sequential::gather(const Tensor& x, std::span<const std::size_t> indices,
+                        Tensor& out) {
   const std::size_t row_size = x.size() / x.dim(0);
   std::vector<std::size_t> shape = x.shape();
   shape[0] = indices.size();
-  Tensor out{shape};
+  out.resize(shape);
   for (std::size_t i = 0; i < indices.size(); ++i) {
     const float* src = x.data() + indices[i] * row_size;
     std::copy(src, src + row_size, out.data() + i * row_size);
   }
-  return out;
 }
 
 History Sequential::train(const Tensor& x, const std::vector<int>& labels,
@@ -119,7 +121,7 @@ History Sequential::train(const Tensor& x, const std::vector<int>& labels,
   Tensor val_x;
   std::vector<int> val_y;
   if (!val_idx.empty()) {
-    val_x = gather(x, val_idx);
+    gather(x, val_idx, val_x);
     val_y.reserve(val_idx.size());
     for (const std::size_t i : val_idx) val_y.push_back(labels[i]);
   }
@@ -127,6 +129,8 @@ History Sequential::train(const Tensor& x, const std::vector<int>& labels,
   Adam optimizer{parameters(), config.learning_rate};
   History history;
   Tensor grad;
+  Tensor bx;  // batch buffers live across iterations to reuse capacity
+  std::vector<int> by;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     rng.shuffle(train_idx);
     double epoch_loss = 0.0;
@@ -137,8 +141,8 @@ History Sequential::train(const Tensor& x, const std::vector<int>& labels,
       const std::size_t end = std::min(start + config.batch_size, train_idx.size());
       const std::span<const std::size_t> batch_idx{train_idx.data() + start,
                                                    end - start};
-      const Tensor bx = gather(x, batch_idx);
-      std::vector<int> by;
+      gather(x, batch_idx, bx);
+      by.clear();
       by.reserve(batch_idx.size());
       for (const std::size_t i : batch_idx) by.push_back(labels[i]);
 

@@ -71,9 +71,10 @@ class Sequential {
   [[nodiscard]] std::size_t layer_count() const noexcept { return layers_.size(); }
 
  private:
-  /// Rows `indices` of `x` gathered into a contiguous batch tensor.
-  [[nodiscard]] static Tensor gather(const Tensor& x,
-                                     std::span<const std::size_t> indices);
+  /// Rows `indices` of `x` gathered into `out` (resized in place so a
+  /// buffer reused across batches stops allocating once warm).
+  static void gather(const Tensor& x, std::span<const std::size_t> indices,
+                     Tensor& out);
 
   std::vector<std::unique_ptr<Layer>> layers_;
 };

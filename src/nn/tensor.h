@@ -8,15 +8,26 @@
 
 #include <cstddef>
 #include <initializer_list>
+#include <span>
 #include <vector>
 
 namespace emoleak::nn {
+
+/// Process-wide count of tensor storage growths (heap allocations for
+/// tensor data). Steady-state hot loops reuse capacity via resize() and
+/// copy-assignment, so the counter stabilizing after warm-up is the
+/// zero-allocation contract the layer tests assert.
+[[nodiscard]] std::size_t tensor_alloc_count() noexcept;
 
 class Tensor {
  public:
   Tensor() = default;
   explicit Tensor(std::vector<std::size_t> shape);
   Tensor(std::vector<std::size_t> shape, std::vector<float> data);
+  Tensor(const Tensor& other);
+  Tensor(Tensor&& other) noexcept = default;
+  Tensor& operator=(const Tensor& other);
+  Tensor& operator=(Tensor&& other) noexcept = default;
 
   [[nodiscard]] const std::vector<std::size_t>& shape() const noexcept {
     return shape_;
@@ -54,6 +65,15 @@ class Tensor {
   }
 
   void fill(float value) noexcept;
+
+  /// Reshapes in place, reusing existing capacity when possible (no
+  /// heap traffic once a layer's buffers are warm). When the element
+  /// count is unchanged this is a pure reshape (data preserved);
+  /// otherwise contents are unspecified — callers overwrite or fill().
+  void resize(std::span<const std::size_t> dims);
+  void resize(std::initializer_list<std::size_t> dims) {
+    resize(std::span<const std::size_t>{dims.begin(), dims.size()});
+  }
 
   /// Reinterprets the tensor with a new shape of equal element count.
   [[nodiscard]] Tensor reshaped(std::vector<std::size_t> new_shape) const;

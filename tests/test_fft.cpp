@@ -195,4 +195,151 @@ INSTANTIATE_TEST_SUITE_P(Sizes, FftParseval,
                          ::testing::Values(2, 3, 4, 5, 8, 13, 16, 27, 64, 100,
                                            128, 255, 256, 1000));
 
+// ----------------------------------------------------------- real FFT
+
+std::vector<double> random_real(std::size_t n, std::uint64_t seed) {
+  emoleak::util::Rng rng{seed};
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.normal();
+  return x;
+}
+
+// The packed real transform must agree with the complex FFT of the
+// zero-imaginary promotion to near machine precision.
+TEST(RfftTest, MatchesComplexFftPow2) {
+  for (const std::size_t n : {2u, 4u, 8u, 32u, 128u, 512u, 1024u}) {
+    const std::vector<double> x = random_real(n, n + 41);
+    std::vector<Complex> promoted(n);
+    for (std::size_t i = 0; i < n; ++i) promoted[i] = Complex{x[i], 0.0};
+    fft_pow2(promoted);
+    double scale = 0.0;
+    for (const Complex& v : promoted) scale = std::max(scale, std::abs(v));
+    const std::vector<Complex> half = rfft(x);
+    ASSERT_EQ(half.size(), n / 2 + 1);
+    for (std::size_t k = 0; k < half.size(); ++k) {
+      EXPECT_NEAR(std::abs(half[k] - promoted[k]), 0.0, 1e-12 * scale)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(RfftTest, MatchesComplexFftOddAndEvenNonPow2) {
+  for (const std::size_t n : {3u, 6u, 9u, 15u, 100u, 111u}) {
+    const std::vector<double> x = random_real(n, n + 91);
+    std::vector<Complex> promoted(n);
+    for (std::size_t i = 0; i < n; ++i) promoted[i] = Complex{x[i], 0.0};
+    const std::vector<Complex> full = fft(promoted);
+    double scale = 0.0;
+    for (const Complex& v : full) scale = std::max(scale, std::abs(v));
+    const std::vector<Complex> half = rfft(x);
+    ASSERT_EQ(half.size(), n / 2 + 1);
+    for (std::size_t k = 0; k < half.size(); ++k) {
+      EXPECT_NEAR(std::abs(half[k] - full[k]), 0.0, 1e-10 * scale)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(RfftTest, SizeOneAndEmptyEdgeCases) {
+  const std::vector<double> one{2.5};
+  const auto h1 = rfft(one);
+  ASSERT_EQ(h1.size(), 1u);
+  EXPECT_NEAR(h1[0].real(), 2.5, 1e-15);
+  EXPECT_NEAR(h1[0].imag(), 0.0, 1e-15);
+
+  const auto h0 = rfft(std::vector<double>{});
+  ASSERT_EQ(h0.size(), 1u);
+  EXPECT_EQ(h0[0], Complex{});
+}
+
+TEST(RfftTest, MagnitudeIntoMatchesAllocatingVersion) {
+  emoleak::util::Workspace ws;
+  for (const std::size_t n : {8u, 100u, 420u, 1024u}) {
+    const std::vector<double> x = random_real(n, n + 3);
+    const std::vector<double> expected = rfft_magnitude(x);
+    std::vector<double> got(n / 2 + 1);
+    emoleak::dsp::rfft_magnitude_into(x, got, ws);
+    for (std::size_t k = 0; k < got.size(); ++k) {
+      EXPECT_NEAR(got[k], expected[k], 1e-9 * (1.0 + expected[k])) << "n=" << n;
+    }
+  }
+}
+
+TEST(RfftTest, MagnitudeIntoIsAllocationFreeWhenWarm) {
+  emoleak::util::Workspace ws;
+  const std::vector<double> x = random_real(420, 7);  // non-pow2: Bluestein
+  std::vector<double> out(x.size() / 2 + 1);
+  emoleak::dsp::rfft_magnitude_into(x, out, ws);  // warm-up sizes the arena
+  emoleak::dsp::rfft_magnitude_into(x, out, ws);
+  const std::size_t warm = ws.grow_count();
+  for (int iter = 0; iter < 20; ++iter) {
+    emoleak::dsp::rfft_magnitude_into(x, out, ws);
+  }
+  EXPECT_EQ(ws.grow_count(), warm);
+}
+
+TEST(IrfftTest, RoundTripsOddLengthSignal) {
+  const std::vector<double> x = random_real(9, 5);
+  const auto back = irfft(rfft(x), x.size());
+  ASSERT_EQ(back.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(back[i], x[i], 1e-9);
+}
+
+// Regression for the dangling-twiddles bug: references into a cached
+// plan used to live inside a thread_local vector<vector<...>> that
+// reallocated when other sizes were planned, silently corrupting
+// transforms already in flight. Plans now sit in stable unique_ptr
+// slots, so a plan obtained early must stay usable (and correct) after
+// many other sizes are planned.
+TEST(FftPlanTest, CachedPlanSurvivesPlanningManyOtherSizes) {
+  using emoleak::dsp::FftPlan;
+  const FftPlan& plan8 = FftPlan::get(8);
+  const std::vector<Complex> x = random_signal(8, 77);
+  std::vector<Complex> before = x;
+  plan8.forward(before);
+
+  // Force the plan cache to grow through many sizes (this reallocated
+  // the old cache's backing vector several times).
+  for (std::size_t n = 2; n <= (1u << 14); n *= 2) (void)FftPlan::get(n);
+
+  std::vector<Complex> after = x;
+  plan8.forward(after);  // plan8 must still be alive and correct
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(before[k], after[k]) << "k=" << k;
+  }
+  const std::vector<Complex> slow = naive_dft(x);
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_NEAR(std::abs(after[k] - slow[k]), 0.0, 1e-10);
+  }
+}
+
+TEST(FftPlanTest, InterleavedSizesStayConsistent) {
+  using emoleak::dsp::FftPlan;
+  // Interleave transforms of several sizes while holding all plan
+  // references; every size must keep matching the naive DFT.
+  const FftPlan& p16 = FftPlan::get(16);
+  const FftPlan& p64 = FftPlan::get(64);
+  const FftPlan& p256 = FftPlan::get(256);
+  const FftPlan* plans[] = {&p16, &p64, &p256};
+  for (int round = 0; round < 3; ++round) {
+    for (const FftPlan* plan : plans) {
+      const std::size_t n = plan->size();
+      const std::vector<Complex> x = random_signal(n, n + round);
+      std::vector<Complex> fast = x;
+      plan->forward(fast);
+      const std::vector<Complex> slow = naive_dft(x);
+      for (std::size_t k = 0; k < n; ++k) {
+        ASSERT_NEAR(std::abs(fast[k] - slow[k]), 0.0, 1e-8)
+            << "n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(FftPlanTest, RejectsNonPow2Sizes) {
+  using emoleak::dsp::FftPlan;
+  EXPECT_THROW(FftPlan{6}, emoleak::util::DataError);
+  EXPECT_THROW((void)FftPlan::get(100), emoleak::util::DataError);
+}
+
 }  // namespace

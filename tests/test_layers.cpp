@@ -9,7 +9,9 @@
 #include <cmath>
 #include <functional>
 #include <memory>
+#include <vector>
 
+#include "nn/gemm.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -371,6 +373,288 @@ TEST(DenseTest, ParamGradientsMatchFiniteDifference) {
 
 TEST(DenseTest, ZeroDimsThrow) {
   EXPECT_THROW(Dense(0, 3, 1), emoleak::util::ConfigError);
+}
+
+// ------------------------------------------------- im2col + GEMM parity
+//
+// The Conv2D layer lowers to im2col + blocked GEMM (nn/gemm.h); these
+// tests pin it against the retained naive direct convolution across
+// kernel/channel/padding/stride combinations, forward and backward.
+
+void naive_matmul(std::size_t m, std::size_t n, std::size_t k,
+                  const std::vector<float>& a, const std::vector<float>& b,
+                  std::vector<float>& c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += a[i * k + p] * b[p * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+TEST(GemmTest, MatchesNaiveAcrossAwkwardSizes) {
+  // Sizes straddle the register tile (4 rows) and both block sizes.
+  const std::size_t dims[][3] = {{1, 1, 1},   {3, 5, 7},    {4, 4, 64},
+                                 {5, 9, 65},  {7, 300, 70}, {17, 13, 129},
+                                 {64, 32, 9}, {33, 257, 3}};
+  for (const auto& [m, n, k] : dims) {
+    const std::vector<float> a = random_vec(m * k, m * 1000 + k);
+    const std::vector<float> b = random_vec(k * n, n * 1000 + k);
+    std::vector<float> want(m * n), got(m * n);
+    naive_matmul(m, n, k, a, b, want);
+    emoleak::nn::gemm(m, n, k, a.data(), b.data(), got.data());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_NEAR(got[i], want[i], 1e-4f * (1.0f + std::abs(want[i])))
+          << "m=" << m << " n=" << n << " k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(GemmTest, TransposedVariantsMatchExplicitTranspose) {
+  const std::size_t m = 6, n = 9, k = 11;
+  const std::vector<float> a_t = random_vec(k * m, 1);  // stored (k x m)
+  const std::vector<float> b = random_vec(k * n, 2);
+  const std::vector<float> c_rows = random_vec(m * k, 3);  // A for bt
+  const std::vector<float> d_rows = random_vec(n * k, 4);  // B stored (n x k)
+
+  // gemm_at: C = Aᵀ·B.
+  std::vector<float> a(m * k);
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t i = 0; i < m; ++i) a[i * k + p] = a_t[p * m + i];
+  }
+  std::vector<float> want(m * n), got(m * n);
+  naive_matmul(m, n, k, a, b, want);
+  emoleak::nn::gemm_at(m, n, k, a_t.data(), b.data(), got.data());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], 1e-5f) << "gemm_at i=" << i;
+  }
+
+  // gemm_bt: C = A·Bᵀ.
+  std::vector<float> d(k * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t p = 0; p < k; ++p) d[p * n + j] = d_rows[j * k + p];
+  }
+  naive_matmul(m, n, k, c_rows, d, want);
+  emoleak::nn::gemm_bt(m, n, k, c_rows.data(), d_rows.data(), got.data());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], 1e-5f) << "gemm_bt i=" << i;
+  }
+}
+
+TEST(GemmTest, AccumulateAddsOntoExistingValues) {
+  const std::size_t m = 5, n = 7, k = 3;
+  const std::vector<float> a = random_vec(m * k, 5);
+  const std::vector<float> b = random_vec(k * n, 6);
+  std::vector<float> base(m * n, 2.0f), got(m * n, 2.0f), prod(m * n);
+  naive_matmul(m, n, k, a, b, prod);
+  emoleak::nn::gemm(m, n, k, a.data(), b.data(), got.data(),
+                    /*accumulate=*/true);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], base[i] + prod[i], 1e-5f);
+  }
+}
+
+/// Runs forward + backward through both the im2col/GEMM pipeline and
+/// the naive reference at arbitrary stride/padding and compares.
+void expect_lowered_conv_matches_naive(std::size_t n, std::size_t h,
+                                       std::size_t w, std::size_t cin,
+                                       std::size_t cout, std::size_t kh,
+                                       std::size_t kw, std::size_t sh,
+                                       std::size_t sw, std::size_t ph,
+                                       std::size_t pw, std::uint64_t seed) {
+  namespace nn = emoleak::nn;
+  const std::size_t oh = nn::conv_out_dim(h, kh, sh, ph);
+  const std::size_t ow = nn::conv_out_dim(w, kw, sw, pw);
+  ASSERT_GT(oh, 0u);
+  ASSERT_GT(ow, 0u);
+  const std::vector<float> x = random_vec(n * h * w * cin, seed);
+  const std::vector<float> wt = random_vec(kh * kw * cin * cout, seed + 1);
+  const std::vector<float> bias = random_vec(cout, seed + 2);
+  const std::vector<float> gout = random_vec(n * oh * ow * cout, seed + 3);
+
+  // Naive reference.
+  std::vector<float> y_ref(n * oh * ow * cout);
+  nn::conv2d_naive_forward(x.data(), n, h, w, cin, wt.data(), bias.data(), kh,
+                           kw, sh, sw, ph, pw, oh, ow, cout, y_ref.data());
+  std::vector<float> gx_ref(x.size());
+  std::vector<float> gw_ref(wt.size(), 0.0f);
+  std::vector<float> gb_ref(cout, 0.0f);
+  nn::conv2d_naive_backward(x.data(), gout.data(), n, h, w, cin, wt.data(), kh,
+                            kw, sh, sw, ph, pw, oh, ow, cout, gx_ref.data(),
+                            gw_ref.data(), gb_ref.data());
+
+  // Lowered pipeline: im2col -> GEMM (forward), GEMMs + col2im (backward).
+  const std::size_t rows = oh * ow;
+  const std::size_t kcols = kh * kw * cin;
+  std::vector<float> col(rows * kcols), dcol(rows * kcols);
+  std::vector<float> y(n * oh * ow * cout);
+  std::vector<float> gx(x.size(), 0.0f);
+  std::vector<float> gw(wt.size(), 0.0f);
+  std::vector<float> gb(cout, 0.0f);
+  for (std::size_t b = 0; b < n; ++b) {
+    const float* xb = x.data() + b * h * w * cin;
+    nn::im2col(xb, h, w, cin, kh, kw, sh, sw, ph, pw, oh, ow, col.data());
+    float* yb = y.data() + b * rows * cout;
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t oc = 0; oc < cout; ++oc) yb[r * cout + oc] = bias[oc];
+    }
+    nn::gemm(rows, cout, kcols, col.data(), wt.data(), yb, true);
+
+    const float* g = gout.data() + b * rows * cout;
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t oc = 0; oc < cout; ++oc) gb[oc] += g[r * cout + oc];
+    }
+    nn::gemm_at(kcols, cout, rows, col.data(), g, gw.data(), true);
+    nn::gemm_bt(rows, kcols, cout, g, wt.data(), dcol.data(), false);
+    nn::col2im(dcol.data(), h, w, cin, kh, kw, sh, sw, ph, pw, oh, ow,
+               gx.data() + b * h * w * cin);
+  }
+
+  const auto expect_close = [](const std::vector<float>& got,
+                               const std::vector<float>& want,
+                               const char* what) {
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(got[i], want[i], 1e-4f * (1.0f + std::abs(want[i])))
+          << what << " i=" << i;
+    }
+  };
+  expect_close(y, y_ref, "forward");
+  expect_close(gx, gx_ref, "grad_input");
+  expect_close(gw, gw_ref, "grad_weight");
+  expect_close(gb, gb_ref, "grad_bias");
+}
+
+TEST(ConvLoweringTest, StridePaddingChannelSweep) {
+  // {n, h, w, cin, cout, kh, kw, sh, sw, ph, pw}
+  const std::size_t cases[][11] = {
+      {1, 6, 6, 1, 1, 3, 3, 1, 1, 0, 0},   // minimal valid conv
+      {2, 8, 8, 3, 5, 3, 3, 1, 1, 1, 1},   // 'same'-style odd kernel
+      {1, 9, 7, 2, 4, 3, 3, 2, 2, 1, 1},   // stride 2 with padding
+      {2, 10, 10, 4, 3, 5, 5, 2, 3, 2, 2}, // anisotropic stride, big kernel
+      {1, 1, 12, 2, 4, 1, 3, 1, 2, 0, 1},  // (1 x 3) time-frequency shape
+      {3, 5, 5, 1, 8, 2, 2, 1, 1, 0, 0},   // even kernel, valid
+      {1, 4, 4, 6, 2, 4, 4, 4, 4, 0, 0},   // kernel == input tile, stride = k
+  };
+  for (const auto& c : cases) {
+    expect_lowered_conv_matches_naive(c[0], c[1], c[2], c[3], c[4], c[5], c[6],
+                                      c[7], c[8], c[9], c[10],
+                                      /*seed=*/c[1] * 100 + c[5]);
+  }
+}
+
+TEST(ConvLoweringTest, LayerMatchesNaiveReference) {
+  // End-to-end: the Conv2D layer itself against the naive kernels, both
+  // padding modes, forward and backward.
+  namespace nn = emoleak::nn;
+  for (const bool same : {true, false}) {
+    Conv2D conv{3, 5, 3, 3, same, 42};
+    const Tensor x = random_tensor({2, 7, 6, 3}, 77);
+    const Tensor y = conv.forward(x, false);
+    const std::size_t oh = y.dim(1), ow = y.dim(2);
+    const std::size_t pad = same ? 1 : 0;
+    std::vector<float> y_ref(y.size());
+    nn::conv2d_naive_forward(x.data(), 2, 7, 6, 3,
+                             conv.parameters()[0]->value.data(),
+                             conv.parameters()[1]->value.data(), 3, 3, 1, 1,
+                             pad, pad, oh, ow, 5, y_ref.data());
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      ASSERT_NEAR(y[i], y_ref[i], 1e-4f * (1.0f + std::abs(y_ref[i])))
+          << "same=" << same << " i=" << i;
+    }
+
+    const Tensor g = random_tensor(y.shape(), 78);
+    const Tensor gx = conv.backward(g);
+    std::vector<float> gx_ref(x.size());
+    std::vector<float> gw_ref(conv.parameters()[0]->value.size(), 0.0f);
+    std::vector<float> gb_ref(5, 0.0f);
+    nn::conv2d_naive_backward(x.data(), g.data(), 2, 7, 6, 3,
+                              conv.parameters()[0]->value.data(), 3, 3, 1, 1,
+                              pad, pad, oh, ow, 5, gx_ref.data(),
+                              gw_ref.data(), gb_ref.data());
+    for (std::size_t i = 0; i < gx.size(); ++i) {
+      ASSERT_NEAR(gx[i], gx_ref[i], 1e-4f * (1.0f + std::abs(gx_ref[i])));
+    }
+    for (std::size_t i = 0; i < gw_ref.size(); ++i) {
+      ASSERT_NEAR(conv.parameters()[0]->grad[i], gw_ref[i],
+                  1e-3f * (1.0f + std::abs(gw_ref[i])));
+    }
+    for (std::size_t i = 0; i < gb_ref.size(); ++i) {
+      ASSERT_NEAR(conv.parameters()[1]->grad[i], gb_ref[i],
+                  1e-3f * (1.0f + std::abs(gb_ref[i])));
+    }
+  }
+}
+
+// -------------------------------------------------- allocation contracts
+
+TEST(AllocationTest, BatchNormForwardIsAllocationFreeWhenWarm) {
+  // Regression: BatchNorm::forward used to build mean/var std::vectors
+  // on every call; the statistics now live in the layer.
+  BatchNorm bn{8};
+  const Tensor x = random_tensor({4, 3, 3, 8}, 90);
+  const Tensor g = random_tensor({4, 3, 3, 8}, 91);
+  for (int i = 0; i < 2; ++i) {  // warm up both modes + backward
+    (void)bn.forward(x, true);
+    (void)bn.backward(g);
+    (void)bn.forward(x, false);
+  }
+  const std::size_t warm = emoleak::nn::tensor_alloc_count();
+  for (int i = 0; i < 10; ++i) {
+    (void)bn.forward(x, true);
+    (void)bn.backward(g);
+    (void)bn.forward(x, false);
+  }
+  EXPECT_EQ(emoleak::nn::tensor_alloc_count(), warm);
+}
+
+TEST(AllocationTest, Conv2DSteadyStateIsAllocationFree) {
+  Conv2D conv{2, 4, 3, 3, true, 92};
+  const Tensor x = random_tensor({2, 6, 6, 2}, 93);
+  const Tensor g = random_tensor({2, 6, 6, 4}, 94);
+  for (int i = 0; i < 2; ++i) {
+    (void)conv.forward(x, true);
+    (void)conv.backward(g);
+  }
+  const std::size_t warm_tensors = emoleak::nn::tensor_alloc_count();
+  const std::size_t warm_ws = conv.workspace().grow_count();
+  for (int i = 0; i < 10; ++i) {
+    (void)conv.forward(x, true);
+    (void)conv.backward(g);
+  }
+  EXPECT_EQ(emoleak::nn::tensor_alloc_count(), warm_tensors);
+  EXPECT_EQ(conv.workspace().grow_count(), warm_ws);
+}
+
+TEST(AllocationTest, PoolReluDenseSteadyStateIsAllocationFree) {
+  MaxPool2D pool{2, 2};
+  ReLU relu;
+  Dense dense{16, 5, 95};  // (4/2)*(4/2)*4 flattened features
+  Flatten flat;
+  const Tensor x = random_tensor({3, 4, 4, 4}, 96);
+  const auto run = [&] {
+    const Tensor& a = pool.forward(x, true);
+    const Tensor& b = relu.forward(a, true);
+    const Tensor& c = flat.forward(b, true);
+    const Tensor& d = dense.forward(c, true);
+    const Tensor& gd = dense.backward(d);
+    const Tensor& gc = flat.backward(gd);
+    const Tensor& gb = relu.backward(gc);
+    (void)pool.backward(gb);
+  };
+  run();
+  run();
+  const std::size_t warm = emoleak::nn::tensor_alloc_count();
+  for (int i = 0; i < 10; ++i) run();
+  EXPECT_EQ(emoleak::nn::tensor_alloc_count(), warm);
 }
 
 }  // namespace

@@ -256,4 +256,35 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple<std::size_t, std::size_t>{64, 16},
                       std::tuple<std::size_t, std::size_t>{5, 97}));
 
+TEST(StftTest, MagnitudesIntoBufferMatchesAllocatingPath) {
+  StftConfig c;
+  const std::vector<double> x = sine(40.0, 500.0, 600);
+  const Spectrogram spec = stft(x, 500.0, c);
+
+  emoleak::util::Workspace ws;
+  const emoleak::dsp::StftShape shape = emoleak::dsp::stft_shape(x.size(), c);
+  ASSERT_EQ(shape.frames, spec.frames());
+  ASSERT_EQ(shape.bins, spec.bins());
+  std::vector<double> mags(shape.cells());
+  emoleak::dsp::stft_magnitudes(x, c, mags, ws);
+  for (std::size_t i = 0; i < mags.size(); ++i) {
+    ASSERT_DOUBLE_EQ(mags[i], spec.data()[i]) << "cell " << i;
+  }
+}
+
+TEST(StftTest, SteadyStateIsWorkspaceAllocationFree) {
+  StftConfig c;
+  const std::vector<double> x = sine(25.0, 500.0, 4200);
+  emoleak::util::Workspace ws;
+  const emoleak::dsp::StftShape shape = emoleak::dsp::stft_shape(x.size(), c);
+  std::vector<double> mags(shape.cells());
+  emoleak::dsp::stft_magnitudes(x, c, mags, ws);  // warm-up sizes the arena
+  emoleak::dsp::stft_magnitudes(x, c, mags, ws);
+  const std::size_t warm = ws.grow_count();
+  for (int iter = 0; iter < 10; ++iter) {
+    emoleak::dsp::stft_magnitudes(x, c, mags, ws);
+  }
+  EXPECT_EQ(ws.grow_count(), warm);
+}
+
 }  // namespace
