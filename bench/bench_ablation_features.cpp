@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
   core::ScenarioConfig sc = core::loudspeaker_scenario(
       audio::tess_spec(), phone::oneplus_7t(), bench::kBenchSeed);
   sc.corpus_fraction = opts.fraction(0.5);
-  const core::ExtractedData data = core::capture(sc);
+  const auto data_ptr = bench::capture_cached(sc);
+  const core::ExtractedData& data = *data_ptr;
 
   const auto eval_subset = [&](const std::vector<std::size_t>& cols) {
     ml::Dataset subset;

@@ -24,7 +24,8 @@ int main(int argc, char** argv) {
     core::ScenarioConfig sc = core::loudspeaker_scenario(
         audio::tess_spec(), profile, bench::kBenchSeed);
     sc.corpus_fraction = opts.fraction(0.35);
-    const core::ExtractedData data = core::capture(sc);
+    const auto data_ptr = bench::capture_cached(sc);
+    const core::ExtractedData& data = *data_ptr;
     double acc = 1.0 / 7.0;
     if (data.features.size() > 60) {
       acc = core::evaluate_classical(ml::LogisticRegression{}, data.features,

@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   core::ScenarioConfig sc = core::loudspeaker_scenario(
       audio::cremad_spec(), phone::galaxy_s10(), bench::kBenchSeed);
   sc.corpus_fraction = opts.fraction(0.3);
-  const core::ExtractedData data = core::capture(sc);
+  const auto data_ptr = bench::capture_cached(sc);
+  const core::ExtractedData& data = *data_ptr;
 
   // Gender labels from the corpus speaker metadata.
   const audio::Corpus corpus{

@@ -76,7 +76,8 @@ int main(int argc, char** argv) {
   core::ScenarioConfig loud = core::loudspeaker_scenario(
       audio::tess_spec(), phone::oneplus_7t(), bench::kBenchSeed);
   loud.corpus_fraction = opts.fraction(0.25);
-  const core::ExtractedData loud_data = core::capture(loud);
+  const auto loud_data_ptr = bench::capture_cached(loud);
+  const core::ExtractedData& loud_data = *loud_data_ptr;
 
   std::cout << "(4c) loudspeaker:  regions visible without any filter\n\n";
   bench::print_comparisons(

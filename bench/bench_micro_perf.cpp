@@ -8,10 +8,13 @@
 #include <sstream>
 
 #include "audio/corpus.h"
+#include "core/attack.h"
+#include "core/dataset_cache.h"
 #include "core/pipeline.h"
 #include "core/speech_region.h"
 #include "dsp/fft.h"
 #include "dsp/filter.h"
+#include "dsp/pitch.h"
 #include "dsp/stft.h"
 #include "features/features.h"
 #include "ml/ensemble.h"
@@ -187,6 +190,152 @@ BENCHMARK(BM_ExtractAndCrossValidate)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+/// Gaussian class blobs in 24 dimensions, shaped like the Table-II
+/// feature matrix the tree trainers actually see.
+ml::Dataset tree_bench_data(std::size_t n, std::uint64_t seed) {
+  util::Rng rng{seed};
+  ml::Dataset d;
+  d.class_count = 7;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int c = static_cast<int>(rng.uniform_int(7));
+    std::vector<double> row(24);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      row[j] = rng.normal() + (j < 4 ? 0.6 * c : 0.0);
+    }
+    d.x.push_back(std::move(row));
+    d.y.push_back(c);
+  }
+  return d;
+}
+
+void BM_TreeTrain(benchmark::State& state) {
+  // Presorted induction (the default); BM_TreeTrainReference below is
+  // the per-node-sort path it replaced. Both fit byte-identical trees.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ml::Dataset d = tree_bench_data(n, 51);
+  for (auto _ : state) {
+    ml::DecisionTree tree;
+    tree.fit(d);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_TreeTrain)->Arg(1000)->Arg(4000);
+
+void BM_TreeTrainReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ml::Dataset d = tree_bench_data(n, 51);
+  ml::TreeConfig cfg;
+  cfg.presort = false;
+  for (auto _ : state) {
+    ml::DecisionTree tree{cfg};
+    tree.fit(d);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_TreeTrainReference)->Arg(1000)->Arg(4000);
+
+void BM_ForestTrain(benchmark::State& state) {
+  // Single-threaded so the gate measures the induction kernel, not the
+  // thread pool; the presort speedup carries through per-tree training.
+  const ml::Dataset d = tree_bench_data(1500, 52);
+  ml::RandomForestConfig cfg;
+  cfg.tree_count = 20;
+  cfg.parallelism.threads = 1;
+  for (auto _ : state) {
+    ml::RandomForest forest{cfg};
+    forest.fit(d);
+    benchmark::DoNotOptimize(forest.tree_count());
+  }
+}
+BENCHMARK(BM_ForestTrain)->Unit(benchmark::kMillisecond);
+
+void BM_ForestTrainReference(benchmark::State& state) {
+  const ml::Dataset d = tree_bench_data(1500, 52);
+  ml::RandomForestConfig cfg;
+  cfg.tree_count = 20;
+  cfg.parallelism.threads = 1;
+  cfg.tree.presort = false;
+  for (auto _ : state) {
+    ml::RandomForest forest{cfg};
+    forest.fit(d);
+    benchmark::DoNotOptimize(forest.tree_count());
+  }
+}
+BENCHMARK(BM_ForestTrainReference)->Unit(benchmark::kMillisecond);
+
+constexpr double kPitchBenchRate = 16000.0;
+
+std::vector<double> pitch_bench_signal() {
+  // 2 s of vibrato tone + noise at audio rate (16 kHz): every frame
+  // runs the full correlation (voiced), which is the expensive case,
+  // and the 50-400 Hz default search range spans 320 lags per frame.
+  constexpr double kRate = kPitchBenchRate;
+  util::Rng rng{53};
+  std::vector<double> x(static_cast<std::size_t>(kRate * 2.0));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double t = static_cast<double>(i) / kRate;
+    const double f0 = 130.0 + 8.0 * std::sin(2.0 * std::numbers::pi * 5.0 * t);
+    x[i] = std::sin(2.0 * std::numbers::pi * f0 * t) + 0.15 * rng.normal();
+  }
+  return x;
+}
+
+void BM_PitchTrack(benchmark::State& state) {
+  // FFT (Wiener–Khinchin) autocorrelation; BM_PitchTrackNaive is the
+  // O(lags·N) direct path it replaced.
+  const auto x = pitch_bench_signal();
+  for (auto _ : state) {
+    const auto track = dsp::track_pitch(x, kPitchBenchRate);
+    benchmark::DoNotOptimize(track.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(x.size()));
+}
+BENCHMARK(BM_PitchTrack);
+
+void BM_PitchTrackNaive(benchmark::State& state) {
+  const auto x = pitch_bench_signal();
+  dsp::PitchConfig cfg;
+  cfg.exact = true;
+  for (auto _ : state) {
+    const auto track = dsp::track_pitch(x, kPitchBenchRate, cfg);
+    benchmark::DoNotOptimize(track.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(x.size()));
+}
+BENCHMARK(BM_PitchTrackNaive);
+
+core::ScenarioConfig dataset_bench_scenario() {
+  core::ScenarioConfig sc = core::loudspeaker_scenario(
+      audio::savee_spec(), phone::oneplus_7t(), /*seed=*/43);
+  sc.corpus_fraction = 0.05;
+  return sc;
+}
+
+void BM_DatasetBuildHit(benchmark::State& state) {
+  // Steady-state cost of a memoized dataset request (key render + map
+  // lookup); the synthesize/conduct/extract pipeline runs zero times.
+  core::DatasetCache cache;
+  const core::ScenarioConfig sc = dataset_bench_scenario();
+  (void)cache.get_or_build(sc);  // warm the entry
+  for (auto _ : state) {
+    auto data = cache.get_or_build(sc);
+    benchmark::DoNotOptimize(data.get());
+  }
+}
+BENCHMARK(BM_DatasetBuildHit);
+
+void BM_DatasetBuildCold(benchmark::State& state) {
+  // The full build a hit avoids (uncached capture of the same scenario).
+  const core::ScenarioConfig sc = dataset_bench_scenario();
+  for (auto _ : state) {
+    const core::ExtractedData data = core::capture(sc);
+    benchmark::DoNotOptimize(data.features.x.data());
+  }
+}
+BENCHMARK(BM_DatasetBuildCold)->Unit(benchmark::kMillisecond);
 
 void BM_Gemm(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -18,7 +18,8 @@ int main(int argc, char** argv) {
     core::ScenarioConfig sc = core::loudspeaker_scenario(
         audio::tess_spec(), profile, bench::kBenchSeed);
     sc.corpus_fraction = opts.fraction(1.0);
-    const core::ExtractedData data = core::capture(sc);
+    const auto data_ptr = bench::capture_cached(sc);
+    const core::ExtractedData& data = *data_ptr;
     return core::evaluate_classical(ml::LogisticRegression{}, data.features,
                                     bench::kBenchSeed)
         .accuracy;

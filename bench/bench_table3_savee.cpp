@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
     core::ScenarioConfig sc = core::loudspeaker_scenario(
         audio::savee_spec(), col.phone, bench::kBenchSeed);
     sc.corpus_fraction = opts.fraction(1.0);
-    const core::ExtractedData data = core::capture(sc);
+    const auto data_ptr = bench::capture_cached(sc);
+    const core::ExtractedData& data = *data_ptr;
     std::cout << col.phone.name << ": " << data.features.size()
               << " speech regions extracted ("
               << util::percent(data.extraction_rate) << " of utterances)\n";

@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
   core::ScenarioConfig sc = core::loudspeaker_scenario(
       audio::cremad_spec(), phone::galaxy_s10(), bench::kBenchSeed);
   sc.corpus_fraction = full ? 1.0 : opts.fraction(0.6);
-  const core::ExtractedData data = core::capture(sc);
+  const auto data_ptr = bench::capture_cached(sc);
+  const core::ExtractedData& data = *data_ptr;
   std::cout << "Samsung Galaxy S10: " << data.features.size()
             << " speech regions extracted ("
             << util::percent(data.extraction_rate) << " of utterances, "

@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
     core::ScenarioConfig sc =
         core::ear_speaker_scenario(c.dataset, c.phone, bench::kBenchSeed);
     sc.corpus_fraction = opts.fraction(1.0);
-    const core::ExtractedData data = core::capture(sc);
+    const auto data_ptr = bench::capture_cached(sc);
+    const core::ExtractedData& data = *data_ptr;
     std::cout << c.label << ": " << data.features.size()
               << " regions extracted (" << util::percent(data.extraction_rate)
               << " of utterances; paper reports >= 45% for ear speakers)\n";

@@ -108,6 +108,18 @@ EarMethodAccuracies run_ear_methods(const core::ExtractedData& data,
   return out;
 }
 
+std::shared_ptr<const core::ExtractedData> capture_cached(
+    const core::ScenarioConfig& config) {
+  return core::capture_cached(config);
+}
+
+void print_dataset_cache_stats() {
+  const core::DatasetCacheStats s = core::DatasetCache::instance().stats();
+  std::cout << "[dataset cache] hits=" << s.hits << " misses=" << s.misses
+            << " entries=" << s.entries << " ~"
+            << s.approx_bytes / (1024 * 1024) << " MiB\n";
+}
+
 std::string ascii_image(const std::vector<double>& image, std::size_t width,
                         std::size_t height) {
   static const char kLevels[] = " .:-=+*#%@";

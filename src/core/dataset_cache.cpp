@@ -1,0 +1,176 @@
+#include "core/dataset_cache.h"
+
+#include <sstream>
+
+#include "features/features.h"
+
+namespace emoleak::core {
+
+namespace {
+
+/// Canonical, lossless field rendering: doubles as hexfloats (round-trip
+/// exact), every field separated so adjacent values can't alias. The
+/// full string is the map key — no hashing, so collisions are
+/// impossible by construction.
+class KeyWriter {
+ public:
+  KeyWriter& field(const std::string& v) {
+    out_ << v.size() << ':' << v << '|';
+    return *this;
+  }
+  KeyWriter& field(double v) {
+    out_ << std::hexfloat << v << '|';
+    return *this;
+  }
+  KeyWriter& field(std::uint64_t v) {
+    out_ << v << '|';
+    return *this;
+  }
+  KeyWriter& field(std::int64_t v) {
+    out_ << v << '|';
+    return *this;
+  }
+  KeyWriter& field(int v) { return field(static_cast<std::int64_t>(v)); }
+  KeyWriter& field(bool v) { return field(static_cast<std::int64_t>(v)); }
+
+  [[nodiscard]] std::string str() const { return out_.str(); }
+
+ private:
+  std::ostringstream out_;
+};
+
+void write_dataset(KeyWriter& k, const audio::DatasetSpec& d) {
+  k.field(d.name);
+  k.field(d.emotions.size());
+  for (const audio::Emotion e : d.emotions) k.field(static_cast<int>(e));
+  k.field(d.speaker_count);
+  k.field(d.utterances_per_speaker_emotion);
+  k.field(d.male_fraction);
+  k.field(d.expressiveness);
+  k.field(d.speaker_variability);
+  k.field(d.expressiveness_jitter);
+  k.field(d.synth.sample_rate_hz);
+  k.field(d.synth.target_duration_s);
+  k.field(d.synth.duration_jitter);
+  k.field(d.synth.max_harmonics);
+}
+
+void write_phone(KeyWriter& k, const phone::PhoneProfile& p) {
+  k.field(p.name);
+  k.field(p.accel_rate_hz);
+  k.field(p.accel_noise_sigma);
+  k.field(p.accel_lsb);
+  k.field(p.internal_lpf_order);
+  k.field(p.internal_lpf_cutoff_factor);
+  k.field(p.software_cap_hz);
+  k.field(p.loudspeaker_gain);
+  k.field(p.ear_speaker_gain);
+  k.field(p.speaker_rolloff_hz);
+  k.field(p.ear_rolloff_hz);
+  k.field(p.ear_rolloff_order);
+  k.field(p.resonances.size());
+  for (const phone::Resonance& r : p.resonances) {
+    k.field(r.frequency_hz);
+    k.field(r.q);
+    k.field(r.gain);
+  }
+  k.field(p.direct_path_gain);
+  k.field(p.coupling_jitter);
+}
+
+void write_pipeline(KeyWriter& k, const PipelineConfig& p) {
+  const DetectorConfig& d = p.detector;
+  k.field(d.detection_highpass_hz);
+  k.field(d.highpass_order);
+  k.field(d.envelope_window_s);
+  k.field(d.threshold_k);
+  k.field(d.min_ratio);
+  k.field(d.min_region_s);
+  k.field(d.merge_gap_s);
+  k.field(d.pad_s);
+  k.field(p.image_size);
+  k.field(p.stft.window_length);
+  k.field(p.stft.hop);
+  k.field(p.stft.fft_size);
+  k.field(static_cast<int>(p.stft.window));
+  k.field(p.stft.center);
+  // p.parallelism deliberately omitted: extraction is bit-identical at
+  // any thread count (see PipelineConfig), so runs that differ only in
+  // thread budget must share the cached dataset.
+}
+
+std::uint64_t approximate_bytes(const ExtractedData& data) {
+  std::uint64_t bytes = 0;
+  for (const auto& row : data.features.x) bytes += row.size() * sizeof(double);
+  bytes += data.features.y.size() * sizeof(int);
+  for (const auto& img : data.spectrograms) bytes += img.size() * sizeof(double);
+  bytes += data.speaker_ids.size() * sizeof(int);
+  return bytes;
+}
+
+}  // namespace
+
+std::string DatasetCache::key_of(const ScenarioConfig& config) {
+  KeyWriter k;
+  k.field(std::string{"emoleak-dataset-v1"});
+  // The feature schema participates in the key: if the Table-II set
+  // ever changes shape, previously cached datasets stop matching.
+  k.field(features::schema_signature());
+  write_dataset(k, config.dataset);
+  write_phone(k, config.phone);
+  k.field(static_cast<int>(config.speaker));
+  k.field(static_cast<int>(config.posture));
+  k.field(config.corpus_fraction);
+  k.field(config.seed);
+  write_pipeline(k, config.pipeline);
+  return k.str();
+}
+
+DatasetCache& DatasetCache::instance() {
+  static DatasetCache cache;
+  return cache;
+}
+
+std::shared_ptr<const ExtractedData> DatasetCache::get_or_build(
+    const ScenarioConfig& config) {
+  const std::string key = key_of(config);
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  // Build outside the lock: a capture can take seconds and must not
+  // serialize hits (or builds of other keys) behind it.
+  auto built = std::make_shared<const ExtractedData>(capture(config));
+  const std::lock_guard<std::mutex> lock{mutex_};
+  const auto [it, inserted] = entries_.emplace(key, std::move(built));
+  return it->second;  // first writer wins on a racing double-build
+}
+
+DatasetCacheStats DatasetCache::stats() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  DatasetCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.entries = entries_.size();
+  for (const auto& [key, data] : entries_) {
+    s.approx_bytes += approximate_bytes(*data);
+  }
+  return s;
+}
+
+void DatasetCache::clear() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  entries_.clear();
+}
+
+std::shared_ptr<const ExtractedData> capture_cached(
+    const ScenarioConfig& config) {
+  return DatasetCache::instance().get_or_build(config);
+}
+
+}  // namespace emoleak::core

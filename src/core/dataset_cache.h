@@ -1,0 +1,74 @@
+// Memoized dataset construction.
+//
+// The synthesize -> conduct -> extract pipeline is fully deterministic:
+// ScenarioConfig (plus the feature schema) completely determines the
+// ExtractedData it produces. The bench suite and repeated
+// cross-validation configs rebuild the same datasets over and over, so
+// this process-wide cache keys each build by a canonical rendering of
+// every config field that reaches the pipeline and hands out shared
+// read-only snapshots. Parallelism settings are excluded from the key:
+// extraction is bit-identical at any thread count, so runs that differ
+// only in thread budget share an entry.
+//
+// Thread safety: lookups and inserts take a mutex, but the build itself
+// runs unlocked, so a long capture never blocks hits on other keys.
+// When two threads race to build the same key, the first insert wins
+// and the loser adopts the winner's snapshot (both are bit-identical).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/attack.h"
+
+namespace emoleak::core {
+
+/// Snapshot of the cache counters, surfaced the same way the serve
+/// layer exposes ServeStats.
+struct DatasetCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;    ///< cache fills (builds actually run)
+  std::uint64_t entries = 0;   ///< datasets currently held
+  std::uint64_t approx_bytes = 0;  ///< payload estimate across entries
+};
+
+class DatasetCache {
+ public:
+  /// The process-wide cache used by capture_cached().
+  static DatasetCache& instance();
+
+  /// Returns the dataset for `config`, building it with core::capture
+  /// on the first request for this key. The returned snapshot is
+  /// immutable and stays valid after clear().
+  [[nodiscard]] std::shared_ptr<const ExtractedData> get_or_build(
+      const ScenarioConfig& config);
+
+  [[nodiscard]] DatasetCacheStats stats() const;
+
+  /// Drops all entries (counters are kept). Outstanding snapshots
+  /// remain valid through their shared_ptr.
+  void clear();
+
+  /// Canonical cache key: every pipeline-reaching ScenarioConfig field
+  /// (doubles rendered as hexfloats so the key is lossless) plus the
+  /// feature-schema signature. Exposed for tests.
+  [[nodiscard]] static std::string key_of(const ScenarioConfig& config);
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const ExtractedData>>
+      entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// capture() through the process-wide DatasetCache: the first call for
+/// a config pays the full synthesize/conduct/extract cost, every later
+/// call with an equivalent config returns the same shared snapshot.
+[[nodiscard]] std::shared_ptr<const ExtractedData> capture_cached(
+    const ScenarioConfig& config);
+
+}  // namespace emoleak::core

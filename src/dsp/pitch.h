@@ -6,12 +6,31 @@
 // provides an autocorrelation pitch tracker usable on both audio and
 // accelerometer streams; bench_ext_pitch uses it to show the F0
 // contour is recoverable from the vibration side channel.
+//
+// Three correlator kernels back the tracker, picked per frame by a
+// work estimate (detail::correlator_for):
+//  - kDirect: the O(lags·N) reference sum. Small frames (the
+//    accelerometer rates, where the lag grid is tens of entries) stay
+//    here, bitwise-identical to the pre-overhaul implementation, so
+//    seed-corpus outputs are unchanged by construction.
+//  - kFast: the same direct numerator with the serial accumulation
+//    chain broken into independent partial sums (vectorizable) and the
+//    per-lag energy denominators taken from prefix sums of x².
+//  - kFft: Wiener–Khinchin for very large lag grids — the
+//    autocorrelation numerator is one rfft/irfft pair over the power
+//    spectrum (O(N log N) per frame), denominators again via prefix
+//    sums.
+// PitchConfig::exact forces kDirect everywhere as the parity
+// reference; all kernels agree to ~1e-9 in normalized correlation and
+// make identical voiced/unvoiced decisions (test_pitch).
 #pragma once
 
 #include <cstddef>
 #include <optional>
 #include <span>
 #include <vector>
+
+#include "util/workspace.h"
 
 namespace emoleak::dsp {
 
@@ -21,6 +40,12 @@ struct PitchConfig {
   double frame_s = 0.08;       ///< analysis frame length
   double hop_s = 0.02;         ///< frame hop
   double voicing_threshold = 0.35;  ///< min normalized autocorr peak
+  /// Force the O(lags·N) direct autocorrelation everywhere instead of
+  /// letting larger lag grids dispatch to the unrolled or FFT
+  /// (Wiener–Khinchin) kernels. Kept as the bitwise reference the
+  /// parity tests compare against; the default auto-dispatches on
+  /// per-frame work (see detail::correlator_for).
+  bool exact = false;
 
   void validate() const;
 };
@@ -39,7 +64,10 @@ struct PitchFrame {
     std::span<const double> frame, double sample_rate_hz,
     const PitchConfig& config = {});
 
-/// Full pitch track over a signal.
+/// Full pitch track over a signal. Validates the config once and reuses
+/// one scratch arena across frames: after the first frame has warmed
+/// the arena, tracking performs zero heap allocations beyond the
+/// returned vector itself.
 [[nodiscard]] std::vector<PitchFrame> track_pitch(
     std::span<const double> signal, double sample_rate_hz,
     const PitchConfig& config = {});
@@ -48,5 +76,23 @@ struct PitchFrame {
 /// in Hz; returns nullopt when nothing is voiced.
 [[nodiscard]] std::optional<std::pair<double, double>> pitch_statistics(
     const std::vector<PitchFrame>& track);
+
+namespace detail {
+
+/// estimate_pitch with validation hoisted out and scratch drawn from
+/// `ws` (scoped internally). track_pitch calls this per frame.
+[[nodiscard]] std::optional<double> estimate_pitch_validated(
+    std::span<const double> frame, double sample_rate_hz,
+    const PitchConfig& config, util::Workspace& ws);
+
+/// Which autocorrelation kernel a frame of `n` samples with lag range
+/// [min_lag, max_lag] dispatches to (see the module comment). Exposed
+/// so the parity tests can assert each kernel is actually exercised.
+enum class Correlator { kDirect, kFast, kFft };
+[[nodiscard]] Correlator correlator_for(std::size_t n, std::size_t min_lag,
+                                        std::size_t max_lag,
+                                        bool exact) noexcept;
+
+}  // namespace detail
 
 }  // namespace emoleak::dsp

@@ -21,6 +21,15 @@ const std::vector<std::string>& feature_names() {
   return names;
 }
 
+std::string schema_signature() {
+  std::string sig = "features-v1/" + std::to_string(kFeatureCount);
+  for (const std::string& name : feature_names()) {
+    sig += '/';
+    sig += name;
+  }
+  return sig;
+}
+
 std::array<double, kTimeFeatureCount> time_features(
     std::span<const double> region) {
   if (region.empty()) throw util::DataError{"time_features: empty region"};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <istream>
+#include <optional>
 #include <ostream>
 
 #include "ml/serialize.h"
@@ -45,10 +46,16 @@ void RandomForest::fit(const Dataset& data) {
     plans[t] = TreePlan{cfg, std::move(bag)};
   }
 
+  // Sort every feature column once for the whole forest; each tree
+  // derives its bag's order from this in linear time. Read-only after
+  // construction, so sharing it across the worker threads is safe.
+  std::optional<PresortedColumns> shared;
+  if (config_.tree.presort) shared.emplace(PresortedColumns::build(data));
+
   std::vector<DecisionTree> trees(config_.tree_count);
   util::parallel_for(config_.parallelism, plans.size(), [&](std::size_t t) {
     DecisionTree tree{plans[t].cfg};
-    tree.fit_indices(data, plans[t].bag);
+    tree.fit_indices(data, plans[t].bag, shared ? &*shared : nullptr);
     trees[t] = std::move(tree);
   });
   trees_ = std::move(trees);

@@ -3,28 +3,100 @@
 #include <algorithm>
 #include <iomanip>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <cmath>
 #include <numeric>
 
 #include "ml/serialize.h"
 #include "util/error.h"
+#include "util/workspace.h"
 
 namespace emoleak::ml {
 
 namespace {
 
-double gini(const std::vector<std::size_t>& counts, std::size_t total) {
-  if (total == 0) return 0.0;
-  double sum_sq = 0.0;
+// Split scoring works on integer sums of squared class counts, which
+// the scan maintains incrementally (moving one sample of class c from
+// right to left changes each sum by 2·count±1) instead of re-walking
+// the class histogram per candidate cut. From
+// gini = 1 - Σ(c/total)² = 1 - (Σc²)/total², the weighted child score
+//
+//   (n_l·g_l + n_r·g_r) / count = 1 - (S_l/n_l + S_r/n_r) / count
+//
+// so *minimizing* the score with the 1e-12 improvement epsilon is
+// *maximizing* the purity metric S_l/n_l + S_r/n_r against an epsilon
+// pre-scaled by count, with the parent seeded at S/count. A node is
+// pure exactly when S == count² (exact in integers). Sums of squares
+// fit std::uint64_t for totals below 2^31.
+
+std::uint64_t squared_count_sum(std::span<const std::size_t> counts) {
+  std::uint64_t s = 0;
   for (const std::size_t c : counts) {
-    const double p = static_cast<double>(c) / static_cast<double>(total);
-    sum_sq += p * p;
+    s += static_cast<std::uint64_t>(c) * static_cast<std::uint64_t>(c);
   }
-  return 1.0 - sum_sq;
+  return s;
+}
+
+double split_metric(std::uint64_t left_sq, std::size_t n_left,
+                    std::uint64_t right_sq, std::size_t n_right) {
+  return static_cast<double>(left_sq) / static_cast<double>(n_left) +
+         static_cast<double>(right_sq) / static_cast<double>(n_right);
 }
 
 }  // namespace
+
+// All per-fit scratch, taken from the calling thread's Workspace once
+// per fit_indices call. The reference path keeps the original
+// copy+sort algorithm (minus its per-node allocations); the presort
+// path adds per-feature order arrays maintained down the tree.
+struct DecisionTree::BuildScratch {
+  std::size_t n = 0;    ///< rows in the fitting index set (with repeats)
+  std::size_t dim = 0;  ///< feature count
+
+  // Shared per-node buffers (reused; reinitialized at each node).
+  std::span<std::size_t> class_counts;
+  std::span<std::size_t> left_counts;
+  std::span<std::size_t> right_counts;
+  std::span<std::size_t> features;  ///< candidate ids, re-iota'd per node
+
+  // Reference path: the node-owned row window + the per-node column.
+  std::span<std::size_t> rows;  ///< fitting indices, partitioned in place
+  std::span<std::pair<double, int>> column;
+
+  // Presort path. `order` holds dim arrays of n bag positions, each
+  // sorted by that feature's value; every node owns the same
+  // [begin, end) window in all of them. `values` is the column-major
+  // feature matrix (values[f*n + pos]) so sorting and scanning touch
+  // contiguous-ish memory instead of re-gathering rows.
+  std::span<double> values;          ///< dim * n, column-major
+  std::span<int> pos_class;          ///< position -> label
+  std::span<std::uint32_t> order;    ///< dim * n sorted positions
+  std::span<std::uint32_t> tmp;      ///< partition spill buffer (n)
+  std::span<unsigned char> go_left;  ///< split mask by position (n)
+};
+
+PresortedColumns PresortedColumns::build(const Dataset& data) {
+  data.validate();
+  PresortedColumns p;
+  p.n_ = data.size();
+  p.dim_ = data.dim();
+  if (p.n_ > std::numeric_limits<std::uint32_t>::max()) {
+    throw util::DataError{"PresortedColumns: dataset too large"};
+  }
+  p.order_.resize(p.dim_ * p.n_);
+  std::vector<double> col(p.n_);
+  for (std::size_t f = 0; f < p.dim_; ++f) {
+    for (std::size_t i = 0; i < p.n_; ++i) col[i] = data.x[i][f];
+    const std::span<std::uint32_t> ord{p.order_.data() + f * p.n_, p.n_};
+    std::iota(ord.begin(), ord.end(), std::uint32_t{0});
+    std::sort(ord.begin(), ord.end(),
+              [&col](std::uint32_t a, std::uint32_t b) {
+                return col[a] != col[b] ? col[a] < col[b] : a < b;
+              });
+  }
+  return p;
+}
 
 void DecisionTree::fit(const Dataset& data) {
   std::vector<std::size_t> indices(data.size());
@@ -33,62 +105,159 @@ void DecisionTree::fit(const Dataset& data) {
 }
 
 void DecisionTree::fit_indices(const Dataset& data,
-                               std::span<const std::size_t> indices) {
+                               std::span<const std::size_t> indices,
+                               const PresortedColumns* presorted) {
   data.validate();
   if (indices.empty()) throw util::DataError{"DecisionTree: empty index set"};
   classes_ = data.class_count;
   nodes_.clear();
   leaf_count_ = 0;
-  std::vector<std::size_t> work{indices.begin(), indices.end()};
   util::Rng rng{config_.seed};
-  build(data, work, 0, work.size(), 0, rng);
+
+  const std::size_t n = indices.size();
+  const std::size_t dim = data.dim();
+  util::Workspace& ws = util::thread_workspace();
+  const util::Workspace::Scope scope{ws};
+
+  BuildScratch scratch;
+  scratch.n = n;
+  scratch.dim = dim;
+  const auto classes = static_cast<std::size_t>(classes_);
+  scratch.class_counts = ws.take<std::size_t>(classes);
+  scratch.left_counts = ws.take<std::size_t>(classes);
+  scratch.right_counts = ws.take<std::size_t>(classes);
+  scratch.features = ws.take<std::size_t>(dim);
+
+  const bool presort = config_.presort && dim > 0 &&
+                       n <= std::numeric_limits<std::uint32_t>::max();
+  if (presort) {
+    scratch.values = ws.take<double>(dim * n);
+    scratch.pos_class = ws.take<int>(n);
+    scratch.order = ws.take<std::uint32_t>(dim * n);
+    scratch.tmp = ws.take<std::uint32_t>(n);
+    scratch.go_left = ws.take<unsigned char>(n);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      const std::size_t row = indices[pos];
+      scratch.pos_class[pos] = data.y[row];
+      const std::vector<double>& x_row = data.x[row];
+      for (std::size_t f = 0; f < dim; ++f) {
+        scratch.values[f * n + pos] = x_row[f];
+      }
+    }
+    const bool shared_usable = presorted != nullptr &&
+                               presorted->rows() == data.size() &&
+                               presorted->dims() == dim;
+    if (shared_usable) {
+      // Derive each feature's bag order from the shared per-dataset
+      // sort: group bag positions by row once (counting sort), then
+      // emit them in the shared value order — O(dim * (rows + n)) with
+      // zero comparisons. Ties land in (value, row, position) order
+      // instead of (value, position); intra-tie order does not affect
+      // split choice, so fitted trees are unchanged.
+      const std::size_t data_n = data.size();
+      const std::span<std::uint32_t> row_start =
+          ws.take<std::uint32_t>(data_n + 1);
+      std::fill(row_start.begin(), row_start.end(), std::uint32_t{0});
+      for (std::size_t pos = 0; pos < n; ++pos) ++row_start[indices[pos] + 1];
+      for (std::size_t r = 0; r < data_n; ++r) row_start[r + 1] += row_start[r];
+      const std::span<std::uint32_t> pos_by_row = ws.take<std::uint32_t>(n);
+      const std::span<std::uint32_t> cursor = ws.take<std::uint32_t>(data_n);
+      std::copy(row_start.begin(), row_start.begin() + static_cast<std::ptrdiff_t>(data_n),
+                cursor.begin());
+      for (std::size_t pos = 0; pos < n; ++pos) {
+        pos_by_row[cursor[indices[pos]]++] = static_cast<std::uint32_t>(pos);
+      }
+      for (std::size_t f = 0; f < dim; ++f) {
+        const std::uint32_t* shared_ord = presorted->order(f);
+        std::uint32_t* ord = scratch.order.data() + f * n;
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < data_n; ++i) {
+          const std::uint32_t r = shared_ord[i];
+          for (std::uint32_t t = row_start[r]; t < row_start[r + 1]; ++t) {
+            ord[out++] = pos_by_row[t];
+          }
+        }
+      }
+    } else {
+      for (std::size_t f = 0; f < dim; ++f) {
+        const std::span<std::uint32_t> ord = scratch.order.subspan(f * n, n);
+        std::iota(ord.begin(), ord.end(), std::uint32_t{0});
+        const double* col = scratch.values.data() + f * n;
+        // Ties broken by position: a deterministic total order without
+        // stable_sort's hidden heap buffer. Intra-tie order does not
+        // affect split choice (cuts only happen between distinct
+        // values), so this matches the reference's value-sorted scan
+        // exactly.
+        std::sort(ord.begin(), ord.end(),
+                  [col](std::uint32_t a, std::uint32_t b) {
+                    return col[a] != col[b] ? col[a] < col[b] : a < b;
+                  });
+      }
+    }
+    build_presort(data, scratch, 0, n, 0, rng);
+  } else {
+    scratch.rows = ws.take<std::size_t>(n);
+    std::copy(indices.begin(), indices.end(), scratch.rows.begin());
+    scratch.column = ws.take<std::pair<double, int>>(n);
+    build_reference(data, scratch, 0, n, 0, rng);
+  }
 }
 
-std::int32_t DecisionTree::build(const Dataset& data,
-                                 std::vector<std::size_t>& indices,
-                                 std::size_t begin, std::size_t end, int depth,
-                                 util::Rng& rng) {
+std::int32_t DecisionTree::make_leaf(std::span<const std::size_t> class_counts,
+                                     std::size_t count) {
+  Node leaf;
+  leaf.distribution.resize(static_cast<std::size_t>(classes_));
+  for (int c = 0; c < classes_; ++c) {
+    leaf.distribution[static_cast<std::size_t>(c)] =
+        static_cast<double>(class_counts[static_cast<std::size_t>(c)]) /
+        static_cast<double>(count);
+  }
+  leaf.leaf_id = leaf_count_++;
+  nodes_.push_back(std::move(leaf));
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+// The original per-node copy+sort algorithm. Kept as the parity
+// reference for the presort rewrite; its per-node scratch now comes
+// from BuildScratch so repeated fits stay allocation-free too.
+std::int32_t DecisionTree::build_reference(const Dataset& data,
+                                           BuildScratch& scratch,
+                                           std::size_t begin, std::size_t end,
+                                           int depth, util::Rng& rng) {
   const std::size_t count = end - begin;
-  std::vector<std::size_t> class_counts(static_cast<std::size_t>(classes_), 0);
+  const std::span<std::size_t> indices = scratch.rows;
+  const std::span<std::size_t> class_counts = scratch.class_counts;
+  std::fill(class_counts.begin(), class_counts.end(), std::size_t{0});
   for (std::size_t i = begin; i < end; ++i) {
     ++class_counts[static_cast<std::size_t>(data.y[indices[i]])];
   }
-  const double node_gini = gini(class_counts, count);
-
-  const auto make_leaf = [&]() -> std::int32_t {
-    Node leaf;
-    leaf.distribution.resize(static_cast<std::size_t>(classes_));
-    for (int c = 0; c < classes_; ++c) {
-      leaf.distribution[static_cast<std::size_t>(c)] =
-          static_cast<double>(class_counts[static_cast<std::size_t>(c)]) /
-          static_cast<double>(count);
-    }
-    leaf.leaf_id = leaf_count_++;
-    nodes_.push_back(std::move(leaf));
-    return static_cast<std::int32_t>(nodes_.size() - 1);
-  };
+  const std::uint64_t node_sq = squared_count_sum(class_counts);
 
   if (depth >= config_.max_depth || count < config_.min_samples_split ||
-      node_gini == 0.0) {
-    return make_leaf();
+      node_sq == static_cast<std::uint64_t>(count) * count) {
+    return make_leaf(class_counts, count);
   }
 
   // Candidate features: all, or a random subset (random-forest mode).
   const std::size_t dim = data.dim();
-  std::vector<std::size_t> features(dim);
-  std::iota(features.begin(), features.end(), 0);
+  const std::span<std::size_t> features = scratch.features;
+  std::iota(features.begin(), features.end(), std::size_t{0});
   std::size_t feature_count = dim;
   if (config_.features_per_split > 0 && config_.features_per_split < dim) {
     rng.shuffle(features);
     feature_count = config_.features_per_split;
   }
 
-  double best_score = node_gini;  // must improve on the parent
+  // Must improve on the parent by more than the scaled epsilon.
+  const double eps_scaled = 1e-12 * static_cast<double>(count);
+  double best_metric =
+      static_cast<double>(node_sq) / static_cast<double>(count);
   std::size_t best_feature = 0;
   double best_threshold = 0.0;
   bool found = false;
 
-  std::vector<std::pair<double, int>> column(count);
+  const std::span<std::pair<double, int>> column =
+      scratch.column.subspan(0, count);
   for (std::size_t fi = 0; fi < feature_count; ++fi) {
     const std::size_t f = features[fi];
     for (std::size_t i = 0; i < count; ++i) {
@@ -97,24 +266,25 @@ std::int32_t DecisionTree::build(const Dataset& data,
     }
     std::sort(column.begin(), column.end());
 
-    std::vector<std::size_t> left_counts(static_cast<std::size_t>(classes_), 0);
-    std::vector<std::size_t> right_counts = class_counts;
+    const std::span<std::size_t> left_counts = scratch.left_counts;
+    const std::span<std::size_t> right_counts = scratch.right_counts;
+    std::fill(left_counts.begin(), left_counts.end(), std::size_t{0});
+    std::copy(class_counts.begin(), class_counts.end(), right_counts.begin());
+    std::uint64_t left_sq = 0;
+    std::uint64_t right_sq = node_sq;
     for (std::size_t i = 0; i + 1 < count; ++i) {
       const auto cls = static_cast<std::size_t>(column[i].second);
-      ++left_counts[cls];
-      --right_counts[cls];
+      left_sq += 2 * static_cast<std::uint64_t>(left_counts[cls]++) + 1;
+      right_sq -= 2 * static_cast<std::uint64_t>(--right_counts[cls]) + 1;
       if (column[i].first == column[i + 1].first) continue;  // no valid cut
       const std::size_t n_left = i + 1;
       const std::size_t n_right = count - n_left;
       if (n_left < config_.min_samples_leaf || n_right < config_.min_samples_leaf) {
         continue;
       }
-      const double score =
-          (static_cast<double>(n_left) * gini(left_counts, n_left) +
-           static_cast<double>(n_right) * gini(right_counts, n_right)) /
-          static_cast<double>(count);
-      if (score < best_score - 1e-12) {
-        best_score = score;
+      const double metric = split_metric(left_sq, n_left, right_sq, n_right);
+      if (metric > best_metric + eps_scaled) {
+        best_metric = metric;
         best_feature = f;
         best_threshold = 0.5 * (column[i].first + column[i + 1].first);
         found = true;
@@ -122,7 +292,7 @@ std::int32_t DecisionTree::build(const Dataset& data,
     }
   }
 
-  if (!found) return make_leaf();
+  if (!found) return make_leaf(class_counts, count);
 
   // Partition indices[begin, end) around the chosen split.
   const auto mid_iter = std::stable_partition(
@@ -130,13 +300,147 @@ std::int32_t DecisionTree::build(const Dataset& data,
       indices.begin() + static_cast<std::ptrdiff_t>(end),
       [&](std::size_t row) { return data.x[row][best_feature] <= best_threshold; });
   const auto mid = static_cast<std::size_t>(mid_iter - indices.begin());
-  if (mid == begin || mid == end) return make_leaf();  // degenerate partition
+  // The scan only reads class_counts, so it still holds this node's
+  // counts for the degenerate-partition leaf.
+  if (mid == begin || mid == end) return make_leaf(class_counts, count);
 
   // Reserve this node's slot before recursing so children line up.
   nodes_.emplace_back();
   const auto self = static_cast<std::int32_t>(nodes_.size() - 1);
-  const std::int32_t left = build(data, indices, begin, mid, depth + 1, rng);
-  const std::int32_t right = build(data, indices, mid, end, depth + 1, rng);
+  const std::int32_t left =
+      build_reference(data, scratch, begin, mid, depth + 1, rng);
+  const std::int32_t right =
+      build_reference(data, scratch, mid, end, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(self)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(self)].threshold = best_threshold;
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+// Presorted CART induction. Each feature's positions were sorted once
+// in fit_indices; a node scans its [begin, end) window of every
+// candidate feature's order array directly (no copy, no sort) and,
+// after choosing a split, stable-partitions every feature's window by
+// the split mask so both children see sorted windows again. Split
+// scores only depend on class counts accumulated over runs of equal
+// values, which are invariant to intra-tie ordering, so the chosen
+// (feature, threshold) — and hence the serialized tree — is
+// byte-identical to the reference algorithm.
+std::int32_t DecisionTree::build_presort(const Dataset& data,
+                                         BuildScratch& scratch,
+                                         std::size_t begin, std::size_t end,
+                                         int depth, util::Rng& rng) {
+  const std::size_t count = end - begin;
+  const std::size_t n = scratch.n;
+  const std::span<std::size_t> class_counts = scratch.class_counts;
+  std::fill(class_counts.begin(), class_counts.end(), std::size_t{0});
+  // Any feature's window holds exactly this node's positions.
+  const std::uint32_t* node_pos = scratch.order.data() + begin;
+  for (std::size_t j = 0; j < count; ++j) {
+    ++class_counts[static_cast<std::size_t>(scratch.pos_class[node_pos[j]])];
+  }
+  const std::uint64_t node_sq = squared_count_sum(class_counts);
+
+  if (depth >= config_.max_depth || count < config_.min_samples_split ||
+      node_sq == static_cast<std::uint64_t>(count) * count) {
+    return make_leaf(class_counts, count);
+  }
+
+  const std::size_t dim = scratch.dim;
+  const std::span<std::size_t> features = scratch.features;
+  std::iota(features.begin(), features.end(), std::size_t{0});
+  std::size_t feature_count = dim;
+  if (config_.features_per_split > 0 && config_.features_per_split < dim) {
+    rng.shuffle(features);
+    feature_count = config_.features_per_split;
+  }
+
+  // Must improve on the parent by more than the scaled epsilon.
+  const double eps_scaled = 1e-12 * static_cast<double>(count);
+  double best_metric =
+      static_cast<double>(node_sq) / static_cast<double>(count);
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+  bool found = false;
+
+  for (std::size_t fi = 0; fi < feature_count; ++fi) {
+    const std::size_t f = features[fi];
+    const std::uint32_t* ord = scratch.order.data() + f * n + begin;
+    const double* col = scratch.values.data() + f * n;
+
+    const std::span<std::size_t> left_counts = scratch.left_counts;
+    const std::span<std::size_t> right_counts = scratch.right_counts;
+    std::fill(left_counts.begin(), left_counts.end(), std::size_t{0});
+    std::copy(class_counts.begin(), class_counts.end(), right_counts.begin());
+    std::uint64_t left_sq = 0;
+    std::uint64_t right_sq = node_sq;
+    // The sorted window makes each iteration's upper value the next
+    // iteration's lower one, so only one value gather per position.
+    double v = col[ord[0]];
+    for (std::size_t i = 0; i + 1 < count; ++i) {
+      const auto cls = static_cast<std::size_t>(scratch.pos_class[ord[i]]);
+      left_sq += 2 * static_cast<std::uint64_t>(left_counts[cls]++) + 1;
+      right_sq -= 2 * static_cast<std::uint64_t>(--right_counts[cls]) + 1;
+      const double v_cur = v;
+      v = col[ord[i + 1]];
+      if (v_cur == v) continue;  // no valid cut
+      const std::size_t n_left = i + 1;
+      const std::size_t n_right = count - n_left;
+      if (n_left < config_.min_samples_leaf || n_right < config_.min_samples_leaf) {
+        continue;
+      }
+      const double metric = split_metric(left_sq, n_left, right_sq, n_right);
+      if (metric > best_metric + eps_scaled) {
+        best_metric = metric;
+        best_feature = f;
+        best_threshold = 0.5 * (v_cur + v);
+        found = true;
+      }
+    }
+  }
+
+  if (!found) return make_leaf(class_counts, count);
+
+  // Split mask by position, then stable-partition every feature's
+  // window so both children keep sorted order. The mask depends only on
+  // the row's value, so repeated bag positions of one row always go the
+  // same way.
+  const double* best_col = scratch.values.data() + best_feature * n;
+  std::size_t left_total = 0;
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::uint32_t pos = node_pos[j];
+    const bool goes_left = best_col[pos] <= best_threshold;
+    scratch.go_left[pos] = goes_left ? 1 : 0;
+    left_total += goes_left ? 1 : 0;
+  }
+  if (left_total == 0 || left_total == count) {
+    return make_leaf(class_counts, count);  // degenerate partition
+  }
+  for (std::size_t f = 0; f < dim; ++f) {
+    std::uint32_t* ord = scratch.order.data() + f * n + begin;
+    std::uint32_t* spill = scratch.tmp.data();
+    std::size_t write = 0;
+    std::size_t spilled = 0;
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::uint32_t pos = ord[j];
+      if (scratch.go_left[pos]) {
+        ord[write++] = pos;
+      } else {
+        spill[spilled++] = pos;
+      }
+    }
+    std::copy(spill, spill + spilled, ord + write);
+  }
+  const std::size_t mid = begin + left_total;
+
+  // Reserve this node's slot before recursing so children line up.
+  nodes_.emplace_back();
+  const auto self = static_cast<std::int32_t>(nodes_.size() - 1);
+  const std::int32_t left =
+      build_presort(data, scratch, begin, mid, depth + 1, rng);
+  const std::int32_t right =
+      build_presort(data, scratch, mid, end, depth + 1, rng);
   nodes_[static_cast<std::size_t>(self)].feature = best_feature;
   nodes_[static_cast<std::size_t>(self)].threshold = best_threshold;
   nodes_[static_cast<std::size_t>(self)].left = left;

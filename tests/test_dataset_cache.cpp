@@ -1,0 +1,135 @@
+// Tests for the memoized dataset construction (core/dataset_cache.h).
+#include "core/dataset_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace {
+
+using emoleak::core::capture;
+using emoleak::core::capture_cached;
+using emoleak::core::DatasetCache;
+using emoleak::core::DatasetCacheStats;
+using emoleak::core::ScenarioConfig;
+
+/// A scenario small enough to capture in well under a second.
+ScenarioConfig tiny_scenario(std::uint64_t seed = 42) {
+  ScenarioConfig sc = emoleak::core::loudspeaker_scenario(
+      emoleak::audio::savee_spec(), emoleak::phone::oneplus_7t(), seed);
+  sc.corpus_fraction = 0.05;
+  return sc;
+}
+
+TEST(DatasetCacheTest, HitReturnsBitIdenticalDataset) {
+  DatasetCache cache;
+  const ScenarioConfig sc = tiny_scenario();
+  const auto first = cache.get_or_build(sc);
+  const auto second = cache.get_or_build(sc);
+  // A hit hands back the very same snapshot...
+  EXPECT_EQ(first.get(), second.get());
+  // ...and that snapshot is bit-identical to an uncached capture.
+  const emoleak::core::ExtractedData fresh = capture(sc);
+  EXPECT_EQ(first->features.x, fresh.features.x);
+  EXPECT_EQ(first->features.y, fresh.features.y);
+  EXPECT_EQ(first->features.class_count, fresh.features.class_count);
+  EXPECT_EQ(first->spectrograms, fresh.spectrograms);
+  EXPECT_EQ(first->speaker_ids, fresh.speaker_ids);
+  EXPECT_EQ(first->regions_detected, fresh.regions_detected);
+}
+
+TEST(DatasetCacheTest, CountersTrackHitsAndMisses) {
+  DatasetCache cache;
+  const ScenarioConfig sc = tiny_scenario();
+  (void)cache.get_or_build(sc);
+  (void)cache.get_or_build(sc);
+  (void)cache.get_or_build(tiny_scenario(/*seed=*/43));
+  const DatasetCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_GT(s.approx_bytes, 0u);
+}
+
+TEST(DatasetCacheTest, KeyCoversEveryPipelineReachingField) {
+  const ScenarioConfig base = tiny_scenario();
+  const std::string key = DatasetCache::key_of(base);
+  EXPECT_EQ(key, DatasetCache::key_of(base)) << "key must be deterministic";
+
+  auto expect_differs = [&](auto mutate, const char* what) {
+    ScenarioConfig changed = base;
+    mutate(changed);
+    EXPECT_NE(DatasetCache::key_of(changed), key) << what;
+  };
+  expect_differs([](ScenarioConfig& c) { c.seed ^= 1; }, "seed");
+  expect_differs([](ScenarioConfig& c) { c.corpus_fraction = 0.06; },
+                 "corpus_fraction");
+  expect_differs([](ScenarioConfig& c) { c.dataset = emoleak::audio::tess_spec(); },
+                 "dataset");
+  expect_differs([](ScenarioConfig& c) { c.phone = emoleak::phone::pixel_5(); },
+                 "phone");
+  expect_differs(
+      [](ScenarioConfig& c) { c.speaker = emoleak::phone::SpeakerKind::kEarSpeaker; },
+      "speaker");
+  expect_differs(
+      [](ScenarioConfig& c) { c.posture = emoleak::phone::Posture::kHandheld; },
+      "posture");
+  expect_differs([](ScenarioConfig& c) { c.pipeline.image_size = 16; },
+                 "image_size");
+  expect_differs([](ScenarioConfig& c) { c.pipeline.stft.hop = 4; }, "stft");
+  expect_differs(
+      [](ScenarioConfig& c) { c.pipeline.detector.threshold_k = 2.5; },
+      "detector");
+}
+
+TEST(DatasetCacheTest, ParallelismExcludedFromKey) {
+  // Extraction is bit-identical at any thread count, so thread budget
+  // must not fragment the cache.
+  const ScenarioConfig base = tiny_scenario();
+  ScenarioConfig threaded = base;
+  threaded.pipeline.parallelism.threads = 4;
+  EXPECT_EQ(DatasetCache::key_of(base), DatasetCache::key_of(threaded));
+}
+
+TEST(DatasetCacheTest, ClearDropsEntriesButSnapshotsSurvive) {
+  DatasetCache cache;
+  const ScenarioConfig sc = tiny_scenario();
+  const auto snapshot = cache.get_or_build(sc);
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_FALSE(snapshot->features.x.empty());  // still valid
+  (void)cache.get_or_build(sc);
+  EXPECT_EQ(cache.stats().misses, 2u);  // rebuilt after clear
+}
+
+TEST(DatasetCacheTest, ConcurrentRequestsShareOneSnapshotPerKey) {
+  DatasetCache cache;
+  const ScenarioConfig sc = tiny_scenario();
+  std::vector<std::shared_ptr<const emoleak::core::ExtractedData>> got(4);
+  std::vector<std::thread> threads;
+  threads.reserve(got.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    threads.emplace_back([&, i] { got[i] = cache.get_or_build(sc); });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const auto& g : got) {
+    ASSERT_NE(g, nullptr);
+    // Racing builders may each run a capture, but all callers must end
+    // up observing equal data and the cache must hold exactly one entry.
+    EXPECT_EQ(g->features.x, got[0]->features.x);
+  }
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(DatasetCacheTest, ProcessWideHelperUsesSingleton) {
+  const ScenarioConfig sc = tiny_scenario(/*seed=*/91);
+  const auto before = DatasetCache::instance().stats();
+  const auto a = capture_cached(sc);
+  const auto b = capture_cached(sc);
+  EXPECT_EQ(a.get(), b.get());
+  const auto after = DatasetCache::instance().stats();
+  EXPECT_EQ(after.hits, before.hits + 1);
+}
+
+}  // namespace

@@ -6,6 +6,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "audio/corpus.h"
+#include "phone/channel.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -147,5 +149,119 @@ INSTANTIATE_TEST_SUITE_P(
     Voices, PitchSweep,
     ::testing::Combine(::testing::Values(70.0, 110.0, 160.0, 200.0),
                        ::testing::Values(420.0, 2000.0, 8000.0)));
+
+// Optimized kernel vs the direct O(lags·N) reference: same
+// voiced/unvoiced decisions and F0 within 1e-9 relative on every frame.
+void expect_tracks_agree(std::span<const double> x, double rate,
+                         PitchConfig cfg) {
+  cfg.exact = false;
+  const auto fast_track = track_pitch(x, rate, cfg);
+  cfg.exact = true;
+  const auto direct_track = track_pitch(x, rate, cfg);
+  ASSERT_EQ(fast_track.size(), direct_track.size());
+  for (std::size_t i = 0; i < fast_track.size(); ++i) {
+    ASSERT_EQ(fast_track[i].f0_hz.has_value(),
+              direct_track[i].f0_hz.has_value())
+        << "voicing decision diverged at frame " << i;
+    if (fast_track[i].f0_hz) {
+      EXPECT_NEAR(*fast_track[i].f0_hz, *direct_track[i].f0_hz,
+                  1e-9 * *direct_track[i].f0_hz)
+          << "frame " << i;
+    }
+  }
+}
+
+// The kernel a config's frames dispatch to, derived exactly as
+// estimate_pitch does.
+emoleak::dsp::detail::Correlator dispatch_of(double rate,
+                                             const PitchConfig& cfg) {
+  const auto n = static_cast<std::size_t>(cfg.frame_s * rate);
+  const auto min_lag = static_cast<std::size_t>(rate / cfg.max_hz);
+  const auto max_lag = static_cast<std::size_t>(rate / cfg.min_hz);
+  return emoleak::dsp::detail::correlator_for(n, min_lag, max_lag, cfg.exact);
+}
+
+TEST(PitchParityTest, FastKernelMatchesDirectOnTonesAndNoise) {
+  // 16 kHz with the default 50-400 Hz range spans ~280 lags per frame:
+  // past the bitwise-direct cutoff, below the FFT crossover, so the
+  // non-exact path exercises the unrolled kernel here.
+  ASSERT_EQ(dispatch_of(16000.0, PitchConfig{}),
+            emoleak::dsp::detail::Correlator::kFast);
+  for (const double f0 : {75.0, 140.0, 290.0}) {
+    expect_tracks_agree(tone(f0, 16000.0, 0.4, 0.2, 31), 16000.0,
+                        PitchConfig{});
+  }
+  // Noise-only input: both paths must agree everything is unvoiced.
+  emoleak::util::Rng rng{32};
+  std::vector<double> noise(16000);
+  for (double& v : noise) v = rng.normal();
+  expect_tracks_agree(noise, 16000.0, PitchConfig{});
+}
+
+TEST(PitchParityTest, FftMatchesDirectOnWideLagGrids) {
+  // Long frames over a 20-400 Hz range put lags·N past the FFT
+  // crossover, so this exercises the Wiener–Khinchin correlator.
+  PitchConfig cfg;
+  cfg.min_hz = 20.0;
+  cfg.frame_s = 0.3;
+  ASSERT_EQ(dispatch_of(16000.0, cfg),
+            emoleak::dsp::detail::Correlator::kFft);
+  for (const double f0 : {75.0, 140.0, 290.0}) {
+    expect_tracks_agree(tone(f0, 16000.0, 0.8, 0.2, 31), 16000.0, cfg);
+  }
+  emoleak::util::Rng rng{32};
+  std::vector<double> noise(16000);
+  for (double& v : noise) v = rng.normal();
+  expect_tracks_agree(noise, 16000.0, cfg);
+}
+
+TEST(PitchParityTest, SmallFramesDispatchBitwiseIdenticalToExact) {
+  // Accelerometer-rate frames sit below the FFT crossover: the default
+  // config must produce *bitwise* identical tracks to exact=true there,
+  // which is what keeps seed-corpus outputs unchanged.
+  const auto x = tone(120.0, 420.0, 1.0, 0.1, 33);
+  PitchConfig cfg;
+  cfg.max_hz = 200.0;
+  ASSERT_EQ(dispatch_of(420.0, cfg),
+            emoleak::dsp::detail::Correlator::kDirect);
+  const auto auto_track = track_pitch(x, 420.0, cfg);
+  cfg.exact = true;
+  const auto exact_track = track_pitch(x, 420.0, cfg);
+  ASSERT_EQ(auto_track.size(), exact_track.size());
+  for (std::size_t i = 0; i < auto_track.size(); ++i) {
+    ASSERT_EQ(auto_track[i].f0_hz.has_value(),
+              exact_track[i].f0_hz.has_value());
+    if (auto_track[i].f0_hz) {
+      EXPECT_EQ(*auto_track[i].f0_hz, *exact_track[i].f0_hz) << "frame " << i;
+    }
+  }
+}
+
+TEST(PitchParityTest, FftMatchesDirectOnConductedSpeech) {
+  // The seed-corpus use case (bench_ext_pitch): synthesized emotional
+  // speech conducted through the phone chassis to the accelerometer.
+  using namespace emoleak;
+  util::Rng voice_rng{7};
+  const audio::SpeakerVoice voice =
+      audio::SpeakerVoice::sample(audio::Gender::kMale, 0.2, voice_rng);
+  const phone::PhoneProfile phone = phone::oneplus_7t();
+  PitchConfig cfg;
+  cfg.min_hz = 60.0;
+  cfg.max_hz = 200.0;
+  cfg.voicing_threshold = 0.55;
+  for (const audio::Emotion emotion :
+       {audio::Emotion::kAngry, audio::Emotion::kSad, audio::Emotion::kFear}) {
+    audio::SynthConfig synth;
+    synth.target_duration_s = 1.5;
+    util::Rng rng{100 + static_cast<std::uint64_t>(emotion)};
+    const audio::Utterance utt = audio::synthesize_utterance(
+        voice, audio::emotion_profile(emotion), synth, rng);
+    const auto vib = phone::conduct(utt.samples, utt.sample_rate_hz, phone,
+                                    phone::SpeakerKind::kLoudspeaker);
+    const auto accel =
+        phone::accel_sampling_chain(vib, utt.sample_rate_hz, phone);
+    expect_tracks_agree(accel, phone.accel_rate_hz, cfg);
+  }
+}
 
 }  // namespace

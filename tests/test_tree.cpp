@@ -5,9 +5,11 @@
 
 #include <cmath>
 #include <set>
+#include <sstream>
 
 #include "util/error.h"
 #include "util/rng.h"
+#include "util/workspace.h"
 
 namespace {
 
@@ -15,6 +17,12 @@ using emoleak::ml::Dataset;
 using emoleak::ml::DecisionTree;
 using emoleak::ml::TreeConfig;
 using emoleak::util::Rng;
+
+std::string serialized(const DecisionTree& tree) {
+  std::ostringstream out;
+  tree.serialize(out);
+  return out.str();
+}
 
 Dataset xor_data(std::size_t n, std::uint64_t seed) {
   Rng rng{seed};
@@ -189,5 +197,98 @@ TEST_P(DepthSweep, AccuracyMonotoneInDepth) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Depths, DepthSweep, ::testing::Values(1, 2, 3, 5, 8));
+
+// Multiclass dataset with quantized (heavily tied) values — the
+// adversarial case for presorted induction, where intra-tie ordering
+// could diverge from the reference's (value, label) sort if splits
+// depended on it.
+Dataset quantized_data(std::size_t n, int classes, std::uint64_t seed) {
+  Rng rng{seed};
+  Dataset d;
+  d.class_count = classes;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = std::round(rng.uniform(-2.0, 2.0) * 4.0) / 4.0;
+    const double b = std::round(rng.uniform(-2.0, 2.0) * 2.0) / 2.0;
+    const double c = std::round(rng.normal() * 2.0) / 2.0;
+    d.x.push_back({a, b, c});
+    const int label =
+        static_cast<int>(std::abs(a + 0.7 * b - 0.4 * c) * 1.7) % classes;
+    d.y.push_back(label);
+  }
+  return d;
+}
+
+// Presort-vs-reference parity: identical serialized bytes across
+// depth / min-leaf / feature-subset sweeps on tied and untied data.
+struct ParityCase {
+  int max_depth;
+  std::size_t min_samples_leaf;
+  std::size_t features_per_split;
+};
+
+class PresortParity : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(PresortParity, SerializesByteIdenticallyToReference) {
+  const ParityCase p = GetParam();
+  const std::vector<Dataset> datasets = {
+      xor_data(300, 21), quantized_data(400, 3, 22), quantized_data(150, 5, 23)};
+  for (const Dataset& d : datasets) {
+    TreeConfig cfg;
+    cfg.max_depth = p.max_depth;
+    cfg.min_samples_leaf = p.min_samples_leaf;
+    cfg.features_per_split = p.features_per_split;
+    cfg.seed = 101;
+    cfg.presort = true;
+    DecisionTree fast{cfg};
+    cfg.presort = false;
+    DecisionTree reference{cfg};
+    fast.fit(d);
+    reference.fit(d);
+    EXPECT_EQ(serialized(fast), serialized(reference));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PresortParity,
+    ::testing::Values(ParityCase{18, 2, 0}, ParityCase{4, 2, 0},
+                      ParityCase{18, 1, 0}, ParityCase{18, 25, 0},
+                      ParityCase{18, 2, 1}, ParityCase{18, 2, 2},
+                      ParityCase{7, 3, 2}));
+
+TEST(DecisionTreeTest, PresortParityOnBootstrapBags) {
+  // Bagged index sets with repeated rows, like RandomForest::fit draws.
+  const Dataset d = quantized_data(250, 4, 24);
+  Rng rng{25};
+  std::vector<std::size_t> bag(d.size());
+  for (std::size_t& b : bag) b = rng.uniform_int(d.size());
+  TreeConfig cfg;
+  cfg.features_per_split = 2;
+  cfg.seed = 55;
+  cfg.presort = true;
+  DecisionTree fast{cfg};
+  cfg.presort = false;
+  DecisionTree reference{cfg};
+  fast.fit_indices(d, bag);
+  reference.fit_indices(d, bag);
+  EXPECT_EQ(serialized(fast), serialized(reference));
+}
+
+TEST(DecisionTreeTest, RefitIsAllocationFreeInSteadyState) {
+  // Both induction paths draw every per-fit/per-node buffer from the
+  // thread workspace: after a warm-up fit, repeated fits never touch
+  // the heap through the arena (same contract test_workspace asserts
+  // for the DSP kernels).
+  const Dataset d = quantized_data(300, 3, 26);
+  for (const bool presort : {true, false}) {
+    TreeConfig cfg;
+    cfg.presort = presort;
+    DecisionTree tree{cfg};
+    tree.fit(d);  // warm-up sizes the arena
+    const std::size_t warm = emoleak::util::thread_workspace().grow_count();
+    for (int iter = 0; iter < 5; ++iter) tree.fit(d);
+    EXPECT_EQ(emoleak::util::thread_workspace().grow_count(), warm)
+        << "presort=" << presort;
+  }
+}
 
 }  // namespace
