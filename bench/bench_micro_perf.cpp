@@ -22,6 +22,7 @@
 #include "ml/logistic.h"
 #include "nn/cnn_models.h"
 #include "nn/gemm.h"
+#include "obs/obs.h"
 #include "serve/service.h"
 #include "phone/channel.h"
 #include "phone/recorder.h"
@@ -471,6 +472,49 @@ void BM_ServeThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeThroughput)->Arg(1)->Arg(2)->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+void BM_SpanOverhead(benchmark::State& state) {
+  // The cost the obs layer imposes on an instrumented call site when
+  // tracing is runtime-disabled: one relaxed atomic load and a null
+  // check in the destructor. This is the price every OBS_SPAN pays in
+  // production, so it must stay in the ~1 ns range.
+  obs::set_trace_enabled(false);
+  for (auto _ : state) {
+    OBS_SPAN("bench.disabled");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanOverhead);
+
+void BM_SpanOverheadEnabled(benchmark::State& state) {
+  // Full span cost when recording: two clock reads plus a lock-free
+  // ring-slot write. Budget from the issue: < 100 ns.
+  obs::set_trace_enabled(true);
+  for (auto _ : state) {
+    OBS_SPAN_ARG("bench.enabled", "iter", 1);
+    benchmark::ClobberMemory();
+  }
+  obs::set_trace_enabled(false);
+  obs::clear_trace();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanOverheadEnabled);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  // Wait-free histogram record: bucket index (countl_zero + shifts) and
+  // one relaxed fetch_add. This replaced the serve layer's mutex ring.
+  obs::Registry registry;
+  obs::Histogram& h = registry.histogram("bench.latency");
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    h.record(v);
+    v = v * 2862933555777941757ULL + 3037000493ULL;  // cheap LCG spread
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
 
 }  // namespace
 

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "core/attack.h"
+#include "obs/obs.h"
 #include "util/error.h"
 #include "core/report.h"
 #include "ml/ensemble.h"
@@ -48,6 +49,8 @@ struct CliOptions {
   std::string arff_path;
   std::string model_path;
   std::string load_model_path;
+  std::string trace_path;
+  bool metrics = false;
 };
 
 void usage() {
@@ -70,7 +73,12 @@ void usage() {
       "  --save-model PATH               serialize the trained classifier\n"
       "  --model PATH                    load a pre-trained model (from\n"
       "                                  --save-model) and evaluate it on\n"
-      "                                  the captured data, skipping training\n";
+      "                                  the captured data, skipping training\n"
+      "  --trace PATH                    record scoped spans and write a\n"
+      "                                  Chrome trace_event JSON file\n"
+      "                                  (open in chrome://tracing / Perfetto)\n"
+      "  --metrics                       print the metrics registry (counters,\n"
+      "                                  gauges, histograms) on exit\n";
 }
 
 phone::PhoneProfile parse_phone(const std::string& name) {
@@ -125,6 +133,8 @@ CliOptions parse_args(int argc, char** argv) {
     else if (arg == "--arff") opts.arff_path = need_value(i);
     else if (arg == "--save-model") opts.model_path = need_value(i);
     else if (arg == "--model") opts.load_model_path = need_value(i);
+    else if (arg == "--trace") opts.trace_path = need_value(i);
+    else if (arg == "--metrics") opts.metrics = true;
     else if (arg == "--help" || arg == "-h") {
       usage();
       std::exit(EXIT_SUCCESS);
@@ -140,6 +150,7 @@ CliOptions parse_args(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     const CliOptions opts = parse_args(argc, argv);
+    if (!opts.trace_path.empty()) obs::set_trace_enabled(true);
 
     phone::PhoneProfile device = parse_phone(opts.phone);
     if (opts.rate_cap) device = phone::with_rate_cap(device, 200.0);
@@ -232,6 +243,19 @@ int main(int argc, char** argv) {
       final_model->fit(data.features);
       ml::save_model_file(opts.model_path, *final_model);
       std::cout << "Wrote model to " << opts.model_path << "\n";
+    }
+    if (!opts.trace_path.empty()) {
+      obs::set_trace_enabled(false);
+      obs::write_trace_file(opts.trace_path);
+      std::cout << "Wrote trace to " << opts.trace_path;
+      if (const std::uint64_t dropped = obs::trace_dropped()) {
+        std::cout << " (" << dropped << " spans dropped by ring wrap)";
+      }
+      std::cout << "\n";
+    }
+    if (opts.metrics) {
+      std::cout << "\nMetrics registry:\n"
+                << obs::Registry::instance().render_text();
     }
     return EXIT_SUCCESS;
   } catch (const std::exception& error) {

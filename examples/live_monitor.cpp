@@ -21,6 +21,7 @@
 #include "core/streaming.h"
 #include "ml/logistic.h"
 #include "ml/serialize.h"
+#include "obs/obs.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -31,20 +32,36 @@ int main(int argc, char** argv) {
   util::Parallelism parallelism;
   std::string save_model_path;
   std::string load_model_path;
-  for (int i = 1; i + 1 < argc; ++i) {
+  std::string trace_path;
+  bool metrics = false;
+  // Value-taking flags consume argv[i + 1]; --metrics stands alone, so
+  // the loop runs to argc and checks for the value where one is needed.
+  const auto value_of = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "live_monitor: missing value for " << argv[i] << "\n";
+      std::exit(EXIT_FAILURE);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0) {
       try {
-        parallelism.threads = std::stoul(argv[i + 1]);
+        parallelism.threads = std::stoul(value_of(i));
       } catch (const std::exception&) {
         std::cerr << "live_monitor: --threads expects a number\n";
         return EXIT_FAILURE;
       }
     } else if (std::strcmp(argv[i], "--save-model") == 0) {
-      save_model_path = argv[i + 1];
+      save_model_path = value_of(i);
     } else if (std::strcmp(argv[i], "--model") == 0) {
-      load_model_path = argv[i + 1];
+      load_model_path = value_of(i);
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = value_of(i);
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
     }
   }
+  if (!trace_path.empty()) obs::set_trace_enabled(true);
 
   // ---- Offline: train (or load) the attacker's model. ---------------
   std::shared_ptr<const ml::Classifier> deployed;
@@ -120,5 +137,15 @@ int main(int argc, char** argv) {
   std::cout << "\nThe monitor used bounded memory (a few seconds of history) "
                "and processed the stream chunk by chunk — exactly the shape "
                "of the malicious app in the paper's threat model (SIII-A).\n";
+
+  if (!trace_path.empty()) {
+    obs::set_trace_enabled(false);
+    obs::write_trace_file(trace_path);
+    std::cout << "\nWrote trace to " << trace_path << "\n";
+  }
+  if (metrics) {
+    std::cout << "\nMetrics registry:\n"
+              << obs::Registry::instance().render_text();
+  }
   return EXIT_SUCCESS;
 }

@@ -18,7 +18,7 @@
 //   5. prints the service counters (requests, rejections, p50/p99
 //      drain latency).
 //
-//   serve_demo [--streams N] [--threads N]
+//   serve_demo [--streams N] [--threads N] [--trace PATH] [--metrics]
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
@@ -32,6 +32,7 @@
 #include "core/streaming.h"
 #include "ml/logistic.h"
 #include "ml/serialize.h"
+#include "obs/obs.h"
 #include "serve/service.h"
 #include "util/table.h"
 
@@ -77,14 +78,21 @@ bool same_events(const std::vector<core::EmotionEvent>& a,
 int main(int argc, char** argv) {
   std::size_t stream_count = 8;
   std::size_t threads = 0;  // 0 = all cores
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--streams") == 0) {
-      stream_count = std::stoul(argv[i + 1]);
-    } else if (std::strcmp(argv[i], "--threads") == 0) {
-      threads = std::stoul(argv[i + 1]);
+  std::string trace_path;
+  bool metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--streams") == 0 && i + 1 < argc) {
+      stream_count = std::stoul(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::stoul(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
     }
   }
   if (stream_count == 0) stream_count = 1;
+  if (!trace_path.empty()) obs::set_trace_enabled(true);
 
   // ---- Offline: train and persist the operator's model. --------------
   core::ScenarioConfig training = core::loudspeaker_scenario(
@@ -192,7 +200,28 @@ int main(int argc, char** argv) {
   st.add_row({"sessions created", std::to_string(stats.sessions_created)});
   st.add_row({"drain p50 (us)", util::fixed(stats.drain_p50_us, 1)});
   st.add_row({"drain p99 (us)", util::fixed(stats.drain_p99_us, 1)});
+  st.add_row({"drain samples", std::to_string(stats.drain_count)});
   std::cout << "\nService counters:\n" << st.str();
+
+  // Full drain-latency distribution as shipped over the stats wire
+  // message: (upper_bound_us, count) pairs for every non-empty bucket.
+  if (!stats.drain_hist.empty()) {
+    util::TablePrinter hist{{"drain latency <= (us)", "count"}};
+    for (const auto& [upper_us, count] : stats.drain_hist) {
+      hist.add_row({util::fixed(upper_us, 1), std::to_string(count)});
+    }
+    std::cout << "\nDrain latency histogram:\n" << hist.str();
+  }
+
+  if (!trace_path.empty()) {
+    obs::set_trace_enabled(false);
+    obs::write_trace_file(trace_path);
+    std::cout << "\nWrote trace to " << trace_path << "\n";
+  }
+  if (metrics) {
+    std::cout << "\nMetrics registry:\n"
+              << obs::Registry::instance().render_text();
+  }
 
   if (!all_match) {
     std::cerr << "\nFAIL: served events differ from the standalone "

@@ -32,7 +32,8 @@ KERNEL_FILTER = (
     "BM_FftPow2|BM_Rfft|BM_FftBluestein|BM_Stft|BM_Gemm|"
     "BM_FeatureExtraction|BM_TimefreqCnnForward|BM_SpectrogramCnnForward|"
     "BM_Conv2DBackward|"
-    "BM_TreeTrain/|BM_ForestTrain$|BM_PitchTrack$|BM_DatasetBuildHit$"
+    "BM_TreeTrain/|BM_ForestTrain$|BM_PitchTrack$|BM_DatasetBuildHit$|"
+    "BM_SpanOverhead$|BM_HistogramRecord"
 )
 
 

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Summarize a Chrome trace_event JSON file written by --trace.
+
+Reads the trace produced by `emoleak_cli --trace out.json` (or
+live_monitor / serve_demo) and prints a per-stage wall-time breakdown —
+span count, total/mean/max duration, share of traced time — plus the
+top-N widest individual spans. Durations are wall time per span, so
+nested and concurrent spans overlap by design; the table answers "where
+did the time go per stage", not "what was the critical path".
+
+Usage:
+  scripts/trace_summary.py out.json
+  scripts/trace_summary.py out.json --top 10
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents", doc if isinstance(doc, list) else [])
+    # Only complete events ("X") carry durations; the exporter emits
+    # nothing else, but stay tolerant of hand-edited files.
+    return [e for e in events if e.get("ph") == "X" and "dur" in e]
+
+
+def fmt_us(us):
+    if us >= 1e6:
+        return f"{us / 1e6:.3f} s"
+    if us >= 1e3:
+        return f"{us / 1e3:.3f} ms"
+    return f"{us:.1f} us"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", type=Path, help="trace_event JSON file")
+    parser.add_argument("--top", type=int, default=5,
+                        help="widest individual spans to list (default 5)")
+    args = parser.parse_args()
+
+    events = load_events(args.trace)
+    if not events:
+        print(f"{args.trace}: no complete ('X') events found", file=sys.stderr)
+        return 1
+
+    by_stage = defaultdict(list)
+    for e in events:
+        by_stage[e.get("name", "?")].append(float(e["dur"]))
+    total_us = sum(sum(durs) for durs in by_stage.values())
+
+    print(f"{len(events)} spans across {len(by_stage)} stages, "
+          f"{fmt_us(total_us)} total traced time\n")
+
+    header = f"{'stage':<24} {'count':>7} {'total':>12} {'mean':>12} {'max':>12} {'share':>7}"
+    print(header)
+    print("-" * len(header))
+    for name, durs in sorted(by_stage.items(), key=lambda kv: -sum(kv[1])):
+        stage_total = sum(durs)
+        share = 100.0 * stage_total / total_us if total_us else 0.0
+        print(f"{name:<24} {len(durs):>7} {fmt_us(stage_total):>12} "
+              f"{fmt_us(stage_total / len(durs)):>12} {fmt_us(max(durs)):>12} "
+              f"{share:>6.1f}%")
+
+    widest = sorted(events, key=lambda e: -float(e["dur"]))[: args.top]
+    print(f"\nTop {len(widest)} widest spans:")
+    for e in widest:
+        arg_str = ""
+        if e.get("args"):
+            arg_str = " " + " ".join(f"{k}={v}" for k, v in e["args"].items())
+        print(f"  {fmt_us(float(e['dur'])):>12}  {e.get('name', '?')}"
+              f" (tid {e.get('tid', '?')}){arg_str}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

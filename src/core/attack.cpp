@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "ml/logistic.h"
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace emoleak::core {
@@ -41,20 +43,28 @@ ScenarioConfig ear_speaker_scenario(audio::DatasetSpec dataset,
 }
 
 ExtractedData capture(const ScenarioConfig& config) {
+  OBS_SPAN("pipeline.capture");
   audio::DatasetSpec spec = config.dataset;
   if (config.corpus_fraction != 1.0) {
     spec = audio::scaled_spec(spec, config.corpus_fraction);
   }
-  const audio::Corpus corpus{spec, config.seed};
+  std::optional<audio::Corpus> corpus;
+  {
+    OBS_SPAN("pipeline.synthesize");
+    corpus.emplace(spec, config.seed);
+  }
 
   phone::RecorderConfig rec_cfg;
   rec_cfg.speaker = config.speaker;
   rec_cfg.posture = config.posture;
   rec_cfg.seed = config.seed ^ 0x5E5510ULL;
-  const phone::Recording recording =
-      record_session(corpus, config.phone, rec_cfg);
+  std::optional<phone::Recording> recording;
+  {
+    OBS_SPAN_ARG("pipeline.conduct", "utterances", corpus->size());
+    recording.emplace(record_session(*corpus, config.phone, rec_cfg));
+  }
 
-  return extract(recording, config.pipeline);
+  return extract(*recording, config.pipeline);
 }
 
 std::vector<std::unique_ptr<ml::Classifier>> loudspeaker_classifiers() {
@@ -77,6 +87,7 @@ ClassifierResult evaluate_classical(const ml::Classifier& prototype,
                                     const ml::Dataset& features,
                                     std::uint64_t seed, std::size_t cv_folds,
                                     const util::Parallelism& parallelism) {
+  OBS_SPAN_ARG("pipeline.classify", "rows", features.size());
   const ml::EvalResult r =
       cv_folds >= 2
           ? ml::cross_validate(prototype, features, cv_folds, seed, parallelism)

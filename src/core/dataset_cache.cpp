@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "features/features.h"
+#include "obs/metrics.h"
 
 namespace emoleak::core {
 
@@ -139,13 +140,18 @@ std::shared_ptr<const ExtractedData> DatasetCache::get_or_build(
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++hits_;
+      obs::Registry::instance().counter("dataset_cache.hits").add(1);
       return it->second;
     }
     ++misses_;
+    obs::Registry::instance().counter("dataset_cache.misses").add(1);
   }
   // Build outside the lock: a capture can take seconds and must not
   // serialize hits (or builds of other keys) behind it.
   auto built = std::make_shared<const ExtractedData>(capture(config));
+  obs::Registry::instance()
+      .counter("dataset_cache.bytes_built")
+      .add(approximate_bytes(*built));
   const std::lock_guard<std::mutex> lock{mutex_};
   const auto [it, inserted] = entries_.emplace(key, std::move(built));
   return it->second;  // first writer wins on a racing double-build

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "obs/obs.h"
 #include "util/error.h"
 #include "util/workspace.h"
 
@@ -54,10 +55,14 @@ ExtractedData extract(const phone::Recording& recording,
   if (recording.rate_hz <= 0.0) {
     throw util::DataError{"extract: recording rate must be > 0"};
   }
+  OBS_SPAN("pipeline.extract");
 
   const SpeechRegionDetector detector{config.detector};
-  const std::vector<Region> regions =
-      detector.detect(recording.accel, recording.rate_hz);
+  std::vector<Region> regions;
+  {
+    OBS_SPAN_ARG("pipeline.detect", "samples", recording.accel.size());
+    regions = detector.detect(recording.accel, recording.rate_hz);
+  }
   const std::vector<LabelledRegion> labelled =
       label_regions(regions, recording);
 
@@ -91,6 +96,7 @@ ExtractedData extract(const phone::Recording& recording,
   const std::span<const double> accel{recording.accel};
   std::vector<RegionOutput> outputs = util::parallel_map(
       config.parallelism, labelled.size(), [&](std::size_t i) {
+        OBS_SPAN_ARG("pipeline.region", "index", i);
         const LabelledRegion& lr = labelled[i];
         // Features always come from the *raw* samples (paper Table I:
         // even a 1 Hz high-pass destroys the information).

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "features/features.h"
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace emoleak::core {
@@ -177,8 +178,16 @@ void StreamingAttack::process_sample(double raw, std::vector<EmotionEvent>& out)
 }
 
 std::vector<EmotionEvent> StreamingAttack::push(std::span<const double> samples) {
+  OBS_SPAN_ARG("streaming.push", "samples", samples.size());
+  // Per-window wall-time budget: each push() is one sensor window in a
+  // real deployment, so the distribution of its cost (not just a mean)
+  // is what decides whether the attack keeps up with the sample rate.
+  static obs::Histogram& window_ns =
+      obs::Registry::instance().histogram("streaming.window_ns");
+  const std::uint64_t t0 = obs::trace_now_ns();
   std::vector<EmotionEvent> out;
   for (const double s : samples) process_sample(s, out);
+  window_ns.record(obs::trace_now_ns() - t0);
   return out;
 }
 

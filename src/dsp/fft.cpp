@@ -5,6 +5,7 @@
 #include <numbers>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace emoleak::dsp {
@@ -290,6 +291,11 @@ void rfft_magnitude_into(std::span<const double> input, std::span<double> out,
   if (out.size() != n / 2 + 1) {
     throw util::DataError{"rfft_magnitude_into: output must have n/2+1 bins"};
   }
+  // Dispatch tally (relaxed fetch_add; resolved once per process) —
+  // lets a live process report how much real-FFT work it has done.
+  static obs::Counter& calls =
+      obs::Registry::instance().counter("dsp.rfft.calls");
+  calls.add(1);
   if (is_pow2(n)) {
     FftPlan::get(n).rfft_magnitude(input, out, ws);
     return;

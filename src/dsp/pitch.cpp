@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/fft.h"
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace emoleak::dsp {
@@ -193,6 +194,21 @@ std::optional<double> estimate_pitch_validated(std::span<const double> frame,
   std::fill(corr.begin(), corr.end(), 0.0);
   const Correlator kind =
       correlator_for(x.size(), min_lag, max_lag, config.exact);
+  // Per-frame dispatch tallies: which correlator the crossover picked.
+  // Answers "is the FFT path actually winning frames?" from a live
+  // process instead of an offline benchmark.
+  {
+    static obs::Counter& direct =
+        obs::Registry::instance().counter("dsp.pitch.direct");
+    static obs::Counter& fast =
+        obs::Registry::instance().counter("dsp.pitch.fast");
+    static obs::Counter& fft =
+        obs::Registry::instance().counter("dsp.pitch.fft");
+    (kind == Correlator::kFft    ? fft
+     : kind == Correlator::kFast ? fast
+                                 : direct)
+        .add(1);
+  }
   double best_value =
       kind == Correlator::kFft    ? correlate_fft(x, min_lag, max_lag, corr, ws)
       : kind == Correlator::kFast ? correlate_fast(x, min_lag, max_lag, corr, ws)

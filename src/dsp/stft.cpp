@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/fft.h"
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace emoleak::dsp {
@@ -102,6 +103,13 @@ void stft_magnitudes(std::span<const double> signal, const StftConfig& config,
   if (mags.size() != shape.cells()) {
     throw util::DataError{"stft_magnitudes: output size != frames * bins"};
   }
+  // Kernel tallies: STFT invocations and the frames they decompose to.
+  static obs::Counter& stft_calls =
+      obs::Registry::instance().counter("dsp.stft.calls");
+  static obs::Counter& stft_frames =
+      obs::Registry::instance().counter("dsp.stft.frames");
+  stft_calls.add(1);
+  stft_frames.add(shape.frames);
 
   const util::Workspace::Scope scope{ws};
   std::span<double> window = ws.take<double>(win_len);

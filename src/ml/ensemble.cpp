@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "ml/serialize.h"
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace emoleak::ml {
@@ -54,6 +55,7 @@ void RandomForest::fit(const Dataset& data) {
 
   std::vector<DecisionTree> trees(config_.tree_count);
   util::parallel_for(config_.parallelism, plans.size(), [&](std::size_t t) {
+    OBS_SPAN_ARG("ml.tree_fit", "tree", t);
     DecisionTree tree{plans[t].cfg};
     tree.fit_indices(data, plans[t].bag, shared ? &*shared : nullptr);
     trees[t] = std::move(tree);
@@ -152,6 +154,7 @@ void RandomSubspace::fit(const Dataset& data) {
 
   std::vector<DecisionTree> trees(config_.ensemble_size);
   util::parallel_for(config_.parallelism, plans.size(), [&](std::size_t t) {
+    OBS_SPAN_ARG("ml.subspace_fit", "tree", t);
     const std::vector<std::size_t>& cols = plans[t].cols;
     Dataset projected;
     projected.class_count = data.class_count;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace emoleak::nn {
@@ -13,6 +14,12 @@ std::atomic<std::size_t> g_tensor_allocs{0};
 void count_alloc(std::size_t elements) noexcept {
   if (elements > 0) {
     g_tensor_allocs.fetch_add(1, std::memory_order_relaxed);
+    // Mirrored into the process-wide metrics registry so the layer
+    // workspace's zero-allocation contract is monitorable alongside
+    // workspace.grows (see tests: steady-state drains keep both flat).
+    static obs::Counter& allocs =
+        obs::Registry::instance().counter("nn.tensor_allocs");
+    allocs.add(1);
   }
 }
 }  // namespace

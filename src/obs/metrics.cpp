@@ -1,0 +1,117 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace emoleak::obs {
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank over the bucket cumulative counts; the returned value
+  // is the bucket's upper bound, so it never understates the true
+  // quantile by more than rounding and never overstates it by more than
+  // the bucket's relative width (<= 12.5% at kSubBits = 3).
+  const auto rank = static_cast<std::uint64_t>(std::ceil(
+      q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (const Bucket& b : buckets) {
+    seen += b.count;
+    if (seen >= std::max<std::uint64_t>(rank, 1)) return b.upper;
+  }
+  return buckets.empty() ? 0.0 : buckets.back().upper;
+}
+
+std::uint64_t Histogram::bucket_lower(std::size_t index) noexcept {
+  constexpr std::uint64_t kSub = std::uint64_t{1} << kSubBits;
+  if (index < kSub) return index;
+  const auto group = index >> kSubBits;  // >= 1
+  const unsigned msb = static_cast<unsigned>(group) + kSubBits - 1;
+  const std::uint64_t sub = index & (kSub - 1);
+  return (std::uint64_t{1} << msb) + (sub << (msb - kSubBits));
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t index) noexcept {
+  constexpr std::uint64_t kSub = std::uint64_t{1} << kSubBits;
+  if (index < kSub) return index;
+  const auto group = index >> kSubBits;
+  const unsigned msb = static_cast<unsigned>(group) + kSubBits - 1;
+  return bucket_lower(index) + (std::uint64_t{1} << (msb - kSubBits)) - 1;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t c = counts_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    const double lower = static_cast<double>(bucket_lower(i));
+    const double upper = static_cast<double>(bucket_upper(i));
+    s.buckets.push_back({upper, c});
+    s.count += c;
+    s.sum += 0.5 * (lower + upper) * static_cast<double>(c);
+  }
+  return s;
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+namespace {
+
+template <typename Map, typename Value>
+Value& get_or_create(std::mutex& mutex, Map& map, std::string_view name) {
+  std::lock_guard<std::mutex> lock{mutex};
+  const auto it = map.find(name);
+  if (it != map.end()) return *it->second;
+  auto [inserted, ok] =
+      map.emplace(std::string{name}, std::make_unique<Value>());
+  (void)ok;
+  return *inserted->second;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  return get_or_create<decltype(counters_), Counter>(mutex_, counters_, name);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return get_or_create<decltype(gauges_), Gauge>(mutex_, gauges_, name);
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return get_or_create<decltype(histograms_), Histogram>(mutex_, histograms_,
+                                                         name);
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  RegistrySnapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.emplace_back(name, h->snapshot());
+  }
+  return s;
+}
+
+std::string Registry::render_text() const {
+  const RegistrySnapshot s = snapshot();
+  std::ostringstream out;
+  for (const auto& [name, v] : s.counters) out << name << ' ' << v << '\n';
+  for (const auto& [name, v] : s.gauges) out << name << ' ' << v << '\n';
+  for (const auto& [name, h] : s.histograms) {
+    out << name << "{count=" << h.count << ", mean=" << h.mean()
+        << ", p50=" << h.quantile(0.50) << ", p99=" << h.quantile(0.99)
+        << "}\n";
+  }
+  return out.str();
+}
+
+}  // namespace emoleak::obs

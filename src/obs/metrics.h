@@ -1,0 +1,166 @@
+// emoleak::obs metrics — named counters, gauges, and log-bucketed
+// histograms with lock-free recording.
+//
+// Recording is a relaxed fetch_add on an atomic (no mutex, no
+// allocation), so metrics can sit on kernel hot paths and inside the
+// thread pool without perturbing the data path. A Registry hands out
+// stable references keyed by name: callers resolve a metric once
+// (registry lookup takes a mutex) and then record through the reference
+// for the life of the process. snapshot() assembles a self-consistent
+// view — histogram totals are derived from the bucket counts actually
+// read, so a snapshot taken mid-recording is internally coherent and
+// totals are monotonic across snapshots.
+//
+// Histogram buckets are HDR-style log-linear: kSubBits sub-buckets per
+// power of two, giving a fixed <= 1/2^kSubBits relative width (12.5%
+// at kSubBits = 3) over the full uint64 range with a flat 496-entry
+// array. Values 0..7 are exact. Quantiles come from the full history,
+// not a sliding window, so tail percentiles survive bursty load (the
+// failure mode of the mutex-guarded sample ring this replaces; see
+// serve/counters.h).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace emoleak::obs {
+
+/// Monotonic event count. Lock-free; safe from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time signed level (queue depth, bytes held). Lock-free.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Self-consistent histogram view: `count` and `sum` are derived from
+/// the same bucket reads, so quantiles and means agree with each other.
+struct HistogramSnapshot {
+  struct Bucket {
+    double upper = 0.0;  ///< inclusive upper bound of the value range
+    std::uint64_t count = 0;
+  };
+  std::uint64_t count = 0;
+  double sum = 0.0;  ///< approximate (bucket midpoints), exact for 0..7
+  std::vector<Bucket> buckets;  ///< nonzero buckets, ascending by bound
+
+  /// Quantile in [0, 1] as the containing bucket's upper bound; exact
+  /// to within the bucket's relative width. 0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+  [[nodiscard]] double mean() const noexcept {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Lock-free log-bucketed histogram over uint64 values (callers pick
+/// the unit; latency recorders use nanoseconds).
+class Histogram {
+ public:
+  static constexpr unsigned kSubBits = 3;  ///< 8 sub-buckets per octave
+  /// Index of the bucket for the largest msb (63) plus its sub-buckets.
+  static constexpr std::size_t kBucketCount =
+      ((std::size_t{63} - kSubBits + 1) << kSubBits) + (std::size_t{1} << kSubBits);
+
+  void record(std::uint64_t value) noexcept {
+    counts_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  /// Log-linear bucket of `v`: exact below 2^kSubBits, then kSubBits
+  /// mantissa bits per octave. Contiguous and monotone in v.
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t v) noexcept {
+    constexpr std::uint64_t kSub = std::uint64_t{1} << kSubBits;
+    if (v < kSub) return static_cast<std::size_t>(v);
+    const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
+    const unsigned shift = msb - kSubBits;
+    const auto sub = static_cast<std::size_t>((v >> shift) & (kSub - 1));
+    return ((static_cast<std::size_t>(msb) - kSubBits + 1) << kSubBits) + sub;
+  }
+
+  /// Inclusive [lower, upper] value range of a bucket.
+  [[nodiscard]] static std::uint64_t bucket_lower(std::size_t index) noexcept;
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t index) noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> counts_{};
+};
+
+/// Everything a registry holds, rendered by name.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// Named metric store. counter()/gauge()/histogram() get-or-create and
+/// return references that stay valid for the registry's lifetime, so
+/// the lookup mutex is paid once per call site, not per record. The
+/// process-wide instance() backs library-internal metrics; subsystems
+/// that need isolated stats (serve::ServeCounters) own their own.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry (kernel tallies, cache stats, pool load).
+  [[nodiscard]] static Registry& instance();
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] RegistrySnapshot snapshot() const;
+
+  /// Human-readable "name value" lines (counters/gauges) plus
+  /// "name{count,mean,p50,p99}" lines for histograms — the --metrics
+  /// output of the example binaries.
+  [[nodiscard]] std::string render_text() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // unique_ptr values keep references stable across rehash/insert.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace emoleak::obs

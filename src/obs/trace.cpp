@@ -1,0 +1,155 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace emoleak::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// Owns every thread's ring so export works after threads exit.
+struct RingRegistry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<detail::TraceRing>> rings;
+
+  static RingRegistry& instance() {
+    static RingRegistry r;
+    return r;
+  }
+};
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out.push_back(c);
+    }  // control characters are dropped — span names are identifiers
+  }
+}
+
+}  // namespace
+
+void set_trace_enabled(bool on) noexcept {
+  if (on) (void)trace_epoch();  // pin the epoch before the first span
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool trace_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t trace_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+namespace detail {
+
+TraceRing& thread_ring() {
+  thread_local TraceRing* ring = [] {
+    RingRegistry& reg = RingRegistry::instance();
+    std::lock_guard<std::mutex> lock{reg.mutex};
+    const auto tid = static_cast<std::uint32_t>(reg.rings.size());
+    reg.rings.push_back(std::make_unique<TraceRing>(tid));
+    return reg.rings.back().get();
+  }();
+  return *ring;
+}
+
+}  // namespace detail
+
+void clear_trace() {
+  RingRegistry& reg = RingRegistry::instance();
+  std::lock_guard<std::mutex> lock{reg.mutex};
+  for (const auto& ring : reg.rings) ring->reset();
+}
+
+std::uint64_t trace_dropped() {
+  RingRegistry& reg = RingRegistry::instance();
+  std::lock_guard<std::mutex> lock{reg.mutex};
+  std::uint64_t dropped = 0;
+  for (const auto& ring : reg.rings) {
+    const std::uint64_t head = ring->head();
+    if (head > detail::TraceRing::kCapacity) {
+      dropped += head - detail::TraceRing::kCapacity;
+    }
+  }
+  return dropped;
+}
+
+std::string trace_json() {
+  RingRegistry& reg = RingRegistry::instance();
+  std::lock_guard<std::mutex> lock{reg.mutex};
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char num[64];
+  for (const auto& ring : reg.rings) {
+    const std::uint64_t head = ring->head();
+    const std::uint64_t n = std::min<std::uint64_t>(
+        head, detail::TraceRing::kCapacity);
+    for (std::uint64_t i = head - n; i < head; ++i) {
+      const detail::SpanSlot& s = ring->slot(i);
+      const char* name = s.name.load(std::memory_order_relaxed);
+      if (name == nullptr) continue;  // slot racing its first write
+      if (!first) out.push_back(',');
+      first = false;
+      out += "{\"name\":\"";
+      append_json_escaped(out, name);
+      out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+      std::snprintf(num, sizeof num, "%u", ring->tid());
+      out += num;
+      out += ",\"ts\":";
+      std::snprintf(num, sizeof num, "%.3f",
+                    static_cast<double>(
+                        s.start_ns.load(std::memory_order_relaxed)) /
+                        1000.0);
+      out += num;
+      out += ",\"dur\":";
+      std::snprintf(num, sizeof num, "%.3f",
+                    static_cast<double>(
+                        s.dur_ns.load(std::memory_order_relaxed)) /
+                        1000.0);
+      out += num;
+      if (const char* arg_name = s.arg_name.load(std::memory_order_relaxed)) {
+        out += ",\"args\":{\"";
+        append_json_escaped(out, arg_name);
+        out += "\":";
+        std::snprintf(num, sizeof num, "%llu",
+                      static_cast<unsigned long long>(
+                          s.arg.load(std::memory_order_relaxed)));
+        out += num;
+        out += "}";
+      }
+      out += "}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_trace_file(const std::string& path) {
+  std::ofstream out{path};
+  if (!out) return false;
+  out << trace_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace emoleak::obs

@@ -1,5 +1,6 @@
 #include "serve/batcher.h"
 
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace emoleak::serve {
@@ -39,7 +40,9 @@ std::size_t RequestBatcher::drain(
     total += shards_[s]->drain_into(backlog[s]);
   }
   if (total == 0) return 0;
+  OBS_SPAN_ARG("serve.batch", "requests", total);
   util::parallel_for(parallelism, backlog.size(), [&](std::size_t s) {
+    OBS_SPAN_ARG("serve.shard", "shard", s);
     for (PushRequest& request : backlog[s]) process(request);
   });
   return total;

@@ -144,6 +144,12 @@ void encode_payload(std::string& out, const Message& msg) {
           put_u64(out, s.model_generation);
           put_f64(out, s.drain_p50_us);
           put_f64(out, s.drain_p99_us);
+          put_u64(out, s.drain_count);
+          put_u32(out, static_cast<std::uint32_t>(s.drain_hist.size()));
+          for (const auto& [upper_us, count] : s.drain_hist) {
+            put_f64(out, upper_us);
+            put_u64(out, count);
+          }
         } else if constexpr (std::is_same_v<T, ModelSwapMsg>) {
           put_u8(out, static_cast<std::uint8_t>(MsgType::kModelSwap));
           put_u32(out, m.version);
@@ -204,6 +210,16 @@ Message decode_payload(std::string_view payload) {
       s.model_generation = c.u64();
       s.drain_p50_us = c.f64();
       s.drain_p99_us = c.f64();
+      s.drain_count = c.u64();
+      // No reserve before reading: a hostile bucket count would ask for
+      // a huge allocation; growing as bytes actually arrive means a short
+      // payload throws long before memory becomes a problem.
+      const std::uint32_t buckets = c.u32();
+      for (std::uint32_t i = 0; i < buckets; ++i) {
+        const double upper_us = c.f64();
+        const std::uint64_t count = c.u64();
+        s.drain_hist.emplace_back(upper_us, count);
+      }
       msg = m;
       break;
     }

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace emoleak::serve {
@@ -23,32 +24,33 @@ ServeService::ServeService(ServeConfig config,
 
 Status ServeService::push(std::uint64_t stream_id,
                           std::vector<double> samples) {
-  counters_.requests.fetch_add(1, std::memory_order_relaxed);
+  counters_.requests.add(1);
   PushRequest request;
   request.stream_id = stream_id;
   request.samples = std::move(samples);
   if (!batcher_.submit(std::move(request))) {
-    counters_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+    counters_.rejected_overload.add(1);
     return Status::kOverloaded;
   }
-  counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+  counters_.accepted.add(1);
   return Status::kOk;
 }
 
 Status ServeService::finish_stream(std::uint64_t stream_id) {
-  counters_.requests.fetch_add(1, std::memory_order_relaxed);
+  counters_.requests.add(1);
   PushRequest request;
   request.stream_id = stream_id;
   request.finish = true;
   if (!batcher_.submit(std::move(request))) {
-    counters_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+    counters_.rejected_overload.add(1);
     return Status::kOverloaded;
   }
-  counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+  counters_.accepted.add(1);
   return Status::kOk;
 }
 
 void ServeService::process(PushRequest& request) {
+  OBS_SPAN_ARG("serve.process", "stream", request.stream_id);
   if (request.finish) {
     sessions_.finish(request.stream_id);
     return;
@@ -60,7 +62,7 @@ void ServeService::process(PushRequest& request) {
     // Admission control, second gate: the queue had room but the
     // session table is full. The chunk is dropped (and counted) rather
     // than parked — parking would be unbounded queueing by another name.
-    counters_.rejected_capacity.fetch_add(1, std::memory_order_relaxed);
+    counters_.rejected_capacity.add(1);
     return;
   }
   // Lazy hot-swap: an activate() since this session's last request
@@ -74,12 +76,10 @@ void ServeService::process(PushRequest& request) {
   }
   std::vector<core::EmotionEvent> events = session->attack.push(
       std::span<const double>{request.samples.data(), request.samples.size()});
-  counters_.chunks_processed.fetch_add(1, std::memory_order_relaxed);
-  counters_.samples_processed.fetch_add(request.samples.size(),
-                                        std::memory_order_relaxed);
+  counters_.chunks_processed.add(1);
+  counters_.samples_processed.add(request.samples.size());
   if (!events.empty()) {
-    counters_.events_emitted.fetch_add(events.size(),
-                                       std::memory_order_relaxed);
+    counters_.events_emitted.add(events.size());
     for (core::EmotionEvent& event : events) {
       session->outbox.push_back(std::move(event));
     }
@@ -87,10 +87,11 @@ void ServeService::process(PushRequest& request) {
 }
 
 std::size_t ServeService::drain() {
+  OBS_SPAN("serve.drain");
   std::lock_guard<std::mutex> lock{drain_mutex_};
   const std::uint64_t tick =
       tick_.fetch_add(1, std::memory_order_relaxed) + 1;
-  counters_.drains.fetch_add(1, std::memory_order_relaxed);
+  counters_.drains.add(1);
   const std::size_t evicted = sessions_.evict_idle(tick);
   (void)evicted;
 

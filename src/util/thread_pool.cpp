@@ -2,10 +2,25 @@
 
 #include <atomic>
 
+#include "obs/obs.h"
+
 namespace emoleak::util {
 
 namespace {
 thread_local bool t_on_worker = false;
+
+/// Pool load metrics in the process-wide registry: how many indexed
+/// tasks ran, and the width of the batch currently in flight (0 when
+/// the pool is idle). Resolved once; recording is lock-free.
+obs::Counter& pool_tasks_counter() {
+  static obs::Counter& c = obs::Registry::instance().counter("pool.tasks");
+  return c;
+}
+
+obs::Gauge& pool_depth_gauge() {
+  static obs::Gauge& g = obs::Registry::instance().gauge("pool.queue_depth");
+  return g;
+}
 }  // namespace
 
 struct ThreadPool::Batch {
@@ -44,13 +59,23 @@ ThreadPool& ThreadPool::shared() {
 }
 
 void ThreadPool::work_on(Batch& batch) {
+  // One span per participation (not per index): the span width shows
+  // how long this thread stayed busy on the batch, which is the useful
+  // occupancy view in the trace without per-index overhead.
+  OBS_SPAN("pool.work");
+  std::size_t ran = 0;
   for (;;) {
     const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= batch.count) return;
+    if (i >= batch.count) {
+      pool_tasks_counter().add(ran);
+      return;
+    }
+    ++ran;
     try {
       (*batch.fn)(i);
     } catch (...) {
       // Stop claiming further indices and keep the first error.
+      pool_tasks_counter().add(ran);
       batch.next.store(batch.count, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock{mutex_};
       if (!batch.error) batch.error = std::current_exception();
@@ -63,12 +88,15 @@ void ThreadPool::run(std::size_t count,
                      const std::function<void(std::size_t)>& fn,
                      std::size_t max_threads) {
   if (count == 0) return;
+  OBS_SPAN_ARG("pool.run", "count", count);
   if (workers_.empty() || count == 1 || max_threads == 1) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
+    pool_tasks_counter().add(count);
     return;
   }
 
   std::lock_guard<std::mutex> run_lock{run_mutex_};
+  pool_depth_gauge().set(static_cast<std::int64_t>(count));
   auto batch = std::make_shared<Batch>();
   batch->fn = &fn;
   batch->count = count;
@@ -92,6 +120,7 @@ void ThreadPool::run(std::size_t count,
   batch_ = nullptr;
   const std::exception_ptr error = batch->error;
   lock.unlock();
+  pool_depth_gauge().set(0);
   if (error) std::rethrow_exception(error);
 }
 

@@ -27,6 +27,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace emoleak::util {
 
 class Workspace {
@@ -157,6 +159,12 @@ class Workspace {
     b.capacity = capacity;
     blocks_.push_back(std::move(b));
     ++grows_;
+    // Aggregate grow count across every arena in the process: the
+    // zero-allocation contract ("steady-state hot loops never grow")
+    // becomes a monitored invariant instead of a per-test assertion.
+    // Grows are warm-up-only, so the registry lookup here is cold.
+    obs::Registry::instance().counter("workspace.grows").add(1);
+    obs::Registry::instance().counter("workspace.bytes_allocated").add(capacity);
   }
 
   std::vector<Block> blocks_;

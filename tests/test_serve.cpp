@@ -138,6 +138,8 @@ TEST(ServeProtocolTest, RoundTripsEveryMessageType) {
   stats.rejected_overload = 7;
   stats.model_generation = 3;
   stats.drain_p99_us = 1234.5;
+  stats.drain_count = 99;
+  stats.drain_hist = {{16.0, 40}, {1024.0, 58}, {32768.0, 1}};
 
   core::EmotionEvent event;
   event.start_sample = 100;
@@ -171,6 +173,8 @@ TEST(ServeProtocolTest, RoundTripsEveryMessageType) {
   EXPECT_EQ(reply.stats.rejected_overload, 7u);
   EXPECT_EQ(reply.stats.model_generation, 3u);
   EXPECT_EQ(reply.stats.drain_p99_us, 1234.5);
+  EXPECT_EQ(reply.stats.drain_count, 99u);
+  EXPECT_EQ(reply.stats.drain_hist, stats.drain_hist);
   EXPECT_EQ(std::get<serve::ModelSwapMsg>(*reader.next()).version, 5u);
   EXPECT_EQ(std::get<serve::AckMsg>(*reader.next()).status,
             Status::kOverloaded);

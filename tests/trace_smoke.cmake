@@ -1,0 +1,44 @@
+# Smoke test for the --trace flag and scripts/trace_summary.py: run a
+# tiny emoleak_cli capture with tracing on, then feed the resulting
+# Chrome trace_event JSON through the summary script. Fails if either
+# step errors or the trace is empty (trace_summary exits non-zero on a
+# file with no complete events).
+#
+# Invoked by ctest as
+#   cmake -DCLI=<emoleak_cli> -DPYTHON=<python3> -DSUMMARY=<script>
+#         -DOUT=<dir> -P trace_smoke.cmake
+
+foreach(var CLI PYTHON SUMMARY OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "trace_smoke: missing -D${var}")
+  endif()
+endforeach()
+
+set(trace_file "${OUT}/trace_smoke.json")
+
+execute_process(
+  COMMAND "${CLI}" --dataset tess --fraction 0.05 --seed 7
+          --trace "${trace_file}" --metrics
+  RESULT_VARIABLE cli_result
+  OUTPUT_VARIABLE cli_output
+  ERROR_VARIABLE cli_output)
+if(NOT cli_result EQUAL 0)
+  message(FATAL_ERROR "trace_smoke: emoleak_cli failed:\n${cli_output}")
+endif()
+if(NOT cli_output MATCHES "Metrics registry:")
+  message(FATAL_ERROR "trace_smoke: --metrics printed no registry:\n${cli_output}")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${SUMMARY}" "${trace_file}" --top 5
+  RESULT_VARIABLE summary_result
+  OUTPUT_VARIABLE summary_output
+  ERROR_VARIABLE summary_output)
+if(NOT summary_result EQUAL 0)
+  message(FATAL_ERROR "trace_smoke: trace_summary.py failed:\n${summary_output}")
+endif()
+if(NOT summary_output MATCHES "pipeline\\.")
+  message(FATAL_ERROR
+      "trace_smoke: summary shows no pipeline stages:\n${summary_output}")
+endif()
+message(STATUS "trace_smoke OK:\n${summary_output}")
