@@ -18,7 +18,15 @@
 //   5. prints the service counters (requests, rejections, p50/p99
 //      drain latency).
 //
+// With --listen PORT it instead exposes the trained service on a real
+// TCP socket (127.0.0.1:PORT, the emoleak::net epoll transport) and
+// serves until SIGINT — the counterpart for examples/loadgen or any
+// client speaking the wire protocol.
+//
 //   serve_demo [--streams N] [--threads N] [--trace PATH] [--metrics]
+//   serve_demo --listen PORT [--threads N]
+#include <csignal>
+
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
@@ -32,6 +40,7 @@
 #include "core/streaming.h"
 #include "ml/logistic.h"
 #include "ml/serialize.h"
+#include "net/server.h"
 #include "obs/obs.h"
 #include "serve/service.h"
 #include "util/table.h"
@@ -73,6 +82,41 @@ bool same_events(const std::vector<core::EmotionEvent>& a,
   return true;
 }
 
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+/// --listen mode: serve over TCP until SIGINT/SIGTERM, then stop
+/// gracefully (open sessions flushed, final events delivered).
+int listen_forever(serve::ServeService& service, std::uint16_t port) {
+  net::NetServerConfig net_cfg;
+  net_cfg.port = port;
+  net::NetServer server{net_cfg, service};
+  server.start();
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::cout << "listening on 127.0.0.1:" << server.port()
+            << " — Ctrl-C to stop (open sessions are flushed)" << std::endl;
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{100});
+  }
+  std::cout << "\nstopping...\n";
+  server.stop();
+
+  const net::NetServerStats ns = server.stats();
+  const serve::ServeStats stats = service.stats();
+  util::TablePrinter table{{"counter", "value"}};
+  table.add_row({"connections accepted", std::to_string(ns.connections_accepted)});
+  table.add_row({"frames in", std::to_string(ns.frames_in)});
+  table.add_row({"partial reads", std::to_string(ns.partial_reads)});
+  table.add_row({"events routed", std::to_string(ns.events_routed)});
+  table.add_row({"overload acks", std::to_string(ns.overload_acks)});
+  table.add_row({"bytes in/out", std::to_string(ns.bytes_in) + " / " +
+                                     std::to_string(ns.bytes_out)});
+  table.add_row({"drain p99 (us)", util::fixed(stats.drain_p99_us, 1)});
+  std::cout << "\nTransport counters:\n" << table.str();
+  return EXIT_SUCCESS;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -80,6 +124,7 @@ int main(int argc, char** argv) {
   std::size_t threads = 0;  // 0 = all cores
   std::string trace_path;
   bool metrics = false;
+  int listen_port = -1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--streams") == 0 && i + 1 < argc) {
       stream_count = std::stoul(argv[++i]);
@@ -89,9 +134,14 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
+      listen_port = std::stoi(argv[++i]);
     }
   }
   if (stream_count == 0) stream_count = 1;
+  // Listen mode needs no synthetic device streams — just one recording
+  // to pin the service's sample rate.
+  if (listen_port >= 0) stream_count = 1;
   if (!trace_path.empty()) obs::set_trace_enabled(true);
 
   // ---- Offline: train and persist the operator's model. --------------
@@ -125,11 +175,15 @@ int main(int argc, char** argv) {
   serve::ServeConfig cfg;
   cfg.session.stream.detector = core::tabletop_detector_config();
   cfg.session.sample_rate_hz = recordings.front().rate_hz;
-  cfg.session.max_sessions = stream_count;
+  cfg.session.max_sessions = listen_port >= 0 ? 64 : stream_count;
   cfg.batcher.shard_count = std::max<std::size_t>(stream_count, 8);
   cfg.batcher.queue_capacity = 64;
   cfg.parallelism = util::Parallelism{.threads = threads};
   serve::ServeService service{cfg, registry};
+
+  if (listen_port >= 0) {
+    return listen_forever(service, static_cast<std::uint16_t>(listen_port));
+  }
 
   // Producer per device: push 256-sample chunks over the wire protocol,
   // retrying on overload — the service sheds load instead of queueing

@@ -1,26 +1,39 @@
 #!/usr/bin/env python3
-"""Kernel-benchmark regression harness.
+"""Benchmark regression harness.
 
-Runs bench_micro_perf with google-benchmark's JSON reporter over the
-kernel-level benchmarks, compares each one against the checked-in
-baseline (BENCH_kernels.json), and fails when a benchmark regresses
-beyond the tolerance. With --update, rewrites the baseline's `after_ns`
-numbers from the fresh run instead (the `before_ns` column — the
-pre-overhaul numbers — is preserved so the speedup history stays
-visible).
+Two modes:
+
+Kernel mode (--bench): runs bench_micro_perf with google-benchmark's
+JSON reporter over the kernel-level benchmarks, compares each one
+against the checked-in baseline (BENCH_kernels.json), and fails when a
+benchmark regresses beyond the tolerance. With --update, rewrites the
+baseline's `after_ns` numbers from the fresh run instead (the
+`before_ns` column — the pre-overhaul numbers — is preserved so the
+speedup history stays visible).
+
+Serve mode (--serve): runs the TCP-transport load generator
+(examples/loadgen) against a live NetServer and compares its summary —
+throughput (conns/sec, events/sec, samples/sec) and drain latency
+quantiles — against BENCH_serve.json. loadgen itself exits non-zero on
+any dropped frame or parity mismatch, so a passing run is also a
+correctness statement. The serve tolerance is wider than the kernel one:
+this is a fixture-heavy end-to-end benchmark.
 
 Usage:
   scripts/bench_compare.py --bench build/bench/bench_micro_perf
   scripts/bench_compare.py --bench ... --update     # re-baseline
   scripts/bench_compare.py --bench ... --tolerance 0.4
+  scripts/bench_compare.py --serve build/examples/loadgen
+  scripts/bench_compare.py --serve ... --update     # re-baseline
 
-Wired into CMake as the `bench_check` target.
+Wired into CMake as the `bench_check` and `bench_serve_check` targets.
 """
 
 import argparse
 import json
 import subprocess
 import sys
+import tempfile
 from pathlib import Path
 
 # Kernel benchmarks tracked by the baseline. Fixture-heavy end-to-end
@@ -65,21 +78,108 @@ def run_benchmarks(bench_path: Path, repetitions: int) -> dict[str, float]:
     return results
 
 
+# Serve-summary fields tracked against BENCH_serve.json. Throughput
+# regresses downward, latency upward; everything else in the summary
+# (counters, config echo, trajectory) is recorded but not gated.
+SERVE_HIGHER_IS_BETTER = ("conns_per_sec", "events_per_sec",
+                          "samples_per_sec")
+SERVE_LOWER_IS_BETTER = ("drain_p50_us", "drain_p99_us")
+
+
+def run_loadgen(loadgen_path: Path, extra_args: list[str]) -> dict:
+    """Runs loadgen with --json into a temp file; returns the report."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = Path(tmp.name)
+    try:
+        subprocess.run([str(loadgen_path), "--json", str(out_path),
+                        *extra_args], check=True)
+        return json.loads(out_path.read_text())
+    finally:
+        out_path.unlink(missing_ok=True)
+
+
+def serve_main(args: argparse.Namespace) -> int:
+    report = run_loadgen(args.serve, args.serve_args)
+    summary = report.get("summary", {})
+    if not summary:
+        print("error: loadgen report has no summary", file=sys.stderr)
+        return 2
+
+    if summary.get("dropped_frames", 1) != 0:
+        print(f"FAIL: {summary['dropped_frames']} dropped frames",
+              file=sys.stderr)
+        return 1
+
+    if args.update:
+        args.serve_baseline.write_text(
+            json.dumps(report, indent=2) + "\n")
+        print(f"updated {args.serve_baseline}")
+        return 0
+
+    if not args.serve_baseline.exists():
+        print(f"error: no baseline at {args.serve_baseline} — run with "
+              f"--update first", file=sys.stderr)
+        return 2
+    want = json.loads(args.serve_baseline.read_text()).get("summary", {})
+
+    failures = []
+    for name in SERVE_HIGHER_IS_BETTER + SERVE_LOWER_IS_BETTER:
+        got, base = summary.get(name), want.get(name)
+        if got is None or base is None or base == 0:
+            print(f"{name:20s} {got!s:>12}  (no baseline)")
+            continue
+        ratio = got / base
+        slower = (ratio < 1.0 / (1.0 + args.tolerance)
+                  if name in SERVE_HIGHER_IS_BETTER
+                  else ratio > 1.0 + args.tolerance)
+        status = "REGRESSION" if slower else "ok"
+        if slower:
+            failures.append(name)
+        print(f"{name:20s} {got:12.2f}  baseline {base:12.2f}  "
+              f"x{ratio:5.2f}  {status}")
+
+    if failures:
+        print(f"\n{len(failures)} serve metric(s) regressed beyond "
+              f"{args.tolerance:.0%}: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print(f"\nserve benchmark within {args.tolerance:.0%} of baseline "
+          f"(zero dropped frames)")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--bench", type=Path, required=True,
+    parser.add_argument("--bench", type=Path,
                         help="path to the bench_micro_perf binary")
     parser.add_argument("--baseline", type=Path,
                         default=Path(__file__).resolve().parent.parent /
                         "BENCH_kernels.json")
-    parser.add_argument("--tolerance", type=float, default=0.35,
-                        help="allowed fractional slowdown vs after_ns "
-                             "(default 0.35 = 35%%, absorbs machine noise)")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="allowed fractional regression (default 0.35 "
+                             "for kernels, 0.75 for --serve)")
     parser.add_argument("--repetitions", type=int, default=1,
                         help="benchmark repetitions; >1 compares medians")
     parser.add_argument("--update", action="store_true",
-                        help="rewrite the baseline's after_ns from this run")
+                        help="rewrite the baseline from this run")
+    parser.add_argument("--serve", type=Path,
+                        help="path to the loadgen binary: compare the TCP "
+                             "transport against BENCH_serve.json instead")
+    parser.add_argument("--serve-baseline", type=Path,
+                        default=Path(__file__).resolve().parent.parent /
+                        "BENCH_serve.json")
+    parser.add_argument("--serve-args", nargs=argparse.REMAINDER, default=[],
+                        help="extra arguments passed through to loadgen")
     args = parser.parse_args()
+
+    if args.serve is not None:
+        if args.tolerance is None:
+            args.tolerance = 0.75
+        return serve_main(args)
+    if args.bench is None:
+        parser.error("one of --bench or --serve is required")
+    if args.tolerance is None:
+        args.tolerance = 0.35
 
     measured = run_benchmarks(args.bench, args.repetitions)
     if not measured:

@@ -1,0 +1,442 @@
+#include "net/server.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "obs/obs.h"
+#include "util/error.h"
+
+namespace emoleak::net {
+
+namespace {
+
+/// One overloaded ack, pre-encoded: what a peer beyond max_connections
+/// receives (best-effort) before its socket closes.
+std::string reject_ack(std::uint32_t retry_after_ms) {
+  return serve::encode_one(
+      serve::AckMsg{serve::Status::kOverloaded, retry_after_ms});
+}
+
+}  // namespace
+
+void NetServerConfig::validate() const {
+  if (backlog < 1) throw util::ConfigError{"net: backlog must be >= 1"};
+  if (max_connections == 0) {
+    throw util::ConfigError{"net: max_connections must be >= 1"};
+  }
+  if (drain_interval_ms == 0) {
+    throw util::ConfigError{"net: drain_interval_ms must be >= 1"};
+  }
+  if (read_chunk == 0) throw util::ConfigError{"net: read_chunk must be >= 1"};
+  if (max_write_buffer < 4096) {
+    throw util::ConfigError{"net: max_write_buffer must be >= 4096"};
+  }
+}
+
+NetServer::NetServer(NetServerConfig config, serve::ServeService& service)
+    : config_{std::move(config)}, service_{service} {
+  config_.validate();
+  listener_ = make_listener(config_.port, config_.backlog);
+  port_ = listener_.port;
+}
+
+NetServer::~NetServer() { stop(); }
+
+void NetServer::start() {
+  if (running_.load(std::memory_order_acquire) || loop_.joinable()) {
+    throw NetError{"net: server already started"};
+  }
+  if (!listener_.fd.valid()) {
+    throw NetError{"net: server cannot restart after stop()"};
+  }
+
+  epoll_ = Fd{::epoll_create1(EPOLL_CLOEXEC)};
+  if (!epoll_.valid()) throw errno_error("net: epoll_create1");
+  wake_ = Fd{::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)};
+  if (!wake_.valid()) throw errno_error("net: eventfd");
+  timer_ = Fd{::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK)};
+  if (!timer_.valid()) throw errno_error("net: timerfd_create");
+
+  const auto arm = [this](int fd, std::uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+      throw errno_error("net: epoll_ctl(ADD)");
+    }
+  };
+  arm(listener_.fd.get(), EPOLLIN);
+  arm(wake_.get(), EPOLLIN);
+  arm(timer_.get(), EPOLLIN);
+
+  itimerspec spec{};
+  spec.it_interval.tv_sec = config_.drain_interval_ms / 1000;
+  spec.it_interval.tv_nsec =
+      static_cast<long>(config_.drain_interval_ms % 1000) * 1000000L;
+  spec.it_value = spec.it_interval;
+  if (::timerfd_settime(timer_.get(), 0, &spec, nullptr) != 0) {
+    throw errno_error("net: timerfd_settime");
+  }
+
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  loop_ = std::thread{[this] { run(); }};
+}
+
+void NetServer::stop() {
+  if (!loop_.joinable()) return;
+  stop_requested_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  (void)::write(wake_.get(), &one, sizeof one);
+  loop_.join();
+  // Only after the join: the loop thread is gone, so closing the fds
+  // it polled cannot race its epoll_wait (or our own wake write).
+  timer_.reset();
+  wake_.reset();
+  epoll_.reset();
+  running_.store(false, std::memory_order_release);
+}
+
+NetServerStats NetServer::stats() const {
+  NetServerStats s;
+  const auto get = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  s.connections_accepted = get(stats_.connections_accepted);
+  s.connections_active = get(stats_.connections_active);
+  s.connections_rejected = get(stats_.connections_rejected);
+  s.connections_closed_corrupt = get(stats_.connections_closed_corrupt);
+  s.disconnects = get(stats_.disconnects);
+  s.frames_in = get(stats_.frames_in);
+  s.partial_reads = get(stats_.partial_reads);
+  s.overload_acks = get(stats_.overload_acks);
+  s.events_routed = get(stats_.events_routed);
+  s.events_orphaned = get(stats_.events_orphaned);
+  s.bytes_in = get(stats_.bytes_in);
+  s.bytes_out = get(stats_.bytes_out);
+  s.drain_ticks = get(stats_.drain_ticks);
+  s.reads_paused = get(stats_.reads_paused);
+  return s;
+}
+
+void NetServer::run() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_.get(), events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable epoll failure: shut down below
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_.get()) {
+        std::uint64_t drained = 0;
+        (void)::read(wake_.get(), &drained, sizeof drained);
+        continue;  // stop flag re-checked by the while condition
+      }
+      if (fd == listener_.fd.get()) {
+        accept_ready();
+        continue;
+      }
+      if (fd == timer_.get()) {
+        std::uint64_t expirations = 0;
+        (void)::read(timer_.get(), &expirations, sizeof expirations);
+        drain_and_route();
+        continue;
+      }
+      const auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;  // closed earlier this batch
+      Connection& conn = *it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_connection(conn, /*peer_gone=*/true);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        connection_writable(conn);
+        // connection_writable may close; re-find before reading.
+        if (connections_.find(fd) == connections_.end()) continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) connection_readable(conn);
+    }
+  }
+  graceful_shutdown();
+}
+
+void NetServer::accept_ready() {
+  for (;;) {
+    Fd peer{::accept4(listener_.fd.get(), nullptr, nullptr,
+                      SOCK_NONBLOCK | SOCK_CLOEXEC)};
+    if (!peer.valid()) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure: retry on the next EPOLLIN
+    }
+    if (connections_.size() >= config_.max_connections) {
+      // Admission control at the transport layer, same shape as the
+      // shard queues: one overloaded ack (best-effort), then close.
+      const std::string ack = reject_ack(service_.config().retry_after_ms);
+      (void)::send(peer.get(), ack.data(), ack.size(), MSG_NOSIGNAL);
+      stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      continue;  // Fd destructor closes
+    }
+    set_nodelay(peer.get());
+    auto conn = std::make_unique<Connection>();
+    const int fd = peer.get();
+    conn->fd = std::move(peer);
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+      continue;  // conn destructor closes the socket
+    }
+    conn->armed = EPOLLIN;
+    connections_.emplace(fd, std::move(conn));
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    stats_.connections_active.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void NetServer::connection_readable(Connection& conn) {
+  // Bounded reads per wake-up: level-triggered epoll re-notifies, so a
+  // firehose peer cannot starve the drain timer or other connections.
+  OBS_SPAN("net.read");
+  for (int round = 0; round < 4; ++round) {
+    const std::size_t old_size = conn.inbuf.size();
+    conn.inbuf.resize(old_size + config_.read_chunk);
+    const ssize_t got =
+        ::read(conn.fd.get(), conn.inbuf.data() + old_size, config_.read_chunk);
+    if (got > 0) {
+      conn.inbuf.resize(old_size + static_cast<std::size_t>(got));
+      stats_.bytes_in.fetch_add(static_cast<std::uint64_t>(got),
+                                std::memory_order_relaxed);
+      if (static_cast<std::size_t>(got) < config_.read_chunk) break;
+      continue;
+    }
+    conn.inbuf.resize(old_size);
+    if (got == 0) {  // orderly EOF: flush the peer's sessions
+      close_connection(conn, /*peer_gone=*/true);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_connection(conn, /*peer_gone=*/true);  // ECONNRESET and kin
+    return;
+  }
+  dispatch(conn);
+}
+
+void NetServer::dispatch(Connection& conn) {
+  if (conn.inbuf.empty()) return;
+  OBS_SPAN("net.dispatch");
+  serve::HandleResult result = service_.handle_frames(conn.inbuf);
+  stats_.frames_in.fetch_add(result.frames, std::memory_order_relaxed);
+  stats_.overload_acks.fetch_add(result.overloaded,
+                                 std::memory_order_relaxed);
+
+  // Connection -> stream affinity: events for a stream route back to
+  // the last connection that wrote it.
+  for (const std::uint64_t id : result.streams_touched) {
+    const auto [it, inserted] = stream_owner_.try_emplace(id, &conn);
+    if (!inserted) it->second = &conn;
+    bool known = false;
+    for (const std::uint64_t seen : conn.streams) known = known || seen == id;
+    if (!known) conn.streams.push_back(id);
+  }
+
+  conn.outbuf.append(result.reply);
+  conn.inbuf.erase(0, result.consumed);
+  if (result.corrupt) {
+    // The frame layer found garbage: answer (kError ack already in the
+    // reply), stop reading, and close once the reply is flushed. Only
+    // this connection dies — everyone else's batch is untouched.
+    conn.closing = true;
+    conn.inbuf.clear();
+  } else if (!conn.inbuf.empty()) {
+    stats_.partial_reads.fetch_add(1, std::memory_order_relaxed);
+  }
+  flush(conn);
+}
+
+void NetServer::connection_writable(Connection& conn) { flush(conn); }
+
+void NetServer::flush(Connection& conn) {
+  while (conn.out_off < conn.outbuf.size()) {
+    const ssize_t sent =
+        ::send(conn.fd.get(), conn.outbuf.data() + conn.out_off,
+               conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
+    if (sent > 0) {
+      conn.out_off += static_cast<std::size_t>(sent);
+      stats_.bytes_out.fetch_add(static_cast<std::uint64_t>(sent),
+                                 std::memory_order_relaxed);
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (sent < 0 && errno == EINTR) continue;
+    close_connection(conn, /*peer_gone=*/true);  // EPIPE/ECONNRESET
+    return;
+  }
+  if (conn.out_off == conn.outbuf.size()) {
+    conn.outbuf.clear();
+    conn.out_off = 0;
+    if (conn.closing) {
+      close_connection(conn, /*peer_gone=*/false);
+      return;
+    }
+  }
+  update_interest(conn);
+}
+
+void NetServer::update_interest(Connection& conn) {
+  const std::size_t backlog = conn.outbuf.size() - conn.out_off;
+  // Write-buffer backpressure: a peer that writes requests but never
+  // reads replies gets paused, not buffered without bound.
+  if (!conn.paused && backlog > config_.max_write_buffer) {
+    conn.paused = true;
+    stats_.reads_paused.fetch_add(1, std::memory_order_relaxed);
+  } else if (conn.paused && backlog < config_.max_write_buffer / 2) {
+    conn.paused = false;
+  }
+  const std::uint32_t want = ((!conn.closing && !conn.paused) ? EPOLLIN : 0u) |
+                             (backlog > 0 ? EPOLLOUT : 0u);
+  if (want == conn.armed) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.fd = conn.fd.get();
+  (void)::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, conn.fd.get(), &ev);
+  conn.armed = want;
+}
+
+void NetServer::drain_and_route() {
+  OBS_SPAN("net.tick");
+  stats_.drain_ticks.fetch_add(1, std::memory_order_relaxed);
+  // Finishes deferred by overload (disconnect storms) retry every tick
+  // until the shard queue admits them — bounded by drain progress, not
+  // by extra queueing. A stream adopted by a new connection in the
+  // meantime is no longer ours to finish.
+  if (!pending_finishes_.empty()) {
+    std::vector<std::uint64_t> still_pending;
+    for (const std::uint64_t id : pending_finishes_) {
+      if (stream_owner_.find(id) != stream_owner_.end()) continue;
+      if (service_.finish_stream(id) == serve::Status::kOverloaded) {
+        still_pending.push_back(id);
+      }
+    }
+    pending_finishes_ = std::move(still_pending);
+  }
+  (void)service_.drain();
+  route_events();
+}
+
+void NetServer::route_events() {
+  for (serve::EventMsg& event : service_.take_events()) {
+    const auto it = stream_owner_.find(event.stream_id);
+    if (it == stream_owner_.end()) {
+      // Owner disconnected between push and drain: the session was
+      // flushed, but nobody is left to tell.
+      stats_.events_orphaned.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Connection& conn = *it->second;
+    serve::encode(conn.outbuf, event);
+    stats_.events_routed.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Flush whoever got events (and anyone EPOLLOUT hasn't caught yet).
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    Connection& conn = *it->second;
+    ++it;  // flush may erase this connection
+    if (conn.out_off < conn.outbuf.size()) flush(conn);
+  }
+}
+
+void NetServer::close_connection(Connection& conn, bool peer_gone) {
+  if (peer_gone) {
+    stats_.disconnects.fetch_add(1, std::memory_order_relaxed);
+  } else if (conn.closing) {
+    stats_.connections_closed_corrupt.fetch_add(1, std::memory_order_relaxed);
+  }
+  // A mid-stream disconnect must not leak sessions until idle timeout:
+  // finish every stream this peer owned so its open region flushes and
+  // the session retires into the pool at the next drain tick.
+  for (const std::uint64_t id : conn.streams) {
+    const auto it = stream_owner_.find(id);
+    if (it == stream_owner_.end() || it->second != &conn) continue;
+    stream_owner_.erase(it);
+    if (service_.finish_stream(id) == serve::Status::kOverloaded) {
+      pending_finishes_.push_back(id);
+    }
+  }
+  stats_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+  connections_.erase(conn.fd.get());  // destroys conn; closing the fd
+                                      // also deregisters it from epoll
+}
+
+void NetServer::graceful_shutdown() {
+  // 1. Stop accepting.
+  (void)::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, listener_.fd.get(), nullptr);
+  listener_.fd.reset();
+
+  // 2. Flush every open session: finish all live streams, then drain
+  //    until the batcher is dry (retrying finishes the shard queues
+  //    rejected), routing events as they complete. Ownership stays
+  //    intact so the final events still reach their connections.
+  for (const auto& [id, owner] : stream_owner_) pending_finishes_.push_back(id);
+  for (;;) {
+    std::vector<std::uint64_t> still_pending;
+    for (const std::uint64_t id : pending_finishes_) {
+      if (service_.finish_stream(id) == serve::Status::kOverloaded) {
+        still_pending.push_back(id);
+      }
+    }
+    pending_finishes_ = std::move(still_pending);
+    const std::size_t processed = service_.drain();
+    route_events();
+    if (pending_finishes_.empty() && processed == 0) break;
+  }
+
+  // 3. Drain the write buffers within the configured budget, driven by
+  //    EPOLLOUT — peers reading slowly get shutdown_flush_ms, not forever.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds{config_.shutdown_flush_ms};
+  for (;;) {
+    bool backlog = false;
+    for (const auto& [fd, conn] : connections_) {
+      backlog = backlog || conn->out_off < conn->outbuf.size();
+    }
+    if (!backlog || connections_.empty()) break;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - now);
+    constexpr int kMaxEvents = 64;
+    epoll_event events[kMaxEvents];
+    const int n = ::epoll_wait(epoll_.get(), events, kMaxEvents,
+                               static_cast<int>(std::max<long>(1, wait.count())));
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < n; ++i) {
+      const auto it = connections_.find(events[i].data.fd);
+      if (it == connections_.end()) continue;
+      if ((events[i].events & (EPOLLOUT | EPOLLHUP | EPOLLERR)) != 0) {
+        flush(*it->second);
+      }
+    }
+  }
+
+  // 4. Close every connection. The epoll/wake/timer fds stay open:
+  //    stop() may still be writing the wake eventfd from another
+  //    thread, so they are closed there, after the join.
+  connections_.clear();
+  stream_owner_.clear();
+  pending_finishes_.clear();
+}
+
+}  // namespace emoleak::net

@@ -1,0 +1,172 @@
+// Epoll TCP front end for emoleak::serve — the step from "serving
+// library" to "service". The deployed attack shape (paper §III-A) is a
+// central collector classifying exfiltrated accelerometer streams from
+// many devices; NetServer is that collector's transport:
+//
+//   accept loop     non-blocking listener on 127.0.0.1, capped at
+//                   max_connections (excess peers get one overloaded
+//                   ack, then close — backpressure, not backlog)
+//   per connection  read buffer with incremental frame reassembly (the
+//                   resumable FrameReader: frames split at arbitrary
+//                   TCP boundaries are retained, corrupt frames close
+//                   only the offending connection) and a write buffer
+//                   flushed by EPOLLOUT; a connection whose peer stops
+//                   reading is paused (EPOLLIN off) above
+//                   max_write_buffer instead of buffering unboundedly
+//   affinity        stream id -> connection, recorded from the frames a
+//                   connection writes; drained events route back to the
+//                   last writer. A mid-stream disconnect finishes the
+//                   peer's streams so their sessions flush and retire
+//                   into the pool instead of leaking until idle timeout
+//   drain tick      a timerfd fires every drain_interval_ms; each tick
+//                   runs one ServeService::drain() (the existing
+//                   sharded batcher — per-stream sequential, shards
+//                   parallel, bit-identical events) and routes the
+//                   completed events
+//   backpressure    ServeService maps a full shard queue to
+//                   Status::kOverloaded; the ack carries retry_after_ms
+//                   so clients back off instead of the server queueing
+//   shutdown        stop() finishes every live stream, drains until the
+//                   batcher is dry, routes the final events, flushes
+//                   write buffers within shutdown_flush_ms, then closes
+//
+// Single event-loop thread; drains fan out internally over the service
+// thread pool. start()/stop()/stats() are safe from any thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/socket.h"
+#include "serve/service.h"
+
+namespace emoleak::net {
+
+struct NetServerConfig {
+  std::uint16_t port = 0;        ///< 0 = ephemeral; read back via port()
+  int backlog = 128;
+  std::size_t max_connections = 1024;
+  std::uint32_t drain_interval_ms = 1;   ///< batch cadence (timerfd)
+  std::size_t read_chunk = 64 * 1024;    ///< bytes per read() call
+  /// Pause reading from a connection whose un-flushed replies exceed
+  /// this; resume below half. Caps per-connection memory against a
+  /// peer that writes but never reads.
+  std::size_t max_write_buffer = 8u << 20;
+  std::uint32_t shutdown_flush_ms = 1000;  ///< graceful-stop write budget
+
+  void validate() const;
+};
+
+/// Transport-level counters (the service keeps its own ServeStats).
+struct NetServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t connections_rejected = 0;  ///< over max_connections
+  std::uint64_t connections_closed_corrupt = 0;
+  std::uint64_t disconnects = 0;        ///< peer EOF/reset
+  std::uint64_t frames_in = 0;          ///< complete frames decoded
+  std::uint64_t partial_reads = 0;      ///< reads leaving a frame tail
+  std::uint64_t overload_acks = 0;
+  std::uint64_t events_routed = 0;
+  std::uint64_t events_orphaned = 0;    ///< owner disconnected first
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t drain_ticks = 0;
+  std::uint64_t reads_paused = 0;       ///< write-buffer backpressure hits
+};
+
+class NetServer {
+ public:
+  /// Binds the listener immediately (so port() is valid before
+  /// start()); the event loop runs only between start() and stop().
+  /// `service` must outlive the server.
+  NetServer(NetServerConfig config, serve::ServeService& service);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Spawns the event-loop thread. Throws NetError if already running.
+  void start();
+
+  /// Graceful shutdown: flush open sessions, deliver pending events,
+  /// drain write buffers (bounded by shutdown_flush_ms), close
+  /// everything, join the loop thread. Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] NetServerStats stats() const;
+  [[nodiscard]] const NetServerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct Connection {
+    Fd fd;
+    std::string inbuf;            ///< unparsed bytes (partial frame tail)
+    std::string outbuf;           ///< un-flushed reply/event frames
+    std::size_t out_off = 0;      ///< flushed prefix of outbuf
+    std::vector<std::uint64_t> streams;  ///< stream ids this peer wrote
+    std::uint32_t armed = 0;      ///< epoll event mask currently registered
+    bool paused = false;          ///< EPOLLIN off (write-buffer cap)
+    bool closing = false;         ///< corrupt peer: close once flushed
+  };
+
+  void run();
+  void accept_ready();
+  void connection_readable(Connection& conn);
+  void connection_writable(Connection& conn);
+  void dispatch(Connection& conn);
+  void flush(Connection& conn);
+  void update_interest(Connection& conn);
+  void drain_and_route();
+  void route_events();
+  void close_connection(Connection& conn, bool peer_gone);
+  void graceful_shutdown();
+
+  NetServerConfig config_;
+  serve::ServeService& service_;
+  Listener listener_;
+  std::uint16_t port_ = 0;
+
+  Fd epoll_;
+  Fd wake_;   ///< eventfd: stop() -> loop wake-up
+  Fd timer_;  ///< timerfd: drain tick
+
+  std::thread loop_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  // Event-loop-thread state (no locking: only run() touches these).
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+  std::unordered_map<std::uint64_t, Connection*> stream_owner_;
+  std::vector<std::uint64_t> pending_finishes_;  ///< retried each tick
+
+  // Stats are written by the loop thread, read from anywhere.
+  struct AtomicStats {
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> connections_active{0};
+    std::atomic<std::uint64_t> connections_rejected{0};
+    std::atomic<std::uint64_t> connections_closed_corrupt{0};
+    std::atomic<std::uint64_t> disconnects{0};
+    std::atomic<std::uint64_t> frames_in{0};
+    std::atomic<std::uint64_t> partial_reads{0};
+    std::atomic<std::uint64_t> overload_acks{0};
+    std::atomic<std::uint64_t> events_routed{0};
+    std::atomic<std::uint64_t> events_orphaned{0};
+    std::atomic<std::uint64_t> bytes_in{0};
+    std::atomic<std::uint64_t> bytes_out{0};
+    std::atomic<std::uint64_t> drain_ticks{0};
+    std::atomic<std::uint64_t> reads_paused{0};
+  } stats_;
+};
+
+}  // namespace emoleak::net

@@ -10,10 +10,19 @@ namespace emoleak::serve {
 
 namespace {
 
-// A frame longer than this is corrupt, not big: the largest legitimate
-// payload is a chunk push, and chunks are seconds of accelerometer
-// data, not gigabytes. Checked before any allocation.
-constexpr std::size_t kMaxPayload = std::size_t{64} << 20;  // 64 MiB
+/// Encode-time mirror of the decoder's bounds checks: refuses an array
+/// whose elements alone would overflow kMaxPayload (or the u32 element
+/// count), *before* anything is written. Without this, a caller could
+/// hand encode() a chunk whose size truncates through the u32 count
+/// field — emitting a frame the peer's decoder must reject.
+void check_array_encodable(std::size_t count, std::size_t elem_bytes,
+                           const char* what) {
+  if (count > std::numeric_limits<std::uint32_t>::max() ||
+      count > kMaxPayload / elem_bytes) {
+    throw util::DataError{std::string{"serve::encode: "} + what +
+                          " count exceeds frame limits"};
+  }
+}
 
 void put_u8(std::string& out, std::uint8_t v) {
   out.push_back(static_cast<char>(v));
@@ -109,6 +118,7 @@ void encode_payload(std::string& out, const Message& msg) {
       [&out](const auto& m) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, ChunkPushMsg>) {
+          check_array_encodable(m.samples.size(), 8, "chunk samples");
           put_u8(out, static_cast<std::uint8_t>(MsgType::kChunkPush));
           put_u64(out, m.stream_id);
           put_u32(out, static_cast<std::uint32_t>(m.samples.size()));
@@ -117,6 +127,8 @@ void encode_payload(std::string& out, const Message& msg) {
           put_u8(out, static_cast<std::uint8_t>(MsgType::kStreamFinish));
           put_u64(out, m.stream_id);
         } else if constexpr (std::is_same_v<T, EventMsg>) {
+          check_array_encodable(m.event.probabilities.size(), 8,
+                                "event probabilities");
           put_u8(out, static_cast<std::uint8_t>(MsgType::kEvent));
           put_u64(out, m.stream_id);
           put_u64(out, m.event.start_sample);
@@ -127,6 +139,8 @@ void encode_payload(std::string& out, const Message& msg) {
         } else if constexpr (std::is_same_v<T, StatsRequestMsg>) {
           put_u8(out, static_cast<std::uint8_t>(MsgType::kStatsRequest));
         } else if constexpr (std::is_same_v<T, StatsReplyMsg>) {
+          check_array_encodable(m.stats.drain_hist.size(), 16,
+                                "drain histogram buckets");
           put_u8(out, static_cast<std::uint8_t>(MsgType::kStatsReply));
           const ServeStats& s = m.stats;
           put_u64(out, s.requests);
@@ -156,6 +170,7 @@ void encode_payload(std::string& out, const Message& msg) {
         } else if constexpr (std::is_same_v<T, AckMsg>) {
           put_u8(out, static_cast<std::uint8_t>(MsgType::kAck));
           put_u8(out, static_cast<std::uint8_t>(m.status));
+          put_u32(out, m.retry_after_ms);
         }
       },
       msg);
@@ -236,6 +251,7 @@ Message decode_payload(std::string_view payload) {
         throw util::DataError{"serve::decode: bad ack status"};
       }
       m.status = static_cast<Status>(status);
+      m.retry_after_ms = c.u32();
       msg = m;
       break;
     }
@@ -251,8 +267,19 @@ Message decode_payload(std::string_view payload) {
 void encode(std::string& out, const Message& msg) {
   const std::size_t header_at = out.size();
   put_u32(out, 0);  // placeholder
-  encode_payload(out, msg);
+  try {
+    encode_payload(out, msg);
+  } catch (...) {
+    out.resize(header_at);  // no half-written frame may reach the wire
+    throw;
+  }
   const std::size_t payload_size = out.size() - header_at - 4;
+  if (payload_size > kMaxPayload) {
+    // Belt and braces behind check_array_encodable: our decoder would
+    // reject this frame, so the encoder must not produce it.
+    out.resize(header_at);
+    throw util::DataError{"serve::encode: frame exceeds kMaxPayload"};
+  }
   const auto len = static_cast<std::uint32_t>(payload_size);
   for (int i = 0; i < 4; ++i) {
     out[header_at + static_cast<std::size_t>(i)] =
@@ -267,9 +294,14 @@ std::string encode_one(const Message& msg) {
 }
 
 std::optional<Message> FrameReader::next() {
-  if (offset_ == bytes_.size()) return std::nullopt;
-  if (bytes_.size() - offset_ < 4) {
-    throw util::DataError{"serve::decode: truncated frame header"};
+  needed_ = 0;
+  const std::size_t avail = bytes_.size() - offset_;
+  if (avail == 0) return std::nullopt;
+  if (avail < 4) {
+    // Partial length prefix — on a TCP stream frames split at arbitrary
+    // byte boundaries, so this is a resumable state, not corruption.
+    needed_ = 4 - avail;
+    return std::nullopt;
   }
   std::uint32_t len = 0;
   for (int i = 0; i < 4; ++i) {
@@ -278,10 +310,14 @@ std::optional<Message> FrameReader::next() {
            << (8 * i);
   }
   if (len > kMaxPayload) {
+    // Genuinely corrupt: no legitimate peer frames this much. Throwing
+    // (rather than waiting for 4 GiB that will never arrive) is what
+    // lets the transport close the connection promptly.
     throw util::DataError{"serve::decode: frame length out of range"};
   }
-  if (bytes_.size() - offset_ - 4 < len) {
-    throw util::DataError{"serve::decode: truncated frame payload"};
+  if (avail - 4 < len) {
+    needed_ = len - (avail - 4);
+    return std::nullopt;
   }
   const std::string_view payload = bytes_.substr(offset_ + 4, len);
   offset_ += 4 + len;

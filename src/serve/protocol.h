@@ -5,12 +5,22 @@
 //   u32 payload_length | u8 type | type-specific payload
 //
 // The in-process transport used by tests and serve_demo concatenates
-// frames into a byte buffer; a real deployment would ship the same
-// bytes over a socket. Doubles travel as IEEE-754 bit patterns
-// (std::bit_cast), so a chunk pushed over the wire classifies
-// bit-identically to one passed in memory. decode failures throw
-// util::DataError — truncated or corrupt frames must never crash the
-// service (same hardening contract as ml::load_model).
+// frames into a byte buffer; the epoll front end (net/server.h) ships
+// the same bytes over TCP sockets. Doubles travel as IEEE-754 bit
+// patterns (std::bit_cast), so a chunk pushed over the wire classifies
+// bit-identically to one passed in memory.
+//
+// Framing distinguishes two failure shapes, because a TCP stream
+// delivers frames split at arbitrary byte boundaries:
+//   - a *partial* trailing frame is a normal state — FrameReader::next()
+//     returns nullopt with needs_more() set, and the caller retains the
+//     tail until more bytes arrive;
+//   - a *corrupt* frame (bad type, short payload, absurd length) throws
+//     util::DataError — corrupt input must never crash the service
+//     (same hardening contract as ml::load_model).
+// encode() enforces the same limits it expects of peers: a message
+// whose frame would exceed kMaxPayload throws before any bytes are
+// emitted, so we can never produce a frame our own decoder rejects.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +34,13 @@
 #include "serve/counters.h"
 
 namespace emoleak::serve {
+
+/// Hard ceiling on one frame's payload. A frame longer than this is
+/// corrupt, not big: the largest legitimate payload is a chunk push,
+/// and chunks are seconds of accelerometer data, not gigabytes. The
+/// decoder checks it before any allocation; the encoder refuses to
+/// emit a frame above it.
+inline constexpr std::size_t kMaxPayload = std::size_t{64} << 20;  // 64 MiB
 
 enum class MsgType : std::uint8_t {
   kChunkPush = 1,   ///< client -> service: samples for one stream
@@ -68,36 +85,63 @@ struct ModelSwapMsg {
 
 struct AckMsg {
   Status status = Status::kOk;
+  /// For kOverloaded: how long the client should back off before
+  /// retrying the rejected request. The wire-level face of the
+  /// reject-on-overload admission policy — the service sheds load and
+  /// tells the peer when to come back instead of queueing unboundedly.
+  /// 0 for every other status.
+  std::uint32_t retry_after_ms = 0;
 };
 
 using Message = std::variant<ChunkPushMsg, StreamFinishMsg, EventMsg,
                              StatsRequestMsg, StatsReplyMsg, ModelSwapMsg,
                              AckMsg>;
 
-/// Appends one length-prefixed frame for `msg` to `out`.
+/// Appends one length-prefixed frame for `msg` to `out`. Throws
+/// util::DataError — leaving `out` untouched — when the message cannot
+/// be framed within kMaxPayload (e.g. a chunk whose sample count would
+/// not survive the u32 length fields); the peer's decoder would reject
+/// such a frame, so it must never reach the wire.
 void encode(std::string& out, const Message& msg);
 
 /// Convenience: a single message as its own buffer.
 [[nodiscard]] std::string encode_one(const Message& msg);
 
-/// Iterates the frames of a byte buffer. Throws util::DataError on a
-/// corrupt frame (bad type, short payload, absurd length).
+/// Iterates the frames of a byte buffer, resumably: frames may arrive
+/// split at arbitrary byte boundaries (a TCP stream), so running out of
+/// bytes mid-frame is a normal state, not an error. Throws
+/// util::DataError only on genuinely corrupt frames (bad type, short
+/// payload relative to its own length field, absurd length).
 class FrameReader {
  public:
   explicit FrameReader(std::string_view bytes) : bytes_{bytes} {}
   /// Deleted: a temporary's bytes would dangle while frames are read.
   explicit FrameReader(std::string&& bytes) = delete;
 
-  /// Next decoded message, or nullopt at end-of-buffer. A partial
-  /// trailing frame is an error: the in-process transport always hands
-  /// over whole buffers.
+  /// Next decoded message, or nullopt when no complete frame remains.
+  /// nullopt with needs_more() unset is a clean end-of-buffer; nullopt
+  /// with needs_more() set means a partial trailing frame starts at
+  /// offset() — the transport should retain bytes_[offset()..] and
+  /// retry once at least missing_bytes() more have arrived.
   [[nodiscard]] std::optional<Message> next();
 
+  /// Bytes consumed so far (whole frames only — never advances into a
+  /// partial frame).
   [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+  /// True after next() returned nullopt because the trailing frame is
+  /// incomplete (as opposed to a clean end-of-buffer).
+  [[nodiscard]] bool needs_more() const noexcept { return needed_ > 0; }
+
+  /// Lower bound on the bytes still missing from the partial trailing
+  /// frame (exact once the 4-byte length prefix is complete). 0 when
+  /// not mid-frame.
+  [[nodiscard]] std::size_t missing_bytes() const noexcept { return needed_; }
 
  private:
   std::string_view bytes_;
   std::size_t offset_ = 0;
+  std::size_t needed_ = 0;
 };
 
 }  // namespace emoleak::serve

@@ -135,30 +135,64 @@ ServeStats ServeService::stats() const {
   return s;
 }
 
-std::string ServeService::handle(std::string_view bytes) {
-  std::string reply;
+HandleResult ServeService::handle_frames(std::string_view bytes) {
+  HandleResult result;
   FrameReader reader{bytes};
-  while (auto msg = reader.next()) {
+  for (;;) {
+    std::optional<Message> msg;
+    try {
+      msg = reader.next();
+    } catch (const util::DataError&) {
+      // One malformed client must not abort the batch: earlier valid
+      // frames keep their replies, the offender gets a kError ack, and
+      // the transport closes only that connection.
+      encode(result.reply, AckMsg{Status::kError});
+      result.corrupt = true;
+      break;
+    }
+    if (!msg) break;  // clean end, or a partial tail left unconsumed
+    result.consumed = reader.offset();
+    ++result.frames;
     std::visit(
-        [this, &reply](auto& m) {
+        [this, &result](auto& m) {
           using T = std::decay_t<decltype(m)>;
+          const auto ack = [this, &result](Status status) {
+            AckMsg a{status};
+            if (status == Status::kOverloaded) {
+              a.retry_after_ms = config_.retry_after_ms;
+              ++result.overloaded;
+            }
+            encode(result.reply, a);
+          };
           if constexpr (std::is_same_v<T, ChunkPushMsg>) {
-            encode(reply, AckMsg{push(m.stream_id, std::move(m.samples))});
+            result.streams_touched.push_back(m.stream_id);
+            ack(push(m.stream_id, std::move(m.samples)));
           } else if constexpr (std::is_same_v<T, StreamFinishMsg>) {
-            encode(reply, AckMsg{finish_stream(m.stream_id)});
+            result.streams_touched.push_back(m.stream_id);
+            ack(finish_stream(m.stream_id));
           } else if constexpr (std::is_same_v<T, StatsRequestMsg>) {
-            encode(reply, StatsReplyMsg{stats()});
+            encode(result.reply, StatsReplyMsg{stats()});
           } else if constexpr (std::is_same_v<T, ModelSwapMsg>) {
-            encode(reply, AckMsg{swap_model(m.version)});
+            ack(swap_model(m.version));
           } else {
             // Server-to-client message types arriving at the service
             // (Event, StatsReply, Ack) are protocol misuse, not fatal.
-            encode(reply, AckMsg{Status::kError});
+            ack(Status::kError);
           }
         },
         *msg);
   }
-  return reply;
+  return result;
+}
+
+std::string ServeService::handle(std::string_view bytes) {
+  HandleResult result = handle_frames(bytes);
+  if (!result.corrupt && result.consumed < bytes.size()) {
+    // The in-process transport hands over whole buffers, so a partial
+    // trailing frame is a framing bug on the caller's side.
+    encode(result.reply, AckMsg{Status::kError});
+  }
+  return std::move(result.reply);
 }
 
 std::string ServeService::poll_events() {

@@ -42,8 +42,32 @@ struct ServeConfig {
   BatcherConfig batcher;
   /// Thread budget for drain cycles (0 = all cores, 1 = serial).
   util::Parallelism parallelism;
+  /// Back-off advertised in overload acks (AckMsg::retry_after_ms):
+  /// roughly one drain tick — the earliest a retry can find queue room.
+  std::uint32_t retry_after_ms = 1;
 
   void validate() const;
+};
+
+/// Outcome of feeding a byte range through the wire face. `reply`
+/// holds the response frames for every frame decoded; `consumed` is the
+/// bytes of whole frames processed (a partial trailing frame is left
+/// for the transport to retain and retry — see FrameReader). A corrupt
+/// frame does not abort the batch: replies already produced for earlier
+/// valid frames survive, the offender is answered with a kError ack,
+/// `corrupt` is set, and the transport should close that connection
+/// after flushing.
+struct HandleResult {
+  std::string reply;
+  std::size_t consumed = 0;
+  std::size_t frames = 0;      ///< complete frames decoded
+  std::size_t overloaded = 0;  ///< frames answered with kOverloaded
+  bool corrupt = false;        ///< a corrupt frame ended the batch
+  /// Stream ids named by push/finish frames in this batch, in frame
+  /// order (duplicates possible). The transport uses these for
+  /// connection -> stream affinity: events route back to the last
+  /// connection that wrote the stream.
+  std::vector<std::uint64_t> streams_touched;
 };
 
 class ServeService {
@@ -77,15 +101,26 @@ class ServeService {
 
   [[nodiscard]] ServeStats stats() const;
 
-  // ---- wire API (in-process transport) -------------------------------
-  /// Decodes each frame in `bytes`, applies it, and returns the reply
-  /// frames (Ack per push/finish/swap, StatsReply per stats request).
-  /// Throws util::DataError on a corrupt buffer.
+  // ---- wire API --------------------------------------------------------
+  /// Decodes each complete frame in `bytes`, applies it, and returns
+  /// the reply frames (Ack per push/finish/swap, StatsReply per stats
+  /// request) plus framing metadata. Never throws on bad input: a
+  /// corrupt frame yields a kError ack and stops the batch with
+  /// `corrupt` set, preserving the replies of earlier valid frames; a
+  /// partial trailing frame is simply not consumed. This is the entry
+  /// point the TCP transport (net::NetServer) feeds connection buffers
+  /// through.
+  [[nodiscard]] HandleResult handle_frames(std::string_view bytes);
+
+  /// In-process transport: handle_frames over a whole buffer. A partial
+  /// trailing frame — impossible when the caller hands over complete
+  /// buffers — is answered with a kError ack like any corrupt frame.
   [[nodiscard]] std::string handle(std::string_view bytes);
 
   /// take_events() as encoded Event frames.
   [[nodiscard]] std::string poll_events();
 
+  [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
   [[nodiscard]] ModelRegistry& registry() noexcept { return *registry_; }
   [[nodiscard]] std::uint64_t tick() const noexcept {
     return tick_.load(std::memory_order_relaxed);

@@ -184,10 +184,15 @@ TEST(ServeProtocolTest, RoundTripsEveryMessageType) {
 TEST(ServeProtocolTest, RejectsMalformedFrames) {
   const std::string valid = serve::encode_one(serve::ChunkPushMsg{1, {1.0}});
 
-  // Truncated header, then truncated payload.
+  // Truncated header, then truncated payload: on a stream transport a
+  // partial trailing frame is a resumable need-more state, not an error
+  // (test_net sweeps every split point); only genuinely corrupt frames
+  // below throw.
   for (const std::size_t cut : {std::size_t{2}, valid.size() - 3}) {
     serve::FrameReader reader{std::string_view{valid}.substr(0, cut)};
-    EXPECT_THROW((void)reader.next(), util::DataError);
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_TRUE(reader.needs_more());
+    EXPECT_EQ(reader.offset(), 0u);
   }
   // Unknown message type (type byte sits right after the u32 length).
   std::string bad_type = valid;
