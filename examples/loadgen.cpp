@@ -22,7 +22,14 @@
 //
 //   loadgen [--conns N] [--rate CONNS_PER_S] [--chunk N] [--cadence-ms N]
 //           [--trace-len N] [--threads N] [--sample-ms N] [--json PATH]
-//           [--smoke]
+//           [--model NAME[,NAME...]] [--smoke]
+//
+// --model registers one model per name and round-robins connections
+// over them (connection i streams against models[i % N], announced
+// with a StreamStart frame before its first chunk) — mixed-task
+// traffic through one registry. Each connection's parity reference is
+// the standalone attack run with *its* model, so cross-binding any
+// stream to the wrong task fails the bit-identical check.
 //
 // Exits non-zero on any dropped frame, parity mismatch, unexpected
 // close, or timeout — the ctest smoke target (loadgen --smoke) rides on
@@ -74,6 +81,9 @@ struct Options {
   std::uint32_t sample_ms = 250;
   std::string json_path;
   double timeout_s = 120.0;
+  /// Registry model names to round-robin connections over; empty =
+  /// single default model, no StreamStart frames (the legacy shape).
+  std::vector<std::string> models;
 };
 
 std::vector<double> make_trace(std::size_t n, std::uint64_t seed) {
@@ -154,6 +164,9 @@ struct ClientConn {
   net::Fd fd;
   std::size_t id = 0;
   std::size_t variant = 0;
+  std::size_t model = 0;  ///< round-robin index into Options::models
+  bool start_sent = false;
+  bool awaiting_start_ack = false;
   std::size_t pos = 0;  ///< samples pushed so far
   std::string inbuf;
   std::string outbuf;
@@ -178,11 +191,14 @@ struct TrajectoryRow {
 };
 
 /// Single-threaded open-loop load engine against a NetServer port.
+/// `references` is indexed [model][variant]: each connection's parity
+/// oracle is the standalone attack with the model it bound to.
 class LoadEngine {
  public:
   LoadEngine(const Options& opt, std::uint16_t port,
              const std::vector<std::vector<double>>& traces,
-             const std::vector<std::vector<core::EmotionEvent>>& references,
+             const std::vector<std::vector<std::vector<core::EmotionEvent>>>&
+                 references,
              const serve::ServeService& service)
       : opt_{opt}, port_{port}, traces_{traces}, references_{references},
         service_{service}, epoll_{::epoll_create1(EPOLL_CLOEXEC)} {
@@ -257,6 +273,7 @@ class LoadEngine {
     auto conn = std::make_unique<ClientConn>();
     conn->id = id;
     conn->variant = id % kTraceVariants;
+    conn->model = opt_.models.empty() ? 0 : id % opt_.models.size();
     conn->fd = net::connect_loopback_nonblocking(port_);
     conn->next_send = Clock::now();
     const int fd = conn->fd.get();
@@ -282,6 +299,18 @@ class LoadEngine {
     if (conn.state == ClientConn::State::kConnecting ||
         conn.state == ClientConn::State::kDraining || conn.awaiting_ack ||
         now < conn.next_send) {
+      return;
+    }
+    if (!opt_.models.empty() && !conn.start_sent) {
+      // Bind the stream to its task before any sample travels; the
+      // start rides the same shard FIFO as the chunks, so ordering is
+      // guaranteed server-side too.
+      serve::encode(conn.outbuf, serve::StreamStartMsg{
+                                     conn.id, opt_.models[conn.model]});
+      conn.start_sent = true;
+      conn.awaiting_start_ack = true;
+      conn.awaiting_ack = true;
+      flush(conn);
       return;
     }
     const std::vector<double>& trace = traces_[conn.variant];
@@ -453,6 +482,13 @@ class LoadEngine {
       fail(conn, "error ack from server");
       return;
     }
+    if (conn.awaiting_start_ack) {
+      // The StreamStart was admitted; begin pushing samples.
+      conn.awaiting_start_ack = false;
+      conn.next_send = now;
+      maybe_send(conn, now);
+      return;
+    }
     if (conn.state == ClientConn::State::kFinishing) {
       conn.state = ClientConn::State::kDraining;
       check_done(conn);
@@ -464,7 +500,9 @@ class LoadEngine {
   }
 
   void check_done(ClientConn& conn) {
-    if (conn.events.size() < references_[conn.variant].size()) return;
+    if (conn.events.size() < references_[conn.model][conn.variant].size()) {
+      return;
+    }
     results_[conn.id] = std::move(conn.events);
     ++done_;
     retire(conn);
@@ -503,7 +541,7 @@ class LoadEngine {
   const Options& opt_;
   std::uint16_t port_;
   const std::vector<std::vector<double>>& traces_;
-  const std::vector<std::vector<core::EmotionEvent>>& references_;
+  const std::vector<std::vector<std::vector<core::EmotionEvent>>>& references_;
   const serve::ServeService& service_;
   net::Fd epoll_;
   std::unordered_map<int, std::unique_ptr<ClientConn>> conns_;
@@ -598,6 +636,13 @@ int main(int argc, char** argv) {
       opt.sample_ms = static_cast<std::uint32_t>(std::stoul(argv[++i]));
     } else if (arg("--json")) {
       opt.json_path = argv[++i];
+    } else if (arg("--model")) {
+      std::string list = argv[++i];
+      for (std::size_t pos = 0; pos <= list.size();) {
+        const std::size_t comma = std::min(list.find(',', pos), list.size());
+        if (comma > pos) opt.models.push_back(list.substr(pos, comma - pos));
+        pos = comma + 1;
+      }
     } else if (arg("--timeout-s")) {
       opt.timeout_s = std::stod(argv[++i]);
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -616,16 +661,38 @@ int main(int argc, char** argv) {
     std::cerr << "loadgen: --conns, --chunk, --rate must be positive\n";
     return EXIT_FAILURE;
   }
+  for (std::size_t m = 0; m < opt.models.size(); ++m) {
+    for (std::size_t k = m + 1; k < opt.models.size(); ++k) {
+      if (opt.models[m] == opt.models[k]) {
+        std::cerr << "loadgen: duplicate --model name " << opt.models[m]
+                  << "\n";
+        return EXIT_FAILURE;
+      }
+    }
+  }
 
   // ---- traces + standalone references (the parity oracle) -----------
-  const auto model = make_model(3, 7);
+  // One distinct model per --model name (different training seeds, so
+  // their probability vectors differ); references[model][variant] is
+  // what a stream bound to that model must emit, bit for bit.
+  const std::size_t model_count = std::max<std::size_t>(1, opt.models.size());
+  std::vector<std::shared_ptr<const ml::Classifier>> models;
+  for (std::size_t m = 0; m < model_count; ++m) {
+    models.push_back(make_model(3, 7 + 11 * m));
+  }
   std::vector<std::vector<double>> traces;
-  std::vector<std::vector<core::EmotionEvent>> references;
-  std::size_t expected_per_cycle = 0;
   for (std::size_t v = 0; v < kTraceVariants; ++v) {
     traces.push_back(make_trace(opt.trace_len, 1000 + v));
-    references.push_back(standalone_events(traces[v], opt.chunk, model));
-    expected_per_cycle += references[v].size();
+  }
+  std::vector<std::vector<std::vector<core::EmotionEvent>>> references(
+      model_count);
+  std::size_t expected_per_cycle = 0;
+  for (std::size_t m = 0; m < model_count; ++m) {
+    for (std::size_t v = 0; v < kTraceVariants; ++v) {
+      references[m].push_back(
+          standalone_events(traces[v], opt.chunk, models[m]));
+      expected_per_cycle += references[m][v].size();
+    }
   }
   if (expected_per_cycle == 0) {
     std::cerr << "loadgen: warning: no trace variant produces events "
@@ -635,7 +702,13 @@ int main(int argc, char** argv) {
 
   // ---- server ---------------------------------------------------------
   auto registry = std::make_shared<serve::ModelRegistry>();
-  registry->add("loadgen-logistic", model);
+  if (opt.models.empty()) {
+    registry->add("loadgen-logistic", models[0]);
+  } else {
+    for (std::size_t m = 0; m < opt.models.size(); ++m) {
+      registry->add(opt.models[m], models[m]);
+    }
+  }
   serve::ServeConfig cfg;
   cfg.session.stream = stream_config();
   cfg.session.sample_rate_hz = kRate;
@@ -659,17 +732,28 @@ int main(int argc, char** argv) {
   server.stop();
 
   // ---- verify: zero drops, bit-identical events ----------------------
+  // Per-task accounting: connection id streams trace id % kTraceVariants
+  // against model id % model_count, so its oracle is
+  // references[model][variant].
   std::uint64_t expected_events = 0;
+  std::vector<std::uint64_t> expected_per_model(model_count, 0);
   for (std::size_t id = 0; id < opt.conns; ++id) {
-    expected_events += references[id % kTraceVariants].size();
+    const std::size_t m = opt.models.empty() ? 0 : id % model_count;
+    const std::uint64_t n = references[m][id % kTraceVariants].size();
+    expected_events += n;
+    expected_per_model[m] += n;
   }
   const std::uint64_t got_events = engine.total_events();
   const std::uint64_t dropped =
       expected_events > got_events ? expected_events - got_events : 0;
 
   std::size_t parity_failures = 0;
+  std::vector<std::uint64_t> got_per_model(model_count, 0);
   for (std::size_t id = 0; id < opt.conns; ++id) {
-    if (!same_events(engine.results()[id], references[id % kTraceVariants])) {
+    const std::size_t m = opt.models.empty() ? 0 : id % model_count;
+    got_per_model[m] += engine.results()[id].size();
+    if (!same_events(engine.results()[id],
+                     references[m][id % kTraceVariants])) {
       ++parity_failures;
     }
   }
@@ -683,6 +767,12 @@ int main(int argc, char** argv) {
             << "p50 " << fmt(stats.drain_p50_us) << " us / p99 "
             << fmt(stats.drain_p99_us) << " us ("
             << net_stats.partial_reads << " partial reads reassembled)\n";
+  if (!opt.models.empty()) {
+    for (std::size_t m = 0; m < model_count; ++m) {
+      std::cout << "  task " << opt.models[m] << ": " << got_per_model[m]
+                << "/" << expected_per_model[m] << " events\n";
+    }
+  }
 
   if (!opt.json_path.empty()) {
     write_json(opt.json_path, opt, engine, stats, net_stats, dropped);

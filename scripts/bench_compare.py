@@ -19,14 +19,23 @@ any dropped frame or parity mismatch, so a passing run is also a
 correctness statement. The serve tolerance is wider than the kernel one:
 this is a fixture-heavy end-to-end benchmark.
 
+Tasks mode (--tasks): runs the multi-task mitigation sweep
+(bench/bench_tasks) and compares per-task held-out accuracy at every
+mitigation level against BENCH_tasks.json. Accuracy is a fraction, so
+the gate is an *absolute* drop (default 0.10): a task regresses when
+its accuracy falls more than the tolerance below the baseline at the
+same mitigation level. Accuracy gains never fail.
+
 Usage:
   scripts/bench_compare.py --bench build/bench/bench_micro_perf
   scripts/bench_compare.py --bench ... --update     # re-baseline
   scripts/bench_compare.py --bench ... --tolerance 0.4
   scripts/bench_compare.py --serve build/examples/loadgen
   scripts/bench_compare.py --serve ... --update     # re-baseline
+  scripts/bench_compare.py --tasks build/bench/bench_tasks
 
-Wired into CMake as the `bench_check` and `bench_serve_check` targets.
+Wired into CMake as the `bench_check`, `bench_serve_check`, and
+`bench_tasks_check` targets.
 """
 
 import argparse
@@ -148,6 +157,72 @@ def serve_main(args: argparse.Namespace) -> int:
     return 0
 
 
+def tasks_main(args: argparse.Namespace) -> int:
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = Path(tmp.name)
+    try:
+        subprocess.run([str(args.tasks), "--json", str(out_path),
+                        *args.tasks_args], check=True)
+        report = json.loads(out_path.read_text())
+    finally:
+        out_path.unlink(missing_ok=True)
+
+    levels = report.get("levels", [])
+    if not levels:
+        print("error: bench_tasks report has no levels", file=sys.stderr)
+        return 2
+
+    if args.update:
+        args.tasks_baseline.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"updated {args.tasks_baseline}")
+        return 0
+
+    if not args.tasks_baseline.exists():
+        print(f"error: no baseline at {args.tasks_baseline} — run with "
+              f"--update first", file=sys.stderr)
+        return 2
+    want = {lvl["label"]: lvl.get("tasks", {})
+            for lvl in json.loads(
+                args.tasks_baseline.read_text()).get("levels", [])}
+
+    failures = []
+    for level in levels:
+        base_tasks = want.get(level["label"])
+        if base_tasks is None:
+            print(f"{level['label']}: not in baseline (new level)")
+            continue
+        for name, got in sorted(level.get("tasks", {}).items()):
+            base = base_tasks.get(name)
+            if base is None:
+                print(f"  {level['label']} / {name}: no baseline")
+                continue
+            # Untrainable at this level in either run (mitigation erased
+            # all regions) — compare trainability, not accuracy.
+            if got["test_rows"] == 0 or base["test_rows"] == 0:
+                ok = (got["test_rows"] == 0) == (base["test_rows"] == 0)
+                status = "ok (untrainable)" if ok else "REGRESSION"
+                if not ok:
+                    failures.append(f"{level['label']}/{name}")
+                print(f"  {level['label']:30s} {name:8s} "
+                      f"{'--':>7}  {status}")
+                continue
+            drop = base["accuracy"] - got["accuracy"]
+            status = "REGRESSION" if drop > args.tolerance else "ok"
+            if drop > args.tolerance:
+                failures.append(f"{level['label']}/{name}")
+            print(f"  {level['label']:30s} {name:8s} "
+                  f"{got['accuracy']:7.3f}  baseline "
+                  f"{base['accuracy']:7.3f}  {status}")
+
+    if failures:
+        print(f"\n{len(failures)} task accuracy cell(s) dropped more than "
+              f"{args.tolerance:.2f} below baseline: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print(f"\nall task accuracies within {args.tolerance:.2f} of baseline")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bench", type=Path,
@@ -170,8 +245,20 @@ def main() -> int:
                         "BENCH_serve.json")
     parser.add_argument("--serve-args", nargs=argparse.REMAINDER, default=[],
                         help="extra arguments passed through to loadgen")
+    parser.add_argument("--tasks", type=Path,
+                        help="path to the bench_tasks binary: compare "
+                             "per-task accuracy against BENCH_tasks.json")
+    parser.add_argument("--tasks-baseline", type=Path,
+                        default=Path(__file__).resolve().parent.parent /
+                        "BENCH_tasks.json")
+    parser.add_argument("--tasks-args", nargs=argparse.REMAINDER, default=[],
+                        help="extra arguments passed through to bench_tasks")
     args = parser.parse_args()
 
+    if args.tasks is not None:
+        if args.tolerance is None:
+            args.tolerance = 0.10
+        return tasks_main(args)
     if args.serve is not None:
         if args.tolerance is None:
             args.tolerance = 0.75

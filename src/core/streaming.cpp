@@ -29,6 +29,10 @@ void StreamingConfig::validate() const {
   if (history_s < max_region_s) {
     throw util::ConfigError{"StreamingConfig: history shorter than regions"};
   }
+  if (image_size == 0) {
+    throw util::ConfigError{"StreamingConfig: image_size == 0"};
+  }
+  stft.validate();
 }
 
 StreamingAttack::StreamingAttack(StreamingConfig config, double sample_rate_hz,
@@ -101,13 +105,28 @@ EmotionEvent StreamingAttack::close_region(std::size_t start, std::size_t end) {
   if (classifier_ && hi > lo + 4) {
     std::vector<double> region(raw_history_.begin() + static_cast<std::ptrdiff_t>(lo),
                                raw_history_.begin() + static_cast<std::ptrdiff_t>(hi));
-    const std::vector<double> feats =
-        features::extract_features(region, rate_);
-    const bool valid = std::all_of(feats.begin(), feats.end(), [](double v) {
+    // The classifier's input view depends on the task it was trained
+    // for: Table-II features for the classical heads, the spectrogram
+    // image for fingerprint matching. Both are computed exactly like
+    // the offline pipeline (core::extract) so a served region lands in
+    // the same input space as the training rows.
+    std::vector<double> input;
+    if (route_ == FeatureRoute::kTableFeatures) {
+      input = features::extract_features(region, rate_);
+    } else {
+      double mean = 0.0;
+      for (const double v : region) mean += v;
+      mean /= static_cast<double>(region.size());
+      for (double& v : region) v -= mean;
+      const dsp::Spectrogram spec = dsp::stft(region, rate_, config_.stft);
+      input = dsp::spectrogram_image(spec, config_.image_size,
+                                     config_.image_size);
+    }
+    const bool valid = std::all_of(input.begin(), input.end(), [](double v) {
       return std::isfinite(v);
     });
     if (valid) {
-      event.probabilities = classifier_->predict_proba(feats);
+      event.probabilities = classifier_->predict_proba(input);
       event.predicted_class = static_cast<int>(
           std::max_element(event.probabilities.begin(),
                            event.probabilities.end()) -

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/speech_region.h"
+#include "dsp/stft.h"
 #include "ml/classifier.h"
 
 namespace emoleak::core {
@@ -30,6 +31,15 @@ struct EmotionEvent {
   std::vector<double> probabilities;  ///< classifier distribution
 };
 
+/// What a classifier consumes per detected region. Different attack
+/// tasks train on different views of the same trace (tasks::TaskSpec):
+/// the classical heads take the 24 Table-II features, the media
+/// fingerprint matches the region's spectrogram image.
+enum class FeatureRoute {
+  kTableFeatures,     ///< 24-dim Table-II feature vector (default)
+  kSpectrogramImage,  ///< flattened image_size^2 spectrogram in [0,1]
+};
+
 struct StreamingConfig {
   DetectorConfig detector;       ///< same knobs as the offline detector
   double noise_window_s = 10.0;  ///< sliding window for the noise floor
@@ -38,6 +48,11 @@ struct StreamingConfig {
   /// longest expected region (raw samples are needed because features
   /// come from the unfiltered stream).
   double history_s = 12.0;
+  /// Spectrogram-route geometry; must match the training pipeline
+  /// (PipelineConfig defaults) so served regions land in the same input
+  /// space the fingerprint models were fit on.
+  std::size_t image_size = 32;
+  dsp::StftConfig stft{.window_length = 64, .hop = 8};
 
   void validate() const;
 };
@@ -65,10 +80,18 @@ class StreamingAttack {
 
   /// Swaps the model used for subsequent regions (hot-swap in the
   /// serving layer). Pass nullptr for detection-only mode. Regions
-  /// closed before the call keep their old predictions.
+  /// closed before the call keep their old predictions. The route keeps
+  /// its current value unless the two-argument overload names one.
   void set_classifier(std::shared_ptr<const ml::Classifier> classifier) {
     classifier_ = std::move(classifier);
   }
+  void set_classifier(std::shared_ptr<const ml::Classifier> classifier,
+                      FeatureRoute route) {
+    classifier_ = std::move(classifier);
+    route_ = route;
+  }
+
+  [[nodiscard]] FeatureRoute route() const noexcept { return route_; }
 
   [[nodiscard]] std::size_t samples_seen() const noexcept { return absolute_; }
   [[nodiscard]] std::size_t events_emitted() const noexcept { return events_; }
@@ -81,6 +104,7 @@ class StreamingAttack {
   StreamingConfig config_;
   double rate_;
   std::shared_ptr<const ml::Classifier> classifier_;
+  FeatureRoute route_ = FeatureRoute::kTableFeatures;
 
   dsp::BiquadCascade hpf_;
   bool use_hpf_ = false;

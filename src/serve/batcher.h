@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "util/bounded_queue.h"
@@ -29,12 +30,18 @@ struct BatcherConfig {
   void validate() const;
 };
 
-/// One unit of work: a chunk of samples for a stream, or (with
-/// `finish` set and `samples` empty) an end-of-stream flush.
+/// One unit of work: a chunk of samples for a stream, an end-of-stream
+/// flush (`finish` set, `samples` empty), or a stream-open binding the
+/// stream to a named model (`start` set). Starts travel through the
+/// same per-stream FIFO as chunks, so a start is always applied before
+/// the chunks submitted after it — the ordering the mixed-task
+/// determinism contract rests on.
 struct PushRequest {
   std::uint64_t stream_id = 0;
   std::vector<double> samples;
   bool finish = false;
+  bool start = false;
+  std::string model_name;  ///< for `start`: empty = registry default
 };
 
 class RequestBatcher {

@@ -8,13 +8,30 @@
 // message payload exposed over the wire protocol.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
 
 namespace emoleak::serve {
+
+/// Per-model-name slice of the service counters plus the registry's
+/// view of that name (active version, total versions registered). One
+/// entry per named task in the stats wire message, sorted by name.
+struct TaskStats {
+  std::string name;
+  std::uint32_t active_version = 0;
+  std::uint32_t versions = 0;
+  std::uint64_t streams = 0;  ///< sessions ever bound to this name
+  std::uint64_t samples = 0;  ///< samples processed under this name
+  std::uint64_t events = 0;   ///< events emitted under this name
+};
 
 /// Plain snapshot of the service counters (the `stats` wire message).
 struct ServeStats {
@@ -36,6 +53,9 @@ struct ServeStats {
   std::uint64_t drain_count = 0;  ///< latency samples behind the quantiles
   /// Non-empty drain-latency histogram buckets as (upper_bound_us, count).
   std::vector<std::pair<double, std::uint64_t>> drain_hist;
+  /// Per-task traffic + registry versions, sorted by name. Filled by
+  /// ServeService::stats() from TaskCounters and ModelRegistry::stats().
+  std::vector<TaskStats> tasks;
 };
 
 class ServeCounters {
@@ -77,6 +97,53 @@ class ServeCounters {
   /// callers can render all serve metrics as text in one place.
   [[nodiscard]] obs::Registry& registry() noexcept { return registry_; }
 
+  /// Lock-free per-task counters, named serve.task.<name>.* in the
+  /// registry. References stay valid for the ServeCounters lifetime, so
+  /// sessions cache the pointer at bind time and bump without locking.
+  struct TaskCounters {
+    obs::Counter& streams;
+    obs::Counter& samples;
+    obs::Counter& events;
+    obs::Histogram& region_ns;  ///< per-region classification wall time
+  };
+
+  /// Returns this name's counter bundle, creating it on first use.
+  /// Mutex only on the lookup (the bind path), never on the bump path.
+  [[nodiscard]] TaskCounters& task(const std::string& name) {
+    std::lock_guard<std::mutex> lock{tasks_mutex_};
+    auto it = tasks_.find(name);
+    if (it == tasks_.end()) {
+      const std::string prefix = "serve.task." + name + ".";
+      auto bundle = std::make_unique<TaskCounters>(
+          TaskCounters{registry_.counter(prefix + "streams"),
+                       registry_.counter(prefix + "samples"),
+                       registry_.counter(prefix + "events"),
+                       registry_.histogram(prefix + "region_ns")});
+      it = tasks_.emplace(name, std::move(bundle)).first;
+    }
+    return *it->second;
+  }
+
+  /// Traffic snapshot per task name, sorted (deterministic wire order).
+  /// The registry-side fields (versions) are merged in by the caller.
+  [[nodiscard]] std::vector<TaskStats> task_snapshot() const {
+    std::lock_guard<std::mutex> lock{tasks_mutex_};
+    std::vector<TaskStats> out;
+    out.reserve(tasks_.size());
+    for (const auto& [name, bundle] : tasks_) {
+      TaskStats t;
+      t.name = name;
+      t.streams = bundle->streams.value();
+      t.samples = bundle->samples.value();
+      t.events = bundle->events.value();
+      out.push_back(std::move(t));
+    }
+    std::sort(out.begin(), out.end(), [](const TaskStats& a, const TaskStats& b) {
+      return a.name < b.name;
+    });
+    return out;
+  }
+
   /// Fills the request/latency half of a snapshot; the session/model
   /// fields are owned by SessionManager / ModelRegistry and are filled
   /// in by ServeService::stats().
@@ -105,6 +172,8 @@ class ServeCounters {
 
  private:
   obs::Histogram& drain_latency_ns_;
+  mutable std::mutex tasks_mutex_;
+  std::unordered_map<std::string, std::unique_ptr<TaskCounters>> tasks_;
 };
 
 }  // namespace emoleak::serve

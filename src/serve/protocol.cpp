@@ -48,6 +48,12 @@ void put_f64(std::string& out, double v) {
   put_u64(out, std::bit_cast<std::uint64_t>(v));
 }
 
+void put_str(std::string& out, std::string_view s) {
+  check_array_encodable(s.size(), 1, "string");
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
 /// Bounds-checked little-endian cursor over one frame payload.
 class Cursor {
  public:
@@ -95,6 +101,18 @@ class Cursor {
     for (double& v : out) v = f64();
     return out;
   }
+
+  [[nodiscard]] std::string str() {
+    const std::uint32_t n = u32();
+    need(n);  // before allocating — see kMaxPayload
+    std::string out{payload_.substr(pos_, n)};
+    pos_ += n;
+    return out;
+  }
+
+  /// True once the whole payload is consumed — lets a decoder accept an
+  /// older, shorter encoding of a message (trailing fields absent).
+  [[nodiscard]] bool done() const noexcept { return pos_ == payload_.size(); }
 
   void expect_done() const {
     if (pos_ != payload_.size()) {
@@ -164,6 +182,19 @@ void encode_payload(std::string& out, const Message& msg) {
             put_f64(out, upper_us);
             put_u64(out, count);
           }
+          // v2 extension: per-task section. Appended after the v1
+          // payload so a v1-era byte capture still decodes (the decoder
+          // treats an exhausted payload here as "no task section").
+          check_array_encodable(s.tasks.size(), 28, "task stats");
+          put_u32(out, static_cast<std::uint32_t>(s.tasks.size()));
+          for (const TaskStats& t : s.tasks) {
+            put_str(out, t.name);
+            put_u32(out, t.active_version);
+            put_u32(out, t.versions);
+            put_u64(out, t.streams);
+            put_u64(out, t.samples);
+            put_u64(out, t.events);
+          }
         } else if constexpr (std::is_same_v<T, ModelSwapMsg>) {
           put_u8(out, static_cast<std::uint8_t>(MsgType::kModelSwap));
           put_u32(out, m.version);
@@ -171,6 +202,13 @@ void encode_payload(std::string& out, const Message& msg) {
           put_u8(out, static_cast<std::uint8_t>(MsgType::kAck));
           put_u8(out, static_cast<std::uint8_t>(m.status));
           put_u32(out, m.retry_after_ms);
+        } else if constexpr (std::is_same_v<T, StreamStartMsg>) {
+          put_u8(out, static_cast<std::uint8_t>(MsgType::kStreamStart));
+          put_u64(out, m.stream_id);
+          // An empty name encodes to the v1 short form (stream_id only)
+          // so a default-task start is byte-identical to what a v1 peer
+          // would have sent.
+          if (!m.model_name.empty()) put_str(out, m.model_name);
         }
       },
       msg);
@@ -235,7 +273,21 @@ Message decode_payload(std::string_view payload) {
         const std::uint64_t count = c.u64();
         s.drain_hist.emplace_back(upper_us, count);
       }
-      msg = m;
+      // v1 payloads end here; the task section is a v2 append.
+      if (!c.done()) {
+        const std::uint32_t tasks = c.u32();
+        for (std::uint32_t i = 0; i < tasks; ++i) {
+          TaskStats t;
+          t.name = c.str();
+          t.active_version = c.u32();
+          t.versions = c.u32();
+          t.streams = c.u64();
+          t.samples = c.u64();
+          t.events = c.u64();
+          s.tasks.push_back(std::move(t));
+        }
+      }
+      msg = std::move(m);
       break;
     }
     case MsgType::kModelSwap: {
@@ -253,6 +305,15 @@ Message decode_payload(std::string_view payload) {
       m.status = static_cast<Status>(status);
       m.retry_after_ms = c.u32();
       msg = m;
+      break;
+    }
+    case MsgType::kStreamStart: {
+      StreamStartMsg m;
+      m.stream_id = c.u64();
+      // v1 short form carries only the stream id — absent name means
+      // the registry default.
+      if (!c.done()) m.model_name = c.str();
+      msg = std::move(m);
       break;
     }
     default:

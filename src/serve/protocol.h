@@ -50,6 +50,9 @@ enum class MsgType : std::uint8_t {
   kStatsReply,      ///< service -> client
   kModelSwap,       ///< client -> service: activate a registry version
   kAck,             ///< service -> client: request status
+  kStreamStart,     ///< client -> service: open a stream, optionally
+                    ///< binding it to a named model (appended in v2 —
+                    ///< earlier types keep their byte values)
 };
 
 enum class Status : std::uint8_t {
@@ -62,6 +65,21 @@ enum class Status : std::uint8_t {
 struct ChunkPushMsg {
   std::uint64_t stream_id = 0;
   std::vector<double> samples;
+};
+
+/// Opens a stream explicitly, optionally naming the registry model the
+/// stream should classify against (empty = the registry default, which
+/// is also what a bare ChunkPushMsg with a fresh stream_id binds to —
+/// StreamStart is only *required* for non-default tasks).
+///
+/// Old-encoding compatibility: the v1 payload was `u64 stream_id` with
+/// no name field. The decoder accepts that short form (name absent ->
+/// default model), and encoding an empty name *produces* the short
+/// form, so v1 and v2 peers interoperate byte-for-byte on default-task
+/// streams.
+struct StreamStartMsg {
+  std::uint64_t stream_id = 0;
+  std::string model_name;  ///< empty = registry default
 };
 
 struct StreamFinishMsg {
@@ -95,7 +113,7 @@ struct AckMsg {
 
 using Message = std::variant<ChunkPushMsg, StreamFinishMsg, EventMsg,
                              StatsRequestMsg, StatsReplyMsg, ModelSwapMsg,
-                             AckMsg>;
+                             AckMsg, StreamStartMsg>;
 
 /// Appends one length-prefixed frame for `msg` to `out`. Throws
 /// util::DataError — leaving `out` untouched — when the message cannot

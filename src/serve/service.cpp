@@ -1,5 +1,6 @@
 #include "serve/service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -49,6 +50,42 @@ Status ServeService::finish_stream(std::uint64_t stream_id) {
   return Status::kOk;
 }
 
+Status ServeService::start_stream(std::uint64_t stream_id,
+                                  std::string model_name) {
+  counters_.requests.add(1);
+  if (!model_name.empty() && !registry_->has(model_name)) {
+    // Reject before enqueueing: an unknown task name is a client error,
+    // not load, so it must not consume shard-queue room.
+    return Status::kError;
+  }
+  PushRequest request;
+  request.stream_id = stream_id;
+  request.start = true;
+  request.model_name = std::move(model_name);
+  if (!batcher_.submit(std::move(request))) {
+    counters_.rejected_overload.add(1);
+    return Status::kOverloaded;
+  }
+  counters_.accepted.add(1);
+  return Status::kOk;
+}
+
+void ServeService::bind_session(SessionManager::Session& session) {
+  const ModelRegistry::Resolved resolved =
+      registry_->resolve(session.model_name);
+  session.attack.set_classifier(resolved.model, resolved.route);
+  session.model_generation = resolved.generation;
+  ServeCounters::TaskCounters& task =
+      counters_.task(resolved.name.empty() ? "(default)" : resolved.name);
+  // One "stream" per task a session lands on: counted on first bind and
+  // on a rebind that actually changed tasks, not on hot-swap refreshes
+  // of the same name.
+  if (session.task != &task) {
+    task.streams.add(1);
+    session.task = &task;
+  }
+}
+
 void ServeService::process(PushRequest& request) {
   OBS_SPAN_ARG("serve.process", "stream", request.stream_id);
   if (request.finish) {
@@ -65,21 +102,36 @@ void ServeService::process(PushRequest& request) {
     counters_.rejected_capacity.add(1);
     return;
   }
-  // Lazy hot-swap: an activate() since this session's last request
-  // swings its classifier before the next region closes. The generation
-  // probe is one relaxed atomic load; the registry lock is only taken
-  // when a swap actually happened.
-  if (session->model_generation != registry_->generation()) {
-    auto [model, generation] = registry_->current_with_generation();
-    session->attack.set_classifier(std::move(model));
-    session->model_generation = generation;
+  if (request.start) {
+    // Ordered ahead of the stream's subsequent chunks by the shard
+    // FIFO, so the binding is in place before any sample of the stream
+    // is processed.
+    session->model_name = std::move(request.model_name);
+    bind_session(*session);
+    return;
   }
+  // Lazy hot-swap: an add()/activate() since this session's last
+  // request re-resolves its *own* model name before the next region
+  // closes. The generation probe is one relaxed atomic load; the
+  // registry lock is only taken when a swap actually happened (or on
+  // the session's very first request).
+  if (session->task == nullptr ||
+      session->model_generation != registry_->generation()) {
+    bind_session(*session);
+  }
+  const std::uint64_t t0 = obs::trace_now_ns();
   std::vector<core::EmotionEvent> events = session->attack.push(
       std::span<const double>{request.samples.data(), request.samples.size()});
   counters_.chunks_processed.add(1);
   counters_.samples_processed.add(request.samples.size());
+  session->task->samples.add(request.samples.size());
   if (!events.empty()) {
     counters_.events_emitted.add(events.size());
+    session->task->events.add(events.size());
+    // Attribute the chunk's wall time to the task only when a region
+    // actually closed — classification dominates the cost, and this is
+    // the per-task latency the mitigation study compares.
+    session->task->region_ns.record(obs::trace_now_ns() - t0);
     for (core::EmotionEvent& event : events) {
       session->outbox.push_back(std::move(event));
     }
@@ -132,6 +184,27 @@ ServeStats ServeService::stats() const {
   s.sessions_evicted = sessions_.sessions_evicted();
   s.sessions_pooled = sessions_.sessions_pooled();
   s.model_generation = registry_->generation();
+  // Per-task section: traffic counters joined with the registry's
+  // per-name versions. A registered name with no traffic yet still
+  // appears (zero counts) so clients can discover the task set.
+  s.tasks = counters_.task_snapshot();
+  for (const ModelRegistry::NameInfo& info : registry_->stats()) {
+    auto it = std::find_if(s.tasks.begin(), s.tasks.end(),
+                           [&info](const TaskStats& t) {
+                             return t.name == info.name;
+                           });
+    if (it == s.tasks.end()) {
+      TaskStats t;
+      t.name = info.name;
+      it = s.tasks.insert(s.tasks.end(), std::move(t));
+    }
+    it->active_version = info.active_version;
+    it->versions = info.versions;
+  }
+  std::sort(s.tasks.begin(), s.tasks.end(),
+            [](const TaskStats& a, const TaskStats& b) {
+              return a.name < b.name;
+            });
   return s;
 }
 
@@ -167,6 +240,9 @@ HandleResult ServeService::handle_frames(std::string_view bytes) {
           if constexpr (std::is_same_v<T, ChunkPushMsg>) {
             result.streams_touched.push_back(m.stream_id);
             ack(push(m.stream_id, std::move(m.samples)));
+          } else if constexpr (std::is_same_v<T, StreamStartMsg>) {
+            result.streams_touched.push_back(m.stream_id);
+            ack(start_stream(m.stream_id, std::move(m.model_name)));
           } else if constexpr (std::is_same_v<T, StreamFinishMsg>) {
             result.streams_touched.push_back(m.stream_id);
             ack(finish_stream(m.stream_id));

@@ -84,6 +84,15 @@ class ServeService {
   /// any, and retires the session into the pool).
   Status finish_stream(std::uint64_t stream_id);
 
+  /// Opens (or rebinds) a stream against a named registry model; empty
+  /// name = the registry default. kError when the name is unknown —
+  /// checked before enqueueing, so a bad name never consumes queue
+  /// room. The start travels through the stream's shard FIFO, so it is
+  /// applied before any chunk submitted after it (mixed-task
+  /// determinism). Optional for default-task streams: a bare push with
+  /// a fresh stream id still auto-binds to the default model.
+  Status start_stream(std::uint64_t stream_id, std::string model_name);
+
   /// Runs one batch cycle: advances the logical clock, evicts idle
   /// sessions, then processes every queued request (per-stream
   /// sequential, streams parallel). Returns requests processed.
@@ -128,6 +137,10 @@ class ServeService {
 
  private:
   void process(PushRequest& request);
+  /// (Re)binds a session to its model_name: resolves the registry,
+  /// swings the classifier + feature route, caches the per-task counter
+  /// bundle, and counts a stream for the task the session landed on.
+  void bind_session(SessionManager::Session& session);
 
   ServeConfig config_;
   std::shared_ptr<ModelRegistry> registry_;

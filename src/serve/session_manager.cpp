@@ -44,7 +44,10 @@ SessionManager::Session* SessionManager::acquire(std::uint64_t stream_id,
     session = std::move(free_pool_.back());
     free_pool_.pop_back();
     session->attack.reset();
-    session->attack.set_classifier(std::move(model));
+    // A recycled session may have served a different task: reset the
+    // feature route along with the model, not just the detector state.
+    session->attack.set_classifier(std::move(model),
+                                   core::FeatureRoute::kTableFeatures);
     session->outbox.clear();
     ++pooled_;
   } else {
@@ -53,6 +56,8 @@ SessionManager::Session* SessionManager::acquire(std::uint64_t stream_id,
   session->stream_id = stream_id;
   session->last_active_tick = tick;
   session->model_generation = generation;
+  session->model_name.clear();
+  session->task = nullptr;  // service re-binds on first processed request
   ++created_;
   Session* raw = session.get();
   sessions_.emplace(stream_id, std::move(session));

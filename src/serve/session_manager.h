@@ -18,10 +18,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/streaming.h"
+#include "serve/counters.h"
 #include "serve/model_registry.h"
 #include "util/error.h"
 
@@ -49,6 +51,14 @@ class SessionManager {
     std::vector<core::EmotionEvent> outbox;
     std::uint64_t last_active_tick = 0;
     std::uint64_t model_generation = 0;
+    /// Registry name this stream is bound to (empty = default). Set by
+    /// a StreamStart request; re-resolved lazily on generation bumps so
+    /// a hot-swapped model under the same name takes effect.
+    std::string model_name;
+    /// Per-task counter bundle, cached at bind time so the shard's hot
+    /// path bumps lock-free. nullptr = not yet bound (the service binds
+    /// on the first processed request).
+    ServeCounters::TaskCounters* task = nullptr;
 
     Session(const SessionConfig& config, ModelRegistry::ModelPtr model);
   };

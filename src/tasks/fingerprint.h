@@ -1,0 +1,64 @@
+// Media fingerprinting over the spectrogram route.
+//
+// Kinetic-Song-Comprehension-style matching: each library clip's
+// motion-side signature is the mean of its training regions' 32x32
+// spectrogram images, and a query region is assigned to the template
+// with the highest cosine similarity. Implemented as an ml::Classifier
+// so the whole existing stack — core::evaluate_classical, model
+// serialization, serve::ModelRegistry, StreamingAttack — treats a
+// fingerprint matcher exactly like any other model; only the feature
+// route differs (core::FeatureRoute::kSpectrogramImage).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace emoleak::tasks {
+
+struct FingerprintConfig {
+  /// Softmax temperature turning cosine similarities into the
+  /// probability vector predict_proba reports. Similarities live in
+  /// [-1, 1], so a sharpness of ~16 separates a 0.1 cosine margin into
+  /// a confident posterior without saturating to one-hot.
+  double sharpness = 16.0;
+};
+
+class FingerprintClassifier final : public ml::Classifier {
+ public:
+  FingerprintClassifier() = default;
+  explicit FingerprintClassifier(FingerprintConfig config)
+      : config_{config} {}
+
+  /// Fits one template per class: the per-class mean of the training
+  /// rows (flattened spectrogram images), L2-normalized. A class with
+  /// no rows gets a zero template (never wins a match).
+  void fit(const ml::Dataset& data) override;
+
+  [[nodiscard]] int predict(std::span<const double> row) const override;
+  [[nodiscard]] std::vector<double> predict_proba(
+      std::span<const double> row) const override;
+  [[nodiscard]] std::unique_ptr<ml::Classifier> clone() const override;
+  [[nodiscard]] std::string name() const override { return "Fingerprint"; }
+  void serialize(std::ostream& out) const override;
+  void deserialize(std::istream& in) override;
+
+  [[nodiscard]] const FingerprintConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] int classes() const noexcept { return classes_; }
+
+ private:
+  /// Cosine similarity of `row` against each class template.
+  [[nodiscard]] std::vector<double> similarities(
+      std::span<const double> row) const;
+
+  FingerprintConfig config_{};
+  int classes_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<double> templates_;  ///< classes x dim, L2-normalized rows
+};
+
+}  // namespace emoleak::tasks

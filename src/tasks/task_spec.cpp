@@ -1,0 +1,97 @@
+#include "tasks/task_spec.h"
+
+#include <algorithm>
+
+#include "audio/voice.h"
+#include "util/error.h"
+
+namespace emoleak::tasks {
+
+TaskSpec emotion_task() {
+  return TaskSpec{TaskKind::kEmotion, "emotion",
+                  core::FeatureRoute::kTableFeatures, 0};
+}
+
+TaskSpec speaker_task(std::size_t max_speakers) {
+  return TaskSpec{TaskKind::kSpeaker, "speaker",
+                  core::FeatureRoute::kTableFeatures, max_speakers};
+}
+
+TaskSpec gender_task() {
+  return TaskSpec{TaskKind::kGender, "gender",
+                  core::FeatureRoute::kTableFeatures, 0};
+}
+
+TaskSpec media_task() {
+  return TaskSpec{TaskKind::kMedia, "media",
+                  core::FeatureRoute::kSpectrogramImage, 0};
+}
+
+std::vector<TaskSpec> builtin_tasks() {
+  return {emotion_task(), speaker_task(), gender_task(), media_task()};
+}
+
+ml::Dataset build_dataset(const TaskSpec& spec,
+                          const core::ExtractedData& data,
+                          const audio::Corpus& corpus) {
+  if (data.features.x.size() != data.speaker_ids.size()) {
+    throw util::DataError{
+        "tasks::build_dataset: speaker ids misaligned with feature rows"};
+  }
+  switch (spec.kind) {
+    case TaskKind::kEmotion:
+      return data.features;
+    case TaskKind::kSpeaker: {
+      // Class = corpus speaker id; when capped, keep the first
+      // max_classes speakers (the Spearphone-style 10-actor subset) so
+      // the label space stays dense in [0, cap).
+      const std::size_t cap =
+          spec.max_classes == 0
+              ? static_cast<std::size_t>(corpus.spec().speaker_count)
+              : std::min<std::size_t>(
+                    spec.max_classes,
+                    static_cast<std::size_t>(corpus.spec().speaker_count));
+      ml::Dataset out;
+      out.class_count = static_cast<int>(cap);
+      out.feature_names = data.features.feature_names;
+      for (std::size_t c = 0; c < cap; ++c) {
+        out.class_names.push_back("speaker_" + std::to_string(c));
+      }
+      for (std::size_t i = 0; i < data.features.x.size(); ++i) {
+        const int speaker = data.speaker_ids[i];
+        if (speaker < 0 || static_cast<std::size_t>(speaker) >= cap) continue;
+        out.x.push_back(data.features.x[i]);
+        out.y.push_back(speaker);
+      }
+      return out;
+    }
+    case TaskKind::kGender: {
+      ml::Dataset out;
+      out.class_count = 2;
+      out.feature_names = data.features.feature_names;
+      out.class_names = {"female", "male"};
+      const std::vector<audio::SpeakerVoice>& speakers = corpus.speakers();
+      for (std::size_t i = 0; i < data.features.x.size(); ++i) {
+        const int speaker = data.speaker_ids[i];
+        if (speaker < 0 ||
+            static_cast<std::size_t>(speaker) >= speakers.size()) {
+          continue;
+        }
+        out.x.push_back(data.features.x[i]);
+        out.y.push_back(
+            speakers[static_cast<std::size_t>(speaker)].gender ==
+                    audio::Gender::kMale
+                ? 1
+                : 0);
+      }
+      return out;
+    }
+    case TaskKind::kMedia:
+      throw util::ConfigError{
+          "tasks::build_dataset: media fingerprints train from clip "
+          "replays — use tasks::media_dataset"};
+  }
+  throw util::ConfigError{"tasks::build_dataset: unknown task kind"};
+}
+
+}  // namespace emoleak::tasks

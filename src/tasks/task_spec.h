@@ -1,0 +1,76 @@
+// Task definitions: what one motion trace leaks, beyond emotion.
+//
+// The paper's channel carries more than emotional prosody: the same
+// accelerometer trace identifies the speaker and their gender (EarSpy,
+// Spearphone) and fingerprints the media being played (Kinetic Song
+// Comprehension). A TaskSpec names one such attack task and pins down
+// everything the rest of the stack needs to treat tasks uniformly:
+//
+//   - the *label space* (emotion classes, speaker ids, gender, clip
+//     ids) and how labels derive from the playback schedule that
+//     core::label_regions already aligns with detected regions;
+//   - the *feature route* a region takes before classification
+//     (core::FeatureRoute): Table-II features for the prosody-shaped
+//     tasks, the 32x32 spectrogram image for fingerprint matching;
+//   - the *registry name* the trained model serves under, so one
+//     serve::ModelRegistry holds all tasks concurrently and a stream
+//     picks its task with a StreamStart frame.
+//
+// build_dataset() is the single labelling point: it turns one capture
+// (core::ExtractedData, whose rows are aligned with speaker_ids and
+// spectrograms) into the task's training set. The media-fingerprint
+// task needs clip identities that ExtractedData does not carry, so it
+// trains through tasks::media_dataset (train.h) instead.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "audio/corpus.h"
+#include "core/pipeline.h"
+#include "core/streaming.h"
+#include "ml/dataset.h"
+
+namespace emoleak::tasks {
+
+enum class TaskKind {
+  kEmotion,   ///< the paper's core task (7-way prosody classes)
+  kSpeaker,   ///< which corpus speaker produced the region
+  kGender,    ///< binary, from the corpus speaker metadata
+  kMedia,     ///< which library clip was playing (fingerprint match)
+};
+
+struct TaskSpec {
+  TaskKind kind = TaskKind::kEmotion;
+  /// Registry/model name; what StreamStartMsg::model_name selects.
+  std::string name;
+  core::FeatureRoute route = core::FeatureRoute::kTableFeatures;
+  /// Speaker task only: cap on distinct speakers (the Spearphone-style
+  /// 10-actor protocol keeps the label space comparable across
+  /// datasets). 0 = no cap.
+  std::size_t max_classes = 0;
+};
+
+/// The four built-in tasks, in registration order. `emotion` serves as
+/// the registry default (it registers first).
+[[nodiscard]] TaskSpec emotion_task();
+[[nodiscard]] TaskSpec speaker_task(std::size_t max_speakers = 10);
+[[nodiscard]] TaskSpec gender_task();
+[[nodiscard]] TaskSpec media_task();
+[[nodiscard]] std::vector<TaskSpec> builtin_tasks();
+
+/// Derives the task's labelled training set from one capture. Rows come
+/// from `data.features` (Table-II route) with labels re-derived from
+/// the schedule-aligned speaker ids:
+///   - kEmotion: passthrough of the emotion labels;
+///   - kSpeaker: class = speaker id, rows from speakers >= max_classes
+///     dropped (when capped);
+///   - kGender: class = 0 female / 1 male via corpus.speakers().
+/// Throws util::ConfigError for kMedia — media needs clip replays (see
+/// tasks::media_dataset).
+[[nodiscard]] ml::Dataset build_dataset(const TaskSpec& spec,
+                                        const core::ExtractedData& data,
+                                        const audio::Corpus& corpus);
+
+}  // namespace emoleak::tasks
