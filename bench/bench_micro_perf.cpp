@@ -384,6 +384,31 @@ void BM_SpectrogramCnnForward(benchmark::State& state) {
 }
 BENCHMARK(BM_SpectrogramCnnForward);
 
+void BM_BatchedCnnForward(benchmark::State& state) {
+  // The serve batch step's shape: N concurrent sessions' ready windows
+  // through one forward of the time-frequency CNN (Arg = batch rows).
+  // Items/sec is windows/sec — the cross-batch scaling this reports is
+  // the whole point of the batched drain path (DESIGN.md §13).
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  nn::Sequential model = nn::build_timefreq_cnn(24, 7, nn::CnnConfig::fast());
+  // Multi-row batches fan out over the shared pool exactly like the
+  // serve drain's CnnClassifier; on a single-core host this degrades to
+  // the serial path and batch sizes score within noise of each other.
+  model.set_parallelism(util::Parallelism{});
+  nn::Tensor x{{batch, 1, 24, 1}};
+  util::Rng rng{8};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.normal());
+  }
+  for (auto _ : state) {
+    const nn::Tensor& y = model.forward_ref(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_BatchedCnnForward)->Arg(1)->Arg(8)->Arg(64);
+
 void BM_Conv2DBackward(benchmark::State& state) {
   // One representative 3x3 'same' convolution layer, forward + backward
   // (the backward pass dominates training time).

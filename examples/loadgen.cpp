@@ -84,6 +84,9 @@ struct Options {
   /// Registry model names to round-robin connections over; empty =
   /// single default model, no StreamStart frames (the legacy shape).
   std::vector<std::string> models;
+  /// Cross-session batched inference (ServeConfig::batched_forward);
+  /// --batched off measures the legacy per-session predict path.
+  bool batched = true;
 };
 
 std::vector<double> make_trace(std::size_t n, std::uint64_t seed) {
@@ -580,7 +583,8 @@ void write_json(const std::string& path, const Options& opt,
       << "    \"chunk\": " << opt.chunk << ",\n"
       << "    \"cadence_ms\": " << opt.cadence_ms << ",\n"
       << "    \"trace_len\": " << opt.trace_len << ",\n"
-      << "    \"threads\": " << opt.threads << "\n"
+      << "    \"threads\": " << opt.threads << ",\n"
+      << "    \"batched\": " << (opt.batched ? "true" : "false") << "\n"
       << "  },\n"
       << "  \"summary\": {\n"
       << "    \"elapsed_s\": " << fmt(engine.elapsed_s()) << ",\n"
@@ -597,7 +601,12 @@ void write_json(const std::string& path, const Options& opt,
       << "    \"overload_acks\": " << engine.total_overloads() << ",\n"
       << "    \"frames_in\": " << net_stats.frames_in << ",\n"
       << "    \"partial_reads\": " << net_stats.partial_reads << ",\n"
-      << "    \"events_routed\": " << net_stats.events_routed << "\n"
+      << "    \"events_routed\": " << net_stats.events_routed << ",\n"
+      << "    \"windows_batched\": " << stats.windows_batched << ",\n"
+      << "    \"windows_solo\": " << stats.windows_solo << ",\n"
+      << "    \"batch_count\": " << stats.batch_count << ",\n"
+      << "    \"batch_p50\": " << fmt(stats.batch_p50) << ",\n"
+      << "    \"batch_p99\": " << fmt(stats.batch_p99) << "\n"
       << "  },\n"
       << "  \"trajectory\": [\n";
   const auto& rows = engine.trajectory();
@@ -645,6 +654,13 @@ int main(int argc, char** argv) {
       }
     } else if (arg("--timeout-s")) {
       opt.timeout_s = std::stod(argv[++i]);
+    } else if (arg("--batched")) {
+      const std::string v = argv[++i];
+      if (v != "on" && v != "off") {
+        std::cerr << "loadgen: --batched takes on|off\n";
+        return EXIT_FAILURE;
+      }
+      opt.batched = v == "on";
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       // Small preset for the ctest smoke target: quick, but still
       // concurrent enough to exercise accept/affinity/drain routing.
@@ -716,6 +732,7 @@ int main(int argc, char** argv) {
   cfg.batcher.shard_count = 8;
   cfg.batcher.queue_capacity = 1024;
   cfg.parallelism = util::Parallelism{.threads = opt.threads};
+  cfg.batched_forward = opt.batched;
   serve::ServeService service{cfg, registry};
 
   net::NetServerConfig net_cfg;
@@ -767,6 +784,26 @@ int main(int argc, char** argv) {
             << "p50 " << fmt(stats.drain_p50_us) << " us / p99 "
             << fmt(stats.drain_p99_us) << " us ("
             << net_stats.partial_reads << " partial reads reassembled)\n";
+  if (opt.batched) {
+    const double mean_batch =
+        stats.batch_count > 0
+            ? static_cast<double>(stats.windows_batched) /
+                  static_cast<double>(stats.batch_count)
+            : 0.0;
+    std::cout << "batched inference: " << stats.windows_batched
+              << " windows over " << stats.batch_count << " batches (mean "
+              << fmt(mean_batch) << ", p50 " << fmt(stats.batch_p50)
+              << ", p99 " << fmt(stats.batch_p99) << "), "
+              << stats.windows_solo << " solo\n";
+    if (!stats.batch_hist.empty()) {
+      std::cout << "  batch-size histogram:";
+      for (const auto& [upper, count] : stats.batch_hist) {
+        std::cout << " <=" << static_cast<std::uint64_t>(upper) << ":"
+                  << count;
+      }
+      std::cout << "\n";
+    }
+  }
   if (!opt.models.empty()) {
     for (std::size_t m = 0; m < model_count; ++m) {
       std::cout << "  task " << opt.models[m] << ": " << got_per_model[m]

@@ -53,7 +53,7 @@ from pathlib import Path
 KERNEL_FILTER = (
     "BM_FftPow2|BM_Rfft|BM_FftBluestein|BM_Stft|BM_Gemm|"
     "BM_FeatureExtraction|BM_TimefreqCnnForward|BM_SpectrogramCnnForward|"
-    "BM_Conv2DBackward|"
+    "BM_BatchedCnnForward|BM_Conv2DBackward|"
     "BM_TreeTrain/|BM_ForestTrain$|BM_PitchTrack$|BM_DatasetBuildHit$|"
     "BM_SpanOverhead$|BM_HistogramRecord"
 )
@@ -117,6 +117,15 @@ def serve_main(args: argparse.Namespace) -> int:
     if summary.get("dropped_frames", 1) != 0:
         print(f"FAIL: {summary['dropped_frames']} dropped frames",
               file=sys.stderr)
+        return 1
+
+    # Batched inference engaging at all is a hard gate, not a tolerance
+    # band: windows_batched == 0 on a batched-mode run means the drain
+    # quietly fell back to per-session predicts.
+    if (report.get("config", {}).get("batched", False)
+            and summary.get("windows_batched", 0) == 0):
+        print("FAIL: batched mode ran but classified zero windows via "
+              "the batch path", file=sys.stderr)
         return 1
 
     if args.update:
@@ -281,8 +290,18 @@ def main() -> int:
     if args.update:
         for name, after_ns in sorted(measured.items()):
             entry = entries.setdefault(name, {})
-            entry["after_ns"] = round(after_ns, 1)
+            old_after = entry.get("after_ns")
             before = entry.get("before_ns")
+            if before is None and old_after is not None \
+                    and after_ns > old_after:
+                # Baseline-only entry: its after_ns is a regression
+                # floor, not a speedup record. A slower fresh run must
+                # not quietly raise the floor (that would launder the
+                # regression into the next baseline).
+                print(f"note: {name} measured {after_ns:.1f} ns, slower "
+                      f"than its {old_after:.1f} ns floor — floor kept")
+                continue
+            entry["after_ns"] = round(after_ns, 1)
             if before:
                 entry["speedup"] = round(before / after_ns, 2)
         args.baseline.write_text(json.dumps(baseline, indent=2,
@@ -294,10 +313,16 @@ def main() -> int:
     missing = []
     for name, got_ns in sorted(measured.items()):
         entry = entries.get(name)
-        if entry is None or "after_ns" not in entry:
+        # An entry with only before_ns still gates: the pre-overhaul
+        # number is a (loose) regression floor until an --update run
+        # records a fresh after_ns. Only entries with no number at all
+        # are reported as missing.
+        want_ns = None
+        if entry is not None:
+            want_ns = entry.get("after_ns", entry.get("before_ns"))
+        if want_ns is None:
             missing.append(name)
             continue
-        want_ns = entry["after_ns"]
         ratio = got_ns / want_ns
         status = "ok"
         if ratio > 1.0 + args.tolerance:

@@ -83,7 +83,8 @@ double StreamingAttack::noise_floor() const {
                   config_.detector.min_ratio * q25);
 }
 
-EmotionEvent StreamingAttack::close_region(std::size_t start, std::size_t end) {
+EmotionEvent StreamingAttack::close_region(std::size_t start, std::size_t end,
+                                           bool defer, std::size_t slot) {
   EmotionEvent event;
   event.start_sample = start > pad_samples_ ? start - pad_samples_ : 0;
   event.end_sample = end + pad_samples_;
@@ -126,11 +127,17 @@ EmotionEvent StreamingAttack::close_region(std::size_t start, std::size_t end) {
       return std::isfinite(v);
     });
     if (valid) {
-      event.probabilities = classifier_->predict_proba(input);
-      event.predicted_class = static_cast<int>(
-          std::max_element(event.probabilities.begin(),
-                           event.probabilities.end()) -
-          event.probabilities.begin());
+      if (defer) {
+        // Queue for the caller's batch-classify step; the event ships
+        // unclassified and is patched by slot when the batch resolves.
+        pending_.push_back({slot, classifier_, std::move(input)});
+      } else {
+        event.probabilities = classifier_->predict_proba(input);
+        event.predicted_class = static_cast<int>(
+            std::max_element(event.probabilities.begin(),
+                             event.probabilities.end()) -
+            event.probabilities.begin());
+      }
     }
   }
   return event;
@@ -189,7 +196,7 @@ void StreamingAttack::process_sample(double raw, std::vector<EmotionEvent>& out)
       in_region_ = false;
       if (end > region_start_ &&
           end - region_start_ >= min_region_samples_) {
-        out.push_back(close_region(region_start_, end));
+        out.push_back(close_region(region_start_, end, deferred_, out.size()));
       }
     }
   }
@@ -218,6 +225,7 @@ void StreamingAttack::reset() {
   raw_history_.clear();
   history_start_ = 0;
   noise_window_.clear();
+  pending_.clear();
   absolute_ = 0;
   events_ = 0;
   in_region_ = false;
@@ -232,7 +240,9 @@ std::optional<EmotionEvent> StreamingAttack::finish() {
   if (end <= region_start_ || end - region_start_ < min_region_samples_) {
     return std::nullopt;
   }
-  return close_region(region_start_, end);
+  // End-of-stream regions classify inline even in deferred mode: the
+  // session is leaving the pool, and the values are bit-identical.
+  return close_region(region_start_, end, /*defer=*/false, 0);
 }
 
 }  // namespace emoleak::core

@@ -57,6 +57,17 @@ struct StreamingConfig {
   void validate() const;
 };
 
+/// A region whose classifier input was computed but whose predict was
+/// deferred to a batch step (see set_deferred). `slot` indexes into the
+/// event vector returned by the push() that closed the region; the
+/// classifier is captured at close time so a hot-swap between close and
+/// batch-classify cannot change which model scores the region.
+struct PendingWindow {
+  std::size_t slot = 0;
+  std::shared_ptr<const ml::Classifier> classifier;
+  std::vector<double> input;
+};
+
 class StreamingAttack {
  public:
   /// `classifier` must already be trained on the 24 Table-II features
@@ -93,18 +104,36 @@ class StreamingAttack {
 
   [[nodiscard]] FeatureRoute route() const noexcept { return route_; }
 
+  /// In deferred mode push() leaves classified regions' events at
+  /// predicted_class == -1 and queues {slot, classifier, input} in the
+  /// pending list instead of predicting inline; the caller batches the
+  /// predicts and scatters results back by slot. finish() always
+  /// classifies inline (values are bit-identical either way). Drain
+  /// take_pending() after every push — slots are relative to that
+  /// push's event vector.
+  void set_deferred(bool deferred) noexcept { deferred_ = deferred; }
+  [[nodiscard]] bool deferred() const noexcept { return deferred_; }
+  [[nodiscard]] std::vector<PendingWindow> take_pending() {
+    return std::move(pending_);
+  }
+
   [[nodiscard]] std::size_t samples_seen() const noexcept { return absolute_; }
   [[nodiscard]] std::size_t events_emitted() const noexcept { return events_; }
 
  private:
   void process_sample(double raw, std::vector<EmotionEvent>& out);
-  EmotionEvent close_region(std::size_t start, std::size_t end);
+  /// `slot` is the event's index in the push() result; only used when
+  /// `defer` queues the window instead of predicting inline.
+  EmotionEvent close_region(std::size_t start, std::size_t end, bool defer,
+                            std::size_t slot);
   [[nodiscard]] double noise_floor() const;
 
   StreamingConfig config_;
   double rate_;
   std::shared_ptr<const ml::Classifier> classifier_;
   FeatureRoute route_ = FeatureRoute::kTableFeatures;
+  bool deferred_ = false;
+  std::vector<PendingWindow> pending_;
 
   dsp::BiquadCascade hpf_;
   bool use_hpf_ = false;

@@ -25,6 +25,15 @@ class Classifier {
   [[nodiscard]] virtual std::vector<double> predict_proba(
       std::span<const double> row) const = 0;
 
+  /// Class probabilities for `count` rows packed row-major in `rows`
+  /// (each `dim` wide). Returns count×classes probabilities, row-major.
+  /// Every row of the result is bitwise identical to what
+  /// predict_proba would return for that row alone — batching is a
+  /// layout change, never a numeric one. The default loops per row;
+  /// implementations override to share per-batch work.
+  [[nodiscard]] virtual std::vector<double> predict_proba_batch(
+      std::span<const double> rows, std::size_t dim, std::size_t count) const;
+
   /// Fresh untrained copy with the same hyperparameters (used by
   /// cross-validation and ensembles).
   [[nodiscard]] virtual std::unique_ptr<Classifier> clone() const = 0;

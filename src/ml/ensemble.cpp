@@ -80,6 +80,29 @@ std::vector<double> RandomForest::predict_proba(
   return acc;
 }
 
+std::vector<double> RandomForest::predict_proba_batch(
+    std::span<const double> rows, std::size_t dim, std::size_t count) const {
+  if (trees_.empty()) throw util::DataError{"RandomForest: not fitted"};
+  if (rows.size() != dim * count) {
+    throw util::DataError{"RandomForest: rows/dim/count mismatch"};
+  }
+  const auto classes = static_cast<std::size_t>(classes_);
+  std::vector<double> acc(count * classes, 0.0);
+  // Trees outer, rows inner: each tree's node array stays hot across
+  // the whole batch. Per row the accumulation still visits trees in
+  // index order, so every result row is bitwise identical to the
+  // single-row predict_proba for that row.
+  for (const DecisionTree& tree : trees_) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::vector<double> p = tree.predict_proba(rows.subspan(i * dim, dim));
+      double* a = acc.data() + i * classes;
+      for (std::size_t c = 0; c < classes; ++c) a[c] += p[c];
+    }
+  }
+  for (double& v : acc) v /= static_cast<double>(trees_.size());
+  return acc;
+}
+
 std::unique_ptr<Classifier> RandomForest::clone() const {
   return std::make_unique<RandomForest>(config_);
 }
@@ -196,6 +219,37 @@ std::vector<double> RandomSubspace::predict_proba(
     }
     const std::vector<double> p = trees_[t].predict_proba(projected);
     for (std::size_t c = 0; c < acc.size(); ++c) acc[c] += p[c];
+  }
+  for (double& v : acc) v /= static_cast<double>(trees_.size());
+  return acc;
+}
+
+std::vector<double> RandomSubspace::predict_proba_batch(
+    std::span<const double> rows, std::size_t dim, std::size_t count) const {
+  if (trees_.empty()) throw util::DataError{"RandomSubspace: not fitted"};
+  if (rows.size() != dim * count) {
+    throw util::DataError{"RandomSubspace: rows/dim/count mismatch"};
+  }
+  const auto classes = static_cast<std::size_t>(classes_);
+  std::vector<double> acc(count * classes, 0.0);
+  std::vector<double> projected;
+  // Trees outer so each subspace projection plan and tree stay hot
+  // across the batch; per-row tree order matches the single-row path.
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    const std::vector<std::size_t>& cols = subspaces_[t];
+    projected.resize(cols.size());
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::span<const double> row = rows.subspan(i * dim, dim);
+      for (std::size_t j = 0; j < cols.size(); ++j) {
+        if (cols[j] >= row.size()) {
+          throw util::DataError{"RandomSubspace: row narrower than subspace"};
+        }
+        projected[j] = row[cols[j]];
+      }
+      const std::vector<double> p = trees_[t].predict_proba(projected);
+      double* a = acc.data() + i * classes;
+      for (std::size_t c = 0; c < classes; ++c) a[c] += p[c];
+    }
   }
   for (double& v : acc) v /= static_cast<double>(trees_.size());
   return acc;

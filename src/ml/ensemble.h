@@ -32,6 +32,9 @@ class RandomForest final : public Classifier {
   [[nodiscard]] int predict(std::span<const double> row) const override;
   [[nodiscard]] std::vector<double> predict_proba(
       std::span<const double> row) const override;
+  [[nodiscard]] std::vector<double> predict_proba_batch(
+      std::span<const double> rows, std::size_t dim,
+      std::size_t count) const override;
   [[nodiscard]] std::unique_ptr<Classifier> clone() const override;
   [[nodiscard]] std::string name() const override { return "RandomForest"; }
   void serialize(std::ostream& out) const override;
@@ -65,6 +68,9 @@ class RandomSubspace final : public Classifier {
   [[nodiscard]] int predict(std::span<const double> row) const override;
   [[nodiscard]] std::vector<double> predict_proba(
       std::span<const double> row) const override;
+  [[nodiscard]] std::vector<double> predict_proba_batch(
+      std::span<const double> rows, std::size_t dim,
+      std::size_t count) const override;
   [[nodiscard]] std::unique_ptr<Classifier> clone() const override;
   [[nodiscard]] std::string name() const override { return "RandomSubSpace"; }
   void serialize(std::ostream& out) const override;

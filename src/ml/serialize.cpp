@@ -21,6 +21,20 @@ void Classifier::deserialize(std::istream& /*in*/) {
   throw util::DataError{"deserialize: unsupported for " + name()};
 }
 
+std::vector<double> Classifier::predict_proba_batch(
+    std::span<const double> rows, std::size_t dim, std::size_t count) const {
+  if (rows.size() != dim * count) {
+    throw util::DataError{"predict_proba_batch: rows/dim/count mismatch"};
+  }
+  std::vector<double> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::vector<double> p = predict_proba(rows.subspan(i * dim, dim));
+    if (i == 0) out.reserve(count * p.size());
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
 namespace {
 
 constexpr char kMagic[] = "emoleak-model-v1";

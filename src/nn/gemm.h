@@ -5,8 +5,10 @@
 // Determinism contract: every kernel sums the contraction axis in
 // strictly ascending order for each output element, independent of the
 // blocking parameters. Results are therefore bit-identical across runs
-// and thread counts (the layers themselves are single-threaded; the
-// parallel engine fans out at a coarser granularity).
+// and thread counts: when a layer fans a batch out over the pool
+// (Conv2D inference, see Layer::set_parallelism), each output element
+// is still produced by exactly one task with the same k order, so the
+// split only changes speed, never numerics.
 #pragma once
 
 #include <cstddef>

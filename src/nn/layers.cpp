@@ -49,7 +49,7 @@ Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
   he_uniform_init(weight_.value, kh_ * kw_ * in_c_, rng);
 }
 
-const Tensor& Conv2D::forward(const Tensor& x, bool /*training*/) {
+const Tensor& Conv2D::forward(const Tensor& x, bool training) {
   check_rank4(x, "Conv2D");
   if (x.dim(3) != in_c_) throw util::DataError{"Conv2D: channel mismatch"};
   input_ = x;
@@ -67,26 +67,60 @@ const Tensor& Conv2D::forward(const Tensor& x, bool /*training*/) {
   // A 1x1 unpadded kernel's patch matrix is the input itself — GEMM
   // straight off the NHWC data and skip the im2col copy.
   const bool pointwise = kh_ == 1 && kw_ == 1 && pad_h == 0 && pad_w == 0;
-  const util::Workspace::Scope scope{ws_};
-  const std::span<float> col =
-      pointwise ? std::span<float>{} : ws_.take<float>(rows * kcols);
   const float* bias = bias_.value.data();
+  const float* wt = weight_.value.data();
+  // Multi-image inference fans contiguous image blocks out over the
+  // shared pool (set_parallelism). Bit-exact at any task/thread count:
+  // every output element is produced by exactly one task, and the GEMM
+  // kernels accumulate k in ascending order regardless of the M split.
+  // Training and single-image batches always take the serial path.
+  const util::Parallelism par =
+      (training || n < 2) ? util::Parallelism::serial_only() : par_;
+  if (pointwise) {
+    // The batch is one contiguous (n*rows)×kcols patch matrix already.
+    const std::size_t tasks = par.serial() ? 1 : std::min(n, par.resolved());
+    util::parallel_for(par, tasks, [&](std::size_t t) {
+      const std::size_t r0 = (n * t / tasks) * rows;
+      const std::size_t r1 = (n * (t + 1) / tasks) * rows;
+      for (std::size_t r = r0; r < r1; ++r) {
+        std::memcpy(out_.data() + r * out_c_, bias, out_c_ * sizeof(float));
+      }
+      gemm(r1 - r0, out_c_, kcols, x.data() + r0 * kcols, wt,
+           out_.data() + r0 * out_c_, /*accumulate=*/true);
+    });
+    return out_;
+  }
   // Each image lowers to a patch matrix (one output position per row,
-  // taps ordered like the [KH, KW, Cin, Cout] weights), so the whole
-  // convolution is one GEMM accumulating onto the broadcast bias.
-  for (std::size_t b = 0; b < n; ++b) {
-    const float* patches = &x.at4(b, 0, 0, 0);
-    if (!pointwise) {
-      im2col(patches, h, w, in_c_, kh_, kw_, 1, 1, pad_h, pad_w, oh, ow,
-             col.data());
-      patches = col.data();
-    }
-    float* yb = out_.data() + b * rows * out_c_;
-    for (std::size_t r = 0; r < rows; ++r) {
-      std::memcpy(yb + r * out_c_, bias, out_c_ * sizeof(float));
-    }
-    gemm(rows, out_c_, kcols, patches, weight_.value.data(), yb,
-         /*accumulate=*/true);
+  // taps ordered like the [KH, KW, Cin, Cout] weights); stacking the
+  // patch matrices of several images gives one GEMM a real M dimension
+  // instead of n matrix–vector-ish calls. The col workspace is capped
+  // (~16 MiB) and the batch processed in slabs; per-element results are
+  // independent of the slab split because every GEMM kernel sums k in
+  // strictly ascending order per output element regardless of M.
+  constexpr std::size_t kColCapFloats = (16u << 20) / sizeof(float);
+  const std::size_t per_image = rows * kcols;
+  const std::size_t slab_images =
+      std::max<std::size_t>(1, std::min(n, kColCapFloats / per_image));
+  const util::Workspace::Scope scope{ws_};
+  const std::span<float> col = ws_.take<float>(slab_images * per_image);
+  for (std::size_t b0 = 0; b0 < n; b0 += slab_images) {
+    const std::size_t count = std::min(slab_images, n - b0);
+    const std::size_t tasks =
+        par.serial() ? 1 : std::min(count, par.resolved());
+    util::parallel_for(par, tasks, [&](std::size_t t) {
+      const std::size_t i0 = count * t / tasks;
+      const std::size_t i1 = count * (t + 1) / tasks;
+      for (std::size_t i = i0; i < i1; ++i) {
+        im2col(&x.at4(b0 + i, 0, 0, 0), h, w, in_c_, kh_, kw_, 1, 1, pad_h,
+               pad_w, oh, ow, col.data() + i * per_image);
+      }
+      float* out0 = out_.data() + (b0 + i0) * rows * out_c_;
+      for (std::size_t r = 0; r < (i1 - i0) * rows; ++r) {
+        std::memcpy(out0 + r * out_c_, bias, out_c_ * sizeof(float));
+      }
+      gemm((i1 - i0) * rows, out_c_, kcols, col.data() + i0 * per_image, wt,
+           out0, /*accumulate=*/true);
+    });
   }
   return out_;
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "nn/tensor.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/workspace.h"
 
@@ -49,6 +50,14 @@ class Layer {
   /// Learnable parameters (empty for stateless layers).
   [[nodiscard]] virtual std::vector<Parameter*> parameters() { return {}; }
 
+  /// Opts the layer into data-parallel *inference*: layers whose batch
+  /// rows are independent (Conv2D) may fan a multi-image forward out
+  /// over the shared pool. Bit-exactness is unconditional — each output
+  /// element is produced by exactly one task with the same k-ascending
+  /// accumulation — so this only changes speed, never results.
+  /// Training passes and single-image batches always run serial.
+  virtual void set_parallelism(const util::Parallelism& /*par*/) {}
+
   [[nodiscard]] virtual std::string name() const = 0;
 
  protected:
@@ -67,6 +76,7 @@ class Conv2D final : public Layer {
   [[nodiscard]] const Tensor& forward(const Tensor& x, bool training) override;
   [[nodiscard]] const Tensor& backward(const Tensor& grad_out) override;
   [[nodiscard]] std::vector<Parameter*> parameters() override;
+  void set_parallelism(const util::Parallelism& par) override { par_ = par; }
   [[nodiscard]] std::string name() const override { return "Conv2D"; }
 
   /// The layer's scratch arena (exposed so tests can assert that the
@@ -78,6 +88,7 @@ class Conv2D final : public Layer {
  private:
   std::size_t in_c_, out_c_, kh_, kw_;
   bool same_;
+  util::Parallelism par_ = util::Parallelism::serial_only();
   Parameter weight_;  ///< [KH, KW, Cin, Cout]
   Parameter bias_;    ///< [Cout]
   Tensor input_;      ///< cached for backward

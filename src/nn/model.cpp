@@ -50,11 +50,21 @@ Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
 Tensor Sequential::forward(const Tensor& x, bool training) {
   // Layers hand back references to their own reused buffers, so the
   // chain is pointer-passing; only the final result is copied out.
+  return forward_ref(x, training);
+}
+
+const Tensor& Sequential::forward_ref(const Tensor& x, bool training) {
   const Tensor* current = &x;
   for (const std::unique_ptr<Layer>& layer : layers_) {
     current = &layer->forward(*current, training);
   }
   return *current;
+}
+
+void Sequential::set_parallelism(const util::Parallelism& par) {
+  for (const std::unique_ptr<Layer>& layer : layers_) {
+    layer->set_parallelism(par);
+  }
 }
 
 Tensor Sequential::backward(const Tensor& grad) {

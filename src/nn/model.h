@@ -51,8 +51,18 @@ class Sequential {
   /// Forward through all layers.
   [[nodiscard]] Tensor forward(const Tensor& x, bool training);
 
+  /// Forward returning a reference into the last layer's reused output
+  /// buffer — no copy, so steady-state inference stays allocation-free.
+  /// The reference is invalidated by the next forward/backward call.
+  [[nodiscard]] const Tensor& forward_ref(const Tensor& x, bool training);
+
   /// Backward through all layers (after a forward).
   Tensor backward(const Tensor& grad);
+
+  /// Propagates a parallelism knob to every layer that supports
+  /// data-parallel inference (see Layer::set_parallelism). Results are
+  /// bit-identical at any thread count; training stays serial.
+  void set_parallelism(const util::Parallelism& par);
 
   [[nodiscard]] std::vector<Parameter*> parameters();
 

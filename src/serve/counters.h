@@ -53,6 +53,17 @@ struct ServeStats {
   std::uint64_t drain_count = 0;  ///< latency samples behind the quantiles
   /// Non-empty drain-latency histogram buckets as (upper_bound_us, count).
   std::vector<std::pair<double, std::uint64_t>> drain_hist;
+  /// Batched-inference occupancy. Regions classified through the per-
+  /// tick batch step vs resolved solo (finish/evict before the batch
+  /// ran, or batched_forward off — then both stay 0).
+  std::uint64_t windows_batched = 0;
+  std::uint64_t windows_solo = 0;
+  std::uint64_t batch_count = 0;  ///< batched predict calls issued
+  double batch_p50 = 0.0;         ///< batch-size quantiles (rows/call)
+  double batch_p99 = 0.0;
+  /// Non-empty batch-size histogram buckets as (upper_bound, count) —
+  /// same shape as drain_hist so clients reuse the rendering.
+  std::vector<std::pair<double, std::uint64_t>> batch_hist;
   /// Per-task traffic + registry versions, sorted by name. Filled by
   /// ServeService::stats() from TaskCounters and ModelRegistry::stats().
   std::vector<TaskStats> tasks;
@@ -74,7 +85,10 @@ class ServeCounters {
         samples_processed{registry_.counter("serve.samples_processed")},
         events_emitted{registry_.counter("serve.events_emitted")},
         drains{registry_.counter("serve.drains")},
-        drain_latency_ns_{registry_.histogram("serve.drain_latency_ns")} {}
+        windows_batched{registry_.counter("serve.windows_batched")},
+        windows_solo{registry_.counter("serve.windows_solo")},
+        drain_latency_ns_{registry_.histogram("serve.drain_latency_ns")},
+        batch_size_{registry_.histogram("serve.batch_size")} {}
 
   obs::Counter& requests;
   obs::Counter& accepted;
@@ -84,6 +98,14 @@ class ServeCounters {
   obs::Counter& samples_processed;
   obs::Counter& events_emitted;
   obs::Counter& drains;
+  obs::Counter& windows_batched;
+  obs::Counter& windows_solo;
+
+  /// Records one batched predict call of `size` rows.
+  void record_batch(std::size_t size) noexcept {
+    windows_batched.add(size);
+    batch_size_.record(size);
+  }
 
   /// Records one drain-cycle wall time. Wait-free; the histogram keeps
   /// the full history, so quantiles cover every drain, not a window.
@@ -167,11 +189,24 @@ class ServeCounters {
     for (const obs::HistogramSnapshot::Bucket& b : h.buckets) {
       s.drain_hist.emplace_back(static_cast<double>(b.upper) / 1000.0, b.count);
     }
+    s.windows_batched = windows_batched.value();
+    s.windows_solo = windows_solo.value();
+    const obs::HistogramSnapshot hb = batch_size_.snapshot();
+    s.batch_count = hb.count;
+    if (hb.count > 0) {
+      s.batch_p50 = static_cast<double>(hb.quantile(0.50));
+      s.batch_p99 = static_cast<double>(hb.quantile(0.99));
+    }
+    s.batch_hist.reserve(hb.buckets.size());
+    for (const obs::HistogramSnapshot::Bucket& b : hb.buckets) {
+      s.batch_hist.emplace_back(static_cast<double>(b.upper), b.count);
+    }
     return s;
   }
 
  private:
   obs::Histogram& drain_latency_ns_;
+  obs::Histogram& batch_size_;
   mutable std::mutex tasks_mutex_;
   std::unordered_map<std::string, std::unique_ptr<TaskCounters>> tasks_;
 };

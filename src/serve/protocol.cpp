@@ -195,6 +195,21 @@ void encode_payload(std::string& out, const Message& msg) {
             put_u64(out, t.samples);
             put_u64(out, t.events);
           }
+          // v3 extension: batched-inference occupancy, appended after
+          // the task section with the same older-decoder contract (an
+          // exhausted payload reads as "no batch section", all zeros).
+          check_array_encodable(s.batch_hist.size(), 16,
+                                "batch histogram buckets");
+          put_u64(out, s.windows_batched);
+          put_u64(out, s.windows_solo);
+          put_u64(out, s.batch_count);
+          put_f64(out, s.batch_p50);
+          put_f64(out, s.batch_p99);
+          put_u32(out, static_cast<std::uint32_t>(s.batch_hist.size()));
+          for (const auto& [upper, count] : s.batch_hist) {
+            put_f64(out, upper);
+            put_u64(out, count);
+          }
         } else if constexpr (std::is_same_v<T, ModelSwapMsg>) {
           put_u8(out, static_cast<std::uint8_t>(MsgType::kModelSwap));
           put_u32(out, m.version);
@@ -285,6 +300,20 @@ Message decode_payload(std::string_view payload) {
           t.samples = c.u64();
           t.events = c.u64();
           s.tasks.push_back(std::move(t));
+        }
+      }
+      // v2 payloads end here; batch occupancy is a v3 append.
+      if (!c.done()) {
+        s.windows_batched = c.u64();
+        s.windows_solo = c.u64();
+        s.batch_count = c.u64();
+        s.batch_p50 = c.f64();
+        s.batch_p99 = c.f64();
+        const std::uint32_t batch_buckets = c.u32();
+        for (std::uint32_t i = 0; i < batch_buckets; ++i) {
+          const double upper = c.f64();
+          const std::uint64_t count = c.u64();
+          s.batch_hist.emplace_back(upper, count);
         }
       }
       msg = std::move(m);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
 #include <utility>
 
 #include "obs/obs.h"
@@ -21,6 +22,7 @@ ServeService::ServeService(ServeConfig config,
       sessions_{config_.session, registry_},
       batcher_{config_.batcher} {
   config_.validate();
+  sessions_.set_solo_counter(&counters_.windows_solo);
 }
 
 Status ServeService::push(std::uint64_t stream_id,
@@ -74,6 +76,7 @@ void ServeService::bind_session(SessionManager::Session& session) {
   const ModelRegistry::Resolved resolved =
       registry_->resolve(session.model_name);
   session.attack.set_classifier(resolved.model, resolved.route);
+  session.attack.set_deferred(config_.batched_forward);
   session.model_generation = resolved.generation;
   ServeCounters::TaskCounters& task =
       counters_.task(resolved.name.empty() ? "(default)" : resolved.name);
@@ -132,8 +135,16 @@ void ServeService::process(PushRequest& request) {
     // actually closed — classification dominates the cost, and this is
     // the per-task latency the mitigation study compares.
     session->task->region_ns.record(obs::trace_now_ns() - t0);
+    const std::size_t outbox_base = session->outbox.size();
     for (core::EmotionEvent& event : events) {
       session->outbox.push_back(std::move(event));
+    }
+    // Deferred-mode regions queued their inputs instead of predicting;
+    // rebase their slots from this push's event vector onto the outbox
+    // so the batch step patches the right events.
+    for (core::PendingWindow& window : session->attack.take_pending()) {
+      window.slot += outbox_base;
+      session->pending.push_back(std::move(window));
     }
   }
 }
@@ -151,12 +162,72 @@ std::size_t ServeService::drain() {
   const std::size_t processed = batcher_.drain(
       [this](PushRequest& request) { process(request); },
       config_.parallelism);
+  if (config_.batched_forward) run_batched_classify();
   if (processed > 0) {
     const auto t1 = std::chrono::steady_clock::now();
     counters_.record_drain_latency(
         std::chrono::duration<double, std::micro>(t1 - t0).count());
   }
   return processed;
+}
+
+void ServeService::run_batched_classify() {
+  std::vector<SessionManager::PendingEntry> pending = sessions_.take_pending();
+  if (pending.empty()) return;
+  OBS_SPAN_ARG("serve.batch_classify", "windows", pending.size());
+  // Group by (captured model, input width) in first-seen order over the
+  // (stream, slot)-sorted entries — deterministic at any thread count.
+  // The width key is belt-and-braces: one model only ever sees one
+  // input space, but a mixed group would corrupt the row matrix.
+  struct Group {
+    const ml::Classifier* model = nullptr;
+    std::size_t dim = 0;
+    std::vector<std::size_t> members;  ///< indices into `pending`
+  };
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const ml::Classifier* model = pending[i].window.classifier.get();
+    const std::size_t dim = pending[i].window.input.size();
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [model, dim](const Group& g) {
+                             return g.model == model && g.dim == dim;
+                           });
+    if (it == groups.end()) {
+      groups.push_back(Group{model, dim, {}});
+      it = std::prev(groups.end());
+    }
+    it->members.push_back(i);
+  }
+  std::vector<double> rows;
+  for (const Group& group : groups) {
+    const std::size_t cap =
+        config_.max_batch == 0 ? group.members.size() : config_.max_batch;
+    for (std::size_t b0 = 0; b0 < group.members.size(); b0 += cap) {
+      const std::size_t count = std::min(cap, group.members.size() - b0);
+      rows.clear();
+      rows.reserve(count * group.dim);
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::vector<double>& input =
+            pending[group.members[b0 + i]].window.input;
+        rows.insert(rows.end(), input.begin(), input.end());
+      }
+      const std::vector<double> probs =
+          group.model->predict_proba_batch(rows, group.dim, count);
+      const std::size_t classes = probs.size() / count;
+      for (std::size_t i = 0; i < count; ++i) {
+        const SessionManager::PendingEntry& entry =
+            pending[group.members[b0 + i]];
+        core::EmotionEvent& event = entry.session->outbox[entry.window.slot];
+        const auto first = probs.begin() +
+                           static_cast<std::ptrdiff_t>(i * classes);
+        const auto last = first + static_cast<std::ptrdiff_t>(classes);
+        event.probabilities.assign(first, last);
+        event.predicted_class =
+            static_cast<int>(std::max_element(first, last) - first);
+      }
+      counters_.record_batch(count);
+    }
+  }
 }
 
 std::vector<EventMsg> ServeService::take_events() {

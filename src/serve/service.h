@@ -45,6 +45,16 @@ struct ServeConfig {
   /// Back-off advertised in overload acks (AckMsg::retry_after_ms):
   /// roughly one drain tick — the earliest a retry can find queue room.
   std::uint32_t retry_after_ms = 1;
+  /// Batched inference (DESIGN.md §13): sessions defer region
+  /// classification to a per-drain-tick batch step that groups windows
+  /// by (model, input width) and runs one predict_proba_batch per
+  /// group. Results are bit-identical to the inline path; off restores
+  /// the byte-identical legacy per-session predict.
+  bool batched_forward = true;
+  /// Rows per batched predict call (0 = unbounded). Smaller caps bound
+  /// per-call latency and produce ragged final batches; parity holds at
+  /// any value.
+  std::size_t max_batch = 0;
 
   void validate() const;
 };
@@ -137,6 +147,12 @@ class ServeService {
 
  private:
   void process(PushRequest& request);
+  /// Batch-classifies every deferred window collected this tick:
+  /// groups by (captured model, input width), chunks by max_batch, one
+  /// predict_proba_batch per chunk, results scattered back to each
+  /// session's outbox by slot. Runs under drain_mutex_ after the shard
+  /// barrier, so no shard task is touching any session.
+  void run_batched_classify();
   /// (Re)binds a session to its model_name: resolves the registry,
   /// swings the classifier + feature route, caches the per-task counter
   /// bundle, and counts a stream for the task the session landed on.

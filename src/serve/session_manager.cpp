@@ -49,6 +49,7 @@ SessionManager::Session* SessionManager::acquire(std::uint64_t stream_id,
     session->attack.set_classifier(std::move(model),
                                    core::FeatureRoute::kTableFeatures);
     session->outbox.clear();
+    session->pending.clear();
     ++pooled_;
   } else {
     session = std::make_unique<Session>(config_, std::move(model));
@@ -78,12 +79,29 @@ void SessionManager::retire(std::unique_ptr<Session> session) {
   }
 }
 
+void SessionManager::resolve_pending_solo(Session& session) {
+  for (core::PendingWindow& p : session.pending) {
+    core::EmotionEvent& event = session.outbox[p.slot];
+    event.probabilities = p.classifier->predict_proba(p.input);
+    event.predicted_class = static_cast<int>(
+        std::max_element(event.probabilities.begin(),
+                         event.probabilities.end()) -
+        event.probabilities.begin());
+    if (solo_counter_ != nullptr) solo_counter_->add(1);
+  }
+  session.pending.clear();
+}
+
 bool SessionManager::finish(std::uint64_t stream_id) {
   std::lock_guard<std::mutex> lock{mutex_};
   const auto it = sessions_.find(stream_id);
   if (it == sessions_.end()) return false;
   std::unique_ptr<Session> session = std::move(it->second);
   sessions_.erase(it);
+  // A finish mid-tick can retire a session whose earlier regions are
+  // still waiting on the batch step; resolve them solo (bit-identical)
+  // before the outbox leaves the session.
+  resolve_pending_solo(*session);
   if (auto last = session->attack.finish()) {
     session->outbox.push_back(*last);
   }
@@ -104,6 +122,7 @@ std::size_t SessionManager::evict_idle(std::uint64_t tick) {
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     Session& session = *it->second;
     if (tick - session.last_active_tick >= config_.idle_timeout_ticks) {
+      resolve_pending_solo(session);
       if (auto last = session.attack.finish()) {
         session.outbox.push_back(*last);
       }
@@ -137,6 +156,27 @@ SessionManager::take_events() {
   // stable, so each stream's events keep their emission order.
   std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     return a.first < b.first;
+  });
+  return out;
+}
+
+std::vector<SessionManager::PendingEntry> SessionManager::take_pending() {
+  std::lock_guard<std::mutex> lock{mutex_};
+  std::vector<PendingEntry> out;
+  for (auto& [id, session] : sessions_) {
+    for (core::PendingWindow& window : session->pending) {
+      out.push_back(PendingEntry{session.get(), std::move(window)});
+    }
+    session->pending.clear();
+  }
+  // Deterministic assembly order regardless of hash-map iteration or
+  // shard scheduling: (stream id, outbox slot).
+  std::sort(out.begin(), out.end(), [](const PendingEntry& a,
+                                       const PendingEntry& b) {
+    if (a.session->stream_id != b.session->stream_id) {
+      return a.session->stream_id < b.session->stream_id;
+    }
+    return a.window.slot < b.window.slot;
   });
   return out;
 }

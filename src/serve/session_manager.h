@@ -59,6 +59,12 @@ class SessionManager {
     /// path bumps lock-free. nullptr = not yet bound (the service binds
     /// on the first processed request).
     ServeCounters::TaskCounters* task = nullptr;
+    /// Regions whose classification was deferred to the drain tick's
+    /// batch step (ServeConfig::batched_forward). `slot` here is the
+    /// event's index in `outbox`; the model is the classifier captured
+    /// when the region closed, so a mid-tick rebind cannot change which
+    /// model scores it. Always emptied before the drain returns.
+    std::vector<core::PendingWindow> pending;
 
     Session(const SessionConfig& config, ModelRegistry::ModelPtr model);
   };
@@ -87,6 +93,25 @@ class SessionManager {
   [[nodiscard]] std::vector<std::pair<std::uint64_t, core::EmotionEvent>>
   take_events();
 
+  /// One deferred window plus the session whose outbox it patches.
+  struct PendingEntry {
+    Session* session = nullptr;
+    core::PendingWindow window;
+  };
+
+  /// Moves every session's deferred windows out for the batch-classify
+  /// step, sorted by (stream id, outbox slot) so batch assembly is
+  /// independent of shard scheduling and thread count. Call only from
+  /// the drain cycle (no shard task may be running).
+  [[nodiscard]] std::vector<PendingEntry> take_pending();
+
+  /// Counter bumped for every window resolved solo (finish/evict ahead
+  /// of the batch step); wired by ServeService so occupancy stats see
+  /// the windows that escaped batching.
+  void set_solo_counter(obs::Counter* counter) noexcept {
+    solo_counter_ = counter;
+  }
+
   [[nodiscard]] std::size_t active_sessions() const;
   [[nodiscard]] std::uint64_t sessions_created() const;
   [[nodiscard]] std::uint64_t sessions_evicted() const;
@@ -97,6 +122,10 @@ class SessionManager {
 
  private:
   void retire(std::unique_ptr<Session> session);
+  /// Classifies any still-deferred windows inline (bit-identical to the
+  /// batch step) so a retiring session's outbox never ships an
+  /// unresolved event. Caller holds mutex_.
+  void resolve_pending_solo(Session& session);
 
   SessionConfig config_;
   std::shared_ptr<ModelRegistry> registry_;
@@ -106,6 +135,7 @@ class SessionManager {
   std::vector<std::unique_ptr<Session>> free_pool_;
   /// Events from finished/evicted sessions awaiting take_events().
   std::vector<std::pair<std::uint64_t, core::EmotionEvent>> orphaned_events_;
+  obs::Counter* solo_counter_ = nullptr;
   std::uint64_t created_ = 0;
   std::uint64_t evicted_ = 0;
   std::uint64_t pooled_ = 0;

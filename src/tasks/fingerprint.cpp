@@ -76,6 +76,27 @@ std::vector<double> FingerprintClassifier::predict_proba(
   return sims;
 }
 
+std::vector<double> FingerprintClassifier::predict_proba_batch(
+    std::span<const double> rows, std::size_t dim, std::size_t count) const {
+  if (classes_ == 0) {
+    throw util::DataError{"FingerprintClassifier: not fitted"};
+  }
+  if (rows.size() != dim * count) {
+    throw util::DataError{"FingerprintClassifier: rows/dim/count mismatch"};
+  }
+  const auto classes = static_cast<std::size_t>(classes_);
+  std::vector<double> out(count * classes, 0.0);
+  // Templates stay hot across the batch; per row this is exactly the
+  // similarities → sharpness → softmax chain of predict_proba.
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<double> sims = similarities(rows.subspan(i * dim, dim));
+    for (double& s : sims) s *= config_.sharpness;
+    ml::softmax_inplace(sims);
+    std::copy(sims.begin(), sims.end(), out.begin() + i * classes);
+  }
+  return out;
+}
+
 std::unique_ptr<ml::Classifier> FingerprintClassifier::clone() const {
   return std::make_unique<FingerprintClassifier>(*this);
 }

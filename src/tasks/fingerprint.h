@@ -39,6 +39,9 @@ class FingerprintClassifier final : public ml::Classifier {
   [[nodiscard]] int predict(std::span<const double> row) const override;
   [[nodiscard]] std::vector<double> predict_proba(
       std::span<const double> row) const override;
+  [[nodiscard]] std::vector<double> predict_proba_batch(
+      std::span<const double> rows, std::size_t dim,
+      std::size_t count) const override;
   [[nodiscard]] std::unique_ptr<ml::Classifier> clone() const override;
   [[nodiscard]] std::string name() const override { return "Fingerprint"; }
   void serialize(std::ostream& out) const override;

@@ -140,6 +140,12 @@ TEST(ServeProtocolTest, RoundTripsEveryMessageType) {
   stats.drain_p99_us = 1234.5;
   stats.drain_count = 99;
   stats.drain_hist = {{16.0, 40}, {1024.0, 58}, {32768.0, 1}};
+  stats.windows_batched = 640;
+  stats.windows_solo = 3;
+  stats.batch_count = 81;
+  stats.batch_p50 = 8.0;
+  stats.batch_p99 = 64.0;
+  stats.batch_hist = {{1.0, 2}, {8.0, 60}, {64.0, 19}};
 
   core::EmotionEvent event;
   event.start_sample = 100;
@@ -175,6 +181,12 @@ TEST(ServeProtocolTest, RoundTripsEveryMessageType) {
   EXPECT_EQ(reply.stats.drain_p99_us, 1234.5);
   EXPECT_EQ(reply.stats.drain_count, 99u);
   EXPECT_EQ(reply.stats.drain_hist, stats.drain_hist);
+  EXPECT_EQ(reply.stats.windows_batched, 640u);
+  EXPECT_EQ(reply.stats.windows_solo, 3u);
+  EXPECT_EQ(reply.stats.batch_count, 81u);
+  EXPECT_EQ(reply.stats.batch_p50, 8.0);
+  EXPECT_EQ(reply.stats.batch_p99, 64.0);
+  EXPECT_EQ(reply.stats.batch_hist, stats.batch_hist);
   EXPECT_EQ(std::get<serve::ModelSwapMsg>(*reader.next()).version, 5u);
   EXPECT_EQ(std::get<serve::AckMsg>(*reader.next()).status,
             Status::kOverloaded);
@@ -337,6 +349,131 @@ TEST(ServeServiceTest, BatchingIsDeterministicAcrossThreadCounts) {
     EXPECT_EQ(stats.rejected_overload, 0u);
     EXPECT_EQ(stats.events_emitted, expected_events);
   }
+}
+
+// The tentpole gate: the batched forward must be bit-identical to the
+// per-session path at every batch size and thread count. max_batch = 0
+// is unbounded (whole group in one forward), 1 degenerates to per-window
+// batches, 3 over 8 ready streams forces ragged 3/3/2 chunks, and 8
+// matches the stream count exactly. The 4-round interleave between
+// drains makes windows ready mid-tick at staggered offsets.
+TEST(ServeServiceTest, BatchedForwardBitParityAcrossBatchSizesAndThreads) {
+  const auto model = make_model(3, 7);
+  constexpr std::size_t kStreams = 8;
+  constexpr std::size_t kChunk = 256;
+
+  // Shorter trace than default_trace (two bursts past the 2.5 s noise
+  // warm-up) keeps the 12-config sweep inside a sane test budget.
+  std::vector<std::vector<double>> traces;
+  std::vector<std::vector<core::EmotionEvent>> reference;
+  std::size_t expected_events = 0;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    traces.push_back(
+        trace_with_bursts(12600, {{4500, 5200}, {8000, 8800}}, 70 + s));
+    reference.push_back(standalone_events(traces[s], kChunk, model));
+    expected_events += reference[s].size();
+  }
+  ASSERT_GT(expected_events, 0u);
+
+  const auto run_service = [&](serve::ServeConfig cfg) {
+    auto registry = std::make_shared<ModelRegistry>();
+    registry->add("m", model);
+    ServeService service{cfg, registry};
+    std::size_t offset = 0;
+    bool any = true;
+    while (any) {
+      any = false;
+      for (std::size_t round = 0; round < 4; ++round) {
+        for (std::size_t s = 0; s < kStreams; ++s) {
+          const std::size_t i = offset + round * kChunk;
+          if (i >= traces[s].size()) continue;
+          any = true;
+          const std::size_t hi = std::min(i + kChunk, traces[s].size());
+          EXPECT_EQ(service.push(s, slice(traces[s], i, hi)), Status::kOk);
+        }
+      }
+      offset += 4 * kChunk;
+      service.drain();
+    }
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      EXPECT_EQ(service.finish_stream(s), Status::kOk);
+    }
+    service.drain();
+
+    std::vector<std::vector<core::EmotionEvent>> served(kStreams);
+    for (auto& event : service.take_events()) {
+      served[event.stream_id].push_back(event.event);
+    }
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      SCOPED_TRACE("stream=" + std::to_string(s));
+      expect_same_events(served[s], reference[s]);
+    }
+    return service.stats();
+  };
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    for (const std::size_t max_batch : {0u, 1u, 3u, 8u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " max_batch=" + std::to_string(max_batch));
+      serve::ServeConfig cfg = service_config(threads);
+      cfg.max_batch = max_batch;
+      const serve::ServeStats stats = run_service(cfg);
+      EXPECT_EQ(stats.rejected_overload, 0u);
+      EXPECT_EQ(stats.events_emitted, expected_events);
+      // Every classified window went through the batch step: pending
+      // lists are flushed each drain, so the finishes (their own tick)
+      // find nothing to resolve solo.
+      EXPECT_EQ(stats.windows_batched, expected_events);
+      EXPECT_EQ(stats.windows_solo, 0u);
+      EXPECT_GT(stats.batch_count, 0u);
+      if (max_batch > 0) {
+        EXPECT_LE(stats.batch_p99, static_cast<double>(max_batch));
+      }
+      std::uint64_t hist_total = 0;
+      for (const auto& [upper, count] : stats.batch_hist) hist_total += count;
+      EXPECT_EQ(hist_total, stats.batch_count);
+    }
+  }
+
+  // Legacy oracle: batched_forward off must be byte-identical too, with
+  // the batch counters dark.
+  serve::ServeConfig cfg = service_config(2);
+  cfg.batched_forward = false;
+  const serve::ServeStats stats = run_service(cfg);
+  EXPECT_EQ(stats.windows_batched, 0u);
+  EXPECT_EQ(stats.windows_solo, 0u);
+  EXPECT_EQ(stats.batch_count, 0u);
+}
+
+// A finish that lands in the same drain tick as the pushes that closed
+// the stream's windows: the session retires before the batch step, so
+// its pending windows resolve solo — and must still be bit-identical.
+TEST(ServeServiceTest, FinishWithPendingWindowsResolvesSoloBitIdentical) {
+  const auto model = make_model(3, 7);
+  const auto trace = default_trace(40);
+  constexpr std::size_t kChunk = 512;
+  const auto reference = standalone_events(trace, kChunk, model);
+  ASSERT_GT(reference.size(), 0u);
+
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->add("m", model);
+  ServeService service{service_config(2), registry};
+  for (std::size_t i = 0; i < trace.size(); i += kChunk) {
+    const std::size_t hi = std::min(i + kChunk, trace.size());
+    ASSERT_EQ(service.push(0, slice(trace, i, hi)), Status::kOk);
+  }
+  // No drain between the pushes and the finish: the shard processes the
+  // whole stream FIFO (pushes, then finish) inside one tick.
+  ASSERT_EQ(service.finish_stream(0), Status::kOk);
+  service.drain();
+
+  std::vector<core::EmotionEvent> served;
+  for (auto& event : service.take_events()) served.push_back(event.event);
+  expect_same_events(served, reference);
+
+  const serve::ServeStats stats = service.stats();
+  EXPECT_EQ(stats.windows_batched, 0u);
+  EXPECT_EQ(stats.windows_solo, reference.size());
 }
 
 TEST(ServeServiceTest, OverloadRejectsInsteadOfQueueing) {

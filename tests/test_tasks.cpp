@@ -21,6 +21,8 @@
 #include "dsp/resample.h"
 #include "ml/dataset.h"
 #include "ml/logistic.h"
+#include "nn/cnn_classifier.h"
+#include "nn/tensor.h"
 #include "phone/profile.h"
 #include "phone/recorder.h"
 #include "serve/model_registry.h"
@@ -191,22 +193,43 @@ TEST(TaskProtocolTest, StatsReplyCarriesTasksAndAcceptsV1Payload) {
     EXPECT_EQ(got.tasks[1].events, 1u);
   }
 
-  // A v1 StatsReply ends right before the task section. Reconstruct one
-  // by stripping the section from a task-free reply and fixing the
-  // length header; the decoder must accept it with tasks empty.
-  serve::ServeStats v1_stats;
-  v1_stats.requests = 10;
-  std::string v1 = serve::encode_one(serve::StatsReplyMsg{v1_stats});
-  v1.resize(v1.size() - 4);  // drop the trailing u32 task count (0)
-  // The length prefix counts the type byte plus payload.
-  const std::uint32_t payload = static_cast<std::uint32_t>(v1.size() - 4);
-  for (int b = 0; b < 4; ++b) {
-    v1[b] = static_cast<char>((payload >> (8 * b)) & 0xff);
+  // Older payloads end before the appended sections. Reconstruct them
+  // by stripping trailing bytes from a task-free, batch-free reply and
+  // fixing the length header; the decoder must accept both with the
+  // stripped sections reading as zeros.
+  const auto truncated = [](std::size_t drop) {
+    serve::ServeStats old_stats;
+    old_stats.requests = 10;
+    std::string bytes = serve::encode_one(serve::StatsReplyMsg{old_stats});
+    bytes.resize(bytes.size() - drop);
+    // The length prefix counts the type byte plus payload.
+    const std::uint32_t payload = static_cast<std::uint32_t>(bytes.size() - 4);
+    for (int b = 0; b < 4; ++b) {
+      bytes[b] = static_cast<char>((payload >> (8 * b)) & 0xff);
+    }
+    serve::FrameReader reader{bytes};
+    return std::get<serve::StatsReplyMsg>(*reader.next()).stats;
+  };
+  // With no buckets the v3 batch section is 3 u64 + 2 f64 + 1 u32 = 44
+  // bytes; the v2 task section before it is the u32 task count (0).
+  {
+    const serve::ServeStats got = truncated(44 + 4);  // v1: both stripped
+    EXPECT_EQ(got.requests, 10u);
+    EXPECT_TRUE(got.tasks.empty());
+    EXPECT_EQ(got.windows_batched, 0u);
+    EXPECT_EQ(got.batch_count, 0u);
+    EXPECT_TRUE(got.batch_hist.empty());
   }
-  serve::FrameReader reader{v1};
-  const auto got = std::get<serve::StatsReplyMsg>(*reader.next()).stats;
-  EXPECT_EQ(got.requests, 10u);
-  EXPECT_TRUE(got.tasks.empty());
+  {
+    const serve::ServeStats got = truncated(44);  // v2: batch stripped
+    EXPECT_EQ(got.requests, 10u);
+    EXPECT_TRUE(got.tasks.empty());
+    EXPECT_EQ(got.windows_batched, 0u);
+    EXPECT_EQ(got.windows_solo, 0u);
+    EXPECT_EQ(got.batch_count, 0u);
+    EXPECT_EQ(got.batch_p50, 0.0);
+    EXPECT_TRUE(got.batch_hist.empty());
+  }
 }
 
 // ---- registry duplicate-name semantics --------------------------------
@@ -538,6 +561,130 @@ TEST(MixedTaskServeTest, BatchParityAcrossModelsAndThreads) {
       EXPECT_GT(task.events, 0u);
       EXPECT_EQ(task.versions, 1u);
     }
+  }
+}
+
+// Batched inference with a real CNN in the mix: streams bound to a
+// CnnClassifier (one im2col+GEMM forward per group), two classical
+// heads, and the spectrogram fingerprint must all stay bit-identical to
+// per-stream serial runs — and once the CNN's batch tensors have grown
+// to the steady-state batch size, further drain ticks must not allocate
+// tensor storage at all.
+TEST(MixedTaskServeTest, CnnBatchParityAndSteadyStateTensorAllocs) {
+  const auto make_cnn_model = [](int classes, std::uint64_t seed) {
+    util::Rng rng{seed};
+    ml::Dataset d;
+    d.class_count = classes;
+    for (int c = 0; c < classes; ++c) {
+      for (int i = 0; i < 8; ++i) {
+        std::vector<double> row(24);
+        for (double& v : row) v = rng.normal() + 1.5 * c;
+        d.x.push_back(std::move(row));
+        d.y.push_back(c);
+      }
+    }
+    nn::TrainConfig train;
+    train.epochs = 2;
+    train.batch_size = 8;
+    auto model = std::make_shared<nn::CnnClassifier>(
+        nn::CnnClassifier::Arch::kTimefreq, 24, nn::CnnConfig::fast(), train);
+    model->fit(d);
+    return std::static_pointer_cast<const ml::Classifier>(model);
+  };
+
+  const std::vector<std::string> names = {"cnn", "three", "four", "media"};
+  const std::vector<core::FeatureRoute> routes = {
+      core::FeatureRoute::kTableFeatures, core::FeatureRoute::kTableFeatures,
+      core::FeatureRoute::kTableFeatures,
+      core::FeatureRoute::kSpectrogramImage};
+  const std::vector<std::shared_ptr<const ml::Classifier>> models = {
+      make_cnn_model(3, 11), make_table_model(3, 7), make_table_model(4, 8),
+      make_image_model(5, 9)};
+
+  constexpr std::size_t kStreams = 8;  // two per task
+  constexpr std::size_t kChunk = 256;
+  std::vector<std::vector<double>> traces;
+  std::vector<std::vector<core::EmotionEvent>> reference;
+  std::size_t expected_events = 0;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    const std::size_t m = s % names.size();
+    // The two streams of a task share a trace seed so their windows
+    // close in the same drain tick: the CNN sees a batch of 2 every
+    // tick, making the steady-state alloc assertion below meaningful.
+    traces.push_back(default_trace(40 + m));
+    reference.push_back(
+        standalone_events(traces[s], kChunk, models[m], routes[m]));
+    ASSERT_GT(reference[s].size(), 0u);
+    expected_events += reference[s].size();
+  }
+
+  for (const std::size_t threads : {1u, 8u}) {
+    auto registry = std::make_shared<ModelRegistry>();
+    for (std::size_t m = 0; m < names.size(); ++m) {
+      registry->add(names[m], models[m], routes[m]);
+    }
+    serve::ServeConfig cfg;
+    cfg.session.stream = stream_config();
+    cfg.session.sample_rate_hz = kRate;
+    cfg.session.max_sessions = 16;
+    cfg.batcher.shard_count = 8;
+    cfg.batcher.queue_capacity = 1024;
+    cfg.parallelism = util::Parallelism{.threads = threads};
+    ServeService service{cfg, registry};
+
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      ASSERT_EQ(service.start_stream(s, names[s % names.size()]), Status::kOk);
+    }
+
+    std::size_t offset = 0;
+    std::size_t warm_allocs = 0;
+    bool warmed = false;
+    bool any = true;
+    while (any) {
+      any = false;
+      for (std::size_t round = 0; round < 4; ++round) {
+        for (std::size_t s = 0; s < kStreams; ++s) {
+          const std::size_t i = offset + round * kChunk;
+          if (i >= traces[s].size()) continue;
+          any = true;
+          const std::size_t hi = std::min(i + kChunk, traces[s].size());
+          ASSERT_EQ(service.push(s, slice(traces[s], i, hi)), Status::kOk);
+        }
+      }
+      offset += 4 * kChunk;
+      service.drain();
+      // The second burst (and its batch-of-2 CNN forward) lands before
+      // the trace midpoint; everything after it is steady state.
+      if (!warmed && offset >= traces[0].size() / 2 + 4 * kChunk) {
+        warmed = true;
+        warm_allocs = nn::tensor_alloc_count();
+      }
+    }
+    ASSERT_TRUE(warmed);
+    EXPECT_EQ(nn::tensor_alloc_count(), warm_allocs)
+        << "steady-state drain ticks must reuse the CNN batch tensors";
+
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      ASSERT_EQ(service.finish_stream(s), Status::kOk);
+    }
+    service.drain();
+    EXPECT_EQ(nn::tensor_alloc_count(), warm_allocs)
+        << "solo/finish classification must reuse the batch tensors too";
+
+    std::vector<std::vector<core::EmotionEvent>> served(kStreams);
+    for (auto& event : service.take_events()) {
+      served[event.stream_id].push_back(event.event);
+    }
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " stream=" + std::to_string(s));
+      expect_same_events(served[s], reference[s]);
+    }
+
+    const serve::ServeStats stats = service.stats();
+    EXPECT_EQ(stats.windows_batched, expected_events);
+    EXPECT_EQ(stats.windows_solo, 0u);
+    EXPECT_GT(stats.batch_count, 0u);
   }
 }
 
