@@ -85,5 +85,6 @@ int main(int argc, char** argv) {
                "own and combine to the best accuracy — consistent with the "
                "paper's observation (SIII-B4) that *all* Table-II features "
                "have non-zero information gain.\n";
+  bench::print_dataset_cache_stats();
   return 0;
 }

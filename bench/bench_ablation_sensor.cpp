@@ -51,5 +51,6 @@ int main(int argc, char** argv) {
                "region extraction and classification toward chance, which is "
                "why EmoLeak (like Spearphone and AccelEve) reads the "
                "accelerometer.\n";
+  bench::print_dataset_cache_stats();
   return 0;
 }

@@ -46,5 +46,6 @@ int main(int argc, char** argv) {
                "mitigation must cut conduction by >20 dB before the leak "
                "closes, supporting the paper's call (SVI-B) for permission "
                "gating rather than rate caps alone.\n";
+  bench::print_dataset_cache_stats();
   return 0;
 }

@@ -67,5 +67,6 @@ int main(int argc, char** argv) {
                "leak who is speaking — gender at Spearphone-level accuracy "
                "and strong 10-way speaker identification — underscoring the "
                "paper's call for permission gating of motion sensors.\n";
+  bench::print_dataset_cache_stats();
   return 0;
 }

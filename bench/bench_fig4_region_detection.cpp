@@ -92,5 +92,6 @@ int main(int argc, char** argv) {
                "word; the ear speaker recovers a clearly smaller but still "
                "substantial fraction, and only once the 8 Hz high-pass strips "
                "hand/body motion (compare 4a vs 4b).\n";
+  bench::print_dataset_cache_stats();
   return 0;
 }

@@ -4,8 +4,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <filesystem>
 #include <numbers>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "audio/corpus.h"
 #include "core/attack.h"
@@ -267,6 +270,24 @@ void BM_ForestTrainReference(benchmark::State& state) {
 }
 BENCHMARK(BM_ForestTrainReference)->Unit(benchmark::kMillisecond);
 
+void BM_ForestTrainBinned(benchmark::State& state) {
+  // Histogram-binned induction on the same data/config as
+  // BM_ForestTrain: the shared <=256-bin quantile binner replaces the
+  // shared presort, per-node work drops from sorted-column scans over
+  // doubles to u8 histogram accumulation with the subtraction trick.
+  const ml::Dataset d = tree_bench_data(1500, 52);
+  ml::RandomForestConfig cfg;
+  cfg.tree_count = 20;
+  cfg.parallelism.threads = 1;
+  cfg.tree.exact = false;
+  for (auto _ : state) {
+    ml::RandomForest forest{cfg};
+    forest.fit(d);
+    benchmark::DoNotOptimize(forest.tree_count());
+  }
+}
+BENCHMARK(BM_ForestTrainBinned)->Unit(benchmark::kMillisecond);
+
 constexpr double kPitchBenchRate = 16000.0;
 
 std::vector<double> pitch_bench_signal() {
@@ -337,6 +358,28 @@ void BM_DatasetBuildCold(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DatasetBuildCold)->Unit(benchmark::kMillisecond);
+
+void BM_DatasetDiskHit(benchmark::State& state) {
+  // Disk-tier hit: the memory tier is cleared every iteration, so each
+  // request pays the full cross-process path — open + mmap the cached
+  // file, verify both checksums, deserialize the payload. This is what
+  // a *second process* pays instead of the BM_DatasetBuildCold capture.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("emoleak-bench-diskhit-" + std::to_string(getpid()));
+  std::filesystem::create_directories(dir);
+  core::DatasetCacheConfig cache_cfg;
+  cache_cfg.disk_dir = dir.string();
+  core::DatasetCache cache{cache_cfg};
+  const core::ScenarioConfig sc = dataset_bench_scenario();
+  (void)cache.get_or_build(sc);  // build once, lands in the disk tier
+  for (auto _ : state) {
+    cache.clear();  // forget the memory tier, keep the disk file
+    auto data = cache.get_or_build(sc);
+    benchmark::DoNotOptimize(data.get());
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_DatasetDiskHit)->Unit(benchmark::kMillisecond);
 
 void BM_Gemm(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

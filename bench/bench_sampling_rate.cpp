@@ -39,5 +39,6 @@ int main(int argc, char** argv) {
             << util::fixed(capped / (1.0 / 7.0), 1)
             << "x the 14.3% random-guess rate, the paper's argument that the "
                "200 Hz restriction alone is insufficient (§VI-B).\n";
+  bench::print_dataset_cache_stats();
   return 0;
 }

@@ -49,5 +49,6 @@ int main(int argc, char** argv) {
                "random-guess rate, far below the TESS accuracies (Table V) — "
                "SAVEE's four diverse speakers and moderate expressiveness "
                "make it the harder corpus, as in the paper.\n";
+  bench::print_dataset_cache_stats();
   return 0;
 }

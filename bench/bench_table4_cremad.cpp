@@ -46,5 +46,6 @@ int main(int argc, char** argv) {
   std::cout << "\nShape check: ~3.5x above the 16.67% random-guess rate, with "
                "the time-frequency CNN strongest and the spectrogram CNN "
                "weakest — the ordering Table IV reports.\n";
+  bench::print_dataset_cache_stats();
   return 0;
 }

@@ -63,5 +63,6 @@ int main(int argc, char** argv) {
             << " (" << best_device << ") vs the paper's 95.3% on the OnePlus "
                "7T; the per-device ordering (7T strongest, Pixel 5 / S10 "
                "weakest) matches Table V.\n";
+  bench::print_dataset_cache_stats();
   return 0;
 }

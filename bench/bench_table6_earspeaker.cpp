@@ -55,5 +55,6 @@ int main(int argc, char** argv) {
                "random-guess rate in every configuration — the paper's core "
                "Table VI claim — while remaining far below the loudspeaker "
                "accuracies for the expressive TESS corpus.\n";
+  bench::print_dataset_cache_stats();
   return 0;
 }

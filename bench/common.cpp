@@ -115,9 +115,17 @@ std::shared_ptr<const core::ExtractedData> capture_cached(
 
 void print_dataset_cache_stats() {
   const core::DatasetCacheStats s = core::DatasetCache::instance().stats();
-  std::cout << "[dataset cache] hits=" << s.hits << " misses=" << s.misses
+  std::cout << "[dataset cache] hits=" << s.hits << " builds=" << s.misses
             << " entries=" << s.entries << " ~"
             << s.approx_bytes / (1024 * 1024) << " MiB\n";
+  const auto tier = [](const char* name, const core::DatasetCacheTierStats& t) {
+    std::cout << "[dataset cache]   " << name << ": hits=" << t.hits
+              << " misses=" << t.misses << " evictions=" << t.evictions
+              << " entries=" << t.entries << " ~" << t.bytes / (1024 * 1024)
+              << " MiB\n";
+  };
+  tier("memory", s.memory);
+  tier("disk  ", s.disk);
 }
 
 std::string ascii_image(const std::vector<double>& image, std::size_t width,

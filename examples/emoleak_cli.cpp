@@ -19,6 +19,7 @@
 #include <string>
 
 #include "core/attack.h"
+#include "core/dataset_cache.h"
 #include "obs/obs.h"
 #include "util/error.h"
 #include "core/report.h"
@@ -44,6 +45,7 @@ struct CliOptions {
   std::size_t cv_folds = 0;  // 0 = 80/20 split
   std::size_t threads = 0;   // 0 = hardware concurrency, 1 = serial
   bool rate_cap = false;
+  bool binned = false;  // histogram-binned tree induction
   std::string report_path;
   std::string features_path;
   std::string arff_path;
@@ -67,6 +69,10 @@ void usage() {
       "                                  (0 = all cores, 1 = serial; results\n"
       "                                  are identical at any thread count)\n"
       "  --rate-cap                      apply the Android 12 200 Hz cap\n"
+      "  --binned                        train tree ensembles with\n"
+      "                                  histogram-binned split finding\n"
+      "                                  (faster on large captures; exact\n"
+      "                                  Gini splits remain the default)\n"
       "  --report PATH                   write a Markdown report\n"
       "  --features PATH                 write extracted features as CSV\n"
       "  --arff PATH                     write extracted features as ARFF\n"
@@ -102,12 +108,24 @@ audio::DatasetSpec parse_dataset(const std::string& name) {
   throw util::ConfigError{"unknown dataset: " + name};
 }
 
-std::unique_ptr<ml::Classifier> parse_classifier(const std::string& name) {
+std::unique_ptr<ml::Classifier> parse_classifier(const std::string& name,
+                                                 bool binned) {
+  if (name == "randomforest") {
+    ml::RandomForestConfig cfg;
+    cfg.tree.exact = !binned;
+    return std::make_unique<ml::RandomForest>(cfg);
+  }
+  if (name == "randomsubspace") {
+    ml::RandomSubspaceConfig cfg;
+    cfg.tree.exact = !binned;
+    return std::make_unique<ml::RandomSubspace>(cfg);
+  }
+  if (binned) {
+    throw util::ConfigError{"--binned applies to randomforest/randomsubspace"};
+  }
   if (name == "logistic") return std::make_unique<ml::LogisticRegression>();
   if (name == "multiclass") return std::make_unique<ml::OneVsRestLogistic>();
   if (name == "lmt") return std::make_unique<ml::LogisticModelTree>();
-  if (name == "randomforest") return std::make_unique<ml::RandomForest>();
-  if (name == "randomsubspace") return std::make_unique<ml::RandomSubspace>();
   throw util::ConfigError{"unknown classifier: " + name};
 }
 
@@ -128,6 +146,7 @@ CliOptions parse_args(int argc, char** argv) {
     else if (arg == "--cv") opts.cv_folds = std::stoul(need_value(i));
     else if (arg == "--threads") opts.threads = std::stoul(need_value(i));
     else if (arg == "--rate-cap") opts.rate_cap = true;
+    else if (arg == "--binned") opts.binned = true;
     else if (arg == "--report") opts.report_path = need_value(i);
     else if (arg == "--features") opts.features_path = need_value(i);
     else if (arg == "--arff") opts.arff_path = need_value(i);
@@ -169,7 +188,12 @@ int main(int argc, char** argv) {
               << (opts.speaker == "ear" ? "ear speaker, handheld"
                                         : "loudspeaker, table-top")
               << ", fraction " << opts.fraction << ")...\n";
-    const core::ExtractedData data = core::capture(scenario);
+    // Route through the tiered DatasetCache: with
+    // EMOLEAK_DATASET_CACHE_DIR set, repeated invocations (even from
+    // different processes) mmap the extracted dataset from disk
+    // instead of re-synthesizing and re-extracting it.
+    const auto data_ptr = core::capture_cached(scenario);
+    const core::ExtractedData& data = *data_ptr;
     std::cout << "  " << data.features.size() << " labelled regions, "
               << util::percent(data.extraction_rate) << " extraction rate\n";
 
@@ -191,7 +215,7 @@ int main(int argc, char** argv) {
       }
       result.accuracy = result.confusion.accuracy();
     } else {
-      prototype = parse_classifier(opts.classifier);
+      prototype = parse_classifier(opts.classifier, opts.binned);
       std::cout << "Evaluating " << prototype->name()
                 << (opts.cv_folds >= 2
                         ? " (" + std::to_string(opts.cv_folds) + "-fold CV)"
@@ -254,7 +278,19 @@ int main(int argc, char** argv) {
       std::cout << "\n";
     }
     if (opts.metrics) {
-      std::cout << "\nMetrics registry:\n"
+      const core::DatasetCacheStats cache = core::DatasetCache::instance().stats();
+      util::TablePrinter ct{{"dataset cache", "hits", "misses", "evictions",
+                             "entries", "bytes"}};
+      const auto tier_row = [&](const char* tier,
+                                const core::DatasetCacheTierStats& t) {
+        ct.add_row({tier, std::to_string(t.hits), std::to_string(t.misses),
+                    std::to_string(t.evictions), std::to_string(t.entries),
+                    std::to_string(t.bytes)});
+      };
+      tier_row("memory", cache.memory);
+      tier_row("disk", cache.disk);
+      std::cout << "\nDataset cache (" << cache.misses << " builds):\n"
+                << ct.str() << "\nMetrics registry:\n"
                 << obs::Registry::instance().render_text();
     }
     return EXIT_SUCCESS;

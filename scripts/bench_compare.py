@@ -54,7 +54,8 @@ KERNEL_FILTER = (
     "BM_FftPow2|BM_Rfft|BM_FftBluestein|BM_Stft|BM_Gemm|"
     "BM_FeatureExtraction|BM_TimefreqCnnForward|BM_SpectrogramCnnForward|"
     "BM_BatchedCnnForward|BM_Conv2DBackward|"
-    "BM_TreeTrain/|BM_ForestTrain$|BM_PitchTrack$|BM_DatasetBuildHit$|"
+    "BM_TreeTrain/|BM_ForestTrain$|BM_ForestTrainBinned$|BM_PitchTrack$|"
+    "BM_DatasetBuildHit$|BM_DatasetDiskHit|"
     "BM_SpanOverhead$|BM_HistogramRecord"
 )
 
@@ -316,10 +317,17 @@ def main() -> int:
         # An entry with only before_ns still gates: the pre-overhaul
         # number is a (loose) regression floor until an --update run
         # records a fresh after_ns. Only entries with no number at all
-        # are reported as missing.
+        # are reported as missing. Each row says which kind of baseline
+        # it compared against — `ratio` (a fresh after_ns measurement)
+        # or `floor` (before_ns-only, the looser pre-overhaul bound) —
+        # so a failing gate reads unambiguously.
         want_ns = None
+        kind = "ratio"
         if entry is not None:
-            want_ns = entry.get("after_ns", entry.get("before_ns"))
+            want_ns = entry.get("after_ns")
+            if want_ns is None:
+                want_ns = entry.get("before_ns")
+                kind = "floor"
         if want_ns is None:
             missing.append(name)
             continue
@@ -328,7 +336,7 @@ def main() -> int:
         if ratio > 1.0 + args.tolerance:
             status = "REGRESSION"
             failures.append(name)
-        print(f"{name:45s} {got_ns:12.1f} ns  baseline {want_ns:12.1f} ns  "
+        print(f"{name:45s} {got_ns:12.1f} ns  {kind:5s} {want_ns:12.1f} ns  "
               f"x{ratio:5.2f}  {status}")
     for name in missing:
         print(f"{name:45s} {measured[name]:12.1f} ns  (no baseline — run "

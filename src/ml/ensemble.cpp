@@ -47,17 +47,26 @@ void RandomForest::fit(const Dataset& data) {
     plans[t] = TreePlan{cfg, std::move(bag)};
   }
 
-  // Sort every feature column once for the whole forest; each tree
-  // derives its bag's order from this in linear time. Read-only after
-  // construction, so sharing it across the worker threads is safe.
+  // Per-dataset shared induction index, built once for the whole
+  // forest and read-only afterwards so sharing it across the worker
+  // threads is safe: sorted columns for the exact/presort path, the
+  // quantile binner for the histogram path. Binning uses the *full*
+  // dataset (not a bag), so every tree sees the same candidate cuts and
+  // the forest stays bit-identical at any thread count.
   std::optional<PresortedColumns> shared;
-  if (config_.tree.presort) shared.emplace(PresortedColumns::build(data));
+  std::optional<BinnedColumns> shared_bins;
+  if (config_.tree.exact) {
+    if (config_.tree.presort) shared.emplace(PresortedColumns::build(data));
+  } else {
+    shared_bins.emplace(BinnedColumns::build(data, config_.tree.max_bins));
+  }
 
   std::vector<DecisionTree> trees(config_.tree_count);
   util::parallel_for(config_.parallelism, plans.size(), [&](std::size_t t) {
     OBS_SPAN_ARG("ml.tree_fit", "tree", t);
     DecisionTree tree{plans[t].cfg};
-    tree.fit_indices(data, plans[t].bag, shared ? &*shared : nullptr);
+    tree.fit_indices(data, plans[t].bag, shared ? &*shared : nullptr,
+                     shared_bins ? &*shared_bins : nullptr);
     trees[t] = std::move(tree);
   });
   trees_ = std::move(trees);

@@ -27,8 +27,25 @@ struct TreeConfig {
   /// replacing the per-node copy + sort. Produces byte-identical trees
   /// to the reference algorithm (same tie-breaking, same improvement
   /// epsilon) — `false` selects the reference per-node-sort path the
-  /// parity tests compare against.
+  /// parity tests compare against. Only consulted when `exact`.
   bool presort = true;
+  /// Exact split finding (the default): every distinct feature value is
+  /// a candidate cut, and fitted trees are byte-identical to the
+  /// serialized models of earlier releases. `false` selects
+  /// histogram-binned induction (LightGBM-style): feature values are
+  /// quantized once per dataset into <= max_bins quantile bins (u8
+  /// codes), nodes accumulate per-bin class histograms (with the
+  /// child = parent - sibling subtraction trick) and score cuts only at
+  /// bin boundaries. Much faster on forests; splits may differ from the
+  /// exact tree when a bin spans multiple distinct values, but training
+  /// stays fully deterministic — same seed, same data, same trees at
+  /// any thread count.
+  bool exact = true;
+  /// Bin budget per feature for the binned path. Capped at 256 so codes
+  /// fit a byte; when a feature has fewer distinct values than this,
+  /// every distinct value gets its own bin and binned splits coincide
+  /// with exact ones.
+  std::size_t max_bins = 256;
 };
 
 /// Per-dataset presorted feature index: for each feature, the dataset's
@@ -53,6 +70,62 @@ class PresortedColumns {
   std::vector<std::uint32_t> order_;  ///< dims() arrays of rows() ids
 };
 
+/// Per-dataset quantile binner for histogram-binned induction: every
+/// feature value is quantized once into a bin code (u8, <= 256 bins per
+/// feature), and trees fit on codes instead of doubles. Like
+/// PresortedColumns, ensembles build it once per fit and share it
+/// read-only across all trees/threads. Bin edges come from equal-
+/// frequency quantiles over the *full* dataset, so every bag of the same
+/// dataset sees the same candidate cuts — a bagged binned forest is
+/// bit-identical at any thread count. When a feature has <= max_bins
+/// distinct values each value gets its own bin, making binned splits
+/// coincide with exact ones (the parity tests rely on this).
+class BinnedColumns {
+ public:
+  [[nodiscard]] static BinnedColumns build(const Dataset& data,
+                                           std::size_t max_bins = 256);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return n_; }
+  [[nodiscard]] std::size_t dims() const noexcept { return dim_; }
+  /// Number of bins actually used by feature `f` (1..=256).
+  [[nodiscard]] std::size_t bins(std::size_t f) const noexcept {
+    return bin_count_[f];
+  }
+  /// Start of feature `f`'s bin range in a flat all-features histogram.
+  [[nodiscard]] std::size_t offset(std::size_t f) const noexcept {
+    return bin_offset_[f];
+  }
+  /// Sum of bins(f) over all features (flat histogram width).
+  [[nodiscard]] std::size_t total_bins() const noexcept {
+    return bin_offset_[dim_];
+  }
+  /// Bin codes of feature `f` for every dataset row; length rows().
+  [[nodiscard]] const std::uint8_t* codes(std::size_t f) const noexcept {
+    return codes_.data() + f * n_;
+  }
+  /// Smallest / largest dataset value landing in bin `b` of feature
+  /// `f`. A cut between (nonempty-in-node) bins bl < br stores the
+  /// threshold 0.5 * (upper(f, bl) + lower(f, br)) — the same
+  /// midpoint-of-adjacent-present-values rule the exact scan uses, so
+  /// with one bin per distinct value the two paths emit identical
+  /// thresholds.
+  [[nodiscard]] double lower_value(std::size_t f, std::size_t b) const noexcept {
+    return lower_[f * 256 + b];
+  }
+  [[nodiscard]] double upper_value(std::size_t f, std::size_t b) const noexcept {
+    return upper_[f * 256 + b];
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<std::uint8_t> codes_;      ///< dims() arrays of rows() codes
+  std::vector<std::size_t> bin_count_;   ///< per-feature bins used
+  std::vector<std::size_t> bin_offset_;  ///< exclusive prefix sums, dim+1
+  std::vector<double> lower_;            ///< dims() x 256 bin min values
+  std::vector<double> upper_;            ///< dims() x 256 bin max values
+};
+
 class DecisionTree final : public Classifier {
  public:
   DecisionTree() = default;
@@ -63,9 +136,13 @@ class DecisionTree final : public Classifier {
   /// Fits on a row subset (for bagging) without copying the matrix.
   /// `presorted`, when given, must have been built from `data`; the
   /// presort path then derives each feature's bag order from it in
-  /// O(rows + indices) instead of sorting.
+  /// O(rows + indices) instead of sorting. `binned` likewise must have
+  /// been built from `data` and is only consulted when
+  /// `config.exact == false` (it is built on demand when the binned
+  /// path is selected and no shared binner is supplied).
   void fit_indices(const Dataset& data, std::span<const std::size_t> indices,
-                   const PresortedColumns* presorted = nullptr);
+                   const PresortedColumns* presorted = nullptr,
+                   const BinnedColumns* binned = nullptr);
 
   [[nodiscard]] int predict(std::span<const double> row) const override;
   [[nodiscard]] std::vector<double> predict_proba(
@@ -110,6 +187,10 @@ class DecisionTree final : public Classifier {
   std::int32_t build_presort(const Dataset& data, BuildScratch& scratch,
                              std::size_t begin, std::size_t end, int depth,
                              util::Rng& rng);
+  std::int32_t build_binned(const Dataset& data, const BinnedColumns& binned,
+                            BuildScratch& scratch, std::size_t begin,
+                            std::size_t end, int depth, util::Rng& rng,
+                            std::span<const std::uint32_t> hist);
   std::int32_t make_leaf(std::span<const std::size_t> class_counts,
                          std::size_t count);
   [[nodiscard]] const Node& route(std::span<const double> row) const;

@@ -1,0 +1,57 @@
+# Smoke test for the DatasetCache disk tier across processes: run the
+# same tiny emoleak_cli capture twice with EMOLEAK_DATASET_CACHE_DIR
+# pointing at a fresh directory. The first process builds the dataset
+# and persists it; the second process must serve it from the disk tier
+# (dataset_cache.disk.hits 1) without running a build
+# (dataset_cache.bytes_built absent from its metrics registry).
+#
+# Invoked by ctest as
+#   cmake -DCLI=<emoleak_cli> -DOUT=<dir> -P dataset_cache_smoke.cmake
+
+foreach(var CLI OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "dataset_cache_smoke: missing -D${var}")
+  endif()
+endforeach()
+
+set(cache_dir "${OUT}/dataset_cache_smoke")
+file(REMOVE_RECURSE "${cache_dir}")
+file(MAKE_DIRECTORY "${cache_dir}")
+
+foreach(run first second)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E env "EMOLEAK_DATASET_CACHE_DIR=${cache_dir}"
+            "${CLI}" --dataset tess --fraction 0.05 --seed 7 --metrics
+    RESULT_VARIABLE cli_result
+    OUTPUT_VARIABLE cli_output
+    ERROR_VARIABLE cli_output)
+  if(NOT cli_result EQUAL 0)
+    message(FATAL_ERROR
+        "dataset_cache_smoke: ${run} emoleak_cli run failed:\n${cli_output}")
+  endif()
+  set(${run}_output "${cli_output}")
+endforeach()
+
+# First process: a real build that also populated the disk tier.
+if(NOT first_output MATCHES "dataset_cache.disk.misses 1")
+  message(FATAL_ERROR
+      "dataset_cache_smoke: first run did not miss the disk tier:\n${first_output}")
+endif()
+if(NOT first_output MATCHES "dataset_cache.bytes_built")
+  message(FATAL_ERROR
+      "dataset_cache_smoke: first run reports no build:\n${first_output}")
+endif()
+
+# Second process: must mmap the cached file instead of rebuilding.
+if(NOT second_output MATCHES "dataset_cache.disk.hits 1")
+  message(FATAL_ERROR
+      "dataset_cache_smoke: second run did not hit the disk tier:\n${second_output}")
+endif()
+if(second_output MATCHES "dataset_cache.bytes_built")
+  message(FATAL_ERROR
+      "dataset_cache_smoke: second run rebuilt the dataset instead of "
+      "reading the disk tier:\n${second_output}")
+endif()
+
+file(REMOVE_RECURSE "${cache_dir}")
+message(STATUS "dataset_cache_smoke OK: second process served from disk tier")

@@ -3,8 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 namespace {
 
@@ -130,6 +134,242 @@ TEST(DatasetCacheTest, ProcessWideHelperUsesSingleton) {
   EXPECT_EQ(a.get(), b.get());
   const auto after = DatasetCache::instance().stats();
   EXPECT_EQ(after.hits, before.hits + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Tiered-cache tests: these drive the keyed-builder interface with
+// synthetic datasets so they can exercise budgets, the disk tier and
+// races without paying for real captures.
+
+using emoleak::core::DatasetCacheConfig;
+using emoleak::core::ExtractedData;
+
+/// A deterministic synthetic dataset of roughly `rows` KiB.
+ExtractedData synthetic_data(int tag, std::size_t rows = 8) {
+  ExtractedData d;
+  d.features.class_count = 3;
+  d.features.feature_names = {"f0", "f1"};
+  d.features.class_names = {"a", "b", "c"};
+  d.image_size = 4;
+  d.regions_detected = rows;
+  d.utterances_total = rows;
+  d.extraction_rate = 0.5 + tag * 0.001;
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<double> row(128);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      row[j] = tag * 1000.0 + i + j * 0.25;
+    }
+    d.features.x.push_back(row);
+    d.features.y.push_back(static_cast<int>(i % 3));
+    d.spectrograms.push_back(std::vector<double>(16, tag + 0.5));
+    d.speaker_ids.push_back(tag);
+  }
+  return d;
+}
+
+void expect_equal_data(const ExtractedData& a, const ExtractedData& b) {
+  EXPECT_EQ(a.features.x, b.features.x);
+  EXPECT_EQ(a.features.y, b.features.y);
+  EXPECT_EQ(a.features.class_count, b.features.class_count);
+  EXPECT_EQ(a.features.feature_names, b.features.feature_names);
+  EXPECT_EQ(a.features.class_names, b.features.class_names);
+  EXPECT_EQ(a.spectrograms, b.spectrograms);
+  EXPECT_EQ(a.speaker_ids, b.speaker_ids);
+  EXPECT_EQ(a.image_size, b.image_size);
+  EXPECT_EQ(a.regions_detected, b.regions_detected);
+  EXPECT_EQ(a.utterances_total, b.utterances_total);
+  EXPECT_EQ(a.extraction_rate, b.extraction_rate);
+}
+
+/// Fresh per-test scratch directory for the disk tier.
+std::string fresh_cache_dir(const char* name) {
+  const std::string dir =
+      testing::TempDir() + "emoleak_dataset_cache_" + name + "_" +
+      std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(DatasetCacheTieredTest, MemoryBudgetEvictsLeastRecentlyUsed) {
+  // Each synthetic entry is ~9.5 KiB; budget fits two comfortably but
+  // not three.
+  DatasetCacheConfig cfg;
+  cfg.memory_budget_bytes = 24 * 1024;
+  DatasetCache cache{cfg};
+  (void)cache.get_or_build("k1", [] { return synthetic_data(1); });
+  (void)cache.get_or_build("k2", [] { return synthetic_data(2); });
+  EXPECT_EQ(cache.stats().memory.evictions, 0u);
+  // Touch k1 so k2 is the LRU victim when k3 overflows the budget.
+  (void)cache.get_or_build("k1", [] { return synthetic_data(1); });
+  (void)cache.get_or_build("k3", [] { return synthetic_data(3); });
+  const auto s = cache.stats();
+  EXPECT_EQ(s.memory.evictions, 1u);
+  EXPECT_EQ(s.memory.entries, 2u);
+  EXPECT_LE(s.memory.bytes, cfg.memory_budget_bytes);
+  // k1 survived (was recently used), k2 was evicted and rebuilds.
+  int rebuilt = 0;
+  (void)cache.get_or_build("k1", [&] { ++rebuilt; return synthetic_data(1); });
+  EXPECT_EQ(rebuilt, 0);
+  (void)cache.get_or_build("k2", [&] { ++rebuilt; return synthetic_data(2); });
+  EXPECT_EQ(rebuilt, 1);
+}
+
+TEST(DatasetCacheTieredTest, OversizedEntryStillCachesAlone) {
+  DatasetCacheConfig cfg;
+  cfg.memory_budget_bytes = 1024;  // smaller than any entry
+  DatasetCache cache{cfg};
+  const auto first = cache.get_or_build("big", [] { return synthetic_data(7); });
+  const auto again = cache.get_or_build("big", [] { return synthetic_data(7); });
+  EXPECT_EQ(first.get(), again.get()) << "sole entry must not self-evict";
+  EXPECT_EQ(cache.stats().memory.entries, 1u);
+}
+
+TEST(DatasetCacheTieredTest, DiskTierRoundTripsAcrossCacheInstances) {
+  const std::string dir = fresh_cache_dir("roundtrip");
+  DatasetCacheConfig cfg;
+  cfg.disk_dir = dir;
+  const ExtractedData original = synthetic_data(11, /*rows=*/5);
+  {
+    DatasetCache writer{cfg};
+    (void)writer.get_or_build("key-a", [&] { return original; });
+    EXPECT_EQ(writer.stats().disk.misses, 1u);
+    EXPECT_EQ(writer.stats().disk.entries, 1u);
+  }
+  // A second cache (standing in for a second process) must load the
+  // file instead of building.
+  DatasetCache reader{cfg};
+  int built = 0;
+  const auto loaded = reader.get_or_build("key-a", [&] {
+    ++built;
+    return synthetic_data(99);
+  });
+  EXPECT_EQ(built, 0) << "disk tier must satisfy the request";
+  const auto s = reader.stats();
+  EXPECT_EQ(s.disk.hits, 1u);
+  EXPECT_EQ(s.misses, 0u) << "a disk hit is not a build";
+  expect_equal_data(*loaded, original);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetCacheTieredTest, CorruptedFileIsDetectedAndRebuilt) {
+  const std::string dir = fresh_cache_dir("corrupt");
+  DatasetCacheConfig cfg;
+  cfg.disk_dir = dir;
+  DatasetCache writer{cfg};
+  (void)writer.get_or_build("key-c", [] { return synthetic_data(21); });
+  const std::string path = writer.disk_path_of("key-c");
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  // Flip one payload byte; the checksum must catch it.
+  {
+    std::fstream f{path, std::ios::in | std::ios::out | std::ios::binary};
+    f.seekp(-9, std::ios::end);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(-9, std::ios::end);
+    byte = static_cast<char>(byte ^ 0x5A);
+    f.write(&byte, 1);
+  }
+  DatasetCache reader{cfg};
+  int built = 0;
+  const auto got = reader.get_or_build("key-c", [&] {
+    ++built;
+    return synthetic_data(21);
+  });
+  EXPECT_EQ(built, 1) << "corrupt file must read as a miss";
+  EXPECT_EQ(reader.stats().disk.hits, 0u);
+  expect_equal_data(*got, synthetic_data(21));
+  // The corrupt file was dropped and replaced by the rebuild, so a
+  // third instance hits disk again.
+  DatasetCache reader2{cfg};
+  int built2 = 0;
+  (void)reader2.get_or_build("key-c", [&] {
+    ++built2;
+    return synthetic_data(21);
+  });
+  EXPECT_EQ(built2, 0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetCacheTieredTest, TruncatedFileIsDetectedAndRebuilt) {
+  const std::string dir = fresh_cache_dir("truncated");
+  DatasetCacheConfig cfg;
+  cfg.disk_dir = dir;
+  DatasetCache writer{cfg};
+  (void)writer.get_or_build("key-t", [] { return synthetic_data(33); });
+  const std::string path = writer.disk_path_of("key-t");
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+
+  DatasetCache reader{cfg};
+  int built = 0;
+  (void)reader.get_or_build("key-t", [&] {
+    ++built;
+    return synthetic_data(33);
+  });
+  EXPECT_EQ(built, 1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetCacheTieredTest, DiskBudgetEvictsOldestFiles) {
+  const std::string dir = fresh_cache_dir("budget");
+  DatasetCacheConfig cfg;
+  cfg.disk_dir = dir;
+  cfg.disk_budget_bytes = 40 * 1024;  // ~2 entries of ~16 KiB on disk
+  DatasetCache cache{cfg};
+  for (int i = 0; i < 5; ++i) {
+    (void)cache.get_or_build("key-" + std::to_string(i),
+                             [i] { return synthetic_data(i); });
+  }
+  const auto s = cache.stats();
+  EXPECT_GT(s.disk.evictions, 0u);
+  EXPECT_LE(s.disk.bytes, cfg.disk_budget_bytes);
+  EXPECT_GE(s.disk.entries, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetCacheTieredTest, ConcurrentOpenAndEvictIsSafe) {
+  // Readers mmap-load a key while another thread's inserts trim the
+  // directory out from under them; unlinked-but-mapped files must stay
+  // readable and every loader must end with correct data (from disk or
+  // a rebuild). Run under TSan in the sanitizer recipe.
+  const std::string dir = fresh_cache_dir("race");
+  DatasetCacheConfig cfg;
+  cfg.disk_dir = dir;
+  cfg.disk_budget_bytes = 30 * 1024;
+  const ExtractedData want = synthetic_data(50);
+  {
+    DatasetCache seeder{cfg};
+    (void)seeder.get_or_build("hot", [&] { return synthetic_data(50); });
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 2; ++t) {
+    // Loaders: fresh cache instances so every get reaches the disk tier.
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20; ++i) {
+        DatasetCache c{cfg};
+        const auto got =
+            c.get_or_build("hot", [&] { return synthetic_data(50); });
+        ASSERT_NE(got, nullptr);
+        ASSERT_EQ(got->features.x, want.features.x);
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    // Evictors: churn new keys through a tight disk budget so trim
+    // keeps unlinking, racing the loaders' opens.
+    threads.emplace_back([&, t] {
+      DatasetCache c{cfg};
+      for (int i = 0; i < 20; ++i) {
+        const int tag = 100 + t * 100 + i;
+        (void)c.get_or_build("churn-" + std::to_string(tag),
+                             [tag] { return synthetic_data(tag); });
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -252,4 +252,81 @@ TEST(RandomSubspaceTest, PresortSerializesByteIdenticallyToReference) {
   EXPECT_EQ(serialized(fast), serialized(reference));
 }
 
+/// Features quantized to a handful of distinct values, so every bin
+/// budget >= ~40 is in the one-value-per-bin regime where binned and
+/// exact induction must coincide.
+Dataset quantized_blobs(std::size_t per_class, int classes,
+                        std::uint64_t seed) {
+  Dataset d = noisy_blobs(per_class, classes, seed);
+  for (auto& row : d.x) {
+    for (double& v : row) v = std::round(v * 4.0) / 4.0;
+  }
+  return d;
+}
+
+TEST(RandomForestTest, BinnedLearnsNoisyBlobs) {
+  // Continuous features: real quantization (bins span many values),
+  // exercising the histogram path end to end through bagging.
+  const Dataset train = noisy_blobs(80, 3, 27);
+  const Dataset test = noisy_blobs(40, 3, 28);
+  RandomForestConfig cfg;
+  cfg.tree.exact = false;
+  RandomForest forest{cfg};
+  forest.fit(train);
+  EXPECT_GT(accuracy_on(forest, test), 0.65);
+}
+
+TEST(RandomForestTest, BinnedBitIdenticalAtAnyThreadCount) {
+  // The binner is built once from the full dataset and the bagging /
+  // feature-subspace RNG plans are drawn serially up front, so a
+  // binned forest must be byte-identical no matter how the tree fits
+  // are scheduled.
+  const Dataset d = noisy_blobs(50, 3, 29);
+  RandomForestConfig cfg;
+  cfg.tree_count = 12;
+  cfg.tree.exact = false;
+  cfg.tree.max_bins = 32;
+  cfg.parallelism.threads = 1;
+  RandomForest serial{cfg};
+  cfg.parallelism.threads = 4;
+  RandomForest threaded{cfg};
+  serial.fit(d);
+  threaded.fit(d);
+  EXPECT_EQ(serialized(serial), serialized(threaded));
+}
+
+TEST(RandomForestTest, BinnedSerializesByteIdenticallyToExactOnTiedData) {
+  // One value per bin => identical candidate cuts => the exact-path
+  // parity guarantee lifts through the whole forest, threads and all.
+  const Dataset d = quantized_blobs(40, 3, 30);
+  RandomForestConfig cfg;
+  cfg.tree_count = 12;
+  cfg.tree.features_per_split = 2;
+  cfg.parallelism.threads = 2;
+  cfg.tree.exact = false;
+  RandomForest binned{cfg};
+  cfg.tree.exact = true;
+  cfg.parallelism.threads = 1;
+  RandomForest exact{cfg};
+  binned.fit(d);
+  exact.fit(d);
+  EXPECT_EQ(serialized(binned), serialized(exact));
+}
+
+TEST(RandomSubspaceTest, BinnedBitIdenticalAtAnyThreadCount) {
+  const Dataset d = noisy_blobs(40, 3, 31);
+  RandomSubspaceConfig cfg;
+  cfg.ensemble_size = 8;
+  cfg.subspace_fraction = 0.5;
+  cfg.tree.exact = false;
+  cfg.tree.max_bins = 32;
+  cfg.parallelism.threads = 1;
+  RandomSubspace serial{cfg};
+  cfg.parallelism.threads = 4;
+  RandomSubspace threaded{cfg};
+  serial.fit(d);
+  threaded.fit(d);
+  EXPECT_EQ(serialized(serial), serialized(threaded));
+}
+
 }  // namespace

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "util/error.h"
 #include "util/rng.h"
@@ -274,21 +275,157 @@ TEST(DecisionTreeTest, PresortParityOnBootstrapBags) {
 }
 
 TEST(DecisionTreeTest, RefitIsAllocationFreeInSteadyState) {
-  // Both induction paths draw every per-fit/per-node buffer from the
-  // thread workspace: after a warm-up fit, repeated fits never touch
-  // the heap through the arena (same contract test_workspace asserts
-  // for the DSP kernels).
+  // All three induction paths draw every per-fit/per-node buffer from
+  // the thread workspace: after a warm-up fit, repeated fits never
+  // touch the heap through the arena (same contract test_workspace
+  // asserts for the DSP kernels).
   const Dataset d = quantized_data(300, 3, 26);
-  for (const bool presort : {true, false}) {
+  struct PathCase {
+    bool exact;
+    bool presort;
+  };
+  for (const PathCase path : {PathCase{true, true}, PathCase{true, false},
+                              PathCase{false, true}}) {
     TreeConfig cfg;
-    cfg.presort = presort;
+    cfg.exact = path.exact;
+    cfg.presort = path.presort;
     DecisionTree tree{cfg};
     tree.fit(d);  // warm-up sizes the arena
     const std::size_t warm = emoleak::util::thread_workspace().grow_count();
     for (int iter = 0; iter < 5; ++iter) tree.fit(d);
     EXPECT_EQ(emoleak::util::thread_workspace().grow_count(), warm)
-        << "presort=" << presort;
+        << "exact=" << path.exact << " presort=" << path.presort;
   }
+}
+
+// Binned-vs-exact parity: when no feature has more distinct values
+// than the bin budget, every distinct value gets its own bin, bin
+// boundaries are exactly the exact path's candidate cuts, and the two
+// paths must serialize byte-identically — across depth, bin budget and
+// bag fraction. quantized_data keeps each feature under 40 distinct
+// values, so every budget in the sweep is in the one-value-per-bin
+// regime.
+struct BinnedParityCase {
+  int max_depth;
+  std::size_t max_bins;
+  double bag_fraction;  ///< 0 = fit() on the full dataset, no bag
+};
+
+class BinnedParity : public ::testing::TestWithParam<BinnedParityCase> {};
+
+TEST_P(BinnedParity, MatchesExactWhenBinsDontSplitTies) {
+  const BinnedParityCase p = GetParam();
+  const std::vector<Dataset> datasets = {quantized_data(400, 3, 31),
+                                         quantized_data(150, 5, 32)};
+  const Dataset held_out = quantized_data(120, 3, 33);
+  for (const Dataset& d : datasets) {
+    TreeConfig cfg;
+    cfg.max_depth = p.max_depth;
+    cfg.features_per_split = 2;
+    cfg.seed = 77;
+    cfg.max_bins = p.max_bins;
+    cfg.exact = true;
+    DecisionTree exact{cfg};
+    cfg.exact = false;
+    DecisionTree binned{cfg};
+    if (p.bag_fraction == 0.0) {
+      exact.fit(d);
+      binned.fit(d);
+    } else {
+      Rng rng{91};
+      const auto bag_size = static_cast<std::size_t>(
+          p.bag_fraction * static_cast<double>(d.size()));
+      std::vector<std::size_t> bag(bag_size);
+      for (std::size_t& b : bag) b = rng.uniform_int(d.size());
+      exact.fit_indices(d, bag);
+      binned.fit_indices(d, bag);
+    }
+    EXPECT_EQ(serialized(binned), serialized(exact))
+        << "depth=" << p.max_depth << " bins=" << p.max_bins
+        << " bag=" << p.bag_fraction;
+    // Byte parity implies this, but assert the user-visible contract
+    // directly: identical predictions on held-out rows.
+    for (const auto& row : held_out.x) {
+      ASSERT_EQ(binned.predict(row), exact.predict(row));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BinnedParity,
+    ::testing::Values(BinnedParityCase{4, 256, 0.0},
+                      BinnedParityCase{18, 256, 0.0},
+                      BinnedParityCase{18, 64, 0.6},
+                      BinnedParityCase{4, 64, 1.0},
+                      BinnedParityCase{18, 48, 1.0},
+                      BinnedParityCase{6, 256, 0.6}));
+
+TEST(DecisionTreeTest, BinnedDivergenceOnContinuousDataIsBounded) {
+  // On continuous features with a small bin budget, one bin spans many
+  // distinct values and the binned tree is *allowed* to pick different
+  // cuts than the exact tree — that is the documented accuracy/speed
+  // trade. What must still hold: training stays deterministic, and the
+  // quantile binning loses little accuracy (paper-style workloads are
+  // far from the pathological case).
+  const Dataset train = xor_data(400, 41);
+  const Dataset test = xor_data(200, 42);
+  TreeConfig cfg;
+  cfg.seed = 13;
+  cfg.exact = false;
+  cfg.max_bins = 16;  // 400 distinct values per feature -> ~25 per bin
+  DecisionTree binned{cfg};
+  binned.fit(train);
+  DecisionTree again{cfg};
+  again.fit(train);
+  EXPECT_EQ(serialized(binned), serialized(again)) << "must stay deterministic";
+
+  cfg.exact = true;
+  DecisionTree exact{cfg};
+  exact.fit(train);
+  const double exact_acc = train_accuracy(exact, test);
+  const double binned_acc = train_accuracy(binned, test);
+  EXPECT_GT(binned_acc, exact_acc - 0.05)
+      << "16-bin quantization may move cuts but must not collapse accuracy";
+}
+
+TEST(DecisionTreeTest, SharedBinnerIsSafeAcrossConcurrentFits) {
+  // Ensembles build one BinnedColumns per dataset and share it
+  // read-only across worker threads. Concurrent fits through the
+  // shared binner must produce exactly the trees sequential fits do
+  // (run under TSan in the sanitizer recipe).
+  const Dataset d = quantized_data(300, 4, 51);
+  const emoleak::ml::BinnedColumns bins =
+      emoleak::ml::BinnedColumns::build(d, 256);
+  std::vector<std::size_t> all(d.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+
+  constexpr std::size_t kFits = 4;
+  std::vector<std::string> sequential(kFits);
+  std::vector<std::string> concurrent(kFits);
+  for (std::size_t t = 0; t < kFits; ++t) {
+    TreeConfig cfg;
+    cfg.exact = false;
+    cfg.features_per_split = 2;
+    cfg.seed = 1000 + t;
+    DecisionTree tree{cfg};
+    tree.fit_indices(d, all, nullptr, &bins);
+    sequential[t] = serialized(tree);
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(kFits);
+  for (std::size_t t = 0; t < kFits; ++t) {
+    threads.emplace_back([&, t] {
+      TreeConfig cfg;
+      cfg.exact = false;
+      cfg.features_per_split = 2;
+      cfg.seed = 1000 + t;
+      DecisionTree tree{cfg};
+      tree.fit_indices(d, all, nullptr, &bins);
+      concurrent[t] = serialized(tree);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(concurrent, sequential);
 }
 
 }  // namespace
