@@ -26,6 +26,7 @@
 #include "nn/cnn_models.h"
 #include "nn/gemm.h"
 #include "obs/obs.h"
+#include "serve/protocol.h"
 #include "serve/service.h"
 #include "phone/channel.h"
 #include "phone/recorder.h"
@@ -583,6 +584,54 @@ void BM_HistogramRecord(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_HistogramRecord);
+
+/// A snapshot the size a loaded multi-task server actually exposes:
+/// the serve.* + per-task + net.* counter population, and histograms
+/// whose recordings span the full log-bucket range.
+obs::RegistrySnapshot telemetry_snapshot_fixture() {
+  obs::Registry registry;
+  util::SplitMix64 rng{7};
+  for (int i = 0; i < 28; ++i) {
+    registry.counter("serve.task.model-" + std::to_string(i % 4) +
+                     ".counter_" + std::to_string(i))
+        .add(rng.next() % 1000000);
+  }
+  for (int i = 0; i < 4; ++i) {
+    registry.gauge("net.gauge_" + std::to_string(i))
+        .add(static_cast<std::int64_t>(rng.next() % 512));
+  }
+  for (int i = 0; i < 6; ++i) {
+    obs::Histogram& h = registry.histogram("serve.hist_" + std::to_string(i));
+    for (int r = 0; r < 4096; ++r) h.record(rng.next() >> (rng.next() % 40));
+  }
+  return registry.snapshot();
+}
+
+void BM_MetricsReplyEncode(benchmark::State& state) {
+  // Wire cost of one kMetricsReply: what the serving event loop pays
+  // per remote scrape, on the same thread that moves traffic.
+  const serve::MetricsReplyMsg msg{telemetry_snapshot_fixture()};
+  std::string out;
+  for (auto _ : state) {
+    out.clear();
+    serve::encode(out, msg);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(out.size()));
+}
+BENCHMARK(BM_MetricsReplyEncode);
+
+void BM_PromText(benchmark::State& state) {
+  // Prometheus text rendering of the same snapshot (scraper side).
+  const obs::RegistrySnapshot snapshot = telemetry_snapshot_fixture();
+  for (auto _ : state) {
+    std::string text = obs::prometheus_text(snapshot);
+    benchmark::DoNotOptimize(text.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PromText);
 
 }  // namespace
 

@@ -11,6 +11,8 @@
 //               --features features.csv --save-model model.txt
 //   emoleak_cli --dataset tess --model model.txt        # evaluate a
 //               pre-trained model file instead of training
+//   emoleak_cli --scrape 9090                           # pull metrics
+//               from a live serve_demo/NetServer in Prometheus text
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -20,7 +22,9 @@
 
 #include "core/attack.h"
 #include "core/dataset_cache.h"
+#include "net/client.h"
 #include "obs/obs.h"
+#include "serve/protocol.h"
 #include "util/error.h"
 #include "core/report.h"
 #include "ml/ensemble.h"
@@ -53,6 +57,7 @@ struct CliOptions {
   std::string load_model_path;
   std::string trace_path;
   bool metrics = false;
+  std::string scrape_target;  ///< PORT or HOST:PORT (loopback only)
 };
 
 void usage() {
@@ -84,7 +89,69 @@ void usage() {
       "                                  Chrome trace_event JSON file\n"
       "                                  (open in chrome://tracing / Perfetto)\n"
       "  --metrics                       print the metrics registry (counters,\n"
-      "                                  gauges, histograms) on exit\n";
+      "                                  gauges, histograms) on exit\n"
+      "  --scrape PORT|HOST:PORT         connect to a running NetServer (e.g.\n"
+      "                                  serve_demo --listen), pull its metrics\n"
+      "                                  over the wire, and print them in\n"
+      "                                  Prometheus text exposition format;\n"
+      "                                  combine with --trace PATH to also pull\n"
+      "                                  the server's span rings as a Chrome\n"
+      "                                  trace file. HOST must be loopback.\n";
+}
+
+/// "9090", "127.0.0.1:9090", "localhost:9090" -> 9090. The blocking
+/// client only dials loopback, so any other host is rejected up front.
+std::uint16_t parse_scrape_port(const std::string& target) {
+  std::string port_str = target;
+  const auto colon = target.rfind(':');
+  if (colon != std::string::npos) {
+    const std::string host = target.substr(0, colon);
+    if (host != "127.0.0.1" && host != "localhost") {
+      throw util::ConfigError{"--scrape host must be loopback, got: " + host};
+    }
+    port_str = target.substr(colon + 1);
+  }
+  const unsigned long port = std::stoul(port_str);
+  if (port == 0 || port > 65535) {
+    throw util::ConfigError{"--scrape port out of range: " + port_str};
+  }
+  return static_cast<std::uint16_t>(port);
+}
+
+/// Remote scrape: one kMetricsRequest (and optionally one
+/// kTraceRequest) over a fresh connection, Prometheus text to stdout.
+int run_scrape(const CliOptions& opts) {
+  net::BlockingClient client{parse_scrape_port(opts.scrape_target)};
+  client.set_recv_timeout(5000);
+
+  client.send(serve::MetricsRequestMsg{});
+  const auto metrics_reply = client.recv();
+  if (!metrics_reply) throw util::DataError{"server closed before reply"};
+  const auto* metrics = std::get_if<serve::MetricsReplyMsg>(&*metrics_reply);
+  if (metrics == nullptr) {
+    throw util::DataError{"unexpected reply to metrics request (old server?)"};
+  }
+  std::cout << obs::prometheus_text(metrics->snapshot);
+
+  if (!opts.trace_path.empty()) {
+    client.send(serve::TraceRequestMsg{});
+    const auto trace_reply = client.recv();
+    if (!trace_reply) throw util::DataError{"server closed before trace reply"};
+    const auto* trace = std::get_if<serve::TraceReplyMsg>(&*trace_reply);
+    if (trace == nullptr) {
+      throw util::DataError{"unexpected reply to trace request (old server?)"};
+    }
+    std::ofstream out{opts.trace_path, std::ios::binary};
+    if (!out) throw util::ConfigError{"cannot open " + opts.trace_path};
+    out << trace->trace_json;
+    std::cerr << "Wrote server trace to " << opts.trace_path;
+    if (trace->dropped_spans != 0) {
+      std::cerr << " (" << trace->dropped_spans
+                << " spans dropped by ring wrap)";
+    }
+    std::cerr << "\n";
+  }
+  return EXIT_SUCCESS;
 }
 
 phone::PhoneProfile parse_phone(const std::string& name) {
@@ -154,6 +221,7 @@ CliOptions parse_args(int argc, char** argv) {
     else if (arg == "--model") opts.load_model_path = need_value(i);
     else if (arg == "--trace") opts.trace_path = need_value(i);
     else if (arg == "--metrics") opts.metrics = true;
+    else if (arg == "--scrape") opts.scrape_target = need_value(i);
     else if (arg == "--help" || arg == "-h") {
       usage();
       std::exit(EXIT_SUCCESS);
@@ -169,6 +237,7 @@ CliOptions parse_args(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     const CliOptions opts = parse_args(argc, argv);
+    if (!opts.scrape_target.empty()) return run_scrape(opts);
     if (!opts.trace_path.empty()) obs::set_trace_enabled(true);
 
     phone::PhoneProfile device = parse_phone(opts.phone);

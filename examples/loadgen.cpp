@@ -56,6 +56,7 @@
 #include "core/streaming.h"
 #include "ml/dataset.h"
 #include "ml/logistic.h"
+#include "net/client.h"
 #include "net/server.h"
 #include "net/socket.h"
 #include "serve/protocol.h"
@@ -561,6 +562,31 @@ class LoadEngine {
   double elapsed_s_ = 0.0;
 };
 
+// ---- end-of-run wire scrape ---------------------------------------------
+
+/// Pulls the server's merged metrics snapshot over the same TCP
+/// transport the load ran on (one kMetricsRequest frame), so the JSON
+/// output records what a real remote scraper would see — including the
+/// net.* transport counters this client cannot observe locally. Best
+/// effort: a failed scrape warns and the JSON omits the section.
+std::optional<obs::RegistrySnapshot> scrape_metrics(std::uint16_t port) {
+  try {
+    net::BlockingClient client{port};
+    client.set_recv_timeout(5000);
+    client.send(serve::MetricsRequestMsg{});
+    const auto reply = client.recv();
+    if (reply) {
+      if (const auto* m = std::get_if<serve::MetricsReplyMsg>(&*reply)) {
+        return m->snapshot;
+      }
+    }
+    std::cerr << "loadgen: metrics scrape got no usable reply\n";
+  } catch (const std::exception& error) {
+    std::cerr << "loadgen: metrics scrape failed: " << error.what() << "\n";
+  }
+  return std::nullopt;
+}
+
 // ---- JSON output --------------------------------------------------------
 
 std::string fmt(double v) {
@@ -569,9 +595,21 @@ std::string fmt(double v) {
   return buf;
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // names are ASCII
+    out.push_back(c);
+  }
+  return out;
+}
+
 void write_json(const std::string& path, const Options& opt,
                 const LoadEngine& engine, const serve::ServeStats& stats,
                 const net::NetServerStats& net_stats,
+                const std::optional<obs::RegistrySnapshot>& scraped,
                 std::uint64_t dropped_frames) {
   std::ofstream out{path};
   if (!out) throw std::runtime_error{"loadgen: cannot write " + path};
@@ -607,8 +645,34 @@ void write_json(const std::string& path, const Options& opt,
       << "    \"batch_count\": " << stats.batch_count << ",\n"
       << "    \"batch_p50\": " << fmt(stats.batch_p50) << ",\n"
       << "    \"batch_p99\": " << fmt(stats.batch_p99) << "\n"
-      << "  },\n"
-      << "  \"trajectory\": [\n";
+      << "  },\n";
+  if (scraped) {
+    // The snapshot a remote scraper saw mid-run, verbatim: counters and
+    // gauges flat, histograms reduced to count/p50/p99 (full bucket
+    // detail stays wire-side; the trajectory only needs the shape).
+    out << "  \"server_metrics\": {\n    \"counters\": {";
+    for (std::size_t i = 0; i < scraped->counters.size(); ++i) {
+      const auto& [name, value] = scraped->counters[i];
+      out << (i == 0 ? "" : ",") << "\n      \"" << json_escape(name)
+          << "\": " << value;
+    }
+    out << "\n    },\n    \"gauges\": {";
+    for (std::size_t i = 0; i < scraped->gauges.size(); ++i) {
+      const auto& [name, value] = scraped->gauges[i];
+      out << (i == 0 ? "" : ",") << "\n      \"" << json_escape(name)
+          << "\": " << value;
+    }
+    out << "\n    },\n    \"histograms\": {";
+    for (std::size_t i = 0; i < scraped->histograms.size(); ++i) {
+      const auto& [name, hist] = scraped->histograms[i];
+      out << (i == 0 ? "" : ",") << "\n      \"" << json_escape(name)
+          << "\": {\"count\": " << hist.count << ", \"p50\": "
+          << fmt(hist.quantile(0.5)) << ", \"p99\": "
+          << fmt(hist.quantile(0.99)) << "}";
+    }
+    out << "\n    }\n  },\n";
+  }
+  out << "  \"trajectory\": [\n";
   const auto& rows = engine.trajectory();
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const TrajectoryRow& r = rows[i];
@@ -746,6 +810,10 @@ int main(int argc, char** argv) {
   // ---- drive ----------------------------------------------------------
   LoadEngine engine{opt, server.port(), traces, references, service};
   const bool completed = engine.run();
+  // Scrape while the server is still live: the whole point is to read
+  // the metrics the way an external scraper would, over the wire.
+  const std::optional<obs::RegistrySnapshot> scraped =
+      scrape_metrics(server.port());
   server.stop();
 
   // ---- verify: zero drops, bit-identical events ----------------------
@@ -812,7 +880,7 @@ int main(int argc, char** argv) {
   }
 
   if (!opt.json_path.empty()) {
-    write_json(opt.json_path, opt, engine, stats, net_stats, dropped);
+    write_json(opt.json_path, opt, engine, stats, net_stats, scraped, dropped);
     std::cout << "wrote " << opt.json_path << "\n";
   }
 

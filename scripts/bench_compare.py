@@ -56,7 +56,8 @@ KERNEL_FILTER = (
     "BM_BatchedCnnForward|BM_Conv2DBackward|"
     "BM_TreeTrain/|BM_ForestTrain$|BM_ForestTrainBinned$|BM_PitchTrack$|"
     "BM_DatasetBuildHit$|BM_DatasetDiskHit|"
-    "BM_SpanOverhead$|BM_HistogramRecord"
+    "BM_SpanOverhead$|BM_HistogramRecord|"
+    "BM_MetricsReplyEncode$|BM_PromText$"
 )
 
 

@@ -1,0 +1,446 @@
+#!/usr/bin/env python3
+"""Pure-python wire client for the emoleak serving telemetry frames.
+
+Speaks the serve protocol directly (no C++ involved), which makes it
+both an operational scraper and an independent cross-check of the wire
+format: if the C++ encoder and this decoder disagree, the scrape fails.
+
+  frame   = u32le payload_len | payload
+  payload = u8 msg_type | fields            (len covers the type byte)
+
+Message types used here (appended in protocol v4):
+  9  kMetricsRequest   ->   10 kMetricsReply
+  11 kTraceRequest     ->   12 kTraceReply
+  7  kAck              (an old server answers 9/11 with status=kError)
+
+Usage:
+  metrics_scrape.py --port 9090                    scrape, print Prometheus text
+  metrics_scrape.py --port 9090 --trace out.json   also pull the span rings
+  metrics_scrape.py --port 9090 --check            validate the exposition
+  metrics_scrape.py --spawn ./serve_demo [--cli ./emoleak_cli] --check
+      spawn `serve_demo --listen 0`, parse the ephemeral port from its
+      stdout, scrape it over TCP, validate, optionally cross-check the
+      C++ `emoleak_cli --scrape` output, then SIGINT the server.
+      This is the `metrics_smoke` ctest entry point.
+"""
+
+import argparse
+import json
+import re
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import time
+
+MSG_ACK = 7
+MSG_METRICS_REQUEST = 9
+MSG_METRICS_REPLY = 10
+MSG_TRACE_REQUEST = 11
+MSG_TRACE_REPLY = 12
+
+MAX_PAYLOAD = 64 * 1024 * 1024
+
+# Prometheus exposition grammar (text format, no labels except `le`).
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r'(?:\{le="(?P<le>[^"]*)"\})?'
+    r" (?P<value>\S+)$"
+)
+
+
+class ScrapeError(Exception):
+    pass
+
+
+# ---- framing -------------------------------------------------------------
+
+
+def send_frame(sock, msg_type, fields=b""):
+    payload = struct.pack("<B", msg_type) + fields
+    sock.sendall(struct.pack("<I", len(payload)) + payload)
+
+
+def recv_exact(sock, n):
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ScrapeError("server closed the connection mid-frame")
+        buf += chunk
+    return buf
+
+
+def recv_frame(sock):
+    (length,) = struct.unpack("<I", recv_exact(sock, 4))
+    if length == 0 or length > MAX_PAYLOAD:
+        raise ScrapeError(f"bad frame length {length}")
+    payload = recv_exact(sock, length)
+    return payload[0], payload[1:]
+
+
+# ---- payload decode ------------------------------------------------------
+
+
+class Cursor:
+    def __init__(self, data):
+        self.data = data
+        self.pos = 0
+
+    def need(self, n):
+        if len(self.data) - self.pos < n:
+            raise ScrapeError("short payload")
+
+    def u32(self):
+        self.need(4)
+        (v,) = struct.unpack_from("<I", self.data, self.pos)
+        self.pos += 4
+        return v
+
+    def u64(self):
+        self.need(8)
+        (v,) = struct.unpack_from("<Q", self.data, self.pos)
+        self.pos += 8
+        return v
+
+    def i64(self):
+        v = self.u64()
+        return v - (1 << 64) if v >= (1 << 63) else v
+
+    def f64(self):
+        self.need(8)
+        (v,) = struct.unpack_from("<d", self.data, self.pos)
+        self.pos += 8
+        return v
+
+    def str(self):
+        n = self.u32()
+        self.need(n)
+        v = self.data[self.pos : self.pos + n].decode("utf-8", "replace")
+        self.pos += n
+        return v
+
+    def expect_done(self):
+        if self.pos != len(self.data):
+            raise ScrapeError("trailing bytes in frame")
+
+
+def decode_metrics_reply(payload):
+    """MetricsReply -> {counters: {..}, gauges: {..}, histograms: {..}}."""
+    c = Cursor(payload)
+    counters = {}
+    for _ in range(c.u32()):
+        name = c.str()
+        counters[name] = c.u64()
+    gauges = {}
+    for _ in range(c.u32()):
+        name = c.str()
+        gauges[name] = c.i64()
+    histograms = {}
+    for _ in range(c.u32()):
+        name = c.str()
+        total = c.f64()
+        buckets = []
+        count = 0
+        for _ in range(c.u32()):
+            upper = c.f64()
+            n = c.u64()
+            buckets.append((upper, n))
+            count += n
+        histograms[name] = {"sum": total, "count": count, "buckets": buckets}
+    c.expect_done()
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def decode_trace_reply(payload):
+    c = Cursor(payload)
+    trace_json = c.str()
+    dropped = c.u64()
+    c.expect_done()
+    return trace_json, dropped
+
+
+def describe_ack(payload):
+    c = Cursor(payload)
+    status = c.data[c.pos]
+    names = {0: "ok", 1: "overloaded", 2: "no-capacity", 3: "error"}
+    return names.get(status, f"status {status}")
+
+
+# ---- prometheus rendering (mirrors obs::prometheus_text) -----------------
+
+
+def prom_name(raw):
+    out = "".join(ch if re.match(r"[a-zA-Z0-9_:]", ch) else "_" for ch in raw)
+    if not out:
+        return "_"
+    if out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def prometheus_text(snapshot):
+    lines = []
+    for name, value in snapshot["counters"].items():
+        p = prom_name(name)
+        lines.append(f"# TYPE {p} counter")
+        lines.append(f"{p} {value}")
+    for name, value in snapshot["gauges"].items():
+        p = prom_name(name)
+        lines.append(f"# TYPE {p} gauge")
+        lines.append(f"{p} {value}")
+    for name, hist in snapshot["histograms"].items():
+        p = prom_name(name)
+        lines.append(f"# TYPE {p} histogram")
+        cumulative = 0
+        for upper, count in hist["buckets"]:
+            cumulative += count
+            lines.append(f'{p}_bucket{{le="{upper:.17g}"}} {cumulative}')
+        lines.append(f'{p}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f'{p}_sum {hist["sum"]:.17g}')
+        lines.append(f'{p}_count {hist["count"]}')
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def validate_exposition(text):
+    """Well-formedness check on Prometheus text; returns issue list."""
+    issues = []
+    bucket_prev = {}
+    counts = {}
+    inf_buckets = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            issues.append(f"line {lineno}: empty line inside exposition")
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "TYPE" or parts[3] not in (
+                "counter",
+                "gauge",
+                "histogram",
+            ):
+                issues.append(f"line {lineno}: malformed comment: {line}")
+            elif not NAME_RE.match(parts[2]):
+                issues.append(f"line {lineno}: bad metric name: {parts[2]}")
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            issues.append(f"line {lineno}: malformed sample: {line}")
+            continue
+        name, le, value = m.group("name"), m.group("le"), m.group("value")
+        try:
+            numeric = float(value)
+        except ValueError:
+            issues.append(f"line {lineno}: non-numeric value: {value}")
+            continue
+        if le is not None:
+            if not name.endswith("_bucket"):
+                issues.append(f"line {lineno}: le label on non-bucket {name}")
+                continue
+            base = name[: -len("_bucket")]
+            if le == "+Inf":
+                inf_buckets[base] = numeric
+            else:
+                prev = bucket_prev.get(base, -1.0)
+                if numeric < prev:
+                    issues.append(
+                        f"line {lineno}: non-cumulative bucket in {base}"
+                    )
+                bucket_prev[base] = numeric
+        elif name.endswith("_count"):
+            counts[name[: -len("_count")]] = numeric
+    for base, total in counts.items():
+        if base not in inf_buckets:
+            issues.append(f"histogram {base}: missing +Inf bucket")
+        elif inf_buckets[base] != total:
+            issues.append(
+                f"histogram {base}: +Inf {inf_buckets[base]} != count {total}"
+            )
+        if bucket_prev.get(base, 0.0) > total:
+            issues.append(f"histogram {base}: finite bucket exceeds count")
+    return issues
+
+
+def validate_trace(trace_json):
+    """The TraceReply must carry parseable Chrome trace JSON."""
+    issues = []
+    try:
+        doc = json.loads(trace_json)
+    except json.JSONDecodeError as err:
+        return [f"trace JSON does not parse: {err}"]
+    if "traceEvents" not in doc:
+        issues.append("trace JSON missing traceEvents")
+    meta = doc.get("emoleakMeta")
+    if not isinstance(meta, dict) or "droppedSpans" not in meta:
+        issues.append("trace JSON missing emoleakMeta.droppedSpans")
+    return issues
+
+
+# ---- scrape --------------------------------------------------------------
+
+
+def scrape(host, port, want_trace, timeout_s=10.0):
+    with socket.create_connection((host, port), timeout=timeout_s) as sock:
+        send_frame(sock, MSG_METRICS_REQUEST)
+        msg_type, payload = recv_frame(sock)
+        if msg_type == MSG_ACK:
+            raise ScrapeError(
+                f"server acked metrics request with {describe_ack(payload)} "
+                "(pre-telemetry server?)"
+            )
+        if msg_type != MSG_METRICS_REPLY:
+            raise ScrapeError(f"unexpected reply type {msg_type}")
+        snapshot = decode_metrics_reply(payload)
+
+        trace = None
+        if want_trace:
+            send_frame(sock, MSG_TRACE_REQUEST)
+            msg_type, payload = recv_frame(sock)
+            if msg_type != MSG_TRACE_REPLY:
+                raise ScrapeError(f"unexpected trace reply type {msg_type}")
+            trace = decode_trace_reply(payload)
+        return snapshot, trace
+
+
+# ---- spawn mode (the metrics_smoke ctest body) ---------------------------
+
+
+def spawn_and_scrape(opts):
+    proc = subprocess.Popen(
+        [opts.spawn, "--listen", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    port = None
+    try:
+        deadline = time.monotonic() + opts.spawn_timeout
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                raise ScrapeError("server exited before listening")
+            m = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+            if m:
+                port = int(m.group(1))
+                break
+        if port is None:
+            raise ScrapeError("timed out waiting for the listening line")
+
+        snapshot, trace = scrape("127.0.0.1", port, want_trace=True)
+        text = prometheus_text(snapshot)
+        issues = validate_exposition(text) if opts.check else []
+        if not snapshot["counters"] and not snapshot["histograms"]:
+            issues.append("scrape returned an empty registry")
+        for raw in ("serve.requests", "net.connections_accepted"):
+            if raw not in snapshot["counters"]:
+                issues.append(f"scrape missing expected counter {raw}")
+        if trace is not None:
+            issues.extend(validate_trace(trace[0]))
+
+        if opts.cli:
+            cli = subprocess.run(
+                [opts.cli, "--scrape", f"127.0.0.1:{port}"],
+                capture_output=True,
+                text=True,
+                timeout=opts.spawn_timeout,
+            )
+            if cli.returncode != 0:
+                issues.append(
+                    f"emoleak_cli --scrape exited {cli.returncode}: "
+                    f"{cli.stderr.strip()}"
+                )
+            else:
+                issues.extend(
+                    f"cli exposition: {i}"
+                    for i in validate_exposition(cli.stdout)
+                )
+
+        if issues:
+            for issue in issues:
+                print(f"FAIL: {issue}", file=sys.stderr)
+            return 1
+        print(
+            f"scraped {len(snapshot['counters'])} counters, "
+            f"{len(snapshot['gauges'])} gauges, "
+            f"{len(snapshot['histograms'])} histograms from a live server"
+        )
+        return 0
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, help="scrape a running server")
+    parser.add_argument(
+        "--trace", metavar="PATH", help="also pull the trace rings to PATH"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the exposition instead of trusting it",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the raw snapshot as JSON"
+    )
+    parser.add_argument(
+        "--spawn", metavar="SERVE_DEMO", help="spawn this server binary first"
+    )
+    parser.add_argument(
+        "--cli", metavar="EMOLEAK_CLI", help="cross-check the C++ scraper too"
+    )
+    parser.add_argument("--spawn-timeout", type=float, default=120.0)
+    opts = parser.parse_args()
+
+    try:
+        if opts.spawn:
+            return spawn_and_scrape(opts)
+        if opts.port is None:
+            parser.error("need --port or --spawn")
+        snapshot, trace = scrape(opts.host, opts.port, opts.trace is not None)
+        if opts.trace:
+            trace_json, dropped = trace
+            with open(opts.trace, "w") as f:
+                f.write(trace_json)
+            print(
+                f"wrote server trace to {opts.trace} "
+                f"({dropped} spans dropped by ring wrap)",
+                file=sys.stderr,
+            )
+            issues = validate_trace(trace_json)
+            if issues:
+                for issue in issues:
+                    print(f"FAIL: {issue}", file=sys.stderr)
+                return 1
+        text = prometheus_text(snapshot)
+        if opts.check:
+            issues = validate_exposition(text)
+            if issues:
+                for issue in issues:
+                    print(f"FAIL: {issue}", file=sys.stderr)
+                return 1
+        if opts.json:
+            printable = dict(snapshot)
+            printable["histograms"] = {
+                k: {"count": v["count"], "sum": v["sum"]}
+                for k, v in snapshot["histograms"].items()
+            }
+            print(json.dumps(printable, indent=2))
+        else:
+            sys.stdout.write(text)
+        return 0
+    except (ScrapeError, OSError) as err:
+        print(f"metrics_scrape: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,15 +2,21 @@
 """Summarize a Chrome trace_event JSON file written by --trace.
 
 Reads the trace produced by `emoleak_cli --trace out.json` (or
-live_monitor / serve_demo) and prints a per-stage wall-time breakdown —
-span count, total/mean/max duration, share of traced time — plus the
-top-N widest individual spans. Durations are wall time per span, so
-nested and concurrent spans overlap by design; the table answers "where
-did the time go per stage", not "what was the critical path".
+live_monitor / serve_demo / a remote kTraceRequest scrape) and prints a
+per-stage wall-time breakdown — span count, total/mean/max duration,
+share of traced time — plus the top-N widest individual spans and, when
+the trace carries them, a flow-event section (the serving layer links
+each admitted window's hops across threads with s/t/f flow phases) and
+the exporter's ring metadata (dropped spans, per-thread occupancy).
+Durations are wall time per span, so nested and concurrent spans
+overlap by design; the table answers "where did the time go per
+stage", not "what was the critical path".
 
 Usage:
   scripts/trace_summary.py out.json
   scripts/trace_summary.py out.json --top 10
+  scripts/trace_summary.py out.json --strict   # exit 1 on malformed or
+                                               # empty traces (smoke tests)
 """
 
 import argparse
@@ -20,13 +26,9 @@ from collections import defaultdict
 from pathlib import Path
 
 
-def load_events(path):
+def load_doc(path):
     with open(path, "r", encoding="utf-8") as f:
-        doc = json.load(f)
-    events = doc.get("traceEvents", doc if isinstance(doc, list) else [])
-    # Only complete events ("X") carry durations; the exporter emits
-    # nothing else, but stay tolerant of hand-edited files.
-    return [e for e in events if e.get("ph") == "X" and "dur" in e]
+        return json.load(f)
 
 
 def fmt_us(us):
@@ -37,14 +39,65 @@ def fmt_us(us):
     return f"{us:.1f} us"
 
 
+def summarize_flows(events):
+    """Flow ('s'/'t'/'f') events: counts per phase and linkage health."""
+    phases = defaultdict(int)
+    flows = defaultdict(set)  # id -> set of phases seen
+    threads = defaultdict(set)  # id -> tids touched
+    for e in events:
+        ph = e.get("ph")
+        if ph not in ("s", "t", "f"):
+            continue
+        phases[ph] += 1
+        fid = e.get("id")
+        if fid is not None:
+            flows[fid].add(ph)
+            threads[fid].add(e.get("tid"))
+    if not phases:
+        return None
+    complete = sum(1 for p in flows.values() if "s" in p and "f" in p)
+    cross_thread = sum(1 for t in threads.values() if len(t) > 1)
+    return {
+        "begins": phases.get("s", 0),
+        "steps": phases.get("t", 0),
+        "ends": phases.get("f", 0),
+        "distinct": len(flows),
+        "complete": complete,
+        "cross_thread": cross_thread,
+    }
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("trace", type=Path, help="trace_event JSON file")
     parser.add_argument("--top", type=int, default=5,
                         help="widest individual spans to list (default 5)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on malformed or empty traces "
+                             "(what trace_smoke.cmake runs)")
     args = parser.parse_args()
 
-    events = load_events(args.trace)
+    try:
+        doc = load_doc(args.trace)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"{args.trace}: unreadable trace: {err}", file=sys.stderr)
+        return 1
+
+    if isinstance(doc, list):
+        all_events, meta = doc, None
+    elif isinstance(doc, dict):
+        if args.strict and "traceEvents" not in doc:
+            print(f"{args.trace}: missing traceEvents", file=sys.stderr)
+            return 1
+        all_events = doc.get("traceEvents", [])
+        meta = doc.get("emoleakMeta")
+    else:
+        print(f"{args.trace}: not a trace document", file=sys.stderr)
+        return 1
+
+    # Only complete events ("X") carry durations; flow events ride
+    # alongside and are summarized separately.
+    events = [e for e in all_events if e.get("ph") == "X" and "dur" in e]
     if not events:
         print(f"{args.trace}: no complete ('X') events found", file=sys.stderr)
         return 1
@@ -66,6 +119,24 @@ def main():
         print(f"{name:<24} {len(durs):>7} {fmt_us(stage_total):>12} "
               f"{fmt_us(stage_total / len(durs)):>12} {fmt_us(max(durs)):>12} "
               f"{share:>6.1f}%")
+
+    flows = summarize_flows(all_events)
+    if flows:
+        print(f"\nFlows: {flows['distinct']} distinct "
+              f"({flows['begins']} begin / {flows['steps']} step / "
+              f"{flows['ends']} end), {flows['complete']} begin-to-end, "
+              f"{flows['cross_thread']} crossing threads")
+
+    if meta:
+        dropped = meta.get("droppedSpans", 0)
+        capacity = meta.get("ringCapacity", 0)
+        print(f"\nSpan rings: {dropped} spans dropped by ring wrap"
+              + (f" (capacity {capacity}/thread)" if capacity else ""))
+        for ring in meta.get("rings", []):
+            recorded = ring.get("recorded", 0)
+            occupancy = (100.0 * recorded / capacity) if capacity else 0.0
+            print(f"  tid {ring.get('tid', '?'):>8}: {recorded:>6} recorded "
+                  f"({occupancy:5.1f}% full), {ring.get('dropped', 0)} dropped")
 
     widest = sorted(events, key=lambda e: -float(e["dur"]))[: args.top]
     print(f"\nTop {len(widest)} widest spans:")

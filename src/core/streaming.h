@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -29,6 +30,12 @@ struct EmotionEvent {
   std::size_t end_sample = 0;
   int predicted_class = -1;
   std::vector<double> probabilities;  ///< classifier distribution
+  /// Telemetry riders, stamped by the serving layer on the request that
+  /// closed the region (0 = unstamped, e.g. standalone pipeline use).
+  /// Never encoded on the wire and never compared by parity checks —
+  /// the event's identity is the four fields above.
+  std::uint64_t flow = 0;        ///< causal-trace flow id
+  std::uint64_t arrival_ns = 0;  ///< closing chunk's arrival stamp
 };
 
 /// What a classifier consumes per detected region. Different attack

@@ -40,8 +40,28 @@ void NetServerConfig::validate() const {
   }
 }
 
+NetServer::Counters::Counters(obs::Registry& registry)
+    : connections_accepted{registry.counter("net.connections_accepted")},
+      connections_active{registry.gauge("net.connections_active")},
+      connections_rejected{registry.counter("net.connections_rejected")},
+      connections_closed_corrupt{
+          registry.counter("net.connections_closed_corrupt")},
+      disconnects{registry.counter("net.disconnects")},
+      frames_in{registry.counter("net.frames_in")},
+      partial_reads{registry.counter("net.partial_reads")},
+      overload_acks{registry.counter("net.overload_acks")},
+      events_routed{registry.counter("net.events_routed")},
+      events_orphaned{registry.counter("net.events_orphaned")},
+      bytes_in{registry.counter("net.bytes_in")},
+      bytes_out{registry.counter("net.bytes_out")},
+      drain_ticks{registry.counter("net.drain_ticks")},
+      reads_paused{registry.counter("net.reads_paused")},
+      reads_resumed{registry.counter("net.reads_resumed")} {}
+
 NetServer::NetServer(NetServerConfig config, serve::ServeService& service)
-    : config_{std::move(config)}, service_{service} {
+    : config_{std::move(config)},
+      service_{service},
+      stats_{service.metrics_registry()} {
   config_.validate();
   listener_ = make_listener(config_.port, config_.backlog);
   port_ = listener_.port;
@@ -106,23 +126,23 @@ void NetServer::stop() {
 
 NetServerStats NetServer::stats() const {
   NetServerStats s;
-  const auto get = [](const std::atomic<std::uint64_t>& a) {
-    return a.load(std::memory_order_relaxed);
-  };
-  s.connections_accepted = get(stats_.connections_accepted);
-  s.connections_active = get(stats_.connections_active);
-  s.connections_rejected = get(stats_.connections_rejected);
-  s.connections_closed_corrupt = get(stats_.connections_closed_corrupt);
-  s.disconnects = get(stats_.disconnects);
-  s.frames_in = get(stats_.frames_in);
-  s.partial_reads = get(stats_.partial_reads);
-  s.overload_acks = get(stats_.overload_acks);
-  s.events_routed = get(stats_.events_routed);
-  s.events_orphaned = get(stats_.events_orphaned);
-  s.bytes_in = get(stats_.bytes_in);
-  s.bytes_out = get(stats_.bytes_out);
-  s.drain_ticks = get(stats_.drain_ticks);
-  s.reads_paused = get(stats_.reads_paused);
+  s.connections_accepted = stats_.connections_accepted.value();
+  // Single writer keeps the gauge non-negative; the cast is safe.
+  s.connections_active =
+      static_cast<std::uint64_t>(stats_.connections_active.value());
+  s.connections_rejected = stats_.connections_rejected.value();
+  s.connections_closed_corrupt = stats_.connections_closed_corrupt.value();
+  s.disconnects = stats_.disconnects.value();
+  s.frames_in = stats_.frames_in.value();
+  s.partial_reads = stats_.partial_reads.value();
+  s.overload_acks = stats_.overload_acks.value();
+  s.events_routed = stats_.events_routed.value();
+  s.events_orphaned = stats_.events_orphaned.value();
+  s.bytes_in = stats_.bytes_in.value();
+  s.bytes_out = stats_.bytes_out.value();
+  s.drain_ticks = stats_.drain_ticks.value();
+  s.reads_paused = stats_.reads_paused.value();
+  s.reads_resumed = stats_.reads_resumed.value();
   return s;
 }
 
@@ -183,9 +203,9 @@ void NetServer::accept_ready() {
     if (connections_.size() >= config_.max_connections) {
       // Admission control at the transport layer, same shape as the
       // shard queues: one overloaded ack (best-effort), then close.
-      const std::string ack = reject_ack(service_.config().retry_after_ms);
+      const std::string ack = reject_ack(service_.retry_after_ms());
       (void)::send(peer.get(), ack.data(), ack.size(), MSG_NOSIGNAL);
-      stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      stats_.connections_rejected.add(1);
       continue;  // Fd destructor closes
     }
     set_nodelay(peer.get());
@@ -201,8 +221,8 @@ void NetServer::accept_ready() {
     }
     conn->armed = EPOLLIN;
     connections_.emplace(fd, std::move(conn));
-    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
-    stats_.connections_active.fetch_add(1, std::memory_order_relaxed);
+    stats_.connections_accepted.add(1);
+    stats_.connections_active.add(1);
   }
 }
 
@@ -217,8 +237,7 @@ void NetServer::connection_readable(Connection& conn) {
         ::read(conn.fd.get(), conn.inbuf.data() + old_size, config_.read_chunk);
     if (got > 0) {
       conn.inbuf.resize(old_size + static_cast<std::size_t>(got));
-      stats_.bytes_in.fetch_add(static_cast<std::uint64_t>(got),
-                                std::memory_order_relaxed);
+      stats_.bytes_in.add(static_cast<std::uint64_t>(got));
       if (static_cast<std::size_t>(got) < config_.read_chunk) break;
       continue;
     }
@@ -239,9 +258,8 @@ void NetServer::dispatch(Connection& conn) {
   if (conn.inbuf.empty()) return;
   OBS_SPAN("net.dispatch");
   serve::HandleResult result = service_.handle_frames(conn.inbuf);
-  stats_.frames_in.fetch_add(result.frames, std::memory_order_relaxed);
-  stats_.overload_acks.fetch_add(result.overloaded,
-                                 std::memory_order_relaxed);
+  stats_.frames_in.add(result.frames);
+  stats_.overload_acks.add(result.overloaded);
 
   // Connection -> stream affinity: events for a stream route back to
   // the last connection that wrote it.
@@ -262,7 +280,7 @@ void NetServer::dispatch(Connection& conn) {
     conn.closing = true;
     conn.inbuf.clear();
   } else if (!conn.inbuf.empty()) {
-    stats_.partial_reads.fetch_add(1, std::memory_order_relaxed);
+    stats_.partial_reads.add(1);
   }
   flush(conn);
 }
@@ -276,8 +294,7 @@ void NetServer::flush(Connection& conn) {
                conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
     if (sent > 0) {
       conn.out_off += static_cast<std::size_t>(sent);
-      stats_.bytes_out.fetch_add(static_cast<std::uint64_t>(sent),
-                                 std::memory_order_relaxed);
+      stats_.bytes_out.add(static_cast<std::uint64_t>(sent));
       continue;
     }
     if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -302,9 +319,10 @@ void NetServer::update_interest(Connection& conn) {
   // reads replies gets paused, not buffered without bound.
   if (!conn.paused && backlog > config_.max_write_buffer) {
     conn.paused = true;
-    stats_.reads_paused.fetch_add(1, std::memory_order_relaxed);
+    stats_.reads_paused.add(1);
   } else if (conn.paused && backlog < config_.max_write_buffer / 2) {
     conn.paused = false;
+    stats_.reads_resumed.add(1);
   }
   const std::uint32_t want = ((!conn.closing && !conn.paused) ? EPOLLIN : 0u) |
                              (backlog > 0 ? EPOLLOUT : 0u);
@@ -318,7 +336,7 @@ void NetServer::update_interest(Connection& conn) {
 
 void NetServer::drain_and_route() {
   OBS_SPAN("net.tick");
-  stats_.drain_ticks.fetch_add(1, std::memory_order_relaxed);
+  stats_.drain_ticks.add(1);
   // Finishes deferred by overload (disconnect storms) retry every tick
   // until the shard queue admits them — bounded by drain progress, not
   // by extra queueing. A stream adopted by a new connection in the
@@ -343,12 +361,12 @@ void NetServer::route_events() {
     if (it == stream_owner_.end()) {
       // Owner disconnected between push and drain: the session was
       // flushed, but nobody is left to tell.
-      stats_.events_orphaned.fetch_add(1, std::memory_order_relaxed);
+      stats_.events_orphaned.add(1);
       continue;
     }
     Connection& conn = *it->second;
     serve::encode(conn.outbuf, event);
-    stats_.events_routed.fetch_add(1, std::memory_order_relaxed);
+    stats_.events_routed.add(1);
   }
   // Flush whoever got events (and anyone EPOLLOUT hasn't caught yet).
   for (auto it = connections_.begin(); it != connections_.end();) {
@@ -360,9 +378,9 @@ void NetServer::route_events() {
 
 void NetServer::close_connection(Connection& conn, bool peer_gone) {
   if (peer_gone) {
-    stats_.disconnects.fetch_add(1, std::memory_order_relaxed);
+    stats_.disconnects.add(1);
   } else if (conn.closing) {
-    stats_.connections_closed_corrupt.fetch_add(1, std::memory_order_relaxed);
+    stats_.connections_closed_corrupt.add(1);
   }
   // A mid-stream disconnect must not leak sessions until idle timeout:
   // finish every stream this peer owned so its open region flushes and
@@ -375,7 +393,7 @@ void NetServer::close_connection(Connection& conn, bool peer_gone) {
       pending_finishes_.push_back(id);
     }
   }
-  stats_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+  stats_.connections_active.add(-1);
   connections_.erase(conn.fd.get());  // destroys conn; closing the fd
                                       // also deregisters it from epoll
 }

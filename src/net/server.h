@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "net/socket.h"
+#include "obs/metrics.h"
 #include "serve/service.h"
 
 namespace emoleak::net {
@@ -63,6 +64,8 @@ struct NetServerConfig {
 };
 
 /// Transport-level counters (the service keeps its own ServeStats).
+/// Backed by net.* metrics in the service's registry, so a remote
+/// kMetricsRequest scrape sees the transport alongside serve.*.
 struct NetServerStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_active = 0;
@@ -78,6 +81,7 @@ struct NetServerStats {
   std::uint64_t bytes_out = 0;
   std::uint64_t drain_ticks = 0;
   std::uint64_t reads_paused = 0;       ///< write-buffer backpressure hits
+  std::uint64_t reads_resumed = 0;      ///< pauses lifted (backlog drained)
 };
 
 class NetServer {
@@ -150,22 +154,27 @@ class NetServer {
   std::unordered_map<std::uint64_t, Connection*> stream_owner_;
   std::vector<std::uint64_t> pending_finishes_;  ///< retried each tick
 
-  // Stats are written by the loop thread, read from anywhere.
-  struct AtomicStats {
-    std::atomic<std::uint64_t> connections_accepted{0};
-    std::atomic<std::uint64_t> connections_active{0};
-    std::atomic<std::uint64_t> connections_rejected{0};
-    std::atomic<std::uint64_t> connections_closed_corrupt{0};
-    std::atomic<std::uint64_t> disconnects{0};
-    std::atomic<std::uint64_t> frames_in{0};
-    std::atomic<std::uint64_t> partial_reads{0};
-    std::atomic<std::uint64_t> overload_acks{0};
-    std::atomic<std::uint64_t> events_routed{0};
-    std::atomic<std::uint64_t> events_orphaned{0};
-    std::atomic<std::uint64_t> bytes_in{0};
-    std::atomic<std::uint64_t> bytes_out{0};
-    std::atomic<std::uint64_t> drain_ticks{0};
-    std::atomic<std::uint64_t> reads_paused{0};
+  // Stats are written by the loop thread, read from anywhere — backed
+  // by net.* counters in the service's metrics registry so one scrape
+  // covers transport and service. The references resolve once at
+  // construction; recording stays a relaxed fetch_add.
+  struct Counters {
+    obs::Counter& connections_accepted;
+    obs::Gauge& connections_active;
+    obs::Counter& connections_rejected;
+    obs::Counter& connections_closed_corrupt;
+    obs::Counter& disconnects;
+    obs::Counter& frames_in;
+    obs::Counter& partial_reads;
+    obs::Counter& overload_acks;
+    obs::Counter& events_routed;
+    obs::Counter& events_orphaned;
+    obs::Counter& bytes_in;
+    obs::Counter& bytes_out;
+    obs::Counter& drain_ticks;
+    obs::Counter& reads_paused;
+    obs::Counter& reads_resumed;
+    explicit Counters(obs::Registry& registry);
   } stats_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 namespace emoleak::obs {
@@ -99,6 +100,167 @@ RegistrySnapshot Registry::snapshot() const {
     s.histograms.emplace_back(name, h->snapshot());
   }
   return s;
+}
+
+HistogramSnapshot histogram_delta(const HistogramSnapshot& earlier,
+                                  const HistogramSnapshot& later) {
+  HistogramSnapshot d;
+  // Buckets are ascending by bound in both inputs; march them together.
+  std::size_t e = 0;
+  for (const HistogramSnapshot::Bucket& b : later.buckets) {
+    while (e < earlier.buckets.size() && earlier.buckets[e].upper < b.upper) {
+      ++e;  // bucket emptied?  impossible for the lock-free Histogram —
+            // counts are monotonic — so this only skips buckets `later`
+            // no longer reports; clamping below keeps the delta sane.
+    }
+    std::uint64_t prior = 0;
+    if (e < earlier.buckets.size() && earlier.buckets[e].upper == b.upper) {
+      prior = earlier.buckets[e].count;
+    }
+    if (b.count <= prior) continue;
+    const std::uint64_t c = b.count - prior;
+    d.buckets.push_back({b.upper, c});
+    d.count += c;
+  }
+  d.sum = d.count > 0 && later.sum > earlier.sum ? later.sum - earlier.sum : 0.0;
+  return d;
+}
+
+namespace {
+
+/// Merge two name-sorted (name, value) vectors; `a` wins collisions.
+template <typename V>
+std::vector<std::pair<std::string, V>> merge_by_name(
+    const std::vector<std::pair<std::string, V>>& a,
+    const std::vector<std::pair<std::string, V>>& b) {
+  std::vector<std::pair<std::string, V>> out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j >= b.size() || (i < a.size() && a[i].first <= b[j].first)) {
+      if (j < b.size() && a[i].first == b[j].first) ++j;  // a wins
+      out.push_back(a[i++]);
+    } else {
+      out.push_back(b[j++]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RegistrySnapshot registry_delta(const RegistrySnapshot& earlier,
+                                const RegistrySnapshot& later) {
+  RegistrySnapshot d;
+  d.counters.reserve(later.counters.size());
+  std::size_t e = 0;
+  for (const auto& [name, value] : later.counters) {
+    while (e < earlier.counters.size() && earlier.counters[e].first < name) ++e;
+    std::uint64_t prior = 0;
+    if (e < earlier.counters.size() && earlier.counters[e].first == name) {
+      prior = earlier.counters[e].second;
+    }
+    d.counters.emplace_back(name, value > prior ? value - prior : 0);
+  }
+  d.gauges = later.gauges;
+  d.histograms.reserve(later.histograms.size());
+  std::size_t h = 0;
+  static const HistogramSnapshot kEmpty;
+  for (const auto& [name, snap] : later.histograms) {
+    while (h < earlier.histograms.size() && earlier.histograms[h].first < name) {
+      ++h;
+    }
+    const HistogramSnapshot& prior =
+        h < earlier.histograms.size() && earlier.histograms[h].first == name
+            ? earlier.histograms[h].second
+            : kEmpty;
+    d.histograms.emplace_back(name, histogram_delta(prior, snap));
+  }
+  return d;
+}
+
+RegistrySnapshot merge_snapshots(const RegistrySnapshot& primary,
+                                 const RegistrySnapshot& secondary) {
+  RegistrySnapshot out;
+  out.counters = merge_by_name(primary.counters, secondary.counters);
+  out.gauges = merge_by_name(primary.gauges, secondary.gauges);
+  out.histograms = merge_by_name(primary.histograms, secondary.histograms);
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; everything
+/// else (the registry's dots, parens in task names) becomes '_'.
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (digit && i == 0) out.push_back('_');
+    out.push_back(alpha || digit ? c : '_');
+  }
+  if (out.empty()) out.push_back('_');
+  return out;
+}
+
+void append_double(std::string& out, double v) {
+  char num[64];
+  std::snprintf(num, sizeof num, "%.17g", v);
+  out += num;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char num[32];
+  std::snprintf(num, sizeof num, "%llu", static_cast<unsigned long long>(v));
+  out += num;
+}
+
+}  // namespace
+
+std::string prometheus_text(const RegistrySnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string n = prometheus_name(name);
+    out += "# TYPE " + n + " counter\n" + n + ' ';
+    append_u64(out, value);
+    out.push_back('\n');
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string n = prometheus_name(name);
+    out += "# TYPE " + n + " gauge\n" + n + ' ';
+    char num[32];
+    std::snprintf(num, sizeof num, "%lld", static_cast<long long>(value));
+    out += num;
+    out.push_back('\n');
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string n = prometheus_name(name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const HistogramSnapshot::Bucket& b : h.buckets) {
+      cumulative += b.count;
+      out += n + "_bucket{le=\"";
+      append_double(out, b.upper);
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out.push_back('\n');
+    }
+    out += n + "_bucket{le=\"+Inf\"} ";
+    append_u64(out, h.count);
+    out.push_back('\n');
+    out += n + "_sum ";
+    append_double(out, h.sum);
+    out.push_back('\n');
+    out += n + "_count ";
+    append_u64(out, h.count);
+    out.push_back('\n');
+  }
+  return out;
 }
 
 std::string Registry::render_text() const {

@@ -130,6 +130,34 @@ struct RegistrySnapshot {
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
 };
 
+/// Windowed view between two snapshots of the same histogram: bucket
+/// counts recorded after `earlier` was taken. Counts are clamped at
+/// zero bucketwise, so a well-ordered pair (earlier actually taken
+/// first) yields exactly the in-window recordings and quantile() gives
+/// the windowed percentile rather than the full-history one.
+[[nodiscard]] HistogramSnapshot histogram_delta(const HistogramSnapshot& earlier,
+                                                const HistogramSnapshot& later);
+
+/// Windowed view between two snapshots of the same registry: counters
+/// become in-window increments (clamped at zero; names only in `later`
+/// keep their full value), gauges keep the `later` level (a gauge is a
+/// point-in-time reading, not a rate), histograms become
+/// histogram_delta(). Divide a counter delta by the window's seconds
+/// for a rate.
+[[nodiscard]] RegistrySnapshot registry_delta(const RegistrySnapshot& earlier,
+                                              const RegistrySnapshot& later);
+
+/// Two snapshots merged by name, `primary` winning collisions. Both
+/// inputs must be sorted by name (Registry::snapshot() order); the
+/// result is too. Used to serve one scrape over several registries.
+[[nodiscard]] RegistrySnapshot merge_snapshots(const RegistrySnapshot& primary,
+                                               const RegistrySnapshot& secondary);
+
+/// Prometheus text exposition (version 0.0.4) of a snapshot: # TYPE
+/// comments, names sanitized to [a-zA-Z0-9_:], histograms as cumulative
+/// `_bucket{le="..."}` series plus `_sum`/`_count`.
+[[nodiscard]] std::string prometheus_text(const RegistrySnapshot& snapshot);
+
 /// Named metric store. counter()/gauge()/histogram() get-or-create and
 /// return references that stay valid for the registry's lifetime, so
 /// the lookup mutex is paid once per call site, not per record. The

@@ -34,7 +34,23 @@
   ::emoleak::obs::Span EMOLEAK_OBS_CONCAT(obs_span_, __LINE__) {  \
     name, key, static_cast<std::uint64_t>(value)                \
   }
+/// Causal flow phases: begin where a request enters, step at each
+/// cross-thread hand-off, end where its result leaves. Emit inside a
+/// live OBS_SPAN scope so viewers can bind the flow to a slice. The
+/// same `name` literal must be used at every phase of one flow family.
+#define OBS_FLOW_BEGIN(name, id)                     \
+  ::emoleak::obs::record_flow(name, ::emoleak::obs::FlowPhase::kBegin, \
+                              static_cast<std::uint64_t>(id))
+#define OBS_FLOW_STEP(name, id)                     \
+  ::emoleak::obs::record_flow(name, ::emoleak::obs::FlowPhase::kStep, \
+                              static_cast<std::uint64_t>(id))
+#define OBS_FLOW_END(name, id)                     \
+  ::emoleak::obs::record_flow(name, ::emoleak::obs::FlowPhase::kEnd, \
+                              static_cast<std::uint64_t>(id))
 #else
 #define OBS_SPAN(name) ((void)0)
 #define OBS_SPAN_ARG(name, key, value) ((void)0)
+#define OBS_FLOW_BEGIN(name, id) ((void)0)
+#define OBS_FLOW_STEP(name, id) ((void)0)
+#define OBS_FLOW_END(name, id) ((void)0)
 #endif

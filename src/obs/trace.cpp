@@ -95,12 +95,29 @@ std::uint64_t trace_dropped() {
   return dropped;
 }
 
+std::vector<TraceRingInfo> trace_ring_info() {
+  RingRegistry& reg = RingRegistry::instance();
+  std::lock_guard<std::mutex> lock{reg.mutex};
+  std::vector<TraceRingInfo> info;
+  info.reserve(reg.rings.size());
+  for (const auto& ring : reg.rings) {
+    const std::uint64_t head = ring->head();
+    TraceRingInfo entry;
+    entry.tid = ring->tid();
+    entry.recorded = std::min<std::uint64_t>(head, detail::TraceRing::kCapacity);
+    entry.dropped =
+        head > detail::TraceRing::kCapacity ? head - detail::TraceRing::kCapacity : 0;
+    info.push_back(entry);
+  }
+  return info;
+}
+
 std::string trace_json() {
   RingRegistry& reg = RingRegistry::instance();
   std::lock_guard<std::mutex> lock{reg.mutex};
   std::string out = "{\"traceEvents\":[";
   bool first = true;
-  char num[64];
+  char num[128];
   for (const auto& ring : reg.rings) {
     const std::uint64_t head = ring->head();
     const std::uint64_t n = std::min<std::uint64_t>(
@@ -111,9 +128,23 @@ std::string trace_json() {
       if (name == nullptr) continue;  // slot racing its first write
       if (!first) out.push_back(',');
       first = false;
+      const std::uint8_t phase = s.phase.load(std::memory_order_relaxed);
       out += "{\"name\":\"";
       append_json_escaped(out, name);
-      out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+      if (phase == static_cast<std::uint8_t>(FlowPhase::kNone)) {
+        out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+      } else {
+        // Flow event: "s"/"t"/"f" with an id, bound to the enclosing
+        // "X" slice on this thread. Matched by name + id across rings.
+        const char ph = phase == static_cast<std::uint8_t>(FlowPhase::kBegin)
+                            ? 's'
+                            : phase == static_cast<std::uint8_t>(FlowPhase::kStep)
+                                  ? 't'
+                                  : 'f';
+        out += "\",\"cat\":\"flow\",\"ph\":\"";
+        out.push_back(ph);
+        out += "\",\"pid\":1,\"tid\":";
+      }
       std::snprintf(num, sizeof num, "%u", ring->tid());
       out += num;
       out += ",\"ts\":";
@@ -122,6 +153,18 @@ std::string trace_json() {
                         s.start_ns.load(std::memory_order_relaxed)) /
                         1000.0);
       out += num;
+      if (phase != static_cast<std::uint8_t>(FlowPhase::kNone)) {
+        out += ",\"id\":";
+        std::snprintf(num, sizeof num, "%llu",
+                      static_cast<unsigned long long>(
+                          s.arg.load(std::memory_order_relaxed)));
+        out += num;
+        if (phase == static_cast<std::uint8_t>(FlowPhase::kEnd)) {
+          out += ",\"bp\":\"e\"";
+        }
+        out += "}";
+        continue;
+      }
       out += ",\"dur\":";
       std::snprintf(num, sizeof num, "%.3f",
                     static_cast<double>(
@@ -141,7 +184,41 @@ std::string trace_json() {
       out += "}";
     }
   }
-  out += "]}";
+  // Exporter metadata (ignored by trace viewers): wrap losses and ring
+  // occupancy, so scrapers can tell a quiet server from a wrapped ring.
+  out += "],\"emoleakMeta\":{\"droppedSpans\":";
+  std::uint64_t total_dropped = 0;
+  for (const auto& ring : reg.rings) {
+    const std::uint64_t head = ring->head();
+    if (head > detail::TraceRing::kCapacity) {
+      total_dropped += head - detail::TraceRing::kCapacity;
+    }
+  }
+  std::snprintf(num, sizeof num, "%llu",
+                static_cast<unsigned long long>(total_dropped));
+  out += num;
+  out += ",\"ringCapacity\":";
+  std::snprintf(num, sizeof num, "%llu",
+                static_cast<unsigned long long>(detail::TraceRing::kCapacity));
+  out += num;
+  out += ",\"rings\":[";
+  bool first_ring = true;
+  for (const auto& ring : reg.rings) {
+    const std::uint64_t head = ring->head();
+    if (!first_ring) out.push_back(',');
+    first_ring = false;
+    std::snprintf(
+        num, sizeof num, "{\"tid\":%u,\"recorded\":%llu,\"dropped\":%llu}",
+        ring->tid(),
+        static_cast<unsigned long long>(
+            std::min<std::uint64_t>(head, detail::TraceRing::kCapacity)),
+        static_cast<unsigned long long>(
+            head > detail::TraceRing::kCapacity
+                ? head - detail::TraceRing::kCapacity
+                : 0));
+    out += num;
+  }
+  out += "]}}";
   return out;
 }
 

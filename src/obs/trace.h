@@ -53,19 +53,44 @@ bool write_trace_file(const std::string& path);
 /// Spans lost to ring wrap-around since the last clear_trace().
 [[nodiscard]] std::uint64_t trace_dropped();
 
+/// Occupancy of one per-thread ring at export time.
+struct TraceRingInfo {
+  std::uint32_t tid = 0;
+  std::uint64_t recorded = 0;  ///< slots currently held (≤ capacity)
+  std::uint64_t dropped = 0;   ///< spans lost to wrap on this ring
+};
+
+/// Per-thread ring occupancy, one entry per registered thread.
+[[nodiscard]] std::vector<TraceRingInfo> trace_ring_info();
+
 /// Nanoseconds since the process trace epoch (first call).
 [[nodiscard]] std::uint64_t trace_now_ns() noexcept;
+
+/// Phase of a causal flow event (Chrome trace_event "s"/"t"/"f").
+/// Flow events link spans that handle the same logical request across
+/// threads: begin where the request enters, step at each hand-off,
+/// end where its result leaves. Viewers bind each flow event to the
+/// duration slice enclosing it on the recording thread, so emit them
+/// from inside a live OBS_SPAN scope.
+enum class FlowPhase : std::uint8_t {
+  kNone = 0,   ///< ordinary duration span ("X")
+  kBegin = 1,  ///< flow start ("s")
+  kStep = 2,   ///< flow step ("t")
+  kEnd = 3,    ///< flow finish ("f", binding point "e")
+};
 
 namespace detail {
 
 /// One recorded span. Fields are independent relaxed atomics so an
 /// export racing a ring wrap is data-race-free (see file comment).
+/// For flow events (phase != kNone) `arg` carries the flow id.
 struct SpanSlot {
   std::atomic<const char*> name{nullptr};
   std::atomic<const char*> arg_name{nullptr};
   std::atomic<std::uint64_t> arg{0};
   std::atomic<std::uint64_t> start_ns{0};
   std::atomic<std::uint64_t> dur_ns{0};
+  std::atomic<std::uint8_t> phase{0};
 };
 
 class TraceRing {
@@ -76,7 +101,8 @@ class TraceRing {
 
   /// Single writer: only the owning thread records.
   void record(const char* name, const char* arg_name, std::uint64_t arg,
-              std::uint64_t start_ns, std::uint64_t dur_ns) noexcept {
+              std::uint64_t start_ns, std::uint64_t dur_ns,
+              FlowPhase phase = FlowPhase::kNone) noexcept {
     const std::uint64_t i = head_.load(std::memory_order_relaxed);
     SpanSlot& s = slots_[i % kCapacity];
     s.name.store(name, std::memory_order_relaxed);
@@ -84,6 +110,7 @@ class TraceRing {
     s.arg.store(arg, std::memory_order_relaxed);
     s.start_ns.store(start_ns, std::memory_order_relaxed);
     s.dur_ns.store(dur_ns, std::memory_order_relaxed);
+    s.phase.store(static_cast<std::uint8_t>(phase), std::memory_order_relaxed);
     head_.store(i + 1, std::memory_order_release);
   }
 
@@ -108,6 +135,17 @@ class TraceRing {
 [[nodiscard]] TraceRing& thread_ring();
 
 }  // namespace detail
+
+/// Records one flow event on the calling thread's ring. `id` ties the
+/// begin/step/end phases of one logical request together across
+/// threads; `name` must be the same literal at every phase (Chrome
+/// matches flows by name + id) and must outlive the trace. A disabled
+/// trace costs one relaxed load.
+inline void record_flow(const char* name, FlowPhase phase,
+                        std::uint64_t id) noexcept {
+  if (!trace_enabled()) return;
+  detail::thread_ring().record(name, nullptr, id, trace_now_ns(), 0, phase);
+}
 
 /// RAII scoped span. Use through the OBS_SPAN macros (obs.h) so spans
 /// compile out with EMOLEAK_OBS=0; construct directly in tests. `name`

@@ -42,6 +42,13 @@ struct PushRequest {
   bool finish = false;
   bool start = false;
   std::string model_name;  ///< for `start`: empty = registry default
+  /// Telemetry riders (never touch classification): `flow` is the
+  /// causal-trace id minted at admission and inherited by the events
+  /// this request closes; `arrival_ns` is the obs::trace_now_ns()
+  /// arrival stamp feeding the serve.e2e_latency_ns histogram. 0 = not
+  /// stamped (requests built outside ServeService).
+  std::uint64_t flow = 0;
+  std::uint64_t arrival_ns = 0;
 };
 
 class RequestBatcher {

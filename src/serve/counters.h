@@ -88,6 +88,7 @@ class ServeCounters {
         windows_batched{registry_.counter("serve.windows_batched")},
         windows_solo{registry_.counter("serve.windows_solo")},
         drain_latency_ns_{registry_.histogram("serve.drain_latency_ns")},
+        e2e_latency_ns_{registry_.histogram("serve.e2e_latency_ns")},
         batch_size_{registry_.histogram("serve.batch_size")} {}
 
   obs::Counter& requests;
@@ -115,9 +116,26 @@ class ServeCounters {
         ns > 0.0 ? static_cast<std::uint64_t>(ns) : std::uint64_t{0});
   }
 
+  /// Records one event's end-to-end latency: chunk arrival at push()
+  /// to the event leaving take_events(). Distinct from drain latency —
+  /// this one includes queueing time in the shard FIFO and any ticks a
+  /// deferred window waited for its batch.
+  void record_e2e_latency(std::uint64_t ns) noexcept {
+    e2e_latency_ns_.record(ns);
+  }
+
+  /// Full-history drain-latency snapshot, for the SLO tracker's
+  /// windowed deltas (see serve/slo.h).
+  [[nodiscard]] obs::HistogramSnapshot drain_latency_snapshot() const {
+    return drain_latency_ns_.snapshot();
+  }
+
   /// The service-local registry backing these counters; exposed so
   /// callers can render all serve metrics as text in one place.
   [[nodiscard]] obs::Registry& registry() noexcept { return registry_; }
+  [[nodiscard]] const obs::Registry& registry() const noexcept {
+    return registry_;
+  }
 
   /// Lock-free per-task counters, named serve.task.<name>.* in the
   /// registry. References stay valid for the ServeCounters lifetime, so
@@ -206,6 +224,7 @@ class ServeCounters {
 
  private:
   obs::Histogram& drain_latency_ns_;
+  obs::Histogram& e2e_latency_ns_;
   obs::Histogram& batch_size_;
   mutable std::mutex tasks_mutex_;
   std::unordered_map<std::string, std::unique_ptr<TaskCounters>> tasks_;

@@ -224,6 +224,41 @@ void encode_payload(std::string& out, const Message& msg) {
           // so a default-task start is byte-identical to what a v1 peer
           // would have sent.
           if (!m.model_name.empty()) put_str(out, m.model_name);
+        } else if constexpr (std::is_same_v<T, MetricsRequestMsg>) {
+          put_u8(out, static_cast<std::uint8_t>(MsgType::kMetricsRequest));
+        } else if constexpr (std::is_same_v<T, MetricsReplyMsg>) {
+          const obs::RegistrySnapshot& s = m.snapshot;
+          check_array_encodable(s.counters.size(), 12, "metric counters");
+          check_array_encodable(s.gauges.size(), 12, "metric gauges");
+          check_array_encodable(s.histograms.size(), 16, "metric histograms");
+          put_u8(out, static_cast<std::uint8_t>(MsgType::kMetricsReply));
+          put_u32(out, static_cast<std::uint32_t>(s.counters.size()));
+          for (const auto& [name, value] : s.counters) {
+            put_str(out, name);
+            put_u64(out, value);
+          }
+          put_u32(out, static_cast<std::uint32_t>(s.gauges.size()));
+          for (const auto& [name, value] : s.gauges) {
+            put_str(out, name);
+            put_u64(out, static_cast<std::uint64_t>(value));  // two's complement
+          }
+          put_u32(out, static_cast<std::uint32_t>(s.histograms.size()));
+          for (const auto& [name, h] : s.histograms) {
+            check_array_encodable(h.buckets.size(), 16, "histogram buckets");
+            put_str(out, name);
+            put_f64(out, h.sum);
+            put_u32(out, static_cast<std::uint32_t>(h.buckets.size()));
+            for (const obs::HistogramSnapshot::Bucket& b : h.buckets) {
+              put_f64(out, b.upper);
+              put_u64(out, b.count);
+            }
+          }
+        } else if constexpr (std::is_same_v<T, TraceRequestMsg>) {
+          put_u8(out, static_cast<std::uint8_t>(MsgType::kTraceRequest));
+        } else if constexpr (std::is_same_v<T, TraceReplyMsg>) {
+          put_u8(out, static_cast<std::uint8_t>(MsgType::kTraceReply));
+          put_str(out, m.trace_json);
+          put_u64(out, m.dropped_spans);
         }
       },
       msg);
@@ -342,6 +377,54 @@ Message decode_payload(std::string_view payload) {
       // v1 short form carries only the stream id — absent name means
       // the registry default.
       if (!c.done()) m.model_name = c.str();
+      msg = std::move(m);
+      break;
+    }
+    case MsgType::kMetricsRequest:
+      msg = MetricsRequestMsg{};
+      break;
+    case MsgType::kMetricsReply: {
+      MetricsReplyMsg m;
+      obs::RegistrySnapshot& s = m.snapshot;
+      // As with the stats reply, no reserve before reading: hostile
+      // counts must not provoke huge allocations — growth is bounded by
+      // bytes that actually arrived.
+      const std::uint32_t counters = c.u32();
+      for (std::uint32_t i = 0; i < counters; ++i) {
+        std::string name = c.str();
+        const std::uint64_t value = c.u64();
+        s.counters.emplace_back(std::move(name), value);
+      }
+      const std::uint32_t gauges = c.u32();
+      for (std::uint32_t i = 0; i < gauges; ++i) {
+        std::string name = c.str();
+        const auto value = static_cast<std::int64_t>(c.u64());
+        s.gauges.emplace_back(std::move(name), value);
+      }
+      const std::uint32_t histograms = c.u32();
+      for (std::uint32_t i = 0; i < histograms; ++i) {
+        std::string name = c.str();
+        obs::HistogramSnapshot h;
+        h.sum = c.f64();
+        const std::uint32_t buckets = c.u32();
+        for (std::uint32_t j = 0; j < buckets; ++j) {
+          const double upper = c.f64();
+          const std::uint64_t count = c.u64();
+          h.buckets.push_back({upper, count});
+          h.count += count;  // derived, not wired — stays self-consistent
+        }
+        s.histograms.emplace_back(std::move(name), std::move(h));
+      }
+      msg = std::move(m);
+      break;
+    }
+    case MsgType::kTraceRequest:
+      msg = TraceRequestMsg{};
+      break;
+    case MsgType::kTraceReply: {
+      TraceReplyMsg m;
+      m.trace_json = c.str();
+      m.dropped_spans = c.u64();
       msg = std::move(m);
       break;
     }

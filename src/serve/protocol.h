@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/streaming.h"
+#include "obs/metrics.h"
 #include "serve/counters.h"
 
 namespace emoleak::serve {
@@ -53,6 +54,13 @@ enum class MsgType : std::uint8_t {
   kStreamStart,     ///< client -> service: open a stream, optionally
                     ///< binding it to a named model (appended in v2 —
                     ///< earlier types keep their byte values)
+  kMetricsRequest,  ///< client -> service: pull the metrics registry
+                    ///< (appended in v4 — an older peer decodes this
+                    ///< type as corrupt and answers kError, which is
+                    ///< the designed downgrade signal)
+  kMetricsReply,    ///< service -> client: full registry snapshot
+  kTraceRequest,    ///< client -> service: pull the trace rings
+  kTraceReply,      ///< service -> client: Chrome trace JSON + drops
 };
 
 enum class Status : std::uint8_t {
@@ -111,9 +119,32 @@ struct AckMsg {
   std::uint32_t retry_after_ms = 0;
 };
 
+/// Remote telemetry pull (v4 append). The reply carries a full
+/// obs::RegistrySnapshot — every counter, gauge, and non-empty
+/// histogram bucket — so a scraper needs no prior knowledge of which
+/// metrics exist. Taking the snapshot is lock-free on the recording
+/// side, so a scrape never perturbs the serving path.
+struct MetricsRequestMsg {};
+
+struct MetricsReplyMsg {
+  obs::RegistrySnapshot snapshot;
+};
+
+/// Remote trace pull (v4 append). The reply ships the ready-made
+/// Chrome trace_event JSON (obs::trace_json()) rather than re-encoding
+/// spans field-by-field: the JSON is the stable export format, and the
+/// ring snapshot it represents is already race-safe by construction.
+struct TraceRequestMsg {};
+
+struct TraceReplyMsg {
+  std::string trace_json;
+  std::uint64_t dropped_spans = 0;  ///< spans lost to ring wrap
+};
+
 using Message = std::variant<ChunkPushMsg, StreamFinishMsg, EventMsg,
                              StatsRequestMsg, StatsReplyMsg, ModelSwapMsg,
-                             AckMsg, StreamStartMsg>;
+                             AckMsg, StreamStartMsg, MetricsRequestMsg,
+                             MetricsReplyMsg, TraceRequestMsg, TraceReplyMsg>;
 
 /// Appends one length-prefixed frame for `msg` to `out`. Throws
 /// util::DataError — leaving `out` untouched — when the message cannot

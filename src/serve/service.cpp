@@ -13,6 +13,7 @@ namespace emoleak::serve {
 void ServeConfig::validate() const {
   session.validate();
   batcher.validate();
+  slo.validate();
 }
 
 ServeService::ServeService(ServeConfig config,
@@ -20,34 +21,47 @@ ServeService::ServeService(ServeConfig config,
     : config_{std::move(config)},
       registry_{std::move(registry)},
       sessions_{config_.session, registry_},
-      batcher_{config_.batcher} {
+      batcher_{config_.batcher},
+      slo_{config_.slo} {
   config_.validate();
   sessions_.set_solo_counter(&counters_.windows_solo);
 }
 
 Status ServeService::push(std::uint64_t stream_id,
                           std::vector<double> samples) {
+  OBS_SPAN_ARG("serve.push", "stream", stream_id);
   counters_.requests.add(1);
   PushRequest request;
   request.stream_id = stream_id;
   request.samples = std::move(samples);
+  request.arrival_ns = obs::trace_now_ns();
+  request.flow = flow_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t flow = request.flow;
   if (!batcher_.submit(std::move(request))) {
     counters_.rejected_overload.add(1);
     return Status::kOverloaded;
   }
+  // Flow begins only for admitted work — a rejected chunk never crosses
+  // a thread, so there is nothing to link.
+  OBS_FLOW_BEGIN("serve.flow", flow);
   counters_.accepted.add(1);
   return Status::kOk;
 }
 
 Status ServeService::finish_stream(std::uint64_t stream_id) {
+  OBS_SPAN_ARG("serve.finish", "stream", stream_id);
   counters_.requests.add(1);
   PushRequest request;
   request.stream_id = stream_id;
   request.finish = true;
+  request.arrival_ns = obs::trace_now_ns();
+  request.flow = flow_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t flow = request.flow;
   if (!batcher_.submit(std::move(request))) {
     counters_.rejected_overload.add(1);
     return Status::kOverloaded;
   }
+  OBS_FLOW_BEGIN("serve.flow", flow);
   counters_.accepted.add(1);
   return Status::kOk;
 }
@@ -91,8 +105,9 @@ void ServeService::bind_session(SessionManager::Session& session) {
 
 void ServeService::process(PushRequest& request) {
   OBS_SPAN_ARG("serve.process", "stream", request.stream_id);
+  if (request.flow != 0) OBS_FLOW_STEP("serve.flow", request.flow);
   if (request.finish) {
-    sessions_.finish(request.stream_id);
+    sessions_.finish(request.stream_id, request.flow, request.arrival_ns);
     return;
   }
   const std::uint64_t tick = tick_.load(std::memory_order_relaxed);
@@ -137,6 +152,11 @@ void ServeService::process(PushRequest& request) {
     session->task->region_ns.record(obs::trace_now_ns() - t0);
     const std::size_t outbox_base = session->outbox.size();
     for (core::EmotionEvent& event : events) {
+      // The closing chunk's telemetry riders travel with the event: the
+      // flow id links this region's spans across threads, the arrival
+      // stamp feeds serve.e2e_latency_ns at write-out.
+      event.flow = request.flow;
+      event.arrival_ns = request.arrival_ns;
       session->outbox.push_back(std::move(event));
     }
     // Deferred-mode regions queued their inputs instead of predicting;
@@ -167,6 +187,11 @@ std::size_t ServeService::drain() {
     const auto t1 = std::chrono::steady_clock::now();
     counters_.record_drain_latency(
         std::chrono::duration<double, std::micro>(t1 - t0).count());
+    // Still under drain_mutex_ — the tracker's window state has exactly
+    // one writer; the ack paths read the estimate through an atomic.
+    if (config_.slo.adaptive_retry) {
+      slo_.observe(counters_.drain_latency_snapshot());
+    }
   }
   return processed;
 }
@@ -224,6 +249,7 @@ void ServeService::run_batched_classify() {
         event.probabilities.assign(first, last);
         event.predicted_class =
             static_cast<int>(std::max_element(first, last) - first);
+        if (event.flow != 0) OBS_FLOW_STEP("serve.flow", event.flow);
       }
       counters_.record_batch(count);
     }
@@ -231,9 +257,19 @@ void ServeService::run_batched_classify() {
 }
 
 std::vector<EventMsg> ServeService::take_events() {
+  OBS_SPAN("serve.events");
   std::lock_guard<std::mutex> lock{drain_mutex_};
   std::vector<EventMsg> out;
+  const std::uint64_t now = obs::trace_now_ns();
   for (auto& [stream_id, event] : sessions_.take_events()) {
+    // End of the causal chain: the event is leaving for encoding. The
+    // e2e histogram covers chunk arrival -> here, which (unlike drain
+    // latency) includes shard-FIFO queueing and any ticks a deferred
+    // window waited for its batch.
+    if (event.arrival_ns != 0 && now >= event.arrival_ns) {
+      counters_.record_e2e_latency(now - event.arrival_ns);
+    }
+    if (event.flow != 0) OBS_FLOW_END("serve.flow", event.flow);
     out.push_back(EventMsg{stream_id, std::move(event)});
   }
   return out;
@@ -279,6 +315,15 @@ ServeStats ServeService::stats() const {
   return s;
 }
 
+obs::RegistrySnapshot ServeService::metrics_snapshot() const {
+  // Service-local first (serve.*, serve.task.*, net.* registered by the
+  // transport), then the process-wide registry (kernel/cache/pool) —
+  // the service view wins name collisions, and the merge keeps the
+  // name-sorted order scrapers rely on.
+  return obs::merge_snapshots(counters_.registry().snapshot(),
+                              obs::Registry::instance().snapshot());
+}
+
 HandleResult ServeService::handle_frames(std::string_view bytes) {
   HandleResult result;
   FrameReader reader{bytes};
@@ -303,7 +348,9 @@ HandleResult ServeService::handle_frames(std::string_view bytes) {
           const auto ack = [this, &result](Status status) {
             AckMsg a{status};
             if (status == Status::kOverloaded) {
-              a.retry_after_ms = config_.retry_after_ms;
+              // Static config constant, or the SLO tracker's rolling
+              // drain-p99 estimate when adaptive backpressure is on.
+              a.retry_after_ms = retry_after_ms();
               ++result.overloaded;
             }
             encode(result.reply, a);
@@ -319,11 +366,29 @@ HandleResult ServeService::handle_frames(std::string_view bytes) {
             ack(finish_stream(m.stream_id));
           } else if constexpr (std::is_same_v<T, StatsRequestMsg>) {
             encode(result.reply, StatsReplyMsg{stats()});
+          } else if constexpr (std::is_same_v<T, MetricsRequestMsg>) {
+            try {
+              encode(result.reply, MetricsReplyMsg{metrics_snapshot()});
+            } catch (const util::DataError&) {
+              // A snapshot too large to frame (pathological metric
+              // count) degrades to an error ack, never a torn frame.
+              ack(Status::kError);
+            }
+          } else if constexpr (std::is_same_v<T, TraceRequestMsg>) {
+            TraceReplyMsg reply;
+            reply.dropped_spans = obs::trace_dropped();
+            reply.trace_json = obs::trace_json();
+            try {
+              encode(result.reply, reply);
+            } catch (const util::DataError&) {
+              ack(Status::kError);
+            }
           } else if constexpr (std::is_same_v<T, ModelSwapMsg>) {
             ack(swap_model(m.version));
           } else {
             // Server-to-client message types arriving at the service
-            // (Event, StatsReply, Ack) are protocol misuse, not fatal.
+            // (Event, StatsReply, Ack, MetricsReply, TraceReply) are
+            // protocol misuse, not fatal.
             ack(Status::kError);
           }
         },

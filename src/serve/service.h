@@ -33,6 +33,7 @@
 #include "serve/model_registry.h"
 #include "serve/protocol.h"
 #include "serve/session_manager.h"
+#include "serve/slo.h"
 #include "util/parallel.h"
 
 namespace emoleak::serve {
@@ -55,6 +56,10 @@ struct ServeConfig {
   /// per-call latency and produce ragged final batches; parity holds at
   /// any value.
   std::size_t max_batch = 0;
+  /// SLO-driven adaptive backpressure (serve/slo.h). With
+  /// `slo.adaptive_retry` off (the default) overload acks carry the
+  /// static retry_after_ms above, byte-identical to the legacy wire.
+  SloConfig slo;
 
   void validate() const;
 };
@@ -145,6 +150,30 @@ class ServeService {
     return tick_.load(std::memory_order_relaxed);
   }
 
+  /// Back-off advertised in overload acks. The static config constant,
+  /// or the SLO tracker's rolling drain-p99 estimate when
+  /// `config.slo.adaptive_retry` is on. Lock-free, any thread.
+  [[nodiscard]] std::uint32_t retry_after_ms() const noexcept {
+    return config_.slo.adaptive_retry
+               ? slo_.retry_after_ms(config_.retry_after_ms)
+               : config_.retry_after_ms;
+  }
+
+  /// The SLO tracker (estimates populate only with adaptive_retry on).
+  [[nodiscard]] const SloTracker& slo() const noexcept { return slo_; }
+
+  /// The registry behind this service's metrics — serve.* counters and
+  /// histograms, plus whatever the transport (net.*) registers into it.
+  /// kMetricsRequest serves a snapshot of this merged with the
+  /// process-wide obs::Registry::instance() (kernel/cache/pool tallies).
+  [[nodiscard]] obs::Registry& metrics_registry() noexcept {
+    return counters_.registry();
+  }
+
+  /// The snapshot a kMetricsRequest answers: this service's registry
+  /// merged with the process-wide one (service names win collisions).
+  [[nodiscard]] obs::RegistrySnapshot metrics_snapshot() const;
+
  private:
   void process(PushRequest& request);
   /// Batch-classifies every deferred window collected this tick:
@@ -163,8 +192,14 @@ class ServeService {
   SessionManager sessions_;
   RequestBatcher batcher_;
   ServeCounters counters_;
+  SloTracker slo_;
   std::mutex drain_mutex_;          ///< one drain cycle at a time
   std::atomic<std::uint64_t> tick_{0};  ///< logical clock, 1 per drain
+  /// Flow-id mint for causal tracing: each admitted push/finish/start
+  /// gets a unique nonzero id, and the events its windows produce
+  /// inherit it — linking one request's spans across the event-loop
+  /// thread, pool workers, and the drain tick in the exported trace.
+  std::atomic<std::uint64_t> flow_seq_{0};
 };
 
 }  // namespace emoleak::serve

@@ -92,7 +92,8 @@ void SessionManager::resolve_pending_solo(Session& session) {
   session.pending.clear();
 }
 
-bool SessionManager::finish(std::uint64_t stream_id) {
+bool SessionManager::finish(std::uint64_t stream_id, std::uint64_t flow,
+                            std::uint64_t arrival_ns) {
   std::lock_guard<std::mutex> lock{mutex_};
   const auto it = sessions_.find(stream_id);
   if (it == sessions_.end()) return false;
@@ -103,6 +104,8 @@ bool SessionManager::finish(std::uint64_t stream_id) {
   // before the outbox leaves the session.
   resolve_pending_solo(*session);
   if (auto last = session->attack.finish()) {
+    last->flow = flow;
+    last->arrival_ns = arrival_ns;
     session->outbox.push_back(*last);
   }
   // The outbox must survive retirement until take_events(); park the

@@ -82,7 +82,10 @@ class SessionManager {
 
   /// Flushes the open region (if any) into the outbox and retires the
   /// session into the free pool. Returns false for an unknown stream.
-  bool finish(std::uint64_t stream_id);
+  /// `flow`/`arrival_ns` stamp the flushed final event with the finish
+  /// request's telemetry riders (0 = unstamped; see EmotionEvent).
+  bool finish(std::uint64_t stream_id, std::uint64_t flow = 0,
+              std::uint64_t arrival_ns = 0);
 
   /// Evicts every session idle since before `tick - idle_timeout`;
   /// returns the number evicted. Call only between drains.

@@ -1,0 +1,111 @@
+// SLO tracker — windowed drain-latency percentiles driving adaptive
+// backpressure.
+//
+// The static ServeConfig::retry_after_ms tells an overloaded client to
+// come back after "roughly one drain tick", which is wrong in both
+// directions: under light load a tick finishes in microseconds and the
+// client waits a full millisecond for nothing; under a latency spike a
+// retry lands while the queue is still full and is rejected again.
+// SloTracker derives the advertised back-off from what drains are
+// actually costing *right now*: every N drains it takes the delta
+// between two full-history histogram snapshots (obs::histogram_delta),
+// reads the windowed p99, and publishes
+//
+//   retry_after_ms = clamp(target_multiplier * windowed_p99, min, max)
+//
+// through a relaxed atomic that the ack paths read lock-free. Updates
+// run under the service's drain mutex (one writer); readers are the
+// wire face and the TCP accept path, on other threads — hence the
+// atomics. Off by default: with `adaptive_retry` false the tracker is
+// never consulted and every ack byte matches the legacy constant.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace emoleak::serve {
+
+struct SloConfig {
+  /// Feed windowed drain-p99 into overload acks' retry_after_ms. Off =
+  /// legacy behavior, byte-identical acks from the static constant.
+  bool adaptive_retry = false;
+  /// Drains per estimation window. Small windows react faster but read
+  /// noisier percentiles; one windowed p99 needs at least this many
+  /// drain samples to mean anything.
+  std::uint64_t window_drains = 32;
+  /// Advertised back-off as a multiple of the windowed drain p99 — a
+  /// retry should land *after* the next tick likely finished, so > 1.
+  double target_multiplier = 2.0;
+  /// Clamp on the advertised back-off. The floor keeps a microsecond
+  /// p99 from advertising a zero back-off (a retry storm); the ceiling
+  /// keeps one pathological window from parking clients for minutes.
+  std::uint32_t min_retry_ms = 1;
+  std::uint32_t max_retry_ms = 1000;
+
+  void validate() const {
+    if (window_drains == 0) {
+      throw util::ConfigError{"slo: window_drains must be >= 1"};
+    }
+    if (!(target_multiplier > 0.0)) {
+      throw util::ConfigError{"slo: target_multiplier must be > 0"};
+    }
+    if (min_retry_ms > max_retry_ms) {
+      throw util::ConfigError{"slo: min_retry_ms > max_retry_ms"};
+    }
+  }
+};
+
+/// Rolling drain-p99 estimator. Single writer (the drain cycle, under
+/// the service's drain mutex); lock-free readers (ack paths on the
+/// event-loop and caller threads).
+class SloTracker {
+ public:
+  explicit SloTracker(SloConfig config) : config_{config} {}
+
+  /// Called once per drain with the full-history drain-latency
+  /// snapshot. Every `window_drains` calls, folds the window's delta
+  /// into a fresh retry estimate.
+  void observe(const obs::HistogramSnapshot& history) {
+    if (++drains_since_update_ < config_.window_drains) return;
+    drains_since_update_ = 0;
+    const obs::HistogramSnapshot window = obs::histogram_delta(prev_, history);
+    prev_ = history;
+    if (window.count == 0) return;  // idle window — keep the last estimate
+    const double p99_ns = window.quantile(0.99);
+    windowed_p99_ns_.store(static_cast<std::uint64_t>(p99_ns),
+                           std::memory_order_relaxed);
+    const double target_ms = config_.target_multiplier * p99_ns / 1e6;
+    const auto clamped = static_cast<std::uint32_t>(std::clamp(
+        std::ceil(target_ms), static_cast<double>(config_.min_retry_ms),
+        static_cast<double>(config_.max_retry_ms)));
+    retry_after_ms_.store(clamped, std::memory_order_relaxed);
+  }
+
+  /// Current advertised back-off; `fallback` until the first complete
+  /// window has produced an estimate. Lock-free, any thread.
+  [[nodiscard]] std::uint32_t retry_after_ms(
+      std::uint32_t fallback) const noexcept {
+    const std::uint32_t v = retry_after_ms_.load(std::memory_order_relaxed);
+    return v == 0 ? fallback : v;
+  }
+
+  /// Last windowed drain p99 in nanoseconds (0 before the first
+  /// window). For introspection and tests.
+  [[nodiscard]] std::uint64_t windowed_p99_ns() const noexcept {
+    return windowed_p99_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  SloConfig config_;
+  obs::HistogramSnapshot prev_;          ///< writer-only window baseline
+  std::uint64_t drains_since_update_ = 0;  ///< writer-only
+  std::atomic<std::uint32_t> retry_after_ms_{0};  ///< 0 = no estimate yet
+  std::atomic<std::uint64_t> windowed_p99_ns_{0};
+};
+
+}  // namespace emoleak::serve

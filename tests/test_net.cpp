@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <numbers>
@@ -23,6 +24,7 @@
 #include "ml/dataset.h"
 #include "ml/logistic.h"
 #include "net/client.h"
+#include "obs/obs.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
 #include "util/error.h"
@@ -598,6 +600,136 @@ TEST(NetServerTest, ConnectionCapRejectsWithRetryAfter) {
   EXPECT_EQ(ack.retry_after_ms, 11u);
   EXPECT_FALSE(c.recv().has_value());  // then closed
   EXPECT_EQ(fx.server->stats().connections_rejected, 1u);
+}
+
+TEST(NetServerTest, ConcurrentScrapeUnderMixedTaskTraffic) {
+  // The TSan shape for the telemetry path: scraper connections hammer
+  // kMetricsRequest/kTraceRequest against the live event loop while
+  // mixed-task device streams flow — and the streamed events must stay
+  // bit-identical to the no-scrape references (telemetry never
+  // perturbs results).
+  const auto model_a = make_model(3, 7);
+  const auto model_b = make_model(3, 9);
+  constexpr std::size_t kStreams = 4;
+  constexpr std::size_t kChunk = 512;
+
+  std::vector<std::vector<double>> traces;
+  std::vector<std::vector<core::EmotionEvent>> reference;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    traces.push_back(default_trace(70 + s));
+    reference.push_back(
+        standalone_events(traces[s], kChunk, s % 2 == 0 ? model_a : model_b));
+    ASSERT_FALSE(reference[s].empty());
+  }
+
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  registry->add("task-a", model_a);
+  registry->add("task-b", model_b);
+  serve::ServeService service{service_config(0), registry};
+  net::NetServer server{net::NetServerConfig{}, service};
+  server.start();
+  const std::uint16_t port = server.port();
+
+  obs::set_trace_enabled(true);
+  std::atomic<bool> streaming{true};
+  std::atomic<std::uint64_t> scrapes{0};
+  std::atomic<std::uint64_t> trace_bytes{0};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 2; ++t) {
+    scrapers.emplace_back([&, t] {
+      net::BlockingClient client{port};
+      client.set_recv_timeout(10000);
+      while (streaming.load(std::memory_order_acquire)) {
+        client.send(serve::MetricsRequestMsg{});
+        const auto metrics = client.recv();
+        ASSERT_TRUE(metrics.has_value());
+        const auto& snapshot =
+            std::get<serve::MetricsReplyMsg>(*metrics).snapshot;
+        // Transport counters ride in the same scrape as serve.*: one
+        // request covers the whole server.
+        bool saw_net = false;
+        bool saw_serve = false;
+        for (const auto& [name, value] : snapshot.counters) {
+          saw_net = saw_net || name.rfind("net.", 0) == 0;
+          saw_serve = saw_serve || name.rfind("serve.", 0) == 0;
+        }
+        EXPECT_TRUE(saw_net);
+        EXPECT_TRUE(saw_serve);
+        if (t == 1) {  // one scraper also pulls the span rings
+          client.send(serve::TraceRequestMsg{});
+          const auto trace = client.recv();
+          ASSERT_TRUE(trace.has_value());
+          const auto& reply = std::get<serve::TraceReplyMsg>(*trace);
+          EXPECT_NE(reply.trace_json.find("\"traceEvents\""),
+                    std::string::npos);
+          trace_bytes.fetch_add(reply.trace_json.size(),
+                                std::memory_order_relaxed);
+        }
+        scrapes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::vector<std::vector<core::EmotionEvent>> served(kStreams);
+  std::vector<std::thread> clients;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    clients.emplace_back([&, s] {
+      // Same shape as stream_over_tcp, plus the StreamStart binding the
+      // stream to its task — on the same connection, so the session
+      // keeps its model for the whole stream.
+      net::BlockingClient client{port};
+      client.set_recv_timeout(10000);
+      std::vector<core::EmotionEvent>& events = served[s];
+      const auto pump_one = [&]() -> serve::AckMsg {
+        for (;;) {
+          auto msg = client.recv();
+          if (!msg) throw net::NetError{"server closed early"};
+          if (auto* ev = std::get_if<serve::EventMsg>(&*msg)) {
+            events.push_back(std::move(ev->event));
+            continue;
+          }
+          return std::get<serve::AckMsg>(*msg);
+        }
+      };
+      client.send(
+          serve::StreamStartMsg{s, s % 2 == 0 ? "task-a" : "task-b"});
+      EXPECT_EQ(pump_one().status, Status::kOk);
+      const std::vector<double>& trace = traces[s];
+      for (std::size_t i = 0; i < trace.size(); i += kChunk) {
+        const std::size_t hi = std::min(i + kChunk, trace.size());
+        const serve::ChunkPushMsg msg{s, slice(trace, i, hi)};
+        for (;;) {
+          client.send(msg);
+          const serve::AckMsg ack = pump_one();
+          if (ack.status == Status::kOk) break;
+          ASSERT_EQ(ack.status, Status::kOverloaded);
+          std::this_thread::sleep_for(std::chrono::milliseconds{
+              std::max<std::uint32_t>(ack.retry_after_ms, 1)});
+        }
+      }
+      client.send(serve::StreamFinishMsg{s});
+      (void)pump_one();
+      while (events.size() < reference[s].size()) {
+        auto msg = client.recv();
+        if (!msg) break;
+        if (auto* ev = std::get_if<serve::EventMsg>(&*msg)) {
+          events.push_back(std::move(ev->event));
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  streaming.store(false, std::memory_order_release);
+  for (auto& t : scrapers) t.join();
+  obs::set_trace_enabled(false);
+  server.stop();
+  obs::clear_trace();
+
+  EXPECT_GT(scrapes.load(), 0u);
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    SCOPED_TRACE("stream=" + std::to_string(s));
+    expect_same_events(served[s], reference[s]);
+  }
 }
 
 }  // namespace

@@ -363,6 +363,185 @@ TEST(Obs, ServeStatsBackedByHistogram) {
   EXPECT_GE(max_upper, 10000.0);
 }
 
+TEST(Delta, HistogramDeltaIsolatesTheWindow) {
+  obs::Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(10);  // history: fast
+  const obs::HistogramSnapshot earlier = h.snapshot();
+  for (int i = 0; i < 50; ++i) h.record(100000);  // window: slow
+  const obs::HistogramSnapshot later = h.snapshot();
+
+  const obs::HistogramSnapshot delta = obs::histogram_delta(earlier, later);
+  EXPECT_EQ(delta.count, 50u);
+  // The window saw only slow records, so even its p1 clears the fast
+  // bucket — the full-history p50 would still sit at 10.
+  EXPECT_GE(delta.quantile(0.01), 100000.0 / 1.125);
+  EXPECT_GE(delta.quantile(0.99), 100000.0 / 1.125);
+  // Rate math: window sum over window count, not history-diluted.
+  EXPECT_NEAR(delta.mean(), 100000.0, 100000.0 * 0.125 + 1.0);
+
+  // A well-ordered pair with no in-window records is empty.
+  const obs::HistogramSnapshot none = obs::histogram_delta(later, later);
+  EXPECT_EQ(none.count, 0u);
+  EXPECT_EQ(none.quantile(0.99), 0.0);
+
+  // Swapped order (later first) clamps at zero instead of underflowing.
+  const obs::HistogramSnapshot swapped = obs::histogram_delta(later, earlier);
+  EXPECT_EQ(swapped.count, 0u);
+}
+
+TEST(Delta, RegistryDeltaClampsAndKeepsGauges) {
+  obs::Registry registry;
+  registry.counter("reqs").add(7);
+  registry.gauge("depth").set(3);
+  registry.histogram("lat").record(50);
+  const obs::RegistrySnapshot earlier = registry.snapshot();
+
+  registry.counter("reqs").add(5);
+  registry.counter("fresh").add(2);  // born inside the window
+  registry.gauge("depth").set(-1);
+  registry.histogram("lat").record(60);
+  const obs::RegistrySnapshot later = registry.snapshot();
+
+  const obs::RegistrySnapshot delta = obs::registry_delta(earlier, later);
+  const auto find_counter = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& [n, v] : delta.counters) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return 0;
+  };
+  EXPECT_EQ(find_counter("reqs"), 5u);
+  EXPECT_EQ(find_counter("fresh"), 2u);
+  // Gauges are point-in-time: the delta carries the later value.
+  ASSERT_EQ(delta.gauges.size(), 1u);
+  EXPECT_EQ(delta.gauges[0].second, -1);
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  EXPECT_EQ(delta.histograms[0].second.count, 1u);
+}
+
+TEST(Delta, SnapshotsAreSortedAndMergeable) {
+  obs::Registry service;
+  service.counter("serve.requests").add(4);
+  service.counter("shared").add(1);
+  obs::Registry process;
+  process.counter("workspace.grows").add(9);
+  process.counter("shared").add(100);
+
+  const obs::RegistrySnapshot merged =
+      obs::merge_snapshots(service.snapshot(), process.snapshot());
+  ASSERT_EQ(merged.counters.size(), 3u);
+  // Output stays name-sorted (the wire format and prometheus_text both
+  // rely on it), and the primary wins name collisions.
+  EXPECT_TRUE(std::is_sorted(
+      merged.counters.begin(), merged.counters.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+  for (const auto& [name, value] : merged.counters) {
+    if (name == "shared") {
+      EXPECT_EQ(value, 1u);
+    }
+  }
+}
+
+TEST(Prometheus, TextFormatAndNameSanitization) {
+  obs::Registry registry;
+  registry.counter("serve.task.tess-logistic(v2).requests").add(11);
+  registry.gauge("net.connections_active").set(-2);
+  obs::Histogram& h = registry.histogram("serve.drain_latency_ns");
+  h.record(5);
+  h.record(5);
+  h.record(1000);
+
+  const std::string text = obs::prometheus_text(registry.snapshot());
+
+  // Dots and parens sanitize to underscores; the value rides verbatim.
+  EXPECT_NE(text.find("# TYPE serve_task_tess_logistic_v2__requests counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_task_tess_logistic_v2__requests 11"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE net_connections_active gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("net_connections_active -2"), std::string::npos);
+
+  // Histogram: cumulative buckets ending in +Inf == count, plus
+  // _sum/_count samples.
+  EXPECT_NE(text.find("# TYPE serve_drain_latency_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_drain_latency_ns_bucket{le=\"5\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_drain_latency_ns_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_drain_latency_ns_count 3"), std::string::npos);
+  // Every line is "name value", "name{le=\"..\"} value", or a comment —
+  // no empty lines, no unsanitized characters.
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos);  // text ends with a newline
+    const std::string line = text.substr(start, end - start);
+    EXPECT_FALSE(line.empty());
+    EXPECT_EQ(line.find('('), std::string::npos) << line;
+    start = end + 1;
+  }
+}
+
+TEST(Prometheus, EmptySnapshotRendersEmpty) {
+  EXPECT_EQ(obs::prometheus_text(obs::RegistrySnapshot{}), "");
+}
+
+#if EMOLEAK_OBS
+TEST(Trace, FlowEventsExportWithPhases) {
+  obs::clear_trace();
+  obs::set_trace_enabled(true);
+  {
+    obs::Span span{"test.flowhost"};
+    OBS_FLOW_BEGIN("test.flow", 42u);
+    OBS_FLOW_STEP("test.flow", 42u);
+    OBS_FLOW_END("test.flow", 42u);
+  }
+  obs::set_trace_enabled(false);
+
+  const std::string json = obs::trace_json();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"flow\""), std::string::npos);
+  // Binding point: the terminating flow event attaches to the enclosing
+  // slice, so Perfetto draws the arrow into test.flowhost.
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  obs::clear_trace();
+}
+
+TEST(Trace, ExportCarriesRingMetadata) {
+  obs::clear_trace();
+  obs::set_trace_enabled(true);
+  { obs::Span span{"test.meta"}; }
+  obs::set_trace_enabled(false);
+
+  const std::string json = obs::trace_json();
+  EXPECT_NE(json.find("\"emoleakMeta\""), std::string::npos);
+  EXPECT_NE(json.find("\"droppedSpans\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"ringCapacity\":"), std::string::npos);
+  EXPECT_NE(json.find("\"recorded\":"), std::string::npos);
+
+  const std::vector<obs::TraceRingInfo> rings = obs::trace_ring_info();
+  ASSERT_FALSE(rings.empty());
+  std::uint64_t recorded = 0;
+  for (const obs::TraceRingInfo& info : rings) recorded += info.recorded;
+  EXPECT_GE(recorded, 1u);
+  obs::clear_trace();
+}
+
+TEST(Trace, DisabledFlowRecordsNothing) {
+  obs::set_trace_enabled(false);
+  obs::clear_trace();
+  const std::uint64_t before = obs::detail::thread_ring().head();
+  OBS_FLOW_BEGIN("test.floff", 7u);
+  OBS_FLOW_END("test.floff", 7u);
+  EXPECT_EQ(obs::detail::thread_ring().head(), before);
+}
+#endif
+
 TEST(Obs, PoolQueueDepthGaugeReturnsToZero) {
   std::atomic<std::uint64_t> sum{0};
   util::parallel_for(util::Parallelism{.threads = 2}, 64, [&](std::size_t i) {

@@ -236,6 +236,75 @@ TEST(ServeProtocolTest, RejectsMalformedFrames) {
   }
 }
 
+TEST(ServeProtocolTest, RoundTripsTelemetryFrames) {
+  obs::RegistrySnapshot snapshot;
+  snapshot.counters = {{"net.bytes_in", 123456789u}, {"serve.requests", 42u}};
+  snapshot.gauges = {{"net.connections_active", -3},
+                     {"pool.queue_depth", 17}};
+  obs::HistogramSnapshot hist;
+  hist.count = 5;
+  hist.sum = 1234.5;
+  hist.buckets = {{16.0, 2}, {1024.0, 3}};
+  snapshot.histograms = {{"serve.drain_latency_ns", hist}};
+
+  std::string buffer;
+  serve::encode(buffer, serve::MetricsRequestMsg{});
+  serve::encode(buffer, serve::MetricsReplyMsg{snapshot});
+  serve::encode(buffer, serve::TraceRequestMsg{});
+  serve::encode(buffer,
+                serve::TraceReplyMsg{"{\"traceEvents\":[]}", 7});
+
+  serve::FrameReader reader{buffer};
+  EXPECT_TRUE(
+      std::holds_alternative<serve::MetricsRequestMsg>(*reader.next()));
+  const auto reply = std::get<serve::MetricsReplyMsg>(*reader.next());
+  EXPECT_EQ(reply.snapshot.counters, snapshot.counters);
+  // Gauges ride as two's-complement u64: negatives survive verbatim.
+  EXPECT_EQ(reply.snapshot.gauges, snapshot.gauges);
+  ASSERT_EQ(reply.snapshot.histograms.size(), 1u);
+  EXPECT_EQ(reply.snapshot.histograms[0].first, "serve.drain_latency_ns");
+  const obs::HistogramSnapshot& h = reply.snapshot.histograms[0].second;
+  EXPECT_EQ(h.sum, 1234.5);
+  ASSERT_EQ(h.buckets.size(), 2u);
+  EXPECT_EQ(h.buckets[0].upper, 16.0);
+  EXPECT_EQ(h.buckets[0].count, 2u);
+  // The decoder derives count from the buckets it actually read, so a
+  // tampered header count cannot disagree with the data.
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_TRUE(std::holds_alternative<serve::TraceRequestMsg>(*reader.next()));
+  const auto trace = std::get<serve::TraceReplyMsg>(*reader.next());
+  EXPECT_EQ(trace.trace_json, "{\"traceEvents\":[]}");
+  EXPECT_EQ(trace.dropped_spans, 7u);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(ServeProtocolTest, TelemetryTypesAreVersionCompatibleAppends) {
+  // The four new types extend the enum without renumbering: an old peer
+  // that never learned them sees byte values 9..12 as unknown and
+  // throws DataError — exactly the downgrade signal handle_frames turns
+  // into a kError ack.
+  EXPECT_EQ(static_cast<std::uint8_t>(serve::MsgType::kMetricsRequest), 9);
+  EXPECT_EQ(static_cast<std::uint8_t>(serve::MsgType::kMetricsReply), 10);
+  EXPECT_EQ(static_cast<std::uint8_t>(serve::MsgType::kTraceRequest), 11);
+  EXPECT_EQ(static_cast<std::uint8_t>(serve::MsgType::kTraceReply), 12);
+
+  // Hand-built kMetricsReply with empty sections — the shortest valid
+  // v4 body a minimal peer could send. len = type + 3 empty u32 counts.
+  std::string minimal;
+  minimal += '\x0d';
+  minimal += '\x00';
+  minimal += '\x00';
+  minimal += '\x00';  // u32 len = 13
+  minimal += '\x0a';  // kMetricsReply
+  minimal.append(12, '\x00');  // three zero counts
+  serve::FrameReader reader{minimal};
+  const auto msg = reader.next();
+  ASSERT_TRUE(msg.has_value());
+  const auto& reply = std::get<serve::MetricsReplyMsg>(*msg);
+  EXPECT_TRUE(reply.snapshot.counters.empty());
+  EXPECT_TRUE(reply.snapshot.histograms.empty());
+}
+
 // ---- bounded queue ----------------------------------------------------
 
 TEST(BoundedQueueTest, CapacityFifoAndClose) {
@@ -661,6 +730,120 @@ TEST(ServeServiceTest, WireTransportEndToEnd) {
     ++count;
   }
   EXPECT_EQ(count, standalone_events(trace, 512, registry->current()).size());
+}
+
+TEST(ServeServiceTest, MetricsRequestAnswersWithLiveCounters) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->add("m", make_model(3, 7));
+  ServeService service{service_config(1), registry};
+
+  const auto trace = default_trace(52);
+  std::string request;
+  for (std::size_t i = 0; i < trace.size(); i += 512) {
+    const std::size_t hi = std::min(i + 512, trace.size());
+    serve::encode(request, serve::ChunkPushMsg{4, slice(trace, i, hi)});
+  }
+  serve::encode(request, serve::StreamFinishMsg{4});
+  (void)service.handle(request);
+  service.drain();
+  (void)service.take_events();
+
+  const std::string reply =
+      service.handle(serve::encode_one(serve::MetricsRequestMsg{}));
+  serve::FrameReader frames{reply};
+  const auto msg = frames.next();
+  ASSERT_TRUE(msg.has_value());
+  const auto& snapshot = std::get<serve::MetricsReplyMsg>(*msg).snapshot;
+
+  const serve::ServeStats stats = service.stats();
+  std::uint64_t requests = 0;
+  bool saw_process_global = false;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "serve.requests") requests = value;
+    // The reply merges in the process-global registry (workspace/pool
+    // counters), so one scrape covers the whole process.
+    if (name.rfind("pool.", 0) == 0 || name.rfind("workspace.", 0) == 0) {
+      saw_process_global = true;
+    }
+  }
+  EXPECT_EQ(requests, stats.requests);
+  EXPECT_TRUE(saw_process_global);
+
+  // The e2e histogram (chunk arrival -> event encoded) counts exactly
+  // the events that left through take_events.
+  bool saw_e2e = false;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (name == "serve.e2e_latency_ns") {
+      saw_e2e = true;
+      EXPECT_EQ(hist.count, stats.events_emitted);
+      EXPECT_GT(hist.count, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_e2e);
+}
+
+TEST(ServeServiceTest, ReplyTypesSentToServerGetErrorAck) {
+  // Protocol misuse, not corruption: a peer streaming server-to-client
+  // types at the service gets kError acks and stays connected.
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->add("m", make_model(3, 7));
+  ServeService service{service_config(1), registry};
+
+  std::string request;
+  serve::encode(request, serve::MetricsReplyMsg{});
+  serve::encode(request, serve::TraceReplyMsg{"{}", 0});
+  const serve::HandleResult result = service.handle_frames(request);
+  EXPECT_FALSE(result.corrupt);
+  EXPECT_EQ(result.frames, 2u);
+
+  serve::FrameReader acks{result.reply};
+  std::size_t errors = 0;
+  while (auto msg = acks.next()) {
+    EXPECT_EQ(std::get<serve::AckMsg>(*msg).status, Status::kError);
+    ++errors;
+  }
+  EXPECT_EQ(errors, 2u);
+}
+
+TEST(ServeServiceTest, AdaptiveRetryTracksWindowedDrainLatency) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->add("m", make_model(3, 7));
+
+  // Off (the default): the advertised back-off is the static config
+  // value, so the wire behavior is byte-identical to the legacy path.
+  serve::ServeConfig off_cfg = service_config(1);
+  off_cfg.retry_after_ms = 9;
+  ServeService off_service{off_cfg, registry};
+  EXPECT_EQ(off_service.retry_after_ms(), 9u);
+
+  serve::ServeConfig cfg = service_config(1);
+  cfg.retry_after_ms = 9;
+  cfg.slo.adaptive_retry = true;
+  cfg.slo.window_drains = 2;
+  cfg.slo.min_retry_ms = 1;
+  cfg.slo.max_retry_ms = 50;
+  ServeService service{cfg, registry};
+
+  // Before any window completes the tracker falls back to the static
+  // value rather than advertising a made-up estimate.
+  EXPECT_EQ(service.retry_after_ms(), 9u);
+
+  const std::vector<double> chunk(256, 9.81);
+  for (int round = 0; round < 6; ++round) {
+    ASSERT_EQ(service.push(1, chunk), Status::kOk);
+    service.drain();
+  }
+  // Windows have closed: the estimate derives from the rolling drain
+  // p99 and respects the configured clamp.
+  EXPECT_GT(service.slo().windowed_p99_ns(), 0u);
+  EXPECT_GE(service.retry_after_ms(), cfg.slo.min_retry_ms);
+  EXPECT_LE(service.retry_after_ms(), cfg.slo.max_retry_ms);
+
+  // Config validation rejects a degenerate clamp.
+  serve::SloConfig bad;
+  bad.min_retry_ms = 100;
+  bad.max_retry_ms = 10;
+  EXPECT_THROW(bad.validate(), util::ConfigError);
 }
 
 TEST(ServeServiceTest, ConcurrentProducersAndDrainsAreClean) {

@@ -30,7 +30,7 @@ if(NOT cli_output MATCHES "Metrics registry:")
 endif()
 
 execute_process(
-  COMMAND "${PYTHON}" "${SUMMARY}" "${trace_file}" --top 5
+  COMMAND "${PYTHON}" "${SUMMARY}" "${trace_file}" --top 5 --strict
   RESULT_VARIABLE summary_result
   OUTPUT_VARIABLE summary_output
   ERROR_VARIABLE summary_output)
@@ -40,5 +40,37 @@ endif()
 if(NOT summary_output MATCHES "pipeline\\.")
   message(FATAL_ERROR
       "trace_smoke: summary shows no pipeline stages:\n${summary_output}")
+endif()
+# The exporter appends ring metadata (dropped-span count, per-thread
+# occupancy) after the event array; the summary must surface it.
+if(NOT summary_output MATCHES "Span rings:")
+  message(FATAL_ERROR
+      "trace_smoke: summary shows no ring metadata:\n${summary_output}")
+endif()
+
+# Malformed input must fail loudly under --strict, not summarize junk:
+# truncating the JSON mid-document makes it unparseable.
+file(READ "${trace_file}" trace_content)
+string(LENGTH "${trace_content}" trace_len)
+math(EXPR half_len "${trace_len} / 2")
+string(SUBSTRING "${trace_content}" 0 ${half_len} truncated)
+file(WRITE "${OUT}/trace_smoke_truncated.json" "${truncated}")
+execute_process(
+  COMMAND "${PYTHON}" "${SUMMARY}" "${OUT}/trace_smoke_truncated.json" --strict
+  RESULT_VARIABLE bad_result
+  OUTPUT_QUIET ERROR_QUIET)
+if(bad_result EQUAL 0)
+  message(FATAL_ERROR
+      "trace_smoke: --strict accepted a truncated trace file")
+endif()
+
+# ... and an empty event list must also be rejected.
+file(WRITE "${OUT}/trace_smoke_empty.json" "{\"traceEvents\":[]}")
+execute_process(
+  COMMAND "${PYTHON}" "${SUMMARY}" "${OUT}/trace_smoke_empty.json" --strict
+  RESULT_VARIABLE empty_result
+  OUTPUT_QUIET ERROR_QUIET)
+if(empty_result EQUAL 0)
+  message(FATAL_ERROR "trace_smoke: --strict accepted an empty trace")
 endif()
 message(STATUS "trace_smoke OK:\n${summary_output}")
